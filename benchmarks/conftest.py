@@ -1,0 +1,34 @@
+"""Benchmark-harness plumbing.
+
+Every benchmark regenerates one paper table/figure: it times the runner
+with pytest-benchmark, asserts the paper's qualitative shape, prints the
+full table (visible with ``pytest -s`` or in captured output), and saves
+it under ``benchmarks/output/`` so the rows survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def report(output_dir):
+    """Print a FigureResult and persist it to benchmarks/output/."""
+
+    def _report(result, filename: str) -> None:
+        text = result.format()
+        print()
+        print(text)
+        (output_dir / filename).write_text(text + "\n", encoding="utf-8")
+
+    return _report

@@ -1,0 +1,79 @@
+"""Ablation benchmarks for this reproduction's own design choices
+(see DESIGN.md): steady-state rule, ETM distribution, power envelopes,
+memory technology, and the Type-1 functional cross-check."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_device_sim,
+    ablation_esp_model,
+    ablation_power_envelope,
+    ablation_steady_state,
+    ablation_technology,
+    ablation_type1_functional,
+)
+
+
+def test_abl_steady_state(benchmark, report):
+    result = benchmark.pedantic(ablation_steady_state, rounds=1, iterations=1)
+    report(result, "abl_steady_state.txt")
+    for row in result.rows:
+        assert row[3] == pytest.approx(1.0, abs=0.06)  # ratio
+
+
+def test_abl_esp_model(benchmark, report):
+    result = benchmark(ablation_esp_model)
+    report(result, "abl_esp_model.txt")
+    gains = dict(zip(result.column("esp_model"), result.column("etm_gain_vs_noETM")))
+    assert 4.0 < gains["paper Fig-6 calibration"] < 8.0
+    # Even the most pessimistic independence assumption keeps ETM useful.
+    assert gains["max over 7168 random candidates"] > 2.0
+    # More candidates -> later termination -> smaller gain.
+    assert (
+        gains["max over 7168 random candidates"]
+        < gains["max over 32 random candidates"]
+    )
+
+
+def test_abl_power_envelope(benchmark, report):
+    result = benchmark(ablation_power_envelope)
+    report(result, "abl_power_envelope.txt")
+    ceilings = dict(zip(result.column("envelope"), result.column("max_SA_per_bank")))
+    # DIMM can feed fewer concurrent subarrays than a PCIe slot, and no
+    # envelope feeds all 128 (the paper's Section VI-C caveat).
+    assert ceilings["DDR4 DIMM slot"] < ceilings["PCIe x16 slot"] <= 128
+    assert all(c < 128 for c in ceilings.values())
+    # The paper's chosen 8 SA fits the PCIe envelope.
+    assert ceilings["PCIe x16 slot"] >= 8
+
+
+def test_abl_technology(benchmark, report):
+    result = benchmark(ablation_technology)
+    report(result, "abl_technology.txt")
+    rows = {row[0].split()[0]: row for row in result.rows}
+    # HBM: more banks -> much higher throughput per GB.
+    assert rows["HBM2"][4] > 5 * rows["DDR4"][4]
+    # NVM: largest capacity, slowest per GB.
+    assert rows["NVM"][1] > rows["DDR4"][1]
+    assert rows["NVM"][4] < rows["DDR4"][4]
+
+
+def test_abl_device_sim(benchmark, report):
+    result = benchmark.pedantic(
+        ablation_device_sim, kwargs={"num_requests": 15_000},
+        rounds=1, iterations=1,
+    )
+    report(result, "abl_device_sim.txt")
+    for row in result.rows:
+        assert 0.0 < row[1] < 7.0  # overhead percent
+        assert row[2] < 1.15  # imbalance
+
+
+def test_abl_type1_functional(benchmark, report):
+    result = benchmark.pedantic(
+        ablation_type1_functional, kwargs={"queries": 80}, rounds=1, iterations=1
+    )
+    report(result, "abl_type1_functional.txt")
+    values = dict(zip(result.column("quantity"), result.column("value")))
+    assert values["SkBR pruning factor"] > 3.0
+    assert values["mean rows activated"] < values["max rows (2k + payload)"]

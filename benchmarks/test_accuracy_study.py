@@ -1,0 +1,18 @@
+"""Benchmark: classification-quality study over the Table II accuracy
+profiles (HiSeq / MiSeq / simBA-5), with majority and Kraken-LCA rules."""
+
+from repro.experiments import accuracy_study
+
+
+def test_accuracy_study(benchmark, report):
+    result = benchmark.pedantic(
+        accuracy_study, kwargs={"reads_per_profile": 50}, rounds=1, iterations=1
+    )
+    report(result, "accuracy_study.txt")
+    rows = {row[0]: row for row in result.rows}
+    # simBA-5's 5 % error rate collapses the k-mer hit rate...
+    assert rows["simBA5_Accuracy.fa"][2] < rows["HiSeq_Accuracy.fa"][2]
+    # ...yet classification accuracy survives on the remaining hits.
+    for row in result.rows:
+        assert row[4] > 0.8
+        assert row[5] > 0.8

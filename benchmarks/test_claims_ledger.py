@@ -1,0 +1,11 @@
+"""Benchmark: the claims ledger — every checkable paper claim at once."""
+
+from repro.experiments.claims import claims_ledger
+
+
+def test_claims_ledger(benchmark, report):
+    result = benchmark.pedantic(claims_ledger, rounds=1, iterations=1)
+    report(result, "claims_ledger.txt")
+    failures = [row[0] for row in result.rows if row[5] != "PASS"]
+    assert not failures, f"claims outside their bands: {failures}"
+    assert len(result.rows) >= 19

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate paper Figure 1 (pipeline time breakdown)."""
+
+from repro.experiments import fig01_breakdown
+
+
+def test_fig01_breakdown(benchmark, report):
+    result = benchmark(fig01_breakdown)
+    report(result, "fig01_breakdown.txt")
+    pct = dict(zip(result.column("tool"), result.column("kmer_matching_pct")))
+    # Paper's claim: k-mer matching dominates every alignment-free tool.
+    assert all(p > 70 for tool, p in pct.items() if tool != "BLASTN")
+    assert pct["BLASTN"] > 30  # BLASTN splits time with word extension

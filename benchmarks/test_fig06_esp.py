@@ -1,0 +1,19 @@
+"""Benchmark: regenerate paper Figure 6 (first-mismatch characterization).
+
+Runs the bit-accurate functional device, so this is also the heaviest
+exercise of the behavioral DRAM/matcher/ETM stack in the suite.
+"""
+
+from repro.experiments import fig06_esp
+
+
+def test_fig06_esp(benchmark, report):
+    result = benchmark.pedantic(
+        fig06_esp, kwargs={"max_queries": 250}, rounds=1, iterations=1
+    )
+    report(result, "fig06_esp.txt")
+    fractions = dict(zip(result.column("bits"), result.column("fraction")))
+    # The overwhelming majority of comparisons resolve within 5 bases
+    # (10 bits) — paper: 96.9 %.
+    within = sum(f for bits, f in fractions.items() if bits <= 10)
+    assert within > 0.9

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate paper Figure 13 (row-major in-situ vs. Sieve)."""
+
+from repro.experiments import fig13_row_vs_col
+
+
+def test_fig13_row_vs_col(benchmark, report):
+    result = benchmark(fig13_row_vs_col)
+    report(result, "fig13_row_vs_col.txt")
+    for row in result.rows:
+        _, row_major, col_major, cdram, sieve = row
+        # Paper's ordering on every benchmark: Sieve > ComputeDRAM >
+        # col-major(no ETM) >= row-major.
+        assert sieve > cdram > col_major >= row_major * 0.99
+        # ETM contribution in the paper's 5.2x-7.2x vicinity.
+        assert 4.0 < sieve / col_major < 8.0
+        # Row-major only "slightly worse" than col-major without ETM.
+        assert col_major / row_major < 2.5

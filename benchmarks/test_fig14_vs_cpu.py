@@ -1,0 +1,21 @@
+"""Benchmark: regenerate paper Figure 14 (Sieve designs vs. CPU)."""
+
+from repro.experiments import fig14_vs_cpu, geomean
+
+
+def test_fig14_vs_cpu(benchmark, report):
+    result = benchmark(fig14_vs_cpu)
+    report(result, "fig14_vs_cpu.txt")
+    t1 = [row[1] for row in result.rows]
+    t2 = [row[3] for row in result.rows]
+    t3 = [row[5] for row in result.rows]
+    # Paper bands: T1 1.01-3.8x, T2.16CB tens of x (3.74-76.62x for the
+    # whole Type-2 family), T3.8SA hundreds of x (intro: 210x avg,
+    # abstract: 326x avg, conclusion: up to 389x).
+    assert all(1.0 < s < 10.0 for s in t1)
+    assert all(10.0 < s < 80.0 for s in t2)
+    assert all(100.0 < s < 450.0 for s in t3)
+    assert 150.0 < geomean(t3) < 350.0
+    # Energy savings ordering holds on every benchmark.
+    for row in result.rows:
+        assert row[2] < row[4] < row[6]

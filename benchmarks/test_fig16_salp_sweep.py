@@ -1,0 +1,24 @@
+"""Benchmark: regenerate paper Figure 16 (subarray-level parallelism
+sweep across device capacities)."""
+
+import pytest
+
+from repro.experiments import fig16_salp_sweep
+
+
+def test_fig16_salp_sweep(benchmark, report):
+    result = benchmark(fig16_salp_sweep)
+    report(result, "fig16_salp_sweep.txt")
+    for label in ("T3.4GB", "T3.8GB", "T3.16GB", "T3.32GB"):
+        series = result.column(label)
+        # Cycles decrease with more concurrent subarrays...
+        assert all(a >= b - 1e-9 for a, b in zip(series, series[1:]))
+        # ...and plateau after 8 subarrays (paper's observation).
+        idx8 = 3  # rows are 1,2,4,8,16,...
+        assert series[idx8 + 1] == pytest.approx(series[idx8], rel=0.02)
+        assert series[-1] == pytest.approx(series[idx8], rel=0.02)
+    # Throughput is memory-capacity-proportional: 4 GB needs ~8x the
+    # cycles of 32 GB at every SALP level.
+    four, thirty_two = result.column("T3.4GB"), result.column("T3.32GB")
+    for a, b in zip(four, thirty_two):
+        assert a == pytest.approx(8 * b, rel=0.02)

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate paper Figure 17 (Type-2 compute-buffer sweep)."""
+
+from repro.experiments import fig17_cb_sweep
+
+
+def test_fig17_cb_sweep(benchmark, report):
+    result = benchmark(fig17_cb_sweep)
+    report(result, "fig17_cb_sweep.txt")
+    rows = {row[0]: row for row in result.rows}
+    # T2.1CB faster than T1 by the paper's 1.39x-1.94x (we allow a hair
+    # of slack on both ends).
+    ratio = rows["T2.1CB"][1] / rows["T1"][1]
+    assert 1.3 < ratio < 2.1
+    # Speedup and area both grow monotonically with compute buffers.
+    cbs = [1, 2, 4, 8, 16, 32, 64, 128]
+    speedups = [rows[f"T2.{n}CB"][1] for n in cbs]
+    areas = [rows[f"T2.{n}CB"][3] for n in cbs]
+    assert speedups == sorted(speedups)
+    assert areas == sorted(areas)
+    # T2.128CB slightly trails T3.1SA in performance and undercuts its area.
+    assert 1.0 < rows["T3.1SA"][1] / rows["T2.128CB"][1] < 1.3
+    assert rows["T2.128CB"][3] < rows["T3.1SA"][3]

@@ -1,0 +1,17 @@
+"""Benchmark: the Section I motivation scenario (10 TB NovaSeq sample)."""
+
+from repro.experiments.intro_claims import intro_claims
+
+
+def test_intro_claims(benchmark, report):
+    result = benchmark(intro_claims)
+    report(result, "intro_claims.txt")
+    rows = {row[0]: row for row in result.rows}
+    # The intro's point: CPU analysis lags sequencing...
+    assert rows["CPU (Kraken-class)"][2] > 1.0
+    # ...while Type-3 keeps pace with the instrument.
+    assert rows["Sieve Type-3 (8SA)"][2] < 0.1
+    # And uses far less energy than the CPU run.
+    assert (
+        rows["CPU (Kraken-class)"][3] / rows["Sieve Type-3 (8SA)"][3] > 20
+    )

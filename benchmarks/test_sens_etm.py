@@ -1,0 +1,17 @@
+"""Benchmark: Section VI-C ETM sensitivity (adversarial all-hit, ETM off)."""
+
+from repro.experiments import sensitivity_etm_off
+
+
+def test_sens_etm_off(benchmark, report):
+    result = benchmark(sensitivity_etm_off)
+    report(result, "sens_etm_off.txt")
+    for row in result.rows:
+        _, design, cpu_s, cpu_e, gpu_s, gpu_e = row
+        # Paper: Type-2/3 without ETM, every query a hit, remain
+        # 1.34x-155x faster and 4.15x-36x more efficient than the CPU.
+        assert cpu_s > 1.3
+        assert cpu_e > 4.0
+        if design.startswith("T3"):
+            # Type-3 also stays ahead of the GPU.
+            assert gpu_s > 1.3

@@ -1,0 +1,16 @@
+"""Benchmark: Section VI-C PCIe overhead + Section IV-C deployment."""
+
+from repro.experiments import sensitivity_pcie
+
+
+def test_sens_pcie(benchmark, report):
+    result = benchmark(sensitivity_pcie)
+    report(result, "sens_pcie.txt")
+    rows = {row[0]: row for row in result.rows}
+    # Paper: PCIe adds 4.6 %-6.7 % over ideal dispatch.
+    for row in result.rows:
+        assert 4.5 < row[3] < 6.8
+    # Paper Section IV-C deployment table.
+    assert rows["T1"][4] == "DIMM"
+    assert rows["T2.16CB"][4] == "PCIe 3.0 x8"
+    assert rows["T3.8SA"][4] == "PCIe 4.0 x16"

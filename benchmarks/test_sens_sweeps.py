@@ -1,0 +1,41 @@
+"""Benchmarks: additional sensitivity sweeps implied by the paper's
+claims (k length, hit rate, capacity scaling to 500 GB)."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    sensitivity_capacity,
+    sensitivity_hit_rate,
+    sensitivity_k,
+)
+
+
+def test_sens_k_sweep(benchmark, report):
+    result = benchmark(sensitivity_k)
+    report(result, "sens_k_sweep.txt")
+    speedups = result.column("speedup_vs_cpu")
+    # Speedup shrinks mildly with k but stays in the hundreds.
+    assert speedups == sorted(speedups, reverse=True)
+    assert all(s > 100 for s in speedups)
+    assert speedups[0] / speedups[-1] < 2.0
+
+
+def test_sens_hit_rate_sweep(benchmark, report):
+    result = benchmark(sensitivity_hit_rate)
+    report(result, "sens_hit_rate_sweep.txt")
+    t3 = result.column("t3_8sa_speedup")
+    # Monotone degradation, graceful floor: Sieve wins even at 100 % hits.
+    assert t3 == sorted(t3, reverse=True)
+    assert t3[-1] > 10.0
+
+
+def test_sens_capacity_scaling(benchmark, report):
+    result = benchmark(sensitivity_capacity)
+    report(result, "sens_capacity_scaling.txt")
+    gqps = result.column("Gqps")
+    caps = result.column("capacity_gib")
+    # Linear scaling: throughput ratio tracks capacity ratio.
+    for (c0, q0), (c1, q1) in zip(zip(caps, gqps), zip(caps[1:], gqps[1:])):
+        assert q1 / q0 == pytest.approx(c1 / c0, rel=0.02)
+    # Index stays host-trivial even at 512 GB (a few MB).
+    assert result.column("index_mb")[-1] < 10.0

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate paper Table II (query sequence summary)."""
+
+import pytest
+
+from repro.experiments import tab02_queries
+
+
+def test_tab02_queries(benchmark, report):
+    result = benchmark(tab02_queries)
+    report(result, "tab02_queries.txt")
+    kmers = dict(zip(result.column("query_file"), result.column("kmers")))
+    assert kmers["MiSeq_Accuracy.fa"] == pytest.approx(1.27e6, rel=0.01)
+    assert kmers["MiSeq_Timing.fa"] == pytest.approx(1.27e10, rel=0.01)
+    assert kmers["simBA5_Timing.fa"] == pytest.approx(7.0e9, rel=0.01)

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate paper Table III (component energy/latency) and
+the Section VI-A area-overhead numbers."""
+
+import pytest
+
+from repro.experiments import area_overheads, tab03_components
+
+
+def test_tab03_components(benchmark, report):
+    result = benchmark(tab03_components)
+    report(result, "tab03_components.txt")
+    rows = {row[0]: row for row in result.rows}
+    assert rows["(T2/3) 8192-bit MA"][1] == pytest.approx(181.683)
+    assert rows["(T2/3) ETM Segment"][3] == pytest.approx(43.653)
+    # Every component must fit its timing budget: matchers/finders well
+    # under a DRAM cycle, the ETM segment within a row cycle.
+    for name, row in rows.items():
+        budget = 50.0 if "ETM" in name else 1.0
+        assert row[3] < budget, name
+
+
+def test_area_overheads(benchmark, report):
+    result = benchmark(area_overheads)
+    report(result, "area_overheads.txt")
+    for _, mine, paper in result.rows:
+        assert mine == pytest.approx(paper, rel=0.16)

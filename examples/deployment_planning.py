@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Deployment planning for a Sieve appliance.
+
+Answers the questions a genomics lab would ask before building a Sieve
+box, using the system-integration models (paper Sections IV-C, VI-C,
+and the named future work):
+
+* How long does loading my reference database take, and when does it
+  amortize?
+* What interface and power envelope does my chosen design need, and how
+  many concurrent subarrays can that envelope actually feed?
+* Does the event-driven request pipeline confirm the projected
+  throughput?
+* What would the same design look like on 3D-stacked HBM or dense NVM?
+
+Run:  python examples/deployment_planning.py
+"""
+
+from repro.experiments import paper_benchmarks
+from repro.hardware.thermal import (
+    max_concurrent_per_bank,
+    power_budget_report,
+)
+from repro.interconnect import DeploymentRequirement, DimmEnvelope, recommend_interface
+from repro.sieve import (
+    BankEventSim,
+    LoadCostModel,
+    SubarrayLayout,
+    Type3Model,
+    sample_requests,
+    technology_comparison,
+)
+
+MINIKRAKEN_4GB_KMERS = int(4 * 2**30 / 12)
+
+
+def main() -> None:
+    workload = paper_benchmarks()[-1].workload()  # C.ST.BG
+    model = Type3Model(concurrent_subarrays=8)
+    result = model.run(workload)
+    qps = workload.num_kmers / result.time_s
+    ns_per_query = 1e9 / qps
+
+    # -- 1. database load ------------------------------------------------------
+    print("1. loading a MiniKraken-4GB-class database "
+          f"({MINIKRAKEN_4GB_KMERS / 1e6:.0f} M 31-mers):")
+    load = LoadCostModel().report(MINIKRAKEN_4GB_KMERS, 31)
+    print(f"   transpose (first time only): {load.transpose_s:6.2f} s")
+    print(f"   PCIe transfer:               {load.transfer_s:6.2f} s")
+    print(f"   DRAM writes (all banks):     {load.write_s:6.2f} s")
+    amortized = load.amortization_queries(ns_per_query, overhead_fraction=0.05)
+    print(f"   online load amortizes to <5 % after {amortized:.3g} queries "
+          f"(one timing workload is {workload.num_kmers:.3g})")
+
+    # -- 2. interface + power envelope ----------------------------------------
+    print("\n2. interface and power envelope (Type-3, 8 SA/bank, 32 GB):")
+    device_power = (
+        result.breakdown["dynamic_j"] / result.time_s
+        + result.breakdown["background_j"] / result.time_s
+        + 3.0
+    )
+    req = DeploymentRequirement(device_qps=qps, power_w=device_power, capacity_gb=32)
+    print(f"   throughput: {qps / 1e9:.2f} G requests/s "
+          f"({req.bandwidth_gbs:.1f} GB/s of request traffic)")
+    print(f"   device power: {device_power:.1f} W "
+          f"(DIMM budget would be {DimmEnvelope(32).power_budget_w:.1f} W)")
+    print(f"   recommended interface: {recommend_interface(req)}")
+    report = power_budget_report(8, budget_w=75.0)
+    print(f"   thermals at 8 SA/bank: {report.total_power_w:.1f} W -> "
+          f"{report.steady_state_temp_c:.0f} C "
+          f"({'OK' if report.thermally_feasible else 'OVER LIMIT'})")
+    print(f"   PCIe-slot ceiling: {max_concurrent_per_bank(75.0)} SA/bank "
+          f"(requesting all 128 is infeasible — the paper's caveat)")
+
+    # -- 3. pipeline sanity check ----------------------------------------------
+    print("\n3. event-driven pipeline check (one bank, 3000 requests):")
+    layout = SubarrayLayout(k=31)
+    sim = BankEventSim(layout, streams=8)
+    requests = sample_requests(workload, 3000, subarrays=32)
+    bank = sim.run(requests)
+    print(f"   per-query: {bank.ns_per_query:.1f} ns (analytic model: "
+          f"{model.query_cost(workload).bank_time_ns(8):.1f} ns)")
+    print(f"   I/O port utilization: {bank.io_utilization:.0%}, "
+          f"stream utilization: {bank.stream_utilization:.0%}")
+    print(f"   {bank.completed_out_of_order} requests completed out of "
+          f"order (Section IV-E)")
+
+    # -- 4. technology alternatives ---------------------------------------------
+    print("\n4. the paper's future work, quantified:")
+    for variant in technology_comparison(workload):
+        print(f"   {variant.name:18s} {variant.capacity_gib:6.1f} GiB, "
+              f"{variant.total_banks:5d} banks: "
+              f"{variant.result.time_s:7.3f} s, "
+              f"{variant.qps_per_gib / 1e6:7.1f} M q/s/GiB")
+
+
+if __name__ == "__main__":
+    main()

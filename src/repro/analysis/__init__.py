@@ -1,0 +1,33 @@
+"""Workload analysis: ESP/first-mismatch characterization (Figure 6) and
+pipeline execution-time breakdown (Figure 1).
+"""
+
+from .breakdown import (
+    KMER_MATCHING,
+    TOOL_PROFILES,
+    BreakdownRow,
+    ToolProfile,
+    amdahl_ceiling,
+    breakdown_for_workload,
+)
+from .esp import (
+    EspAnalysisError,
+    EspSummary,
+    nearest_candidate_mismatch,
+    pairwise_first_mismatch,
+    termination_from_device,
+)
+
+__all__ = [
+    "KMER_MATCHING",
+    "TOOL_PROFILES",
+    "BreakdownRow",
+    "ToolProfile",
+    "amdahl_ceiling",
+    "breakdown_for_workload",
+    "EspAnalysisError",
+    "EspSummary",
+    "nearest_candidate_mismatch",
+    "pairwise_first_mismatch",
+    "termination_from_device",
+]

@@ -1,0 +1,68 @@
+"""Software baselines: cache/CPU/GPU models and from-scratch CLARK- and
+Kraken-style classifiers with traced memory behaviour.
+"""
+
+from .cache import CacheHierarchy, CacheStats, SetAssociativeCache
+from .classifier import (
+    ClassificationResult,
+    ClassificationSummary,
+    classify_read,
+    classify_read_lca,
+    classify_reads,
+    kraken_lca_vote,
+    majority_vote,
+    summarize,
+)
+from .cpu_model import CpuBaselineModel, CpuModelParams
+from .gpu_model import GpuBaselineModel, GpuModelParams
+from .hashtable import ChainedHashTable, ClarkClassifier, LookupTrace
+from .kraken import (
+    BucketLookup,
+    KrakenClassifier,
+    SignatureSortedIndex,
+    minimizer,
+)
+from .machines import TITAN_X_PASCAL, XEON_E5_2658V4, CpuConfig, GpuConfig
+from .sortedlist import (
+    SortedKmerList,
+    SortedListClassifier,
+    SortedListError,
+    SortedLookup,
+)
+from .mlp import BandwidthAnalysis, ideal_machine_analysis, mshr_limited_bandwidth_gbs
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheStats",
+    "SetAssociativeCache",
+    "ClassificationResult",
+    "ClassificationSummary",
+    "classify_read",
+    "classify_read_lca",
+    "classify_reads",
+    "kraken_lca_vote",
+    "majority_vote",
+    "summarize",
+    "CpuBaselineModel",
+    "CpuModelParams",
+    "GpuBaselineModel",
+    "GpuModelParams",
+    "ChainedHashTable",
+    "ClarkClassifier",
+    "LookupTrace",
+    "BucketLookup",
+    "KrakenClassifier",
+    "SignatureSortedIndex",
+    "minimizer",
+    "SortedKmerList",
+    "SortedListClassifier",
+    "SortedListError",
+    "SortedLookup",
+    "TITAN_X_PASCAL",
+    "XEON_E5_2658V4",
+    "CpuConfig",
+    "GpuConfig",
+    "BandwidthAnalysis",
+    "ideal_machine_analysis",
+    "mshr_limited_bandwidth_gbs",
+]

@@ -1,0 +1,168 @@
+"""Shared sequence-classification logic (paper Figures 2 and 3).
+
+All k-mer matching engines — the software baselines and the Sieve
+device — plug into the same classification loop: slide a window of size
+k over the read, look each k-mer up, count votes per taxon, and assign
+the read to the taxon with the most hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..genomics.sequence import DnaSequence
+
+#: A lookup engine: packed k-mer -> taxon id or None.
+LookupFn = Callable[[int], Optional[int]]
+
+
+@dataclass(frozen=True)
+class ClassificationResult:
+    """Outcome of classifying one read."""
+
+    read_id: str
+    taxon: Optional[int]
+    votes: Dict[int, int]
+    kmers_total: int
+    kmers_hit: int
+    true_taxon: Optional[int] = None
+
+    @property
+    def hit_rate(self) -> float:
+        return self.kmers_hit / self.kmers_total if self.kmers_total else 0.0
+
+    @property
+    def correct(self) -> Optional[bool]:
+        """Against ground truth, when the read carries one."""
+        if self.true_taxon is None:
+            return None
+        return self.taxon == self.true_taxon
+
+
+@dataclass
+class ClassificationSummary:
+    """Aggregate over a read set."""
+
+    reads: int = 0
+    classified: int = 0
+    correct: int = 0
+    with_truth: int = 0
+    kmers_total: int = 0
+    kmers_hit: int = 0
+    taxon_counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def classification_rate(self) -> float:
+        return self.classified / self.reads if self.reads else 0.0
+
+    @property
+    def accuracy(self) -> Optional[float]:
+        if not self.with_truth:
+            return None
+        return self.correct / self.with_truth
+
+    @property
+    def kmer_hit_rate(self) -> float:
+        return self.kmers_hit / self.kmers_total if self.kmers_total else 0.0
+
+
+def majority_vote(votes: Dict[int, int]) -> Optional[int]:
+    """Taxon with the most k-mer hits; ties break to the smaller id."""
+    if not votes:
+        return None
+    best = max(votes.items(), key=lambda item: (item[1], -item[0]))
+    return best[0]
+
+
+def kraken_lca_vote(votes: Dict[int, int], taxonomy) -> Optional[int]:
+    """Kraken's root-to-leaf path scoring (Wood & Salzberg 2014).
+
+    LCA-merged databases map shared k-mers to interior taxa, so a plain
+    majority can crown an uninformative ancestor.  Kraken instead scores
+    every voted taxon by the hits along its root-to-taxon path and picks
+    the deepest maximal scorer — hits at an ancestor support all of its
+    descendants.
+    """
+    if not votes:
+        return None
+    best_taxon = None
+    best_key = None
+    for taxon in votes:
+        path = taxonomy.lineage(taxon)
+        score = sum(votes.get(node, 0) for node in path)
+        key = (score, len(path), -taxon)  # deepest max-scorer, stable tie
+        if best_key is None or key > best_key:
+            best_key = key
+            best_taxon = taxon
+    return best_taxon
+
+
+def classify_read_lca(
+    read: DnaSequence, k: int, lookup: LookupFn, taxonomy
+) -> ClassificationResult:
+    """Classify one read with Kraken's path-scoring rule."""
+    votes: Dict[int, int] = {}
+    total = 0
+    hits = 0
+    for kmer in read.kmers(k):
+        total += 1
+        taxon = lookup(kmer)
+        if taxon is not None:
+            hits += 1
+            votes[taxon] = votes.get(taxon, 0) + 1
+    return ClassificationResult(
+        read_id=read.seq_id,
+        taxon=kraken_lca_vote(votes, taxonomy),
+        votes=votes,
+        kmers_total=total,
+        kmers_hit=hits,
+        true_taxon=read.taxon_id,
+    )
+
+
+def classify_read(read: DnaSequence, k: int, lookup: LookupFn) -> ClassificationResult:
+    """Classify one read with any lookup engine (Figure 2's loop)."""
+    votes: Dict[int, int] = {}
+    total = 0
+    hits = 0
+    for kmer in read.kmers(k):
+        total += 1
+        taxon = lookup(kmer)
+        if taxon is not None:
+            hits += 1
+            votes[taxon] = votes.get(taxon, 0) + 1
+    return ClassificationResult(
+        read_id=read.seq_id,
+        taxon=majority_vote(votes),
+        votes=votes,
+        kmers_total=total,
+        kmers_hit=hits,
+        true_taxon=read.taxon_id,
+    )
+
+
+def classify_reads(
+    reads: Iterable[DnaSequence], k: int, lookup: LookupFn
+) -> List[ClassificationResult]:
+    """Classify a read set; returns per-read results."""
+    return [classify_read(read, k, lookup) for read in reads]
+
+
+def summarize(results: Iterable[ClassificationResult]) -> ClassificationSummary:
+    """Roll per-read results up into a summary."""
+    summary = ClassificationSummary()
+    for result in results:
+        summary.reads += 1
+        summary.kmers_total += result.kmers_total
+        summary.kmers_hit += result.kmers_hit
+        if result.taxon is not None:
+            summary.classified += 1
+            summary.taxon_counts[result.taxon] = (
+                summary.taxon_counts.get(result.taxon, 0) + 1
+            )
+        if result.true_taxon is not None:
+            summary.with_truth += 1
+            if result.correct:
+                summary.correct += 1
+    return summary

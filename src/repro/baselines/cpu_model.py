@@ -1,0 +1,123 @@
+"""CPU baseline performance/energy model (Kraken2 / CLARK class).
+
+Section II of the paper establishes the mechanism: each k-mer lookup
+chases pointers (hash chain) or binary-searches a bucket across a
+multi-GB table, so almost every probe misses the LLC, the dependent
+accesses cannot overlap (MLP ~ 1), and the per-lookup compute is too
+small to hide any of it.  The model charges:
+
+    lookup_ns = probes_per_lookup x effective_miss_penalty_ns / mlp
+                + compute_ns_per_lookup
+
+per hardware thread, with all threads running independently (k-mer
+matching is embarrassingly parallel across reads).
+
+``probes_per_lookup`` can be *measured* by running a traced classifier
+through the cache hierarchy simulator
+(:meth:`CpuBaselineModel.from_cache_simulation`), or left at the
+calibrated default.  ``effective_miss_penalty_ns`` exceeds raw DRAM
+latency because a multi-GB working set also misses the TLB (radix page
+walks add DRAM accesses of their own); the default is calibrated so the
+Sieve-vs-CPU ratios land in the paper's reported bands (derivation in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional
+
+from ..sieve.perfmodel import PerfResult, WorkloadStats
+from .cache import CacheHierarchy
+from .machines import XEON_E5_2658V4, CpuConfig
+
+
+@dataclass(frozen=True)
+class CpuModelParams:
+    """Calibrated per-lookup constants (see module docstring)."""
+
+    probes_per_lookup: float = 15.0
+    effective_miss_penalty_ns: float = 200.0
+    mlp: float = 1.0
+    compute_ns_per_lookup: float = 190.0
+
+    def __post_init__(self) -> None:
+        if self.probes_per_lookup <= 0 or self.effective_miss_penalty_ns <= 0:
+            raise ValueError("probe count and penalty must be positive")
+        if self.mlp < 1.0:
+            raise ValueError("mlp must be >= 1")
+        if self.compute_ns_per_lookup < 0:
+            raise ValueError("compute time must be non-negative")
+
+
+class CpuBaselineModel:
+    """Multi-threaded CPU k-mer matching baseline."""
+
+    design = "CPU"
+
+    def __init__(
+        self,
+        config: Optional[CpuConfig] = None,
+        params: Optional[CpuModelParams] = None,
+    ) -> None:
+        self.config = config or XEON_E5_2658V4
+        self.params = params or CpuModelParams()
+
+    def lookup_ns(self) -> float:
+        """Per-lookup latency on one hardware thread."""
+        p = self.params
+        return (
+            p.probes_per_lookup * p.effective_miss_penalty_ns / p.mlp
+            + p.compute_ns_per_lookup
+        )
+
+    def aggregate_ns_per_kmer(self) -> float:
+        """Per-lookup latency with all threads busy."""
+        return self.lookup_ns() / self.config.threads
+
+    def run(self, workload: WorkloadStats) -> PerfResult:
+        """Latency and energy for a workload's full k-mer set."""
+        time_s = workload.num_kmers * self.aggregate_ns_per_kmer() * 1e-9
+        energy_j = self.config.matching_power_w * time_s
+        return PerfResult(
+            design=self.design,
+            workload=workload.name,
+            time_s=time_s,
+            energy_j=energy_j,
+            breakdown={
+                "num_kmers": float(workload.num_kmers),
+                "lookup_ns": self.lookup_ns(),
+                "threads": float(self.config.threads),
+                "aggregate_ns_per_kmer": self.aggregate_ns_per_kmer(),
+            },
+        )
+
+    @classmethod
+    def from_cache_simulation(
+        cls,
+        traced_lookups: Iterable,
+        hierarchy: Optional[CacheHierarchy] = None,
+        config: Optional[CpuConfig] = None,
+        base_params: Optional[CpuModelParams] = None,
+    ) -> "CpuBaselineModel":
+        """Calibrate ``probes_per_lookup`` by replaying lookup traces.
+
+        ``traced_lookups`` yields objects with an ``addresses`` tuple
+        (from :meth:`ChainedHashTable.traced_lookup` or
+        :meth:`SignatureSortedIndex.traced_lookup`).  Each address that
+        misses to DRAM counts as one probe-penalty; cache hits are
+        folded into the compute term.
+        """
+        hierarchy = hierarchy or CacheHierarchy()
+        lookups = 0
+        dram = 0
+        for trace in traced_lookups:
+            lookups += 1
+            for address in trace.addresses:
+                if hierarchy.access(address) == "DRAM":
+                    dram += 1
+        if lookups == 0:
+            raise ValueError("no lookups provided for calibration")
+        params = base_params or CpuModelParams()
+        measured = replace(params, probes_per_lookup=max(dram / lookups, 0.5))
+        return cls(config=config, params=measured)

@@ -1,0 +1,93 @@
+"""GPU baseline performance/energy model (cuCLARK class).
+
+The paper idealizes the GPU baseline (Section V): host-device transfer
+is free and the dataset always fits on-board.  Even so, k-mer matching
+on a GPU is bound by *dependent random accesses*: a lookup is a short
+pointer chase (bucket directory -> records -> payload) whose successive
+loads cannot be overlapped within a thread, and warp divergence in the
+search loop collapses the effective memory-level parallelism far below
+the hardware's thousands of resident warps.
+
+The model takes the minimum of two throughput ceilings:
+
+* latency-bound: ``effective_concurrent_warps`` warps each complete one
+  ``dependent_accesses``-deep chain per round trip,
+* bandwidth-bound: every lookup moves ``bytes_per_lookup`` of cache
+  lines.
+
+``effective_concurrent_warps`` is the calibrated constant (see
+EXPERIMENTS.md); the bandwidth ceiling is never the binding one for
+this access pattern, which is the paper's Section VI-B point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sieve.perfmodel import PerfResult, WorkloadStats
+from .machines import TITAN_X_PASCAL, GpuConfig
+
+
+@dataclass(frozen=True)
+class GpuModelParams:
+    """Calibrated GPU lookup-kernel constants."""
+
+    dependent_accesses_per_lookup: float = 4.0
+    effective_concurrent_warps: float = 96.0
+    bytes_per_lookup: float = 128.0
+
+    def __post_init__(self) -> None:
+        if self.dependent_accesses_per_lookup <= 0:
+            raise ValueError("dependent accesses must be positive")
+        if self.effective_concurrent_warps <= 0:
+            raise ValueError("effective warps must be positive")
+        if self.bytes_per_lookup <= 0:
+            raise ValueError("bytes per lookup must be positive")
+
+
+class GpuBaselineModel:
+    """Idealized GPU k-mer matching baseline."""
+
+    design = "GPU"
+
+    def __init__(
+        self,
+        config: Optional[GpuConfig] = None,
+        params: Optional[GpuModelParams] = None,
+    ) -> None:
+        self.config = config or TITAN_X_PASCAL
+        self.params = params or GpuModelParams()
+
+    def latency_bound_qps(self) -> float:
+        """Lookups/s limited by dependent-access round trips."""
+        p = self.params
+        chain_ns = p.dependent_accesses_per_lookup * self.config.mem_latency_ns
+        return p.effective_concurrent_warps / (chain_ns * 1e-9)
+
+    def bandwidth_bound_qps(self) -> float:
+        """Lookups/s limited by raw memory bandwidth."""
+        return self.config.mem_bandwidth_gbs * 1e9 / self.params.bytes_per_lookup
+
+    def throughput_qps(self) -> float:
+        return min(self.latency_bound_qps(), self.bandwidth_bound_qps())
+
+    def aggregate_ns_per_kmer(self) -> float:
+        return 1e9 / self.throughput_qps()
+
+    def run(self, workload: WorkloadStats) -> PerfResult:
+        """Latency and energy for a workload's full k-mer set."""
+        time_s = workload.num_kmers / self.throughput_qps()
+        energy_j = self.config.matching_power_w * time_s
+        return PerfResult(
+            design=self.design,
+            workload=workload.name,
+            time_s=time_s,
+            energy_j=energy_j,
+            breakdown={
+                "num_kmers": float(workload.num_kmers),
+                "latency_bound_qps": self.latency_bound_qps(),
+                "bandwidth_bound_qps": self.bandwidth_bound_qps(),
+                "aggregate_ns_per_kmer": self.aggregate_ns_per_kmer(),
+            },
+        )

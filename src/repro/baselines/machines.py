@@ -1,0 +1,59 @@
+"""Baseline machine configurations (paper Table I) and calibration.
+
+The CPU is the paper's Xeon E5-2658 v4 workstation, the GPU its Pascal
+Titan X.  The per-lookup cost constants are *calibrated* — we do not
+have the authors' testbed, so the mechanistic models in
+:mod:`repro.baselines.cpu_model` / :mod:`repro.baselines.gpu_model` are
+anchored so the Sieve-vs-baseline ratios land in the bands the paper
+reports (see EXPERIMENTS.md for the per-anchor derivation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Paper Table I workstation."""
+
+    model: str = "Intel Xeon E5-2658 v4"
+    cores: int = 14
+    threads: int = 24  # Table I lists 24 usable threads
+    base_ghz: float = 2.3
+    boost_ghz: float = 2.8
+    l1_kb: int = 32
+    l2_kb: int = 256
+    llc_mb: int = 35
+    memory: str = "DDR4-2400, 32 GB, 2 channels, 2 ranks"
+    #: Package power attributable to k-mer matching (PMC measurement
+    #: scaled by the paper's -30 % correction).
+    matching_power_w: float = 50.0
+    #: Peak memory bandwidth (2 channels x DDR4-2400 x 8 B).
+    mem_bandwidth_gbs: float = 38.4
+    #: Line-fill buffers / MSHRs per core (Broadwell: 10 L1 fill buffers).
+    mshrs_per_core: int = 10
+    #: Average DRAM access latency under load, ns.
+    mem_latency_ns: float = 85.0
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Paper Table I GPU (idealized per Section V: no host transfers,
+    dataset always resident)."""
+
+    model: str = "NVIDIA Titan X (Pascal)"
+    memory_gb: int = 12
+    mem_bandwidth_gbs: float = 480.0
+    sms: int = 28
+    max_concurrent_loads: int = 28 * 64  # warps able to hold a miss
+    mem_latency_ns: float = 400.0
+    #: Board power attributable to the kernel (nvprof measurement scaled
+    #: by the paper's -50 % correction would give ~125 W; random-access
+    #: k-mer kernels keep the memory system saturated, calibrated 220 W).
+    matching_power_w: float = 220.0
+
+
+#: Default instances used by every benchmark.
+XEON_E5_2658V4 = CpuConfig()
+TITAN_X_PASCAL = GpuConfig()

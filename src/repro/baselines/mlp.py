@@ -1,0 +1,75 @@
+"""Memory-level-parallelism analysis (paper Section VI-B).
+
+The paper argues that simply adding DRAM bandwidth does not rescue the
+CPU baseline: k-mer matching is *latency*-bound because each core's
+MSHRs are exhausted by outstanding loads while the bandwidth stays
+underutilized.  Even a hypothetical machine where every load is served
+concurrently at 40 ns would need "over 215 cores" to match Type-3's
+throughput.
+
+This module reproduces that arithmetic so the sensitivity benchmark can
+regenerate the claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .machines import XEON_E5_2658V4, CpuConfig
+
+
+@dataclass(frozen=True)
+class BandwidthAnalysis:
+    """Outcome of the Section VI-B what-if."""
+
+    achieved_bandwidth_gbs: float
+    peak_bandwidth_gbs: float
+    bandwidth_utilization: float
+    per_core_lookups_per_s: float
+    cores_needed_to_match: float
+
+
+def mshr_limited_bandwidth_gbs(
+    config: Optional[CpuConfig] = None, line_bytes: int = 64
+) -> float:
+    """Per-socket bandwidth achievable with MSHR-limited concurrency.
+
+    Each core can keep ``mshrs_per_core`` misses in flight; each miss
+    returns a cache line after ``mem_latency_ns``.
+    """
+    cfg = config or XEON_E5_2658V4
+    per_core = cfg.mshrs_per_core * line_bytes / (cfg.mem_latency_ns * 1e-9)
+    return per_core * cfg.cores / 1e9
+
+
+def ideal_machine_analysis(
+    target_qps: float,
+    probes_per_lookup: float = 15.0,
+    ideal_latency_ns: float = 40.0,
+    config: Optional[CpuConfig] = None,
+    line_bytes: int = 64,
+) -> BandwidthAnalysis:
+    """The paper's over-provisioned what-if machine.
+
+    Every outstanding load is served concurrently at ``ideal_latency_ns``
+    (infinite MSHRs); a core still performs ``probes_per_lookup``
+    *dependent* probes per lookup (the chain cannot be parallelized), so
+    its lookup rate is ``1 / (probes x latency)``.  Returns how many such
+    cores match ``target_qps`` (Type-3's throughput).
+    """
+    if target_qps <= 0:
+        raise ValueError("target_qps must be positive")
+    if probes_per_lookup <= 0 or ideal_latency_ns <= 0:
+        raise ValueError("probes and latency must be positive")
+    cfg = config or XEON_E5_2658V4
+    per_core_qps = 1.0 / (probes_per_lookup * ideal_latency_ns * 1e-9)
+    cores_needed = target_qps / per_core_qps
+    achieved = mshr_limited_bandwidth_gbs(cfg, line_bytes)
+    return BandwidthAnalysis(
+        achieved_bandwidth_gbs=achieved,
+        peak_bandwidth_gbs=cfg.mem_bandwidth_gbs,
+        bandwidth_utilization=min(achieved / cfg.mem_bandwidth_gbs, 1.0),
+        per_core_lookups_per_s=per_core_qps,
+        cores_needed_to_match=cores_needed,
+    )

@@ -1,0 +1,194 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    sieve-repro list                 # available experiments
+    sieve-repro run fig14            # one experiment
+    sieve-repro run all              # everything
+    sieve-repro bench C.ST.BG        # all designs on one benchmark
+    sieve-repro feasibility          # circuit checks (SPICE stand-in)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .experiments import (
+    accuracy_study,
+    claims_ledger,
+    intro_claims,
+    ablation_device_sim,
+    ablation_esp_model,
+    ablation_segment_size,
+    ablation_power_envelope,
+    ablation_steady_state,
+    ablation_technology,
+    ablation_type1_functional,
+    area_overheads,
+    benchmark_by_name,
+    sensitivity_capacity,
+    sensitivity_hit_rate,
+    sensitivity_k,
+    fig01_breakdown,
+    fig06_esp,
+    fig13_row_vs_col,
+    fig14_vs_cpu,
+    fig15_vs_gpu,
+    fig16_salp_sweep,
+    fig17_cb_sweep,
+    paper_benchmarks,
+    perf_results_for,
+    sensitivity_bandwidth,
+    sensitivity_etm_off,
+    sensitivity_pcie,
+    tab01_machines,
+    tab02_queries,
+    tab03_components,
+)
+from .hardware import all_feasibility_reports
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1": fig01_breakdown,
+    "fig6": fig06_esp,
+    "tab1": tab01_machines,
+    "tab2": tab02_queries,
+    "tab3": tab03_components,
+    "area": area_overheads,
+    "fig13": fig13_row_vs_col,
+    "fig14": fig14_vs_cpu,
+    "fig15": fig15_vs_gpu,
+    "fig16": fig16_salp_sweep,
+    "fig17": fig17_cb_sweep,
+    "etm": sensitivity_etm_off,
+    "pcie": sensitivity_pcie,
+    "bandwidth": sensitivity_bandwidth,
+    "accuracy": accuracy_study,
+    "intro": intro_claims,
+    "claims": claims_ledger,
+    "k-sweep": sensitivity_k,
+    "hit-sweep": sensitivity_hit_rate,
+    "capacity": sensitivity_capacity,
+    "abl-steady": ablation_steady_state,
+    "abl-esp": ablation_esp_model,
+    "abl-power": ablation_power_envelope,
+    "abl-tech": ablation_technology,
+    "abl-type1": ablation_type1_functional,
+    "abl-device": ablation_device_sim,
+    "abl-segment": ablation_segment_size,
+}
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("experiments:")
+    for name, fn in EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:10s} {doc}")
+    print("benchmarks:")
+    for bench in paper_benchmarks():
+        print(f"  {bench.name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try 'sieve-repro list'")
+            return 2
+        print(EXPERIMENTS[name]().format())
+        print()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    try:
+        bench = benchmark_by_name(args.benchmark)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    workload = bench.workload()
+    results = perf_results_for(workload)
+    cpu = results["CPU"]
+    print(f"benchmark {bench.name}: {workload.num_kmers:.3g} k-mers, "
+          f"hit rate {workload.hit_rate:.2%}")
+    header = f"{'design':10s} {'time_s':>12s} {'energy_J':>12s} {'vs CPU':>8s}"
+    print(header)
+    for name, res in results.items():
+        print(
+            f"{name:10s} {res.time_s:12.4g} {res.energy_j:12.4g} "
+            f"{cpu.time_s / res.time_s:8.2f}"
+        )
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    """Export a benchmark's workload summary as JSON."""
+    from .serialization import save_workload
+
+    try:
+        bench = benchmark_by_name(args.benchmark)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    save_workload(bench.workload(), args.output)
+    print(f"wrote {bench.name} workload summary to {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate the full evaluation into one markdown document."""
+    from .experiments.report import generate_report
+
+    generate_report(args.output, quick=not args.full)
+    print(f"wrote evaluation report to {args.output}")
+    return 0
+
+
+def _cmd_feasibility(_: argparse.Namespace) -> int:
+    ok = True
+    for report in all_feasibility_reports():
+        status = "PASS" if report.ok else "FAIL"
+        print(f"[{status}] {report.name}: {report.detail}")
+        ok &= report.ok
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sieve-repro",
+        description="Regenerate the Sieve (ISCA 2021) evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments and benchmarks").set_defaults(
+        func=_cmd_list
+    )
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment")
+    run.set_defaults(func=_cmd_run)
+    bench = sub.add_parser("bench", help="all designs on one benchmark")
+    bench.add_argument("benchmark")
+    bench.set_defaults(func=_cmd_bench)
+    workload = sub.add_parser(
+        "workload", help="export a benchmark's workload summary as JSON"
+    )
+    workload.add_argument("benchmark")
+    workload.add_argument("output")
+    workload.set_defaults(func=_cmd_workload)
+    report = sub.add_parser(
+        "report", help="regenerate the whole evaluation into one markdown file"
+    )
+    report.add_argument("output")
+    report.add_argument("--full", action="store_true",
+                        help="full-scale functional experiments (slower)")
+    report.set_defaults(func=_cmd_report)
+    sub.add_parser("feasibility", help="circuit feasibility checks").set_defaults(
+        func=_cmd_feasibility
+    )
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""DRAM substrate: timing, geometry, energy, behavioral arrays, and
+command accounting.
+
+Everything the Sieve models and the in-situ baselines need from DRAM:
+datasheet timing presets (the paper's DDR3 example part and the DDR4
+building block), a geometry type that scales devices from 4 GB to
+500 GB, Micron-TN-40-07-style energy arithmetic, a bit-accurate
+behavioral subarray/bank model for functional simulation, and the
+:class:`CommandLedger` that converts command counts into latency and
+energy for the trace-driven performance model.
+"""
+
+from .commands import Command, CommandLedger
+from .energy import (
+    DDR4_ENERGY,
+    EXTRA_WORDLINE_FACTOR,
+    SIEVE_ACTIVATION_OVERHEAD,
+    DramEnergy,
+    EnergyError,
+)
+from .geometry import (
+    SIEVE_4GB,
+    SIEVE_8GB,
+    SIEVE_16GB,
+    SIEVE_32GB,
+    DramGeometry,
+    GeometryError,
+)
+from .memsys import (
+    MemorySystem,
+    MemSysConfig,
+    MemSysError,
+    MemSysStats,
+    replay_lookup_traces,
+)
+from .subarray import Bank, DramStateError, Subarray, SubarrayStats
+from .timing import DDR3_1600, DDR4_2400, SIEVE_TIMING, DramTiming, TimingError
+
+__all__ = [
+    "Command",
+    "CommandLedger",
+    "DDR4_ENERGY",
+    "EXTRA_WORDLINE_FACTOR",
+    "SIEVE_ACTIVATION_OVERHEAD",
+    "DramEnergy",
+    "EnergyError",
+    "SIEVE_4GB",
+    "SIEVE_8GB",
+    "SIEVE_16GB",
+    "SIEVE_32GB",
+    "DramGeometry",
+    "GeometryError",
+    "MemorySystem",
+    "MemSysConfig",
+    "MemSysError",
+    "MemSysStats",
+    "replay_lookup_traces",
+    "Bank",
+    "DramStateError",
+    "Subarray",
+    "SubarrayStats",
+    "DDR3_1600",
+    "DDR4_2400",
+    "SIEVE_TIMING",
+    "DramTiming",
+    "TimingError",
+]

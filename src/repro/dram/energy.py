@@ -1,0 +1,100 @@
+"""DRAM energy model (Micron TN-40-07 style IDD arithmetic).
+
+The paper estimates baseline DRAM energy with DRAMSim2 and Sieve's
+activation energy with "formula 10a from Micron's technical
+documentation" plus a measured +6 % per activation for the
+matcher-enhanced rows of Type-2/3.  This module reproduces that
+arithmetic from IDD currents, and exposes the three per-operation
+energies the simulators charge: row activation (act+pre), column burst
+read, and column burst write, plus background power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .timing import DramTiming
+
+#: Extra energy per wordline raised beyond the first in a multi-row
+#: activation (paper Section III, citing Ambit: "raising each additional
+#: wordline increases the activation energy by 22%").
+EXTRA_WORDLINE_FACTOR = 0.22
+
+#: Activation-energy overhead of Sieve Type-2/3 matcher-enhanced rows
+#: (paper Section VI-A: "only 6% more energy for each row activation").
+SIEVE_ACTIVATION_OVERHEAD = 0.06
+
+
+class EnergyError(ValueError):
+    """Raised on invalid energy parameters."""
+
+
+@dataclass(frozen=True)
+class DramEnergy:
+    """Per-device IDD currents (mA) and supply voltage (V).
+
+    Defaults are Micron DDR4 4Gb x16 datasheet values at DDR4-2400.
+    """
+
+    vdd: float = 1.2
+    idd0: float = 58.0  # one-bank activate-precharge current
+    idd2n: float = 34.0  # precharge standby
+    idd3n: float = 44.0  # active standby
+    idd4r: float = 150.0  # burst read
+    idd4w: float = 145.0  # burst write
+    idd5: float = 190.0  # refresh
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise EnergyError("vdd must be positive")
+        for name in ("idd0", "idd2n", "idd3n", "idd4r", "idd4w", "idd5"):
+            if getattr(self, name) <= 0:
+                raise EnergyError(f"{name} must be positive")
+        if self.idd0 <= self.idd2n:
+            raise EnergyError("idd0 must exceed precharge standby current")
+
+    def activation_energy_nj(self, timing: DramTiming) -> float:
+        """Energy of one activate + precharge cycle (Micron TN-40-07 10a).
+
+        Subtracts the standby current that would flow anyway over the
+        same window: active standby during tRAS, precharge standby
+        during tRP.
+        """
+        trc = timing.tRAS + timing.tRP
+        background = (self.idd3n * timing.tRAS + self.idd2n * timing.tRP) / trc
+        return (self.idd0 - background) * self.vdd * trc * 1e-3
+
+    def multi_row_activation_energy_nj(self, timing: DramTiming, rows: int) -> float:
+        """Activation energy when ``rows`` wordlines are raised at once.
+
+        Each wordline beyond the first adds 22 % (Ambit's measurement,
+        quoted in Section III of the paper).
+        """
+        if rows < 1:
+            raise EnergyError(f"rows must be >= 1, got {rows}")
+        base = self.activation_energy_nj(timing)
+        return base * (1.0 + EXTRA_WORDLINE_FACTOR * (rows - 1))
+
+    def sieve_activation_energy_nj(self, timing: DramTiming) -> float:
+        """Activation energy of a matcher-enhanced Sieve row (+6 %)."""
+        return self.activation_energy_nj(timing) * (1.0 + SIEVE_ACTIVATION_OVERHEAD)
+
+    def read_burst_energy_nj(self, timing: DramTiming) -> float:
+        """Energy of one column read burst above active standby."""
+        return (self.idd4r - self.idd3n) * self.vdd * timing.burst_time * 1e-3
+
+    def write_burst_energy_nj(self, timing: DramTiming) -> float:
+        """Energy of one column write burst above active standby."""
+        return (self.idd4w - self.idd3n) * self.vdd * timing.burst_time * 1e-3
+
+    def background_power_mw(self) -> float:
+        """Precharge-standby background power of the device."""
+        return self.idd2n * self.vdd
+
+    def refresh_energy_nj(self, timing: DramTiming) -> float:
+        """Energy of one refresh command."""
+        return (self.idd5 - self.idd2n) * self.vdd * timing.tRFC * 1e-3
+
+
+#: Default DDR4 energy parameters used throughout the evaluation.
+DDR4_ENERGY = DramEnergy()

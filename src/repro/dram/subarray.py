@@ -1,0 +1,170 @@
+"""Behavioral model of a DRAM subarray (bit cells + local row buffer).
+
+This is the functional substrate the bit-accurate Sieve models are built
+on: a subarray stores a ``rows x cols`` bit matrix, a row can be
+*activated* (latched into the local row buffer / sense amplifiers), read
+out, written, and precharged.  Activation counts are tracked so
+functional runs can be converted into latency/energy with the timing and
+energy models.
+
+Only one row may be open at a time (single-row activation is the core of
+Sieve's design argument, Section III); multi-row activation is modelled
+separately in :mod:`repro.insitu` for the Ambit/ComputeDRAM baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+class DramStateError(RuntimeError):
+    """Raised on protocol violations (e.g. reading a closed row)."""
+
+
+@dataclass
+class SubarrayStats:
+    """Counters accumulated by one subarray."""
+
+    activations: int = 0
+    precharges: int = 0
+    row_reads: int = 0
+    row_writes: int = 0
+
+
+class Subarray:
+    """A DRAM subarray: bit cells plus a local row buffer."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"subarray must have positive dims, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self._cells = np.zeros((rows, cols), dtype=np.uint8)
+        self._open_row: Optional[int] = None
+        self._row_buffer = np.zeros(cols, dtype=np.uint8)
+        self.stats = SubarrayStats()
+
+    @property
+    def open_row(self) -> Optional[int]:
+        """Index of the currently open row, or ``None`` when precharged."""
+        return self._open_row
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")
+
+    def activate(self, row: int) -> np.ndarray:
+        """Open ``row``: latch its bits into the local row buffer.
+
+        Returns a read-only view of the row buffer (what the matchers
+        see).  Activating while another row is open is a protocol
+        violation — a real DRAM requires a precharge first.
+        """
+        self._check_row(row)
+        if self._open_row is not None and self._open_row != row:
+            raise DramStateError(
+                f"row {self._open_row} is open; precharge before activating {row}"
+            )
+        if self._open_row is None:
+            self.stats.activations += 1
+        self._open_row = row
+        self._row_buffer[:] = self._cells[row]
+        view = self._row_buffer.view()
+        view.flags.writeable = False
+        return view
+
+    def precharge(self) -> None:
+        """Close the open row (idempotent, as PRE to an idle bank is)."""
+        if self._open_row is not None:
+            # Restore: DRAM reads are destructive; writeback happens here.
+            self._cells[self._open_row] = self._row_buffer
+            self.stats.precharges += 1
+        self._open_row = None
+
+    def read_row_buffer(self) -> np.ndarray:
+        """Return a copy of the open row's bits."""
+        if self._open_row is None:
+            raise DramStateError("no row is open")
+        self.stats.row_reads += 1
+        return self._row_buffer.copy()
+
+    def write_row_buffer(self, bits: np.ndarray) -> None:
+        """Overwrite the open row through the row buffer."""
+        if self._open_row is None:
+            raise DramStateError("no row is open")
+        if bits.shape != (self.cols,):
+            raise ValueError(f"expected {self.cols} bits, got shape {bits.shape}")
+        self._row_buffer[:] = bits % 2
+        self.stats.row_writes += 1
+
+    def load_row(self, row: int, bits: np.ndarray) -> None:
+        """Directly install row contents (database load path, not timed)."""
+        self._check_row(row)
+        if bits.shape != (self.cols,):
+            raise ValueError(f"expected {self.cols} bits, got shape {bits.shape}")
+        self._cells[row] = bits % 2
+
+    def load_bits(self, row: int, col_start: int, bits: np.ndarray) -> None:
+        """Install a partial row starting at ``col_start`` (load path)."""
+        self._check_row(row)
+        if col_start < 0 or col_start + len(bits) > self.cols:
+            raise IndexError(
+                f"bits [{col_start}, {col_start + len(bits)}) out of range "
+                f"[0, {self.cols})"
+            )
+        self._cells[row, col_start : col_start + len(bits)] = bits % 2
+
+    def peek(self, row: int, col: int) -> int:
+        """Read one stored bit without any timing effect (debug/tests)."""
+        self._check_row(row)
+        if not 0 <= col < self.cols:
+            raise IndexError(f"col {col} out of range [0, {self.cols})")
+        return int(self._cells[row, col])
+
+
+@dataclass
+class Bank:
+    """A DRAM bank: an ordered collection of subarrays.
+
+    Global row addresses map to (subarray, local row) top-down, matching
+    the paper's Figure 7 where subarray 0 is closest to the bank I/O in
+    Type-1 and the compute buffer sits at the bottom of each subarray
+    group in Type-2.
+    """
+
+    subarrays_per_bank: int
+    rows_per_subarray: int
+    row_bits: int
+    subarrays: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.subarrays:
+            self.subarrays = [
+                Subarray(self.rows_per_subarray, self.row_bits)
+                for _ in range(self.subarrays_per_bank)
+            ]
+
+    @property
+    def total_rows(self) -> int:
+        return self.subarrays_per_bank * self.rows_per_subarray
+
+    def locate(self, global_row: int) -> tuple:
+        """Split a bank-global row address into (subarray idx, local row)."""
+        if not 0 <= global_row < self.total_rows:
+            raise IndexError(
+                f"row {global_row} out of range [0, {self.total_rows})"
+            )
+        return divmod(global_row, self.rows_per_subarray)
+
+    def activate(self, global_row: int) -> np.ndarray:
+        """Activate a bank-global row (opens it in its subarray)."""
+        idx, local = self.locate(global_row)
+        return self.subarrays[idx].activate(local)
+
+    def precharge_all(self) -> None:
+        """Precharge every subarray in the bank."""
+        for sub in self.subarrays:
+            sub.precharge()

@@ -1,0 +1,152 @@
+"""DRAM timing parameters.
+
+Sieve's performance model is driven almost entirely by a handful of
+DRAM timing constraints (paper Sections III-V):
+
+* one *row cycle* — activate + restore + precharge — costs
+  ``tRAS + tRP`` (~50 ns on the paper's Micron parts); this is the unit
+  of Sieve's bit-serial matching,
+* Ambit-style triple-row activation AND costs
+  ``8 x tRAS + 4 x tRP`` (~340 ns),
+* Type-1 burst reads are paced by ``tCCD`` (5-7 ns),
+* Type-2's inter-subarray hop costs roughly ``tRAS / 8`` (the paper's
+  SPICE result: relaying sense amplifiers settle ~8x faster than a full
+  activation).
+
+Values default to the Micron DDR3/DDR4 datasheet numbers the paper
+quotes; both the paper's DDR3 example part and the DDR4 building block
+of the Sieve device are provided as presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+class TimingError(ValueError):
+    """Raised on inconsistent timing parameters."""
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Timing parameters of one DRAM part, in nanoseconds.
+
+    Attributes
+    ----------
+    tCK:
+        Clock period of the I/O interface.
+    tRCD:
+        Activate-to-column-command delay.
+    tRAS:
+        Activate-to-precharge minimum (row restore time).
+    tRP:
+        Precharge latency.
+    tCCD:
+        Column-command to column-command delay (burst pacing).
+    tCAS:
+        Column access strobe latency (read latency from column command).
+    burst_length:
+        Beats per column read/write burst.
+    tREFI:
+        Average refresh interval.
+    tRFC:
+        Refresh cycle time.
+    """
+
+    tCK: float
+    tRCD: float
+    tRAS: float
+    tRP: float
+    tCCD: float
+    tCAS: float
+    burst_length: int = 8
+    tREFI: float = 7_800.0
+    tRFC: float = 350.0
+
+    def __post_init__(self) -> None:
+        for name in ("tCK", "tRCD", "tRAS", "tRP", "tCCD", "tCAS", "tREFI", "tRFC"):
+            if getattr(self, name) <= 0:
+                raise TimingError(f"{name} must be positive")
+        if self.burst_length <= 0:
+            raise TimingError("burst_length must be positive")
+        if self.tRAS < self.tRCD:
+            raise TimingError("tRAS must cover tRCD (row must open before access)")
+
+    @property
+    def row_cycle(self) -> float:
+        """One activate + precharge, ns — Sieve's per-bit matching cost."""
+        return self.tRAS + self.tRP
+
+    @property
+    def burst_time(self) -> float:
+        """Data transfer time of one burst, ns (DDR: 2 beats per tCK)."""
+        return self.burst_length * self.tCK / 2
+
+    @property
+    def triple_row_activation(self) -> float:
+        """Ambit row-wide AND: 8 activations + 4 precharges (Section III).
+
+        The paper charges the full copy-copy-copy-AND-copy sequence:
+        ``8 x tRAS + 4 x tRP`` ~ 340 ns on the DDR3 example part.
+        """
+        return 8 * self.tRAS + 4 * self.tRP
+
+    @property
+    def refresh_overhead(self) -> float:
+        """Fraction of time the device is unavailable due to refresh."""
+        return self.tRFC / self.tREFI
+
+    def scaled(self, factor: float) -> "DramTiming":
+        """Uniformly scale all latencies (sensitivity studies)."""
+        if factor <= 0:
+            raise TimingError(f"scale factor must be positive, got {factor}")
+        return replace(
+            self,
+            tCK=self.tCK * factor,
+            tRCD=self.tRCD * factor,
+            tRAS=self.tRAS * factor,
+            tRP=self.tRP * factor,
+            tCCD=self.tCCD * factor,
+            tCAS=self.tCAS * factor,
+            tREFI=self.tREFI,
+            tRFC=self.tRFC * factor,
+        )
+
+
+#: The paper's DDR3 example part (micron 32M 8B x4 sg125, Section IV-A):
+#: tRAS = 35 ns, tRP = 13.75 ns, so a row cycle is ~49 ns ("~50 ns") and
+#: Ambit's triple-row-activation AND is 8*35 + 4*13.75 = 335 ns ("~340 ns").
+DDR3_1600 = DramTiming(
+    tCK=1.25,
+    tRCD=13.75,
+    tRAS=35.0,
+    tRP=13.75,
+    tCCD=6.25,
+    tCAS=13.75,
+    burst_length=8,
+)
+
+#: Micron DDR4 4Gb x16 (the Sieve building block, Section V), DDR4-2400
+#: speed grade.  tCCD_L = 6 clocks = 5 ns, in the paper's 5-7 ns range.
+DDR4_2400 = DramTiming(
+    tCK=0.833,
+    tRCD=13.32,
+    tRAS=32.0,
+    tRP=13.32,
+    tCCD=5.0,
+    tCAS=13.32,
+    burst_length=8,
+)
+
+#: Timing used for Sieve devices: DDR4 base part with tRAS/tRP set to the
+#: paper's quoted ~50 ns row cycle (35 + 15) so modelled latencies line up
+#: with the numbers in the text.
+SIEVE_TIMING = DramTiming(
+    tCK=0.833,
+    tRCD=15.0,
+    tRAS=35.0,
+    tRP=15.0,
+    tCCD=5.0,
+    tCAS=15.0,
+    burst_length=8,
+)

@@ -1,0 +1,369 @@
+"""Per-figure experiment runners (paper Figures 13-17 and Section VI-C).
+
+Each function regenerates one evaluation figure as a
+:class:`~repro.experiments.results.FigureResult`: same rows/series the
+paper plots, produced by the analytic Sieve models against the CPU/GPU
+baselines.  The pytest-benchmark files under ``benchmarks/`` are thin
+wrappers that call these runners and print the tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..baselines.cpu_model import CpuBaselineModel
+from ..baselines.gpu_model import GpuBaselineModel
+from ..baselines.mlp import ideal_machine_analysis
+from ..dram.geometry import SIEVE_4GB, SIEVE_8GB, SIEVE_16GB, SIEVE_32GB, DramGeometry
+from ..hardware.area import DEFAULT_AREA_MODEL
+from ..insitu.rowmajor import ComputeDramModel, RowMajorModel
+from ..interconnect.dimm import DeploymentRequirement, recommend_interface
+from ..interconnect.pcie import PCIE4_X16, PcieModel
+from ..sieve.perfmodel import (
+    PerfResult,
+    SieveModelConfig,
+    Type1Model,
+    Type2Model,
+    Type3Model,
+    WorkloadStats,
+)
+from .results import FigureResult, geomean
+from .workloads import Benchmark, gpu_benchmarks, paper_benchmarks
+
+#: Paper's chosen configurations (Section VI-B): Type-2 midpoint of 16
+#: compute buffers, Type-3 best performer at 8 concurrent subarrays.
+T2_COMPUTE_BUFFERS = 16
+T3_CONCURRENT_SUBARRAYS = 8
+
+
+def _config(geometry: DramGeometry = SIEVE_32GB) -> SieveModelConfig:
+    return SieveModelConfig(geometry=geometry)
+
+
+def _workloads(benchmarks: Optional[List[Benchmark]] = None) -> List[WorkloadStats]:
+    return [b.workload() for b in (benchmarks or paper_benchmarks())]
+
+
+def fig13_row_vs_col() -> FigureResult:
+    """Figure 13: row-major vs ComputeDRAM vs col-major (no ETM) vs Sieve,
+    speedup over the CPU baseline, all nine benchmarks."""
+    cfg = _config()
+    cpu = CpuBaselineModel()
+    designs = [
+        ("Row_Major", RowMajorModel(cfg, T3_CONCURRENT_SUBARRAYS)),
+        ("Col_Major", Type3Model(cfg, T3_CONCURRENT_SUBARRAYS, etm_enabled=False)),
+        ("ComputeDRAM", ComputeDramModel(cfg, T3_CONCURRENT_SUBARRAYS)),
+        ("Sieve", Type3Model(cfg, T3_CONCURRENT_SUBARRAYS, etm_enabled=True)),
+    ]
+    result = FigureResult(
+        figure="Figure 13",
+        title="Row-major in-situ vs. Sieve (speedup over CPU)",
+        headers=["benchmark"] + [name for name, _ in designs],
+    )
+    etm_gains = []
+    for wl in _workloads():
+        cpu_time = cpu.run(wl).time_s
+        row = [wl.name]
+        per_design = {}
+        for name, model in designs:
+            speedup = cpu_time / model.run(wl).time_s
+            per_design[name] = speedup
+            row.append(speedup)
+        etm_gains.append(per_design["Sieve"] / per_design["Col_Major"])
+        result.rows.append(row)
+    result.notes = (
+        f"ETM contributes {min(etm_gains):.1f}x-{max(etm_gains):.1f}x over "
+        "col-major without ETM (paper: 5.2x-7.2x); row-major/ComputeDRAM "
+        "charged only the favorable TRA delay, as in the paper."
+    )
+    return result
+
+
+def fig14_vs_cpu() -> FigureResult:
+    """Figure 14: T1 / T2.16CB / T3.8SA speedup and energy saving over
+    the CPU baseline, all nine benchmarks."""
+    cfg = _config()
+    cpu = CpuBaselineModel()
+    designs = [
+        ("T1", Type1Model(cfg)),
+        (f"T2.{T2_COMPUTE_BUFFERS}CB", Type2Model(cfg, T2_COMPUTE_BUFFERS)),
+        (f"T3.{T3_CONCURRENT_SUBARRAYS}SA", Type3Model(cfg, T3_CONCURRENT_SUBARRAYS)),
+    ]
+    headers = ["benchmark"]
+    for name, _ in designs:
+        headers += [f"{name} speedup", f"{name} energy_saving"]
+    result = FigureResult(
+        figure="Figure 14",
+        title="Sieve designs vs. CPU baseline",
+        headers=headers,
+    )
+    per_design_speedups: Dict[str, List[float]] = {name: [] for name, _ in designs}
+    for wl in _workloads():
+        base = cpu.run(wl)
+        row: List[object] = [wl.name]
+        for name, model in designs:
+            res = model.run(wl)
+            speedup = base.time_s / res.time_s
+            saving = base.energy_j / res.energy_j
+            per_design_speedups[name].append(speedup)
+            row += [speedup, saving]
+        result.rows.append(row)
+    means = {
+        name: geomean(vals) for name, vals in per_design_speedups.items()
+    }
+    result.notes = "geomean speedups: " + ", ".join(
+        f"{name}={val:.1f}x" for name, val in means.items()
+    )
+    return result
+
+
+def fig15_vs_gpu() -> FigureResult:
+    """Figure 15: Sieve designs vs. the (idealized) GPU baseline on the
+    three CLARK timing benchmarks."""
+    cfg = _config()
+    gpu = GpuBaselineModel()
+    designs = [
+        ("T1", Type1Model(cfg)),
+        (f"T2.{T2_COMPUTE_BUFFERS}CB", Type2Model(cfg, T2_COMPUTE_BUFFERS)),
+        (f"T3.{T3_CONCURRENT_SUBARRAYS}SA", Type3Model(cfg, T3_CONCURRENT_SUBARRAYS)),
+    ]
+    headers = ["benchmark"]
+    for name, _ in designs:
+        headers += [f"{name} speedup", f"{name} energy_saving"]
+    result = FigureResult(
+        figure="Figure 15",
+        title="Sieve designs vs. GPU baseline (CLARK benchmarks)",
+        headers=headers,
+    )
+    for wl in _workloads(gpu_benchmarks()):
+        base = gpu.run(wl)
+        row: List[object] = [wl.name]
+        for _, model in designs:
+            res = model.run(wl)
+            row += [base.time_s / res.time_s, base.energy_j / res.energy_j]
+        result.rows.append(row)
+    result.notes = (
+        "T1 speedup < 1 reproduces the paper's 'Type-1 is 3x-5x slower "
+        "than the GPU but more energy efficient'."
+    )
+    return result
+
+
+#: Figure 16's capacity series.
+FIG16_CAPACITIES = [
+    ("T3.4GB", SIEVE_4GB),
+    ("T3.8GB", SIEVE_8GB),
+    ("T3.16GB", SIEVE_16GB),
+    ("T3.32GB", SIEVE_32GB),
+]
+
+FIG16_SUBARRAYS = [1, 2, 4, 8, 16, 32, 64, 128]
+
+
+def fig16_salp_sweep() -> FigureResult:
+    """Figure 16: average device cycles vs. concurrent subarrays per
+    bank, for Type-3 at four capacities.
+
+    The paper plots millions of DRAM cycles averaged over the CPU
+    benchmarks; we average over the six Kraken2 (accuracy-file)
+    benchmarks, whose query counts match the paper's axis scale.
+    """
+    k2 = [b for b in paper_benchmarks() if b.kernel == "K2"]
+    workloads = [b.workload() for b in k2]
+    result = FigureResult(
+        figure="Figure 16",
+        title="Type-3 cycles vs. subarray-level parallelism",
+        headers=["subarrays"] + [label for label, _ in FIG16_CAPACITIES],
+    )
+    for sa in FIG16_SUBARRAYS:
+        row: List[object] = [f"{sa}SA"]
+        for _, geometry in FIG16_CAPACITIES:
+            cfg = _config(geometry)
+            model = Type3Model(cfg, sa)
+            cycles = [
+                model.run(wl).time_s / (cfg.timing.tCK * 1e-9) for wl in workloads
+            ]
+            row.append(sum(cycles) / len(cycles) / 1e6)
+        result.rows.append(row)
+    result.notes = (
+        "columns are millions of DRAM I/O cycles, averaged over the six "
+        "Kraken2 benchmarks; speedup plateaus once matching throughput "
+        "meets the bank-I/O query-write floor (~8 subarrays)."
+    )
+    return result
+
+
+#: Figure 17's compute-buffer sweep.
+FIG17_CBS = [1, 2, 4, 8, 16, 32, 64, 128]
+
+
+def fig17_cb_sweep() -> FigureResult:
+    """Figure 17: Type-2 compute-buffer sweep, bracketed by Type-1 and
+    Type-3 with one concurrent subarray: speedup, energy saving (both
+    over CPU), and area overhead."""
+    cfg = _config()
+    cpu = CpuBaselineModel()
+    area = DEFAULT_AREA_MODEL
+    entries: List[tuple] = [("T1", Type1Model(cfg), area.type1_overhead())]
+    for cb in FIG17_CBS:
+        entries.append((f"T2.{cb}CB", Type2Model(cfg, cb), area.type2_overhead(cb)))
+    entries.append(("T3.1SA", Type3Model(cfg, 1), area.type3_overhead()))
+    result = FigureResult(
+        figure="Figure 17",
+        title="Type-2 compute-buffer design space",
+        headers=["design", "speedup_vs_cpu", "energy_saving_vs_cpu", "area_overhead_pct"],
+    )
+    speedups = {}
+    for name, model, overhead in entries:
+        ratios_t = []
+        ratios_e = []
+        for wl in _workloads():
+            base = cpu.run(wl)
+            res = model.run(wl)
+            ratios_t.append(base.time_s / res.time_s)
+            ratios_e.append(base.energy_j / res.energy_j)
+        speedups[name] = geomean(ratios_t)
+        result.rows.append(
+            [name, geomean(ratios_t), geomean(ratios_e), overhead * 100.0]
+        )
+    result.notes = (
+        f"T2.1CB is {speedups['T2.1CB'] / speedups['T1']:.2f}x faster than "
+        "T1 (paper: 1.39x-1.94x); T2.128CB trails T3.1SA by "
+        f"{speedups['T3.1SA'] / speedups['T2.128CB']:.2f}x (paper: slight)."
+    )
+    return result
+
+
+def sensitivity_etm_off() -> FigureResult:
+    """Section VI-C ETM sensitivity: adversarial all-hit workloads with
+    ETM disabled, Type-2/3 vs CPU and GPU."""
+    cfg = _config()
+    cpu = CpuBaselineModel()
+    gpu = GpuBaselineModel()
+    designs = [
+        (f"T2.{T2_COMPUTE_BUFFERS}CB", Type2Model(cfg, T2_COMPUTE_BUFFERS, etm_enabled=False)),
+        (f"T3.{T3_CONCURRENT_SUBARRAYS}SA", Type3Model(cfg, T3_CONCURRENT_SUBARRAYS, etm_enabled=False)),
+    ]
+    result = FigureResult(
+        figure="Section VI-C (ETM)",
+        title="ETM off, every query hits (adversarial case)",
+        headers=[
+            "benchmark",
+            "design",
+            "speedup_vs_cpu",
+            "energy_saving_vs_cpu",
+            "speedup_vs_gpu",
+            "energy_saving_vs_gpu",
+        ],
+    )
+    for wl in _workloads():
+        adversarial = wl.with_hit_rate(1.0)
+        cpu_res = cpu.run(adversarial)
+        gpu_res = gpu.run(adversarial)
+        for name, model in designs:
+            res = model.run(adversarial)
+            result.rows.append(
+                [
+                    wl.name,
+                    name,
+                    cpu_res.time_s / res.time_s,
+                    cpu_res.energy_j / res.energy_j,
+                    gpu_res.time_s / res.time_s,
+                    gpu_res.energy_j / res.energy_j,
+                ]
+            )
+    result.notes = (
+        "paper band: still 1.34x-155x faster / 4.15x-36x more efficient "
+        "than CPU and 1.3x-9.5x faster than GPU without ETM."
+    )
+    return result
+
+
+def sensitivity_pcie() -> FigureResult:
+    """Section VI-C PCIe overhead: fraction added to ideal dispatch."""
+    cfg = _config()
+    model = PcieModel(PCIE4_X16)
+    designs = [
+        ("T1", Type1Model(cfg)),
+        (f"T2.{T2_COMPUTE_BUFFERS}CB", Type2Model(cfg, T2_COMPUTE_BUFFERS)),
+        (f"T3.{T3_CONCURRENT_SUBARRAYS}SA", Type3Model(cfg, T3_CONCURRENT_SUBARRAYS)),
+    ]
+    result = FigureResult(
+        figure="Section VI-C (PCIe)",
+        title="PCIe 4.0 x16 communication overhead",
+        headers=[
+            "design",
+            "device_qps",
+            "link_utilization",
+            "overhead_pct",
+            "recommended_interface",
+        ],
+    )
+    wl = paper_benchmarks()[-1].workload()
+    for name, design in designs:
+        res = design.run(wl)
+        qps = wl.num_kmers / res.time_s
+        summary = model.summary(qps)
+        # Device power: dynamic + background + ~3 W interface controller.
+        device_power_w = (
+            res.breakdown["dynamic_j"] / res.time_s
+            + res.breakdown["background_j"] / res.time_s
+            + 3.0
+        )
+        req = DeploymentRequirement(
+            device_qps=qps,
+            power_w=device_power_w,
+            capacity_gb=cfg.geometry.capacity_gib,
+        )
+        result.rows.append(
+            [
+                name,
+                qps,
+                summary["utilization"],
+                summary["overhead_fraction"] * 100.0,
+                recommend_interface(req),
+            ]
+        )
+    result.notes = "paper: PCIe adds 4.6 %-6.7 % over ideal dispatch."
+    return result
+
+
+def sensitivity_bandwidth() -> FigureResult:
+    """Section VI-B: added bandwidth does not rescue the CPU baseline."""
+    cfg = _config()
+    wl = paper_benchmarks()[-1].workload()
+    t3 = Type3Model(cfg, T3_CONCURRENT_SUBARRAYS)
+    qps = wl.num_kmers / t3.run(wl).time_s
+    analysis = ideal_machine_analysis(target_qps=qps)
+    result = FigureResult(
+        figure="Section VI-B",
+        title="Why more DRAM bandwidth does not help the CPU",
+        headers=["quantity", "value"],
+        rows=[
+            ["achieved bandwidth (MSHR-limited, GB/s)", analysis.achieved_bandwidth_gbs],
+            ["peak bandwidth (GB/s)", analysis.peak_bandwidth_gbs],
+            ["bandwidth utilization", analysis.bandwidth_utilization],
+            ["ideal-machine per-core lookups/s", analysis.per_core_lookups_per_s],
+            ["cores needed to match Type-3", analysis.cores_needed_to_match],
+        ],
+    )
+    result.notes = (
+        "paper: even with unbounded MSHRs and 40 ns loads, matching "
+        "Type-3 needs a >215-core workstation."
+    )
+    return result
+
+
+def perf_results_for(
+    workload: WorkloadStats, geometry: DramGeometry = SIEVE_32GB
+) -> Dict[str, PerfResult]:
+    """All designs + baselines on one workload (CLI/report helper)."""
+    cfg = _config(geometry)
+    models = {
+        "CPU": CpuBaselineModel(),
+        "GPU": GpuBaselineModel(),
+        "T1": Type1Model(cfg),
+        f"T2.{T2_COMPUTE_BUFFERS}CB": Type2Model(cfg, T2_COMPUTE_BUFFERS),
+        f"T3.{T3_CONCURRENT_SUBARRAYS}SA": Type3Model(cfg, T3_CONCURRENT_SUBARRAYS),
+    }
+    return {name: model.run(workload) for name, model in models.items()}

@@ -1,0 +1,56 @@
+"""Result container and text formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class FigureResult:
+    """One regenerated table/figure: headers + rows + provenance notes."""
+
+    figure: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: str = ""
+
+    def format(self) -> str:
+        """Render as an aligned text table (what the benches print)."""
+        def fmt(cell: object) -> str:
+            if isinstance(cell, float):
+                if cell == 0:
+                    return "0"
+                if abs(cell) >= 1000 or abs(cell) < 0.01:
+                    return f"{cell:.3g}"
+                return f"{cell:.2f}"
+            return str(cell)
+
+        table = [self.headers] + [[fmt(c) for c in row] for row in self.rows]
+        widths = [max(len(r[i]) for r in table) for i in range(len(self.headers))]
+        lines = [f"== {self.figure}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(table[0], widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in table[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def column(self, header: str) -> List[object]:
+        """Extract one column by header name."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for speedup ratios)."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geomean requires positive values, got {v}")
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,144 @@
+"""K-mer counting substrates (exact and sketched).
+
+Several of the Figure-1 pipelines count k-mer abundances rather than
+just testing membership (stringMLST's allele calling, PhyMer's
+haplogroup scoring, abundance-aware metagenomic profiling).  This module
+provides both counting structures those tools use:
+
+* :class:`ExactKmerCounter` — a dictionary counter (the memory-hungry
+  reference implementation);
+* :class:`CountMinSketch` — the streaming sketch large-scale tools
+  switch to when exact counts no longer fit, with the classic
+  overestimate-only guarantee: ``count <= estimate <= count + eps*N``
+  with probability ``1 - delta``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+import numpy as np
+
+from .encoding import iter_kmers
+from .sequence import DnaSequence
+
+
+class CountingError(ValueError):
+    """Raised on invalid counter parameters."""
+
+
+class ExactKmerCounter:
+    """Exact k-mer abundance counter."""
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise CountingError(f"k must be positive, got {k}")
+        self.k = k
+        self._counts: Dict[int, int] = {}
+        self.total = 0
+
+    def add(self, kmer: int, count: int = 1) -> None:
+        if count <= 0:
+            raise CountingError(f"count must be positive, got {count}")
+        self._counts[kmer] = self._counts.get(kmer, 0) + count
+        self.total += count
+
+    def add_sequence(self, seq: DnaSequence) -> int:
+        """Count every window of a sequence; returns k-mers added."""
+        n = 0
+        for kmer in iter_kmers(seq.bases, self.k):
+            self.add(kmer)
+            n += 1
+        return n
+
+    def count(self, kmer: int) -> int:
+        return self._counts.get(kmer, 0)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._counts.items())
+
+    def most_common(self, n: int) -> List[Tuple[int, int]]:
+        """Top-n (k-mer, count) pairs, count-descending."""
+        if n <= 0:
+            raise CountingError(f"n must be positive, got {n}")
+        return sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+    def histogram(self) -> Dict[int, int]:
+        """Abundance histogram: multiplicity -> number of distinct k-mers."""
+        hist: Dict[int, int] = {}
+        for count in self._counts.values():
+            hist[count] = hist.get(count, 0) + 1
+        return hist
+
+
+def _mix64(value: int, seed: int) -> int:
+    """Seeded splitmix64 finalizer."""
+    value = (value + seed * 0x9E3779B97F4A7C15) % 2**64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) % 2**64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) % 2**64
+    return value ^ (value >> 31)
+
+
+class CountMinSketch:
+    """Count-Min sketch over packed k-mers.
+
+    Sized from the standard bounds: ``width = ceil(e / eps)`` counters
+    per row and ``depth = ceil(ln(1 / delta))`` rows.
+    """
+
+    def __init__(self, epsilon: float = 1e-3, delta: float = 1e-3) -> None:
+        if not 0.0 < epsilon < 1.0 or not 0.0 < delta < 1.0:
+            raise CountingError("epsilon and delta must be in (0, 1)")
+        self.epsilon = epsilon
+        self.delta = delta
+        self.width = math.ceil(math.e / epsilon)
+        self.depth = math.ceil(math.log(1.0 / delta))
+        self._table = np.zeros((self.depth, self.width), dtype=np.int64)
+        self.total = 0
+
+    def _slots(self, kmer: int) -> List[int]:
+        return [_mix64(kmer, row + 1) % self.width for row in range(self.depth)]
+
+    def add(self, kmer: int, count: int = 1) -> None:
+        if count <= 0:
+            raise CountingError(f"count must be positive, got {count}")
+        for row, slot in enumerate(self._slots(kmer)):
+            self._table[row, slot] += count
+        self.total += count
+
+    def add_sequence(self, seq: DnaSequence, k: int) -> int:
+        n = 0
+        for kmer in iter_kmers(seq.bases, k):
+            self.add(kmer)
+            n += 1
+        return n
+
+    def estimate(self, kmer: int) -> int:
+        """Point estimate: the minimum over the sketch rows."""
+        return int(
+            min(self._table[row, slot] for row, slot in enumerate(self._slots(kmer)))
+        )
+
+    def memory_bytes(self) -> int:
+        return self._table.nbytes
+
+    def error_bound(self) -> float:
+        """Additive overestimate bound eps * N (holds w.p. 1 - delta)."""
+        return self.epsilon * self.total
+
+
+def count_reads(
+    reads: Iterable[DnaSequence], k: int
+) -> Tuple[ExactKmerCounter, CountMinSketch]:
+    """Count a read set with both structures (comparison helper)."""
+    exact = ExactKmerCounter(k)
+    sketch = CountMinSketch()
+    for read in reads:
+        exact.add_sequence(read)
+        sketch.add_sequence(read, k)
+    return exact, sketch

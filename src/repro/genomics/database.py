@@ -1,0 +1,152 @@
+"""Reference k-mer database (k-mer pattern -> taxon label).
+
+This is the offline-built structure every k-mer matching pipeline in the
+paper consumes: CLARK/LMAT keep it in a hash table, Kraken in a
+signature-bucketed sorted list, and Sieve transposes it column-wise onto
+DRAM bitlines.  The database itself is engine-agnostic: a mapping from
+packed canonical-or-raw k-mers to taxon ids, plus the size accounting
+(~12 bytes per record, paper Section II) that the capacity planning and
+the CPU cache model use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .encoding import canonical_kmer, decode_kmer, iter_kmers
+from .sequence import DnaSequence
+from .taxonomy import Taxonomy
+
+#: Bytes per k-mer record in real tools (paper Section II: "k-mer records
+#: are typically around 12 bytes"): 8-byte key + 4-byte taxon id.
+KMER_RECORD_BYTES = 12
+
+
+class DatabaseError(ValueError):
+    """Raised on inconsistent database construction or queries."""
+
+
+@dataclass(frozen=True)
+class DatabaseStats:
+    """Size summary of a built database."""
+
+    k: int
+    num_kmers: int
+    num_taxa: int
+    record_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_kmers * self.record_bytes
+
+    @property
+    def total_gib(self) -> float:
+        return self.total_bytes / 2**30
+
+
+class KmerDatabase:
+    """A reference k-mer set with taxon payloads.
+
+    Parameters
+    ----------
+    k:
+        k-mer length (paper uses k = 31 throughout).
+    canonical:
+        When true, k-mers are canonicalized (min of k-mer and reverse
+        complement) at both build and query time, as Kraken/CLARK do.
+    taxonomy:
+        Optional taxonomy; when present, k-mers found in multiple taxa
+        are assigned the LCA of the occurrences (Kraken's rule) instead
+        of raising.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        canonical: bool = False,
+        taxonomy: Optional[Taxonomy] = None,
+    ) -> None:
+        if not 1 <= k <= 32:
+            raise DatabaseError(f"k must be in [1, 32] for packed storage, got {k}")
+        self.k = k
+        self.canonical = canonical
+        self.taxonomy = taxonomy
+        self._table: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, kmer: int) -> bool:
+        return self._normalize(kmer) in self._table
+
+    def _normalize(self, kmer: int) -> int:
+        if kmer < 0 or kmer >= (1 << (2 * self.k)):
+            raise DatabaseError(f"k-mer {kmer} out of range for k={self.k}")
+        return canonical_kmer(kmer, self.k) if self.canonical else kmer
+
+    def add(self, kmer: int, taxon_id: int) -> None:
+        """Insert a (k-mer, taxon) record, LCA-merging on conflicts."""
+        key = self._normalize(kmer)
+        existing = self._table.get(key)
+        if existing is None or existing == taxon_id:
+            self._table[key] = taxon_id
+        elif self.taxonomy is not None:
+            self._table[key] = self.taxonomy.lca(existing, taxon_id)
+        else:
+            raise DatabaseError(
+                f"k-mer {decode_kmer(key, self.k)} maps to both taxon "
+                f"{existing} and {taxon_id}; provide a taxonomy to LCA-merge"
+            )
+
+    def add_genome(self, genome: DnaSequence, taxon_id: int) -> int:
+        """Index every k-mer of a genome under ``taxon_id``; returns count."""
+        count = 0
+        for kmer in iter_kmers(genome.bases, self.k):
+            self.add(kmer, taxon_id)
+            count += 1
+        return count
+
+    def lookup(self, kmer: int) -> Optional[int]:
+        """Return the taxon payload for a query k-mer, or ``None`` (miss)."""
+        return self._table.get(self._normalize(kmer))
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over (packed k-mer, taxon id) records, unordered."""
+        return iter(self._table.items())
+
+    def sorted_kmers(self) -> List[int]:
+        """All reference k-mers in ascending packed-integer order.
+
+        This is the order Sieve loads references into subarrays
+        (Section IV-D: "reference k-mers in each subarray are sorted
+        alphanumerically"), which makes the range index exact.
+        """
+        return sorted(self._table)
+
+    def sorted_records(self) -> List[Tuple[int, int]]:
+        """Sorted (k-mer, taxon) pairs — the Sieve load image."""
+        return sorted(self._table.items())
+
+    def stats(self) -> DatabaseStats:
+        """Size summary (used for capacity planning and Table II style rows)."""
+        return DatabaseStats(
+            k=self.k,
+            num_kmers=len(self._table),
+            num_taxa=len(set(self._table.values())),
+            record_bytes=KMER_RECORD_BYTES,
+        )
+
+    @classmethod
+    def from_genomes(
+        cls,
+        genomes: Iterable[Tuple[DnaSequence, int]],
+        k: int,
+        canonical: bool = False,
+        taxonomy: Optional[Taxonomy] = None,
+    ) -> "KmerDatabase":
+        """Build a database from (genome, taxon) pairs."""
+        db = cls(k, canonical=canonical, taxonomy=taxonomy)
+        for genome, taxon_id in genomes:
+            db.add_genome(genome, taxon_id)
+        return db

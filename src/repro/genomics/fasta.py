@@ -1,0 +1,163 @@
+"""Minimal FASTA/FASTQ readers and writers.
+
+The paper's query workloads (Table II) are FASTA files produced by read
+simulators.  This module provides enough of the two formats for the
+examples and the workload generator to round-trip read sets through
+disk, with strict validation and streaming iteration.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from .sequence import DnaSequence
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+class FastaError(ValueError):
+    """Raised on malformed FASTA/FASTQ input."""
+
+
+def _open_for_read(source: PathOrFile) -> TextIO:
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="ascii")
+    return source
+
+
+def _open_for_write(target: PathOrFile) -> TextIO:
+    if isinstance(target, (str, Path)):
+        return open(target, "w", encoding="ascii")
+    return target
+
+
+def read_fasta(source: PathOrFile) -> Iterator[DnaSequence]:
+    """Stream sequences from a FASTA file or file-like object.
+
+    Multi-line records are joined; blank lines are ignored.  Raises
+    :class:`FastaError` when the file does not start with a header or a
+    record has no sequence data.
+    """
+    handle = _open_for_read(source)
+    own = isinstance(source, (str, Path))
+    try:
+        header = None
+        chunks: List[str] = []
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if header is not None:
+                    yield _make_record(header, chunks)
+                elif chunks:
+                    raise FastaError("sequence data before first FASTA header")
+                header = line[1:].strip()
+                if not header:
+                    raise FastaError(f"empty FASTA header at line {line_no}")
+                chunks = []
+            else:
+                if header is None:
+                    raise FastaError("FASTA file must start with a '>' header")
+                chunks.append(line)
+        if header is not None:
+            yield _make_record(header, chunks)
+    finally:
+        if own:
+            handle.close()
+
+
+def _make_record(header: str, chunks: List[str]) -> DnaSequence:
+    if not chunks:
+        raise FastaError(f"FASTA record {header!r} has no sequence data")
+    seq_id = header.split()[0]
+    return DnaSequence(seq_id=seq_id, bases="".join(chunks))
+
+
+def write_fasta(
+    sequences: Iterable[DnaSequence],
+    target: PathOrFile,
+    line_width: int = 70,
+) -> int:
+    """Write sequences in FASTA format; returns the record count."""
+    if line_width <= 0:
+        raise ValueError(f"line_width must be positive, got {line_width}")
+    handle = _open_for_write(target)
+    own = isinstance(target, (str, Path))
+    count = 0
+    try:
+        for seq in sequences:
+            handle.write(f">{seq.seq_id}\n")
+            for start in range(0, len(seq.bases), line_width):
+                handle.write(seq.bases[start : start + line_width] + "\n")
+            count += 1
+    finally:
+        if own:
+            handle.close()
+    return count
+
+
+def read_fastq(source: PathOrFile) -> Iterator[DnaSequence]:
+    """Stream sequences from a FASTQ file (qualities are discarded).
+
+    The paper's ESP characterization input (``Ancestor-R1.fastq``) is
+    FASTQ; Sieve itself never consumes quality scores, so they are
+    validated for length and dropped.
+    """
+    handle = _open_for_read(source)
+    own = isinstance(source, (str, Path))
+    try:
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            header = header.strip()
+            if not header:
+                continue
+            if not header.startswith("@"):
+                raise FastaError(f"FASTQ record must start with '@': {header!r}")
+            bases = handle.readline().strip()
+            plus = handle.readline().strip()
+            quals = handle.readline().strip()
+            if not plus.startswith("+"):
+                raise FastaError(f"FASTQ separator line missing for {header!r}")
+            if len(quals) != len(bases):
+                raise FastaError(
+                    f"FASTQ quality length {len(quals)} != sequence length "
+                    f"{len(bases)} for {header!r}"
+                )
+            yield DnaSequence(seq_id=header[1:].split()[0], bases=bases)
+    finally:
+        if own:
+            handle.close()
+
+
+def write_fastq(
+    sequences: Iterable[DnaSequence],
+    target: PathOrFile,
+    quality_char: str = "I",
+) -> int:
+    """Write sequences in FASTQ format with uniform quality; returns count."""
+    if len(quality_char) != 1:
+        raise ValueError("quality_char must be a single character")
+    handle = _open_for_write(target)
+    own = isinstance(target, (str, Path))
+    count = 0
+    try:
+        for seq in sequences:
+            handle.write(f"@{seq.seq_id}\n{seq.bases}\n+\n")
+            handle.write(quality_char * len(seq.bases) + "\n")
+            count += 1
+    finally:
+        if own:
+            handle.close()
+    return count
+
+
+def fasta_string(sequences: Iterable[DnaSequence]) -> str:
+    """Render sequences to an in-memory FASTA string (for tests/examples)."""
+    buf = io.StringIO()
+    write_fasta(sequences, buf)
+    return buf.getvalue()

@@ -1,0 +1,82 @@
+"""DNA sequence value type used across the toolkit.
+
+A :class:`DnaSequence` couples an identifier with validated bases and
+exposes the operations the rest of the pipeline needs: windowed k-mer
+extraction (packed integers), reverse complement, and slicing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from . import encoding
+
+
+@dataclass(frozen=True)
+class DnaSequence:
+    """An immutable, validated DNA sequence.
+
+    Parameters
+    ----------
+    seq_id:
+        Identifier (FASTA header, read name, ...).
+    bases:
+        The sequence string; validated to contain only ``ACGT``
+        (case-insensitive; stored uppercased).
+    taxon_id:
+        Optional ground-truth taxon for synthetic reads, used by the
+        classification examples to measure accuracy.
+    """
+
+    seq_id: str
+    bases: str
+    taxon_id: Optional[int] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        normalized = self.bases.upper()
+        for base in normalized:
+            if base not in encoding.BASE_TO_CODE:
+                raise encoding.EncodingError(
+                    f"sequence {self.seq_id!r} contains invalid base {base!r}"
+                )
+        object.__setattr__(self, "bases", normalized)
+
+    def __len__(self) -> int:
+        return len(self.bases)
+
+    def __str__(self) -> str:
+        return self.bases
+
+    def kmers(self, k: int) -> Iterator[int]:
+        """Yield packed k-mers over every window (see Table II counts)."""
+        return encoding.iter_kmers(self.bases, k)
+
+    def kmer_list(self, k: int) -> List[int]:
+        """Materialized :meth:`kmers`."""
+        return list(self.kmers(k))
+
+    def kmer_count(self, k: int) -> int:
+        """Number of k-mers a window of size ``k`` produces."""
+        return max(0, len(self.bases) - k + 1)
+
+    def reverse_complement(self) -> "DnaSequence":
+        """Return the reverse-complement sequence (same id, same taxon)."""
+        return DnaSequence(
+            seq_id=self.seq_id,
+            bases=encoding.reverse_complement(self.bases),
+            taxon_id=self.taxon_id,
+        )
+
+    def subsequence(self, start: int, end: int) -> "DnaSequence":
+        """Return ``bases[start:end]`` as a new sequence."""
+        if not 0 <= start <= end <= len(self.bases):
+            raise IndexError(
+                f"subsequence [{start}:{end}] out of range for "
+                f"length-{len(self.bases)} sequence"
+            )
+        return DnaSequence(
+            seq_id=f"{self.seq_id}[{start}:{end}]",
+            bases=self.bases[start:end],
+            taxon_id=self.taxon_id,
+        )

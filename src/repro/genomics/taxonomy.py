@@ -1,0 +1,189 @@
+"""Taxonomy tree substrate.
+
+Metagenomic classifiers map k-mers to *taxon labels* — nodes in a
+taxonomy tree (paper Figure 3).  Kraken-style pipelines additionally
+need the lowest common ancestor (LCA) of two taxa when a k-mer occurs in
+several genomes.  This module implements the tree, LCA, and a compact
+record of ranks/names, so the database builder and the classification
+examples have a real taxonomy to work against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+#: Conventional ranks from root to leaf.
+RANKS = (
+    "root",
+    "domain",
+    "phylum",
+    "class",
+    "order",
+    "family",
+    "genus",
+    "species",
+)
+
+#: Taxon id of the root node.
+ROOT_TAXON = 1
+
+
+class TaxonomyError(ValueError):
+    """Raised on malformed taxonomy operations."""
+
+
+@dataclass
+class TaxonNode:
+    """A node in the taxonomy tree."""
+
+    taxon_id: int
+    name: str
+    rank: str
+    parent_id: Optional[int]
+    children: List[int] = field(default_factory=list)
+
+
+class Taxonomy:
+    """A rooted taxonomy tree with LCA queries.
+
+    The tree always contains a root node with id :data:`ROOT_TAXON`.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, TaxonNode] = {}
+        self._depth: Dict[int, int] = {}
+        root = TaxonNode(ROOT_TAXON, "root", "root", parent_id=None)
+        self._nodes[ROOT_TAXON] = root
+        self._depth[ROOT_TAXON] = 0
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, taxon_id: int) -> bool:
+        return taxon_id in self._nodes
+
+    def add(
+        self,
+        taxon_id: int,
+        name: str,
+        rank: str,
+        parent_id: int = ROOT_TAXON,
+    ) -> TaxonNode:
+        """Insert a node under ``parent_id`` and return it."""
+        if taxon_id in self._nodes:
+            raise TaxonomyError(f"taxon {taxon_id} already exists")
+        if parent_id not in self._nodes:
+            raise TaxonomyError(f"parent taxon {parent_id} does not exist")
+        node = TaxonNode(taxon_id, name, rank, parent_id)
+        self._nodes[taxon_id] = node
+        self._nodes[parent_id].children.append(taxon_id)
+        self._depth[taxon_id] = self._depth[parent_id] + 1
+        return node
+
+    def node(self, taxon_id: int) -> TaxonNode:
+        """Return the node for ``taxon_id``."""
+        try:
+            return self._nodes[taxon_id]
+        except KeyError:
+            raise TaxonomyError(f"unknown taxon {taxon_id}") from None
+
+    def name(self, taxon_id: int) -> str:
+        """Scientific name of a taxon."""
+        return self.node(taxon_id).name
+
+    def depth(self, taxon_id: int) -> int:
+        """Distance from the root (root has depth 0)."""
+        self.node(taxon_id)
+        return self._depth[taxon_id]
+
+    def lineage(self, taxon_id: int) -> List[int]:
+        """Path of taxon ids from the root down to ``taxon_id``."""
+        path = []
+        current: Optional[int] = taxon_id
+        while current is not None:
+            path.append(current)
+            current = self.node(current).parent_id
+        path.reverse()
+        return path
+
+    def lca(self, a: int, b: int) -> int:
+        """Lowest common ancestor of two taxa."""
+        da, db = self.depth(a), self.depth(b)
+        while da > db:
+            a = self.node(a).parent_id  # type: ignore[assignment]
+            da -= 1
+        while db > da:
+            b = self.node(b).parent_id  # type: ignore[assignment]
+            db -= 1
+        while a != b:
+            a = self.node(a).parent_id  # type: ignore[assignment]
+            b = self.node(b).parent_id  # type: ignore[assignment]
+        return a
+
+    def lca_many(self, taxa: Sequence[int]) -> int:
+        """LCA of a non-empty collection of taxa."""
+        if not taxa:
+            raise TaxonomyError("lca_many requires at least one taxon")
+        result = taxa[0]
+        for taxon in taxa[1:]:
+            result = self.lca(result, taxon)
+        return result
+
+    def leaves(self) -> Iterator[int]:
+        """Yield ids of all leaf taxa."""
+        for taxon_id, node in self._nodes.items():
+            if not node.children:
+                yield taxon_id
+
+    def is_ancestor(self, ancestor: int, descendant: int) -> bool:
+        """True when ``ancestor`` lies on the root path of ``descendant``."""
+        return ancestor in self.lineage(descendant)
+
+    @classmethod
+    def linear_chain(cls, names: Sequence[str]) -> "Taxonomy":
+        """Build a root→...→leaf chain, one node per name (test helper)."""
+        tax = cls()
+        parent = ROOT_TAXON
+        for i, name in enumerate(names):
+            rank = RANKS[min(i + 1, len(RANKS) - 1)]
+            node = tax.add(parent * 10 + 2, name, rank, parent)
+            parent = node.taxon_id
+        return tax
+
+
+def balanced_taxonomy(
+    num_species: int, branching: int = 4, name_prefix: str = "taxon"
+) -> Taxonomy:
+    """Build a balanced taxonomy with ``num_species`` leaf species.
+
+    Interior levels use ``branching``-way fan-out.  Taxon ids are
+    assigned breadth-first starting at 2 (1 is the root), so species ids
+    are stable for a given (num_species, branching) pair — the property
+    the synthetic database generator relies on.
+    """
+    if num_species <= 0:
+        raise TaxonomyError(f"num_species must be positive, got {num_species}")
+    if branching < 2:
+        raise TaxonomyError(f"branching must be >= 2, got {branching}")
+    tax = Taxonomy()
+    next_id = 2
+    frontier = [ROOT_TAXON]
+    level = 1
+    # Grow levels until one more level of fan-out can cover all species.
+    while len(frontier) * branching < num_species:
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                rank = RANKS[min(level, len(RANKS) - 2)]
+                node = tax.add(next_id, f"{name_prefix}_{rank}_{next_id}", rank, parent)
+                new_frontier.append(node.taxon_id)
+                next_id += 1
+        frontier = new_frontier
+        level += 1
+    # Final level: species leaves, distributed round-robin over frontier.
+    for i in range(num_species):
+        parent = frontier[i % len(frontier)]
+        tax.add(next_id, f"{name_prefix}_species_{next_id}", "species", parent)
+        next_id += 1
+    return tax

@@ -1,0 +1,154 @@
+"""Per-component energy / static power / latency — paper Table III.
+
+The paper estimates each Sieve add-on with FreePDK45, OpenRAM (for the
+Type-1 SRAM buffer), and Stillmaker scaling to 22 nm.  We reproduce
+Table III two ways:
+
+* the **calibrated constants** — the published Table III values, which
+  the performance model charges per event, and
+* a **gate-level estimator** — a first-principles FO4/gate-count model
+  at 45 nm scaled to 22 nm, used by the tests to confirm the published
+  constants are the right order of magnitude (our stand-in for re-running
+  the authors' synthesis flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .scaling import scale_delay, scale_energy
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One row of paper Table III."""
+
+    name: str
+    dynamic_energy_pj: float
+    static_power_uw: float
+    latency_ns: float
+
+    @property
+    def dynamic_energy_nj(self) -> float:
+        return self.dynamic_energy_pj * 1e-3
+
+
+#: Paper Table III, verbatim.  Keys are short component slugs.
+TABLE_III: Dict[str, ComponentSpec] = {
+    "t1_matcher_array": ComponentSpec("(T1) 64-bit MA", 0.867, 1.4592, 0.353),
+    "t1_registers": ComponentSpec("(T1) QR, SkBR, StBR", 1.92, 5.28, 0.154),
+    "t1_sram_buffer": ComponentSpec("(T1) SRAM Buffer", 5.12, 4.445, 0.177),
+    "t23_matcher_array": ComponentSpec("(T2/3) 8192-bit MA", 181.683, 0.289, 0.535),
+    "t23_etm_segment": ComponentSpec("(T2/3) ETM Segment", 73.5, 56.185, 43.653),
+    "t23_segment_finder": ComponentSpec("(T2/3) Segment Finder", 2.44, 0.294, 0.362),
+    "t23_column_finder": ComponentSpec("(T2/3) Column Finder", 20.69, 28.16, 0.152),
+}
+
+#: Energy-overhead split of the +6 % Sieve activation energy
+#: (Section VI-A): matcher array 78.9 %, ETM 15.8 %, finders < 5 %.
+ACTIVATION_OVERHEAD_SPLIT: Dict[str, float] = {
+    "t23_matcher_array": 0.789,
+    "t23_etm_segment": 0.158,
+    "t23_segment_finder": 0.025,
+    "t23_column_finder": 0.028,
+}
+
+
+# ---------------------------------------------------------------------------
+# First-principles estimator (sanity check for the calibrated constants)
+# ---------------------------------------------------------------------------
+
+#: Approximate switching energy of one minimum NAND2-equivalent gate at
+#: 45 nm (FreePDK45-class planar CMOS), in pJ.
+GATE_ENERGY_PJ_45NM = 0.0025
+
+#: Approximate FO4 delay at 45 nm, ns.
+FO4_DELAY_NS_45NM = 0.025
+
+#: NAND2-equivalent gate counts for the matcher datapath elements.
+GATES_XNOR = 3
+GATES_AND = 1
+GATES_LATCH = 4
+GATES_OR = 1
+GATES_MUX = 3
+GATES_SRAM_BIT = 1.5  # 6T cell, amortized periphery
+
+
+@dataclass(frozen=True)
+class GateEstimate:
+    """Gate-level estimate of one component at a target node."""
+
+    name: str
+    gate_count: float
+    dynamic_energy_pj: float
+    critical_path_ns: float
+
+
+def estimate_matcher_array(width: int, node_nm: int = 22) -> GateEstimate:
+    """Estimate a ``width``-bit matcher array (XNOR + AND + latch per bit).
+
+    Per paper Figure 7(d): each matcher is one XNOR, one AND, and one
+    1-bit latch; all matchers switch in parallel so the critical path is
+    a single XNOR→AND→latch chain, ~3 gate delays.
+    """
+    gates_per_bit = GATES_XNOR + GATES_AND + GATES_LATCH
+    gate_count = width * gates_per_bit
+    energy_45 = gate_count * GATE_ENERGY_PJ_45NM
+    delay_45 = 3 * FO4_DELAY_NS_45NM
+    return GateEstimate(
+        name=f"{width}-bit matcher array",
+        gate_count=gate_count,
+        dynamic_energy_pj=scale_energy(energy_45, 45, node_nm),
+        critical_path_ns=scale_delay(delay_45, 45, node_nm),
+    )
+
+
+def estimate_etm_segment(segment_size: int = 256, node_nm: int = 22) -> GateEstimate:
+    """Estimate one ETM segment: OR-reduction of ``segment_size`` latches.
+
+    The pipelined design (paper Figure 9) gives each segment one DRAM
+    row cycle to propagate; the OR tree is ``segment_size - 1`` OR gates
+    deep by log2(segment_size) levels, but the paper implements it as a
+    serial chain that just fits the ~44 ns budget — we estimate the
+    serial chain.
+    """
+    gate_count = (segment_size - 1) * GATES_OR + GATES_LATCH
+    energy_45 = gate_count * GATE_ENERGY_PJ_45NM
+    delay_45 = (segment_size - 1) * FO4_DELAY_NS_45NM
+    return GateEstimate(
+        name=f"ETM segment ({segment_size} latches)",
+        gate_count=gate_count,
+        dynamic_energy_pj=scale_energy(energy_45, 45, node_nm),
+        critical_path_ns=scale_delay(delay_45, 45, node_nm),
+    )
+
+
+def estimate_sram_buffer(bits: int = 8192, node_nm: int = 22) -> GateEstimate:
+    """Estimate the Type-1 SRAM result buffer (128 x 64 bits by default)."""
+    gate_count = bits * GATES_SRAM_BIT
+    # Per access: 64 bitline swings (~0.12 pJ each at 45 nm) plus row
+    # decode/wordline drive across the 128 entries (~0.05 pJ per row).
+    words = bits // 64
+    energy_45 = 64 * 0.12 + words * 0.05
+    delay_45 = 6 * FO4_DELAY_NS_45NM  # decode + wordline + sense
+    return GateEstimate(
+        name=f"SRAM buffer ({bits} bits)",
+        gate_count=gate_count,
+        dynamic_energy_pj=scale_energy(energy_45, 45, node_nm),
+        critical_path_ns=scale_delay(delay_45, 45, node_nm),
+    )
+
+
+def table_iii_rows() -> list:
+    """Table III in print order, for the benchmark harness."""
+    order = [
+        "t1_matcher_array",
+        "t1_registers",
+        "t1_sram_buffer",
+        "t23_matcher_array",
+        "t23_etm_segment",
+        "t23_segment_finder",
+        "t23_column_finder",
+    ]
+    return [TABLE_III[key] for key in order]

@@ -1,0 +1,91 @@
+"""Technology-node scaling (Stillmaker & Baas style).
+
+The paper synthesizes Sieve's add-on logic with FreePDK45 and scales the
+results to the 22 nm node "using scaling factors from Stillmaker, et
+al." [45].  This module provides the same facility: relative energy,
+delay, and area factors for planar CMOS nodes, normalized to 45 nm.
+
+The factors are piecewise products of the published per-step ratios from
+Stillmaker's fitted models (energy and delay shrink sub-quadratically;
+area follows the drawn feature size squared).  They are approximations —
+exactly as they are in the paper — and the component models treat the
+paper's Table III values as the calibrated ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class ScalingError(ValueError):
+    """Raised for unsupported technology nodes."""
+
+
+#: Relative factors vs the 45 nm node (value_at_node = value_45nm * factor).
+_ENERGY_FACTOR: Dict[int, float] = {
+    180: 10.0,
+    130: 5.2,
+    90: 2.6,
+    65: 1.6,
+    45: 1.0,
+    32: 0.57,
+    22: 0.37,
+    14: 0.22,
+}
+
+_DELAY_FACTOR: Dict[int, float] = {
+    180: 3.4,
+    130: 2.4,
+    90: 1.7,
+    65: 1.3,
+    45: 1.0,
+    32: 0.81,
+    22: 0.65,
+    14: 0.51,
+}
+
+
+def supported_nodes() -> tuple:
+    """Technology nodes (nm) the scaler knows about."""
+    return tuple(sorted(_ENERGY_FACTOR))
+
+
+def _factor(table: Dict[int, float], node_nm: int) -> float:
+    try:
+        return table[node_nm]
+    except KeyError:
+        raise ScalingError(
+            f"unsupported node {node_nm} nm; supported: {supported_nodes()}"
+        ) from None
+
+
+def scale_energy(value: float, from_nm: int = 45, to_nm: int = 22) -> float:
+    """Scale a dynamic energy from one node to another."""
+    return value * _factor(_ENERGY_FACTOR, to_nm) / _factor(_ENERGY_FACTOR, from_nm)
+
+
+def scale_delay(value: float, from_nm: int = 45, to_nm: int = 22) -> float:
+    """Scale a gate delay / latency from one node to another."""
+    return value * _factor(_DELAY_FACTOR, to_nm) / _factor(_DELAY_FACTOR, from_nm)
+
+
+def scale_area(value: float, from_nm: int = 45, to_nm: int = 22) -> float:
+    """Scale an area with the feature-size-squared rule."""
+    if from_nm not in _ENERGY_FACTOR or to_nm not in _ENERGY_FACTOR:
+        raise ScalingError(
+            f"unsupported node pair ({from_nm}, {to_nm}); "
+            f"supported: {supported_nodes()}"
+        )
+    return value * (to_nm / from_nm) ** 2
+
+
+def scale_static_power(value: float, from_nm: int = 45, to_nm: int = 22) -> float:
+    """Scale static (leakage) power.
+
+    Leakage per transistor does not shrink with dynamic energy; we model
+    leakage power as proportional to the square root of the energy
+    factor, a reasonable middle ground for planar nodes where threshold
+    scaling stalled.
+    """
+    ratio = _factor(_ENERGY_FACTOR, to_nm) / _factor(_ENERGY_FACTOR, from_nm)
+    return value * ratio**0.5

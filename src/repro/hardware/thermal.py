@@ -1,0 +1,160 @@
+"""Thermal and power-delivery constraints (paper Sections IV-C/VI-C).
+
+Two of the paper's deployment caveats are quantitative:
+
+* "Supporting all subarrays performing k-mer matching simultaneously
+  ... is not yet feasible, due to power delivery constraints" —
+  Figure 16's sweep *assumes* unconstrained delivery; this module
+  computes how many concurrent subarrays a DIMM slot or PCIe connector
+  can actually feed.
+* DRAM retention collapses above ~85 C (the paper's "thermal concerns");
+  a device packed with continuously activating banks must stay inside
+  the package's thermal envelope or throttle.
+
+Both constraints reduce to the same quantity: device power as a
+function of concurrently matching subarrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..dram.energy import DDR4_ENERGY, DramEnergy
+from ..dram.geometry import SIEVE_32GB, DramGeometry
+from ..dram.timing import SIEVE_TIMING, DramTiming
+
+#: JEDEC "normal" operating ceiling; above this, refresh must double and
+#: retention margins shrink.
+DRAM_TEMP_LIMIT_C = 85.0
+
+#: Default ambient inside a server chassis.
+AMBIENT_C = 45.0
+
+#: Junction-to-ambient thermal resistance of a DIMM-class assembly with
+#: airflow, C/W.  PCIe cards with heat spreaders do better.
+THETA_JA_DIMM = 1.8
+THETA_JA_PCIE = 0.9
+
+#: Slot power ceilings, W.
+PCIE_SLOT_POWER_W = 75.0
+PCIE_AUX_POWER_W = 150.0  # with one 8-pin auxiliary connector
+
+
+class ThermalError(ValueError):
+    """Raised on invalid thermal parameters."""
+
+
+@dataclass(frozen=True)
+class PowerBudgetReport:
+    """Power/thermal feasibility of one operating point."""
+
+    concurrent_subarrays_total: int
+    matching_power_w: float
+    background_power_w: float
+    total_power_w: float
+    budget_w: float
+    feasible: bool
+    steady_state_temp_c: float
+    thermally_feasible: bool
+
+
+def per_stream_matching_power_w(
+    timing: DramTiming = SIEVE_TIMING,
+    energy: DramEnergy = DDR4_ENERGY,
+) -> float:
+    """Power of one continuously matching subarray stream.
+
+    One matcher-enhanced activation every row cycle.
+    """
+    return energy.sieve_activation_energy_nj(timing) / timing.row_cycle
+
+
+def device_background_power_w(
+    geometry: DramGeometry = SIEVE_32GB,
+    energy: DramEnergy = DDR4_ENERGY,
+) -> float:
+    """Standby power of all chips (0.5 GB x16 parts)."""
+    chips = geometry.capacity_bytes / 2**29
+    return energy.background_power_mw() * 1e-3 * chips
+
+
+def steady_state_temp_c(
+    power_w: float,
+    theta_ja: float = THETA_JA_PCIE,
+    ambient_c: float = AMBIENT_C,
+) -> float:
+    """Steady-state junction temperature of the assembly."""
+    if power_w < 0 or theta_ja <= 0:
+        raise ThermalError("power must be >= 0 and theta_ja > 0")
+    return ambient_c + theta_ja * power_w
+
+
+def power_budget_report(
+    concurrent_per_bank: int,
+    budget_w: float,
+    geometry: DramGeometry = SIEVE_32GB,
+    timing: DramTiming = SIEVE_TIMING,
+    energy: DramEnergy = DDR4_ENERGY,
+    theta_ja: float = THETA_JA_PCIE,
+    interface_power_w: float = 3.0,
+) -> PowerBudgetReport:
+    """Feasibility of running N subarrays per bank concurrently."""
+    if concurrent_per_bank <= 0:
+        raise ThermalError("concurrent_per_bank must be positive")
+    if concurrent_per_bank > geometry.subarrays_per_bank:
+        raise ThermalError(
+            f"only {geometry.subarrays_per_bank} subarrays per bank"
+        )
+    streams = concurrent_per_bank * geometry.total_banks
+    matching = streams * per_stream_matching_power_w(timing, energy)
+    background = device_background_power_w(geometry, energy)
+    total = matching + background + interface_power_w
+    temp = steady_state_temp_c(total, theta_ja)
+    return PowerBudgetReport(
+        concurrent_subarrays_total=streams,
+        matching_power_w=matching,
+        background_power_w=background,
+        total_power_w=total,
+        budget_w=budget_w,
+        feasible=total <= budget_w,
+        steady_state_temp_c=temp,
+        thermally_feasible=temp <= DRAM_TEMP_LIMIT_C,
+    )
+
+
+def max_concurrent_per_bank(
+    budget_w: float,
+    geometry: DramGeometry = SIEVE_32GB,
+    timing: DramTiming = SIEVE_TIMING,
+    energy: DramEnergy = DDR4_ENERGY,
+    theta_ja: float = THETA_JA_PCIE,
+    interface_power_w: float = 3.0,
+) -> int:
+    """Largest per-bank SALP degree the power *and* thermal envelopes
+    allow (0 when even one stream per bank does not fit)."""
+    if budget_w <= 0:
+        raise ThermalError("budget must be positive")
+    best = 0
+    for n in range(1, geometry.subarrays_per_bank + 1):
+        report = power_budget_report(
+            n, budget_w, geometry, timing, energy, theta_ja, interface_power_w
+        )
+        if report.feasible and report.thermally_feasible:
+            best = n
+        else:
+            break
+    return best
+
+
+def throttled_streams(
+    requested_per_bank: int,
+    budget_w: float,
+    geometry: DramGeometry = SIEVE_32GB,
+    timing: DramTiming = SIEVE_TIMING,
+    energy: DramEnergy = DDR4_ENERGY,
+    theta_ja: float = THETA_JA_PCIE,
+) -> int:
+    """SALP degree after power/thermal throttling (>= 1)."""
+    ceiling = max_concurrent_per_bank(
+        budget_w, geometry, timing, energy, theta_ja
+    )
+    return max(1, min(requested_per_bank, ceiling))

@@ -1,0 +1,24 @@
+"""Row-major in-situ PIM baselines: functional Ambit bulk-bitwise array
+and analytic Ambit-style / ComputeDRAM-style k-mer matching models
+(paper Figure 13).
+"""
+
+from .ambit import AmbitArray, AmbitError, AmbitStats
+from .rowmajor import (
+    ComputeDramModel,
+    RowMajorError,
+    RowMajorMatcher,
+    RowMajorModel,
+    RowMajorOutcome,
+)
+
+__all__ = [
+    "AmbitArray",
+    "AmbitError",
+    "AmbitStats",
+    "ComputeDramModel",
+    "RowMajorError",
+    "RowMajorMatcher",
+    "RowMajorModel",
+    "RowMajorOutcome",
+]

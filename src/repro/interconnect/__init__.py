@@ -1,0 +1,43 @@
+"""System integration: PCIe packet/queue model and DIMM power/bandwidth
+envelope, with deployment recommendation (paper Section IV-C, VI-C).
+"""
+
+from .dimm import (
+    DIMM_BANDWIDTH_GBS,
+    DIMM_POWER_W_PER_GB,
+    DeploymentRequirement,
+    DimmEnvelope,
+    DimmError,
+    recommend_interface,
+)
+from .pcie import (
+    BANK_REQUEST_BUFFER,
+    PCIE3_X8,
+    PCIE4_X16,
+    PCIE_PACKET_PAYLOAD_BYTES,
+    REQUEST_BYTES,
+    RESPONSE_BYTES,
+    PcieError,
+    PcieLink,
+    PcieModel,
+    PcieModelParams,
+)
+
+__all__ = [
+    "DIMM_BANDWIDTH_GBS",
+    "DIMM_POWER_W_PER_GB",
+    "DeploymentRequirement",
+    "DimmEnvelope",
+    "DimmError",
+    "recommend_interface",
+    "BANK_REQUEST_BUFFER",
+    "PCIE3_X8",
+    "PCIE4_X16",
+    "PCIE_PACKET_PAYLOAD_BYTES",
+    "REQUEST_BYTES",
+    "RESPONSE_BYTES",
+    "PcieError",
+    "PcieLink",
+    "PcieModel",
+    "PcieModelParams",
+]

@@ -1,0 +1,85 @@
+"""DIMM form-factor envelope and deployment recommendation
+(paper Section IV-C).
+
+A DDR4 DIMM slot supplies roughly 0.37 W/GB of power and 25 GB/s of
+channel bandwidth — enough for Type-1, while Type-2 needs at least
+PCIe 3.0 x8 and Type-3 at least PCIe 4.0 x16.  This module reproduces
+that sizing from a design's query rate and power draw rather than
+hard-coding the conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .pcie import PCIE3_X8, PCIE4_X16, PcieLink, REQUEST_BYTES
+
+#: Paper constants.
+DIMM_POWER_W_PER_GB = 0.37
+DIMM_BANDWIDTH_GBS = 25.0
+
+
+class DimmError(ValueError):
+    """Raised on invalid envelope parameters."""
+
+
+@dataclass(frozen=True)
+class DeploymentRequirement:
+    """What a design at a given operating point needs from its slot."""
+
+    device_qps: float
+    power_w: float
+    capacity_gb: float
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        """Request traffic the interface must carry (per direction)."""
+        return self.device_qps * REQUEST_BYTES / 1e9
+
+
+@dataclass(frozen=True)
+class DimmEnvelope:
+    """A DIMM slot's power and bandwidth budget for a given capacity."""
+
+    capacity_gb: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb <= 0:
+            raise DimmError("capacity must be positive")
+
+    @property
+    def power_budget_w(self) -> float:
+        return DIMM_POWER_W_PER_GB * self.capacity_gb
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return DIMM_BANDWIDTH_GBS
+
+    def supports(self, req: DeploymentRequirement) -> bool:
+        return (
+            req.power_w <= self.power_budget_w
+            and req.bandwidth_gbs <= self.bandwidth_gbs
+        )
+
+
+def recommend_interface(req: DeploymentRequirement) -> str:
+    """Smallest interface satisfying a requirement (Section IV-C table).
+
+    Tries DIMM first, then PCIe 3.0 x8, then PCIe 4.0 x16.
+    """
+    if DimmEnvelope(req.capacity_gb).supports(req):
+        return "DIMM"
+    for link in (PCIE3_X8, PCIE4_X16):
+        if req.bandwidth_gbs <= link.effective_gbs:
+            return link.name
+    raise DimmError(
+        f"no supported interface carries {req.bandwidth_gbs:.1f} GB/s"
+    )
+
+
+def link_for(name: str) -> PcieLink:
+    """Parse 'PCIe G.0 xN' back into a link (helper for the harness)."""
+    parts = name.split()
+    if len(parts) != 3 or not parts[2].startswith("x"):
+        raise DimmError(f"not a PCIe interface name: {name!r}")
+    return PcieLink(int(parts[1].split(".")[0]), int(parts[2][1:]))

@@ -1,0 +1,120 @@
+"""PCIe system-integration model (paper Section IV-C and VI-C).
+
+Type-2/3 Sieve devices attach over PCIe with a packet-based protocol:
+12-byte k-mer requests, 340 requests per 4 KB PCIe packet, a 24-packet
+input queue sized to saturate a 32 GB device, and a response-ready
+queue batching completions back to the host.  The paper measures the
+whole arrangement at 4.6-6.7 % latency overhead on PCIe 4.0 x16.
+
+The model charges a fixed protocol/driver overhead plus a
+utilization-dependent queueing term, and reports the link utilization
+each workload actually needs — which is also what decides the
+deployment recommendation (DIMM vs PCIe generation) in
+:mod:`repro.interconnect.dimm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Paper constants (Section IV-C).
+REQUEST_BYTES = 12
+RESPONSE_BYTES = 12
+PCIE_PACKET_PAYLOAD_BYTES = 4096
+REQUESTS_PER_PACKET = PCIE_PACKET_PAYLOAD_BYTES // REQUEST_BYTES  # 341 -> 340
+BANK_REQUEST_BUFFER = 64
+
+
+class PcieError(ValueError):
+    """Raised on invalid link parameters."""
+
+
+@dataclass(frozen=True)
+class PcieLink:
+    """One PCIe link: generation + lane count.
+
+    ``effective_gbs`` is per-direction payload bandwidth after encoding
+    overhead (PCIe is full duplex, so requests and responses do not
+    share it).
+    """
+
+    generation: int
+    lanes: int
+
+    #: Per-lane effective payload bandwidth by generation, GB/s.
+    _PER_LANE = {3: 0.985, 4: 1.969, 5: 3.938}
+
+    def __post_init__(self) -> None:
+        if self.generation not in self._PER_LANE:
+            raise PcieError(f"unsupported PCIe generation {self.generation}")
+        if self.lanes not in (1, 2, 4, 8, 16):
+            raise PcieError(f"invalid lane count {self.lanes}")
+
+    @property
+    def effective_gbs(self) -> float:
+        return self._PER_LANE[self.generation] * self.lanes
+
+    @property
+    def name(self) -> str:
+        return f"PCIe {self.generation}.0 x{self.lanes}"
+
+
+PCIE3_X8 = PcieLink(3, 8)
+PCIE4_X16 = PcieLink(4, 16)
+
+
+@dataclass(frozen=True)
+class PcieModelParams:
+    """Calibrated overhead constants (land in the paper's 4.6-6.7 %)."""
+
+    fixed_overhead: float = 0.046  # driver/DMA/interrupt handling
+    queueing_slope: float = 0.021  # extra overhead at full utilization
+
+
+class PcieModel:
+    """Overhead and queue arithmetic for a Sieve-on-PCIe deployment."""
+
+    def __init__(self, link: PcieLink = PCIE4_X16, params: PcieModelParams = PcieModelParams()) -> None:
+        self.link = link
+        self.params = params
+
+    def utilization(self, device_qps: float) -> float:
+        """Per-direction link utilization at a device query rate."""
+        if device_qps < 0:
+            raise PcieError("device_qps must be non-negative")
+        needed = device_qps * max(REQUEST_BYTES, RESPONSE_BYTES)
+        return needed / (self.link.effective_gbs * 1e9)
+
+    def overhead_fraction(self, device_qps: float) -> float:
+        """Latency overhead PCIe adds to the ideal dispatch (Section VI-C)."""
+        util = self.utilization(device_qps)
+        if util >= 1.0:
+            raise PcieError(
+                f"{self.link.name} saturated: needs {util:.2f}x its bandwidth"
+            )
+        return self.params.fixed_overhead + self.params.queueing_slope * util
+
+    def sustainable_qps(self) -> float:
+        """Maximum request rate the link can carry."""
+        return self.link.effective_gbs * 1e9 / max(REQUEST_BYTES, RESPONSE_BYTES)
+
+    @staticmethod
+    def queue_depth_packets(total_banks: int) -> int:
+        """Input-queue depth that saturates the device (Section IV-C):
+
+        depth x 340 requests/packet ~ banks x 64 requests/bank.
+        """
+        if total_banks <= 0:
+            raise PcieError("total_banks must be positive")
+        requests = total_banks * BANK_REQUEST_BUFFER
+        return -(-requests // 340)
+
+    def summary(self, device_qps: float) -> Dict[str, float]:
+        """All derived quantities for reporting."""
+        return {
+            "link_gbs": self.link.effective_gbs,
+            "utilization": self.utilization(device_qps),
+            "overhead_fraction": self.overhead_fraction(device_qps),
+            "sustainable_qps": self.sustainable_qps(),
+        }

@@ -1,0 +1,113 @@
+"""End-to-end deployment pipeline model (paper Section V, "Modeling
+Sieve").
+
+The paper deploys Sieve as a three-stage pipeline:
+
+* **pre-processing** on the host — read parsing, k-mer generation,
+  driver invocation, PCIe DMA;
+* **k-mer matching** on the device (or on the CPU/GPU baselines);
+* **post-processing** on the host — payload accumulation per read,
+  classification.
+
+The stages overlap, so sustained throughput is the minimum stage rate,
+and the paper's claim — "the latency of this pipeline is limited by
+k-mer processing on Sieve ... so the CPU is always able to send enough
+k-mer requests to Sieve to keep it fully utilized" — becomes a checkable
+statement about stage rates.  This module models it and identifies the
+bottleneck for any engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .baselines.machines import XEON_E5_2658V4, CpuConfig
+from .sieve.perfmodel import PerfResult, WorkloadStats
+
+
+class PipelineError(ValueError):
+    """Raised on invalid pipeline parameters."""
+
+
+@dataclass(frozen=True)
+class HostStageModel:
+    """Host-side per-k-mer costs, per hardware thread.
+
+    Pre-processing slides a window over the read (a few ALU ops plus a
+    12-byte request write); post-processing bumps one counter per hit
+    and aggregates per read.  Both stream sequentially — unlike
+    matching, they are cache-friendly.
+    """
+
+    preprocess_ns_per_kmer: float = 10.0
+    postprocess_ns_per_kmer: float = 4.0
+    config: CpuConfig = XEON_E5_2658V4
+
+    def __post_init__(self) -> None:
+        if self.preprocess_ns_per_kmer <= 0 or self.postprocess_ns_per_kmer <= 0:
+            raise PipelineError("stage costs must be positive")
+
+    def preprocess_qps(self) -> float:
+        return self.config.threads / (self.preprocess_ns_per_kmer * 1e-9)
+
+    def postprocess_qps(self) -> float:
+        return self.config.threads / (self.postprocess_ns_per_kmer * 1e-9)
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Stage rates and the identified bottleneck."""
+
+    stage_qps: Dict[str, float]
+    bottleneck: str
+    sustained_qps: float
+    matching_utilization: float
+
+    @property
+    def matching_bound(self) -> bool:
+        return self.bottleneck == "matching"
+
+
+def analyze_pipeline(
+    matching: PerfResult,
+    workload: WorkloadStats,
+    host: Optional[HostStageModel] = None,
+) -> PipelineReport:
+    """Bottleneck analysis for one matching engine on one workload."""
+    host = host or HostStageModel()
+    matching_qps = workload.num_kmers / matching.time_s
+    stage_qps = {
+        "preprocess": host.preprocess_qps(),
+        "matching": matching_qps,
+        "postprocess": host.postprocess_qps(),
+    }
+    bottleneck = min(stage_qps, key=stage_qps.get)
+    sustained = stage_qps[bottleneck]
+    return PipelineReport(
+        stage_qps=stage_qps,
+        bottleneck=bottleneck,
+        sustained_qps=sustained,
+        matching_utilization=min(1.0, sustained / matching_qps),
+    )
+
+
+def pipeline_table(
+    results: Dict[str, PerfResult],
+    workload: WorkloadStats,
+    host: Optional[HostStageModel] = None,
+) -> List[Dict[str, object]]:
+    """Bottleneck analysis across engines (harness/report helper)."""
+    rows = []
+    for name, result in results.items():
+        report = analyze_pipeline(result, workload, host)
+        rows.append(
+            {
+                "engine": name,
+                "matching_qps": report.stage_qps["matching"],
+                "bottleneck": report.bottleneck,
+                "sustained_qps": report.sustained_qps,
+                "matching_utilization": report.matching_utilization,
+            }
+        )
+    return rows

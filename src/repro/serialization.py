@@ -1,0 +1,108 @@
+"""Persistence for reference databases and workload summaries.
+
+Section IV-C: the transposed database "can be stored for later use and
+is thus a one-time cost", and "k-mer databases are relatively stable
+over time".  This module provides the storage side of that story:
+
+* binary (npz) save/load of a :class:`KmerDatabase` — compact 12-byte
+  records, exactly the footprint the paper's size arithmetic assumes;
+* JSON save/load of a :class:`WorkloadStats`, so a trace measured once
+  on the functional simulator can drive the analytic model in later
+  sessions (the trace-driven methodology, made reproducible).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .sieve.perfmodel import EspModel, WorkloadStats
+from .genomics.database import KmerDatabase
+from .genomics.taxonomy import Taxonomy
+
+PathLike = Union[str, Path]
+
+#: Format tags guarding against loading the wrong file kind.
+DB_FORMAT = "sieve-repro-kmerdb-v1"
+WORKLOAD_FORMAT = "sieve-repro-workload-v1"
+
+
+class SerializationError(ValueError):
+    """Raised on malformed or mismatched files."""
+
+
+def save_database(database: KmerDatabase, path: PathLike) -> int:
+    """Write a database as compressed npz; returns the record count."""
+    records = database.sorted_records()
+    if not records:
+        raise SerializationError("refusing to save an empty database")
+    kmers = np.array([k for k, _ in records], dtype=np.uint64)
+    taxa = np.array([t for _, t in records], dtype=np.uint32)
+    np.savez_compressed(
+        path,
+        format=DB_FORMAT,
+        k=database.k,
+        canonical=database.canonical,
+        kmers=kmers,
+        taxa=taxa,
+    )
+    return len(records)
+
+
+def load_database(path: PathLike, taxonomy: Taxonomy = None) -> KmerDatabase:
+    """Load a database written by :func:`save_database`."""
+    with np.load(_npz_path(path), allow_pickle=False) as data:
+        if str(data["format"]) != DB_FORMAT:
+            raise SerializationError(
+                f"{path}: not a {DB_FORMAT} file (got {data['format']})"
+            )
+        db = KmerDatabase(
+            k=int(data["k"]),
+            canonical=bool(data["canonical"]),
+            taxonomy=taxonomy,
+        )
+        for kmer, taxon in zip(data["kmers"], data["taxa"]):
+            db.add(int(kmer), int(taxon))
+    return db
+
+
+def _npz_path(path: PathLike) -> Path:
+    p = Path(path)
+    if not p.exists() and p.with_suffix(p.suffix + ".npz").exists():
+        return p.with_suffix(p.suffix + ".npz")
+    return p
+
+
+def save_workload(workload: WorkloadStats, path: PathLike) -> None:
+    """Write a workload summary as JSON."""
+    payload = {
+        "format": WORKLOAD_FORMAT,
+        "name": workload.name,
+        "k": workload.k,
+        "num_kmers": workload.num_kmers,
+        "hit_rate": workload.hit_rate,
+        "index_filtered_fraction": workload.index_filtered_fraction,
+        "esp_probabilities": list(workload.esp.probabilities),
+    }
+    Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def load_workload(path: PathLike) -> WorkloadStats:
+    """Load a workload summary written by :func:`save_workload`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path}: invalid JSON ({exc})") from None
+    if payload.get("format") != WORKLOAD_FORMAT:
+        raise SerializationError(f"{path}: not a {WORKLOAD_FORMAT} file")
+    return WorkloadStats(
+        name=payload["name"],
+        k=payload["k"],
+        num_kmers=payload["num_kmers"],
+        hit_rate=payload["hit_rate"],
+        index_filtered_fraction=payload["index_filtered_fraction"],
+        esp=EspModel(tuple(payload["esp_probabilities"])),
+    )

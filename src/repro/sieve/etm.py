@@ -1,0 +1,137 @@
+"""Early Termination Mechanism (paper Section IV-A, Figure 9).
+
+The ETM watches the matcher latches and interrupts further row
+activation once every latch holds 0 — i.e. once every candidate in the
+subarray has mismatched.  Because an 8192-wide OR cannot settle in one
+DRAM row cycle, the latch row is split into segments of 256; each
+segment ORs its own latches within a row cycle and a Segment Register
+(SR) chain pipelines partial results across segments.
+
+Two signals matter to the rest of the system:
+
+* ``terminated`` — the detector output.  We model the detector as the
+  OR of (a) every segment's combinational OR and (b) every SR: this is
+  zero one cycle after the last live latch dies *plus* the time for
+  stale SR 1s to drain, exactly the behaviour Figure 9 steps through
+  (all latches zero at row cycle 3, detection at row cycle 4).
+* ``flush_cycles`` — after the *last* row activation of a query, the SR
+  pipeline must drain before the Column Finder can trust the segment
+  snapshot; worst case one cycle per segment (paper Section IV-A).
+
+The same class also backs the Backup Segment Registers (BSRs) used by
+the Column Finder, which mirror the SRs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+DEFAULT_SEGMENT_SIZE = 256
+
+
+class EtmError(ValueError):
+    """Raised on configuration or protocol errors."""
+
+
+class EtmPipeline:
+    """Segmented OR pipeline over a matcher latch row."""
+
+    def __init__(self, width: int, segment_size: int = DEFAULT_SEGMENT_SIZE) -> None:
+        if width <= 0:
+            raise EtmError(f"width must be positive, got {width}")
+        if segment_size <= 0:
+            raise EtmError(f"segment_size must be positive, got {segment_size}")
+        self.width = width
+        self.segment_size = segment_size
+        self.num_segments = -(-width // segment_size)
+        # SR chain state; SR[i] belongs to segment i.  BSRs mirror SRs.
+        self._sr = np.ones(self.num_segments, dtype=np.uint8)
+        self._bsr = np.ones(self.num_segments, dtype=np.uint8)
+        self._segment_or = np.ones(self.num_segments, dtype=np.uint8)
+        self.cycles = 0
+
+    def reset(self) -> None:
+        """Preset SRs/BSRs to 1 for a new query (latches preset to match)."""
+        self._sr[:] = 1
+        self._bsr[:] = 1
+        self._segment_or[:] = 1
+        self.cycles = 0
+
+    def segment_bounds(self, segment: int) -> range:
+        """Latch columns covered by ``segment``."""
+        if not 0 <= segment < self.num_segments:
+            raise EtmError(
+                f"segment {segment} out of range [0, {self.num_segments})"
+            )
+        start = segment * self.segment_size
+        return range(start, min(start + self.segment_size, self.width))
+
+    def step(self, latches: np.ndarray) -> None:
+        """Advance the pipeline by one DRAM row cycle.
+
+        Each segment ORs its own latches (fits one row cycle, Table III)
+        and the SR chain shifts: ``SR[i] <- seg_or[i] | SR[i-1]``.
+        BSRs track the per-segment ORs directly (they are what the
+        Column Finder shifts through later).
+        """
+        latches = np.asarray(latches, dtype=np.uint8)
+        if latches.shape != (self.width,):
+            raise EtmError(
+                f"latch row must have shape ({self.width},), got {latches.shape}"
+            )
+        seg_or = np.zeros(self.num_segments, dtype=np.uint8)
+        for seg in range(self.num_segments):
+            bounds = self.segment_bounds(seg)
+            seg_or[seg] = 1 if latches[bounds.start : bounds.stop].any() else 0
+        prev_sr = self._sr.copy()
+        self._sr[0] = seg_or[0]
+        if self.num_segments > 1:
+            self._sr[1:] = seg_or[1:] | prev_sr[:-1]
+        self._segment_or = seg_or
+        self._bsr = seg_or.copy()
+        self.cycles += 1
+
+    @property
+    def terminated(self) -> bool:
+        """Detector output: no segment saw a live candidate this cycle.
+
+        All segments evaluate their ORs in parallel within the row cycle
+        (Table III: one segment fits the ~44 ns budget); the detector
+        combines the latched per-segment bits (BSRs), a handful of wires
+        into a small OR.  The controller observes it one row cycle after
+        the killing comparison, so the subarray simulator charges one
+        extra activation.  A strictly serial SR-chain detector would add
+        up to ``num_segments`` cycles of stale-1 drain; that cost is
+        still modelled where the paper charges it — on hits, before the
+        Column Finder can trust the snapshot
+        (:meth:`flush_cycles_after_last_row`).
+        """
+        return not self._segment_or.any()
+
+    @property
+    def live_segments(self) -> List[int]:
+        """Segments whose OR is currently 1 (candidates still alive)."""
+        return [int(s) for s in np.flatnonzero(self._segment_or)]
+
+    @property
+    def bsr(self) -> np.ndarray:
+        """Backup Segment Register snapshot (for the Column Finder)."""
+        view = self._bsr.view()
+        view.flags.writeable = False
+        return view
+
+    def flush_cycles_after_last_row(self) -> int:
+        """Worst-case SR drain after the final row activation of a query.
+
+        The stale 1 furthest from the chain output must travel the whole
+        chain: ``num_segments`` row cycles in the worst case (the paper
+        quotes 256 for its widest configuration).  We return the exact
+        drain for the current state: distance from the most significant
+        live SR to the end of the chain, or 0 when already drained.
+        """
+        live = np.flatnonzero(self._sr)
+        if live.size == 0:
+            return 0
+        return int(self.num_segments - live.min())

@@ -1,0 +1,180 @@
+"""Future-work design points the paper names but does not evaluate.
+
+Section VII: "We plan to evaluate Sieve in 3D-stacked context as future
+work" and "We plan to evaluate NVM-based Sieve in future work".  This
+module builds both as configuration variants of the same Type-3 model,
+so the comparison is apples-to-apples:
+
+* **HBM2 Sieve** — a 3D-stacked device: far more banks per GB (16
+  channels x 16 banks per 8 GB stack), slightly slower row timing, and a
+  much tighter thermal envelope (stacked dies).  Throughput per GB is
+  dramatically higher; capacity per device is lower, so large reference
+  sets need several stacks.
+* **NVM Sieve** — a dense non-volatile array (ReRAM/FeFET class): ~2x
+  the row cycle, ~4x the density, no refresh and near-zero standby
+  power; per-activation energy higher.
+
+Both reuse the column-wise layout, matchers, and ETM unchanged — the
+contribution ports, which is exactly the paper's claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..dram.energy import DramEnergy
+from ..dram.geometry import DramGeometry
+from ..dram.timing import DramTiming
+from .perfmodel import PerfResult, SieveModelConfig, Type3Model, WorkloadStats
+
+
+class ExtensionError(ValueError):
+    """Raised on invalid extension configurations."""
+
+
+#: HBM2 timing: slower core (lower voltage), same order of row cycle.
+HBM2_TIMING = DramTiming(
+    tCK=1.0,
+    tRCD=14.0,
+    tRAS=33.0,
+    tRP=15.0,
+    tCCD=2.0,  # wide, fast column interface per pseudo-channel
+    tCAS=14.0,
+    burst_length=4,
+)
+
+#: HBM2 energy: lower-voltage core, shorter interconnect.
+HBM2_ENERGY = DramEnergy(
+    vdd=1.2,
+    idd0=45.0,
+    idd2n=28.0,
+    idd3n=36.0,
+    idd4r=110.0,
+    idd4w=105.0,
+    idd5=160.0,
+)
+
+#: NVM (ReRAM/FeFET-class) "timing": row sensing is ~2x DRAM's.
+NVM_TIMING = DramTiming(
+    tCK=1.0,
+    tRCD=30.0,
+    tRAS=70.0,
+    tRP=30.0,
+    tCCD=5.0,
+    tCAS=30.0,
+    burst_length=8,
+    tREFI=1e12,  # non-volatile: effectively no refresh
+    tRFC=1.0,
+)
+
+#: NVM energy: higher per-access energy, negligible standby.
+NVM_ENERGY = DramEnergy(
+    vdd=1.2,
+    idd0=90.0,
+    idd2n=2.0,
+    idd3n=4.0,
+    idd4r=150.0,
+    idd4w=160.0,
+    idd5=3.0,
+)
+
+
+def hbm_geometry(stacks: int = 4) -> DramGeometry:
+    """A device of ``stacks`` 8 GB HBM2 stacks.
+
+    Each stack exposes 16 channels x 16 banks; model a channel pair as a
+    'rank' so total banks = stacks x 256.  Subarrays mirror the DDR4
+    organization (the Sieve layout is unchanged).
+    """
+    if stacks <= 0:
+        raise ExtensionError("stacks must be positive")
+    # 8 GB / (16 ch x 16 banks) = 32 MB/bank = 16 subarrays of 2 MB.
+    return DramGeometry(
+        ranks=stacks * 16,
+        banks_per_rank=16,
+        subarrays_per_bank=16,
+        rows_per_subarray=2048,
+        row_bits=8192,
+    )
+
+
+def nvm_geometry(capacity_gib: float = 128.0) -> DramGeometry:
+    """A dense NVM device: 4x DRAM density at the same bank count."""
+    return DramGeometry.for_capacity(
+        capacity_gib, ranks=16, banks_per_rank=8, rows_per_subarray=8192
+    )
+
+
+def hbm_config(stacks: int = 4) -> SieveModelConfig:
+    """Type-3 Sieve on HBM2 stacks."""
+    return SieveModelConfig(
+        geometry=hbm_geometry(stacks),
+        timing=HBM2_TIMING,
+        energy=HBM2_ENERGY,
+    )
+
+
+def nvm_config(capacity_gib: float = 128.0) -> SieveModelConfig:
+    """Type-3 Sieve on a dense NVM array."""
+    return SieveModelConfig(
+        geometry=nvm_geometry(capacity_gib),
+        timing=NVM_TIMING,
+        energy=NVM_ENERGY,
+    )
+
+
+@dataclass(frozen=True)
+class VariantResult:
+    """One technology variant's outcome on a workload."""
+
+    name: str
+    capacity_gib: float
+    total_banks: int
+    result: PerfResult
+
+    @property
+    def qps(self) -> float:
+        return self.result.breakdown["num_kmers"] / self.result.time_s
+
+    @property
+    def qps_per_gib(self) -> float:
+        return self.qps / self.capacity_gib
+
+
+def technology_comparison(
+    workload: WorkloadStats,
+    concurrent_subarrays: int = 8,
+    hbm_stacks: int = 4,
+    nvm_capacity_gib: float = 128.0,
+) -> List[VariantResult]:
+    """DDR4 vs HBM2 vs NVM Sieve on the same workload.
+
+    The expected shape: HBM wins throughput per GB (bank count), NVM
+    wins capacity and standby energy, DDR4 sits between — which is why
+    the paper chose DRAM "for its maturity and availability" while
+    flagging both alternatives as future work.
+    """
+    variants = []
+    ddr4 = SieveModelConfig()
+    for name, cfg in (
+        ("DDR4 (paper)", ddr4),
+        (f"HBM2 x{hbm_stacks} stacks", hbm_config(hbm_stacks)),
+        (f"NVM {nvm_capacity_gib:.0f} GiB", nvm_config(nvm_capacity_gib)),
+    ):
+        sa = min(concurrent_subarrays, cfg.geometry.subarrays_per_bank)
+        model = Type3Model(cfg, concurrent_subarrays=sa)
+        variants.append(
+            VariantResult(
+                name=name,
+                capacity_gib=cfg.geometry.capacity_gib,
+                total_banks=cfg.geometry.total_banks,
+                result=model.run(workload),
+            )
+        )
+    return variants
+
+
+def scaled_refresh_penalty(timing: DramTiming) -> float:
+    """Fraction of time lost to refresh — zero for the NVM variant."""
+    return timing.refresh_overhead

@@ -1,0 +1,268 @@
+"""Bit-accurate functional simulator of one Sieve subarray (Type-2/3).
+
+This model executes the paper's k-mer matching walkthrough
+(Section IV-A) literally, on top of the behavioral DRAM array:
+
+1. reference k-mers are transposed onto bitlines (Region 1 of each
+   layer), offsets and payloads installed row-major in Regions 2/3;
+2. a query batch is written into the query columns of every pattern
+   group of the destination layer;
+3. per query, that layer's Region-1 rows are activated one at a time;
+   matchers fold XNOR results into their latches; the ETM steps once per
+   row cycle and interrupts activation (one row late — the interrupt
+   races the next ACT) once every candidate has died;
+4. on a hit, the ETM pipeline flushes, the Column Finder locates the hit
+   column, and the offset + payload are fetched with two more row
+   activations.
+
+Everything the trace-driven performance model needs (rows activated,
+flush cycles, CF cycles, write commands) falls out of this simulation,
+and the test suite checks the outcomes against a plain
+:class:`~repro.genomics.database.KmerDatabase`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dram.subarray import Subarray
+from .column_finder import ColumnFinder, ColumnFindResult
+from .etm import EtmPipeline
+from .layout import OFFSET_BITS, PAYLOAD_BITS, LayoutError, SubarrayLayout
+from .matcher import MatcherArray
+
+
+class FunctionalError(RuntimeError):
+    """Raised on protocol errors in the functional simulator."""
+
+
+@dataclass(frozen=True)
+class MatchOutcome:
+    """Result of matching one query k-mer in one subarray."""
+
+    query: int
+    hit: bool
+    payload: Optional[int]
+    column: Optional[int]
+    layer: int
+    rows_activated: int
+    etm_flush_cycles: int
+    cf: Optional[ColumnFindResult]
+    etm_terminated_early: bool
+
+
+def _int_to_bits(value: int, width: int) -> np.ndarray:
+    if value < 0 or value >= (1 << width):
+        raise FunctionalError(f"value {value} does not fit in {width} bits")
+    return np.array(
+        [(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.uint8
+    )
+
+
+def _bits_to_int(bits: np.ndarray) -> int:
+    value = 0
+    for bit in bits:
+        value = (value << 1) | int(bit)
+    return value
+
+
+class SieveSubarraySim:
+    """One Sieve-enhanced subarray, loaded with sorted reference records.
+
+    Records fill layers in sorted order; the subarray controller keeps
+    each layer's first k-mer so it can select the destination layer for
+    a routed query (the host index is subarray-granular).
+    """
+
+    def __init__(
+        self,
+        layout: SubarrayLayout,
+        records: Sequence[Tuple[int, int]],
+        etm_enabled: bool = True,
+    ) -> None:
+        if len(records) > layout.refs_per_subarray:
+            raise LayoutError(
+                f"{len(records)} records exceed capacity {layout.refs_per_subarray}"
+            )
+        for (a, _), (b, _) in zip(records, records[1:]):
+            if b <= a:
+                raise FunctionalError("records must be sorted by k-mer, unique")
+        self.layout = layout
+        self.etm_enabled = etm_enabled
+        self.records = list(records)
+        self.array = Subarray(layout.rows_per_subarray, layout.row_bits)
+        self.matchers = MatcherArray(layout.row_bits)
+        self.etm = EtmPipeline(layout.row_bits)
+        self.finder = ColumnFinder(self.etm)
+        self._batch: List[int] = []
+        self._batch_layer = 0
+        self.batch_loads = 0
+        self.write_commands = 0
+        # Layer occupancy and first-kmer table (subarray controller state).
+        per_layer = layout.refs_per_layer
+        self._layer_records: List[List[Tuple[int, int]]] = [
+            self.records[i : i + per_layer]
+            for i in range(0, len(self.records), per_layer)
+        ]
+        self._layer_firsts = [chunk[0][0] for chunk in self._layer_records]
+        self._load_references()
+
+    @property
+    def num_layers_used(self) -> int:
+        return len(self._layer_records)
+
+    # -- load paths ---------------------------------------------------------
+
+    def _load_references(self) -> None:
+        layout = self.layout
+        for layer, chunk in enumerate(self._layer_records):
+            kmers = [k for k, _ in chunk]
+            ref_matrix = layout.ref_bit_matrix(kmers)
+            base = layout.layer_base_row(layer)
+            for bit in range(layout.kmer_rows):
+                self.array.load_row(base + bit, ref_matrix[bit])
+            # Region 2: offset of each slot's payload (identity mapping
+            # here, but fetched through the array like the real device).
+            for slot in range(len(chunk)):
+                row, col = layout.offset_location(layer, slot)
+                self.array.load_bits(row, col, _int_to_bits(slot, OFFSET_BITS))
+            # Region 3: payloads.
+            for slot, (_, payload) in enumerate(chunk):
+                row, col = layout.payload_location(layer, slot)
+                self.array.load_bits(row, col, _int_to_bits(payload, PAYLOAD_BITS))
+
+    def route_layer(self, kmer: int) -> int:
+        """Layer whose sorted range should contain ``kmer``."""
+        pos = bisect.bisect_right(self._layer_firsts, kmer) - 1
+        return max(pos, 0)
+
+    def load_query_batch(self, queries: Sequence[int], layer: int = 0) -> int:
+        """Write a batch into every group's query block of ``layer``;
+        returns the number of prefetch-width write commands charged
+        (Section IV-A: groups x 2k)."""
+        if not queries:
+            raise FunctionalError("query batch must be non-empty")
+        if not 0 <= layer < self.num_layers_used:
+            raise FunctionalError(
+                f"layer {layer} out of range [0, {self.num_layers_used})"
+            )
+        layout = self.layout
+        matrix = layout.query_bit_matrix(list(queries))
+        base = layout.layer_base_row(layer)
+        for bit in range(layout.kmer_rows):
+            for g in range(layout.num_groups):
+                cols = layout.query_columns(g)
+                self.array.load_bits(
+                    base + bit, cols.start, matrix[bit, cols.start : cols.stop]
+                )
+        self._batch = list(queries)
+        self._batch_layer = layer
+        self.batch_loads += 1
+        commands = layout.batch_write_commands
+        self.write_commands += commands
+        return commands
+
+    def _layer_enable(self, layer: int) -> np.ndarray:
+        """Match-Enable mask: only occupied reference columns of a layer."""
+        enable = np.zeros(self.layout.row_bits, dtype=np.uint8)
+        for slot in range(len(self._layer_records[layer])):
+            enable[self.layout.ref_slot_to_column(slot)] = 1
+        return enable
+
+    # -- matching ------------------------------------------------------------
+
+    def match_slot(self, batch_slot: int) -> MatchOutcome:
+        """Match one query of the loaded batch against the batch's layer."""
+        if not 0 <= batch_slot < len(self._batch):
+            raise FunctionalError(
+                f"batch slot {batch_slot} out of range [0, {len(self._batch)})"
+            )
+        layout = self.layout
+        layer = self._batch_layer
+        query = self._batch[batch_slot]
+        self.matchers.set_enable(self._layer_enable(layer))
+        self.matchers.reset()
+        self.etm.reset()
+        rows_activated = 0
+        terminated_early = False
+        total_rows = layout.kmer_rows
+        base = layout.layer_base_row(layer)
+        bit = 0
+        while bit < total_rows:
+            bits = self.array.activate(base + bit)
+            qvec = self._query_vector(bits, batch_slot)
+            self.matchers.compare_per_column(bits, qvec)
+            self.array.precharge()
+            rows_activated += 1
+            self.etm.step(self.matchers.latches)
+            if self.etm_enabled and self.etm.terminated and bit < total_rows - 1:
+                # The interrupt races the already-issued next activation:
+                # one more row opens before activation stops.
+                self.array.activate(base + bit + 1)
+                self.array.precharge()
+                rows_activated += 1
+                terminated_early = True
+                break
+            bit += 1
+        if self.matchers.any_match():
+            return self._retrieve(query, layer, rows_activated)
+        return MatchOutcome(
+            query=query,
+            hit=False,
+            payload=None,
+            column=None,
+            layer=layer,
+            rows_activated=rows_activated,
+            etm_flush_cycles=0,
+            cf=None,
+            etm_terminated_early=terminated_early,
+        )
+
+    def match_query(self, query: int) -> MatchOutcome:
+        """Convenience: route, load a single-query batch, match it."""
+        layer = self.route_layer(query)
+        self.load_query_batch([query], layer)
+        return self.match_slot(0)
+
+    def _query_vector(self, row_bits: np.ndarray, batch_slot: int) -> np.ndarray:
+        """Per-column query bit: each group broadcasts its own replica of
+        the selected query's current bit on its shared bus."""
+        layout = self.layout
+        qvec = np.zeros(layout.row_bits, dtype=np.uint8)
+        for g in range(layout.num_groups):
+            qcol = layout.query_columns(g)[batch_slot]
+            base = layout.group_base(g)
+            qvec[base : base + layout.group_width] = row_bits[qcol]
+        return qvec
+
+    def _retrieve(self, query: int, layer: int, rows_activated: int) -> MatchOutcome:
+        """Hit path: ETM flush, Column Finder, offset + payload fetch."""
+        layout = self.layout
+        flush = self.etm.flush_cycles_after_last_row()
+        cf = self.finder.find(np.asarray(self.matchers.latches))
+        slot = layout.column_to_ref_slot(cf.column)
+        # Region 2: fetch the payload offset.
+        orow, ocol = layout.offset_location(layer, slot)
+        bits = self.array.activate(orow)
+        offset = _bits_to_int(bits[ocol : ocol + OFFSET_BITS])
+        self.array.precharge()
+        # Region 3: fetch the payload at that offset.
+        prow, pcol = layout.payload_location(layer, offset)
+        bits = self.array.activate(prow)
+        payload = _bits_to_int(bits[pcol : pcol + PAYLOAD_BITS])
+        self.array.precharge()
+        return MatchOutcome(
+            query=query,
+            hit=True,
+            payload=payload,
+            column=cf.column,
+            layer=layer,
+            rows_activated=rows_activated + 2,
+            etm_flush_cycles=flush,
+            cf=cf,
+            etm_terminated_early=False,
+        )

@@ -1,0 +1,108 @@
+"""Database transposition and load cost (paper Section IV-C).
+
+Loading a reference set into Sieve is a one-time cost with three stages:
+
+1. **transpose** on the host — converting row-major k-mer records into
+   the column-wise bit planes (`SubarrayLayout.ref_bit_matrix`); the
+   result can be stored and reused, so this is paid once per database
+   *ever*;
+2. **ship** the transposed image over the device interface;
+3. **write** the image into the DRAM arrays — banks load in parallel,
+   each paced by its I/O write bandwidth.
+
+The paper argues k-mer databases are stable for long periods, so this
+cost amortizes over the device's lifetime; this module quantifies the
+claim (how many queries until the load is amortized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram.geometry import SIEVE_32GB, DramGeometry
+from ..dram.timing import SIEVE_TIMING, DramTiming
+from ..genomics.database import KMER_RECORD_BYTES
+from ..interconnect.pcie import PCIE4_X16, PcieLink
+from .layout import OFFSET_BITS, PAYLOAD_BITS, SubarrayLayout
+
+
+class LoadingError(ValueError):
+    """Raised on invalid load parameters."""
+
+
+@dataclass(frozen=True)
+class LoadCostReport:
+    """Breakdown of a one-time database load."""
+
+    num_kmers: int
+    image_bytes: int
+    transpose_s: float
+    transfer_s: float
+    write_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.transpose_s + self.transfer_s + self.write_s
+
+    @property
+    def online_s(self) -> float:
+        """Time with a pre-transposed image on disk (the common case)."""
+        return self.transfer_s + self.write_s
+
+    def amortization_queries(
+        self, ns_per_query: float, overhead_fraction: float = 0.01
+    ) -> float:
+        """Queries after which the *online* load cost has shrunk to
+        ``overhead_fraction`` of cumulative query time."""
+        if ns_per_query <= 0:
+            raise LoadingError("ns_per_query must be positive")
+        if not 0.0 < overhead_fraction < 1.0:
+            raise LoadingError("overhead_fraction must be in (0, 1)")
+        return self.online_s / (overhead_fraction * ns_per_query * 1e-9)
+
+
+@dataclass(frozen=True)
+class LoadCostModel:
+    """Cost model for the Section IV-C load path."""
+
+    geometry: DramGeometry = SIEVE_32GB
+    timing: DramTiming = SIEVE_TIMING
+    link: PcieLink = PCIE4_X16
+    #: Host transpose throughput: bit-twiddling a packed record stream
+    #: (SIMD-friendly), bytes of *input* records per second.
+    host_transpose_bytes_per_s: float = 2.0e9
+
+    def image_bytes(self, num_kmers: int, k: int) -> int:
+        """On-device footprint: patterns + offsets + payloads."""
+        if num_kmers <= 0:
+            raise LoadingError("num_kmers must be positive")
+        pattern_bits = num_kmers * 2 * k
+        side_bits = num_kmers * (OFFSET_BITS + PAYLOAD_BITS)
+        return (pattern_bits + side_bits + 7) // 8
+
+    def report(self, num_kmers: int, k: int) -> LoadCostReport:
+        """Full load-cost breakdown for a database of ``num_kmers``."""
+        layout = SubarrayLayout(
+            k=k,
+            row_bits=self.geometry.row_bits,
+            rows_per_subarray=self.geometry.rows_per_subarray,
+        ).with_max_layers()
+        if num_kmers > layout.refs_per_subarray * self.geometry.total_subarrays:
+            raise LoadingError(
+                f"{num_kmers} k-mers exceed device capacity "
+                f"({layout.refs_per_subarray * self.geometry.total_subarrays})"
+            )
+        image = self.image_bytes(num_kmers, k)
+        transpose = num_kmers * KMER_RECORD_BYTES / self.host_transpose_bytes_per_s
+        transfer = image / (self.link.effective_gbs * 1e9)
+        # Banks write in parallel; each 64-bit write burst takes tCCD.
+        bursts = -(-image * 8 // 64)
+        bursts_per_bank = -(-bursts // self.geometry.total_banks)
+        write = bursts_per_bank * self.timing.tCCD * 1e-9
+        return LoadCostReport(
+            num_kmers=num_kmers,
+            image_bytes=image,
+            transpose_s=transpose,
+            transfer_s=transfer,
+            write_s=write,
+        )

@@ -1,0 +1,76 @@
+"""Shared fixtures: small-but-real layouts, datasets, and devices.
+
+The bit-accurate simulator executes every DRAM row activation in
+Python, so fixtures use narrow rows / short k-mers; all structural
+parameters (groups, regions, layers) are still exercised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.genomics import KmerDatabase, build_dataset
+from repro.sieve import SieveDevice, SubarrayLayout
+
+SMALL_K = 9
+
+
+@pytest.fixture(scope="session")
+def small_layout() -> SubarrayLayout:
+    """Two pattern groups, two layers, 9-mers."""
+    return SubarrayLayout(
+        k=SMALL_K,
+        row_bits=64,
+        rows_per_subarray=160,
+        refs_per_group=12,
+        queries_per_group=4,
+        layers=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """Synthetic dataset sized for the functional simulator."""
+    return build_dataset(
+        k=SMALL_K,
+        num_species=4,
+        genome_length=150,
+        num_reads=30,
+        read_length=50,
+        error_rate=0.02,
+        novel_fraction=0.3,
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_device(small_dataset, small_layout) -> SieveDevice:
+    return SieveDevice.from_database(small_dataset.database, layout=small_layout)
+
+
+@pytest.fixture(scope="session")
+def sorted_records(small_dataset):
+    return small_dataset.database.sorted_records()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_database() -> KmerDatabase:
+    """Hand-built 5-mer database with known contents."""
+    db = KmerDatabase(k=5)
+    for kmer_str, taxon in [
+        ("AACTG", 7),
+        ("ACGTA", 9),
+        ("CCCCC", 11),
+        ("GATTA", 13),
+        ("TTTTT", 15),
+    ]:
+        from repro.genomics import encode_kmer
+
+        db.add(encode_kmer(kmer_str), taxon)
+    return db

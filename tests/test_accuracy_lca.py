@@ -1,0 +1,120 @@
+"""Tests for Kraken-style LCA classification and the accuracy study."""
+
+import pytest
+
+from repro.baselines import (
+    classify_read,
+    classify_read_lca,
+    kraken_lca_vote,
+    summarize,
+)
+from repro.experiments.accuracy import accuracy_study, hit_rate_by_profile
+from repro.genomics import DnaSequence, KmerDatabase, Taxonomy, encode_kmer
+
+
+@pytest.fixture()
+def small_tax():
+    tax = Taxonomy()
+    tax.add(2, "domain", "domain")
+    tax.add(3, "genus_a", "genus", 2)
+    tax.add(4, "genus_b", "genus", 2)
+    tax.add(5, "species_a1", "species", 3)
+    tax.add(6, "species_a2", "species", 3)
+    tax.add(7, "species_b1", "species", 4)
+    return tax
+
+
+class TestKrakenLcaVote:
+    def test_empty(self, small_tax):
+        assert kraken_lca_vote({}, small_tax) is None
+
+    def test_leaf_only_votes(self, small_tax):
+        assert kraken_lca_vote({5: 3, 7: 1}, small_tax) == 5
+
+    def test_ancestor_votes_support_descendants(self, small_tax):
+        """Votes at the genus flow down: species_a1 with genus support
+        beats species_b1 with more direct votes but no path support."""
+        votes = {3: 5, 5: 2, 7: 4}
+        # species_a1 path score = 5 + 2 = 7 > species_b1's 4.
+        assert kraken_lca_vote(votes, small_tax) == 5
+
+    def test_majority_differs_when_votes_split(self, small_tax):
+        """Classic case: two sibling species split the votes, the genus
+        holds the rest — majority picks the genus (uninformative),
+        Kraken's rule picks the better-supported species."""
+        votes = {3: 4, 5: 3, 6: 1}
+        from repro.baselines import majority_vote
+
+        assert majority_vote(votes) == 3
+        assert kraken_lca_vote(votes, small_tax) == 5
+
+    def test_deepest_on_tie(self, small_tax):
+        """Equal path scores resolve to the deeper (more specific) node."""
+        votes = {3: 2}
+        # genus_a scores 2; each of its species also scores 2 via the
+        # path — but only voted taxa are candidates, so genus_a wins.
+        assert kraken_lca_vote(votes, small_tax) == 3
+
+
+class TestClassifyReadLca:
+    def test_matches_majority_on_leaf_only_db(self):
+        db = KmerDatabase(k=5)
+        tax = Taxonomy()
+        tax.add(2, "s1", "species")
+        tax.add(3, "s2", "species")
+        db.add(encode_kmer("AACTG"), 2)
+        db.add(encode_kmer("CCCCC"), 3)
+        read = DnaSequence("r", "AACTGAACTG", taxon_id=2)
+        simple = classify_read(read, 5, db.lookup)
+        lca = classify_read_lca(read, 5, db.lookup, tax)
+        assert simple.taxon == lca.taxon == 2
+        assert simple.votes == lca.votes
+
+    def test_lca_merged_database_resolved_to_species(self, small_tax):
+        """k-mers shared by two species map to their genus in the DB;
+        the LCA rule still classifies to the right species."""
+        db = KmerDatabase(k=5, taxonomy=small_tax)
+        shared = encode_kmer("AACTG")
+        db.add(shared, 5)
+        db.add(shared, 6)  # LCA-merges to genus 3
+        unique = encode_kmer("GGGGG")
+        db.add(unique, 5)
+        assert db.lookup(shared) == 3
+        read = DnaSequence("r", "AACTGGGGG", taxon_id=5)
+        lca = classify_read_lca(read, 5, db.lookup, small_tax)
+        assert lca.taxon == 5
+
+
+class TestAccuracyStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return accuracy_study(reads_per_profile=40)
+
+    def test_three_profiles(self, study):
+        assert len(study.rows) == 3
+        assert [row[0] for row in study.rows] == [
+            "HiSeq_Accuracy.fa", "MiSeq_Accuracy.fa", "simBA5_Accuracy.fa",
+        ]
+
+    def test_simba5_has_lowest_hit_rate(self, study):
+        """5 % substitution errors break most k-mers."""
+        hit_rates = {row[0]: row[2] for row in study.rows}
+        assert hit_rates["simBA5_Accuracy.fa"] == min(hit_rates.values())
+        assert hit_rates["simBA5_Accuracy.fa"] < 0.6
+
+    def test_illumina_profiles_hit_rich(self, study):
+        hit_rates = {row[0]: row[2] for row in study.rows}
+        assert hit_rates["HiSeq_Accuracy.fa"] > 0.6
+        assert hit_rates["MiSeq_Accuracy.fa"] > 0.6
+
+    def test_accuracy_stays_high(self, study):
+        """Even simBA-5 classifies well: a handful of surviving k-mers
+        suffice (the alignment-free premise of Section II)."""
+        for row in study.rows:
+            assert row[4] > 0.8  # majority accuracy
+            assert row[5] > 0.8  # LCA accuracy
+
+    def test_hit_rate_helper_consistent(self):
+        rates = hit_rate_by_profile(reads_per_profile=40)
+        assert rates["SA"] < rates["HA"]
+        assert rates["SA"] < rates["MA"]

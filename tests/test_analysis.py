@@ -1,0 +1,149 @@
+"""Tests for the ESP characterization and the Figure-1 breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    KMER_MATCHING,
+    TOOL_PROFILES,
+    amdahl_ceiling,
+    breakdown_for_workload,
+    nearest_candidate_mismatch,
+    pairwise_first_mismatch,
+    termination_from_device,
+)
+from repro.analysis.esp import EspAnalysisError
+from repro.baselines import CpuBaselineModel
+
+
+class TestPairwiseEsp:
+    def test_random_pairs_mismatch_early(self, rng):
+        """Uniform random pairs: first mismatch within a few bits
+        (the Section III ESP observation)."""
+        k = 16
+        queries = [int(x) for x in rng.integers(0, 4**k, size=200)]
+        refs = [int(x) for x in rng.integers(0, 4**k, size=200)]
+        summary = pairwise_first_mismatch(queries, refs, k, rng=rng, pairs=4000)
+        assert summary.mean_bits < 4.0
+        assert summary.within_five_bases > 0.99
+
+    def test_identical_sets_full_scans(self):
+        summary = pairwise_first_mismatch([5], [5], 8, pairs=10)
+        assert summary.full_scan_fraction == 1.0
+        assert summary.mean_bits == 16
+
+    def test_empty_rejected(self):
+        with pytest.raises(EspAnalysisError):
+            pairwise_first_mismatch([], [1], 8)
+
+    def test_to_esp_model(self, rng):
+        k = 16
+        qs = [int(x) for x in rng.integers(0, 4**k, size=100)]
+        rs = [int(x) for x in rng.integers(0, 4**k, size=100)]
+        summary = pairwise_first_mismatch(qs, rs, k, rng=rng, pairs=1000)
+        esp = summary.to_esp_model()
+        assert esp.total_rows == 2 * k
+        assert sum(esp.probabilities) == pytest.approx(1.0)
+        assert esp.mean_rows() >= summary.mean_bits  # lag shifts it up
+
+
+class TestNearestCandidate:
+    def test_nearest_dominates_pairwise(self, rng):
+        """Routing a query next to its sorted neighbours lengthens the
+        shared prefix vs. a random pair — the effect the effective-n
+        calibration captures."""
+        k = 12
+        refs = sorted(int(x) for x in rng.choice(4**k, size=3000, replace=False))
+        queries = [int(x) for x in rng.integers(0, 4**k, size=300)]
+        near = nearest_candidate_mismatch(queries, refs, k)
+        pair = pairwise_first_mismatch(queries, refs, k, rng=rng, pairs=3000)
+        assert near.mean_bits > pair.mean_bits
+
+    def test_stored_query_is_full_scan(self):
+        refs = [10, 20, 30]
+        summary = nearest_candidate_mismatch([20], refs, 8)
+        assert summary.full_scan_fraction == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EspAnalysisError):
+            nearest_candidate_mismatch([], [1], 8)
+
+
+class TestTerminationFromDevice:
+    def test_matches_device_rows(self, small_device, small_dataset):
+        queries = [
+            k for r in small_dataset.reads for k in r.kmers(small_dataset.k)
+        ][:150]
+        summary = termination_from_device(small_device, queries, small_dataset.k)
+        assert summary.samples <= len(queries)
+        assert 0 < summary.mean_bits <= 2 * small_dataset.k
+        esp = summary.to_esp_model()
+        assert sum(esp.probabilities) == pytest.approx(1.0)
+
+    def test_empty_queries_rejected(self, small_device, small_dataset):
+        with pytest.raises(EspAnalysisError):
+            termination_from_device(small_device, [], small_dataset.k)
+
+
+class TestBreakdown:
+    def test_profiles_valid(self):
+        assert set(TOOL_PROFILES) == {
+            "Kraken", "CLARK", "stringMLST", "PhyMer", "LMAT", "BLASTN",
+        }
+        for profile in TOOL_PROFILES.values():
+            assert sum(profile.stages.values()) == pytest.approx(1.0)
+            assert KMER_MATCHING in profile.stages
+
+    def test_kmer_matching_dominates_most_tools(self):
+        """The Figure 1 claim: k-mer matching is the largest stage in
+        the five alignment-free tools (BLASTN also extends words)."""
+        for name, profile in TOOL_PROFILES.items():
+            if name == "BLASTN":
+                continue
+            assert profile.kmer_fraction > 0.7
+            assert profile.kmer_fraction == max(profile.stages.values())
+
+    def test_rows_scale_with_kmers(self):
+        small = breakdown_for_workload(10**6)
+        large = breakdown_for_workload(10**8)
+        for a, b in zip(small, large):
+            assert b.total_s / a.total_s == pytest.approx(100)
+
+    def test_stage_seconds_sum_to_total(self):
+        for row in breakdown_for_workload(10**7):
+            assert sum(row.stage_seconds.values()) == pytest.approx(row.total_s)
+            assert row.kmer_fraction == pytest.approx(
+                TOOL_PROFILES[row.tool].kmer_fraction
+            )
+
+    def test_kmer_time_is_cpu_models(self):
+        cpu = CpuBaselineModel()
+        rows = breakdown_for_workload(10**7, cpu_model=cpu)
+        expected = 10**7 * cpu.aggregate_ns_per_kmer() * 1e-9
+        for row in rows:
+            assert row.stage_seconds[KMER_MATCHING] == pytest.approx(expected)
+
+    def test_tool_subset(self):
+        rows = breakdown_for_workload(10**6, tools=["Kraken"])
+        assert len(rows) == 1 and rows[0].tool == "Kraken"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            breakdown_for_workload(0)
+
+
+class TestAmdahl:
+    def test_limits(self):
+        assert amdahl_ceiling(1.0, 100) == pytest.approx(100)
+        assert amdahl_ceiling(0.5, 1e9) == pytest.approx(2.0, rel=1e-6)
+
+    def test_kraken_ceiling(self):
+        """Accelerating a 72 % stage by 326x caps end-to-end at ~3.5x."""
+        ceiling = amdahl_ceiling(TOOL_PROFILES["Kraken"].kmer_fraction, 326)
+        assert 3.0 < ceiling < 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_ceiling(0.0, 10)
+        with pytest.raises(ValueError):
+            amdahl_ceiling(0.5, 0)

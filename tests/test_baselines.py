@@ -1,0 +1,399 @@
+"""Tests for the software baselines: cache simulator, classifiers,
+CPU/GPU models, and the MLP analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    CacheHierarchy,
+    ChainedHashTable,
+    ClarkClassifier,
+    CpuBaselineModel,
+    CpuModelParams,
+    GpuBaselineModel,
+    GpuModelParams,
+    KrakenClassifier,
+    SetAssociativeCache,
+    SignatureSortedIndex,
+    classify_read,
+    classify_reads,
+    ideal_machine_analysis,
+    majority_vote,
+    minimizer,
+    mshr_limited_bandwidth_gbs,
+    summarize,
+)
+from repro.baselines.cache import CacheError
+from repro.baselines.hashtable import HashTableError
+from repro.baselines.kraken import KrakenIndexError
+from repro.genomics import DnaSequence, encode_kmer
+from repro.sieve import EspModel, WorkloadStats
+
+
+def make_workload(num_kmers=10**7):
+    return WorkloadStats(
+        name="wl", k=31, num_kmers=num_kmers, hit_rate=0.01,
+        esp=EspModel.paper_fig6(31),
+    )
+
+
+class TestSetAssociativeCache:
+    def test_hit_after_miss(self):
+        cache = SetAssociativeCache(1024, 2, 64)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(63)  # same line
+        assert not cache.access(64)  # next line
+
+    def test_lru_eviction(self):
+        cache = SetAssociativeCache(2 * 64, 2, 64)  # one set, two ways
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)  # touch 0: now 64 is LRU
+        cache.access(128)  # evicts 64
+        assert cache.access(0)
+        assert not cache.access(64)
+
+    def test_stats(self):
+        cache = SetAssociativeCache(1024, 2, 64)
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.miss_rate == 0.5
+
+    def test_access_range_counts_lines(self):
+        cache = SetAssociativeCache(4096, 4, 64)
+        assert cache.access_range(10, 100) == 2  # spans two lines
+
+    def test_validation(self):
+        with pytest.raises(CacheError):
+            SetAssociativeCache(0, 2)
+        with pytest.raises(CacheError):
+            SetAssociativeCache(100, 3, 64)
+        cache = SetAssociativeCache(1024, 2)
+        with pytest.raises(CacheError):
+            cache.access(-1)
+        with pytest.raises(CacheError):
+            cache.access_range(0, 0)
+
+    def test_warm_does_not_count(self):
+        cache = SetAssociativeCache(1024, 2)
+        cache.warm([0, 64, 128])
+        assert cache.stats.accesses == 0
+        assert cache.access(0)  # warmed
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=200))
+    def test_second_pass_all_hits_if_fits(self, addrs):
+        cache = SetAssociativeCache(2**20, 16, 64)  # 1 MB: everything fits
+        for a in addrs:
+            cache.access(a)
+        assert all(cache.access(a) for a in addrs)
+
+
+class TestCacheHierarchy:
+    def test_miss_goes_to_dram_then_l1(self):
+        h = CacheHierarchy()
+        assert h.access(0) == "DRAM"
+        assert h.access(0) == "L1"
+
+    def test_l1_eviction_falls_to_l2(self):
+        h = CacheHierarchy(l1_bytes=8 * 64, l2_bytes=128 * 64)
+        h.access(0)
+        # Blow out the single 8-way L1 set.
+        for i in range(1, 12):
+            h.access(i * 64)
+        level = h.access(0)
+        assert level in ("L2", "LLC")
+
+    def test_dram_counter(self):
+        h = CacheHierarchy()
+        for i in range(10):
+            h.access(i * 4096)
+        assert h.dram_accesses == 10
+
+    def test_access_range_reports_levels(self):
+        h = CacheHierarchy()
+        counts = h.access_range(0, 256)
+        assert sum(counts.values()) == 4
+        assert counts["DRAM"] == 4
+
+
+def _records(n=100, k=8, seed=3):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    kmers = sorted(int(x) for x in rng.choice(4**k, size=n, replace=False))
+    return [(kmer, 100 + i) for i, kmer in enumerate(kmers)]
+
+
+class TestChainedHashTable:
+    def test_lookup_all(self):
+        records = _records()
+        table = ChainedHashTable(records)
+        for kmer, taxon in records:
+            assert table.lookup(kmer) == taxon
+        assert len(table) == len(records)
+
+    def test_misses(self):
+        records = _records()
+        stored = {k for k, _ in records}
+        table = ChainedHashTable(records)
+        miss = next(x for x in range(4**8) if x not in stored)
+        assert table.lookup(miss) is None
+
+    def test_update_in_place(self):
+        table = ChainedHashTable([(5, 1)])
+        table._insert(5, 9)
+        assert table.lookup(5) == 9
+        assert len(table) == 1
+
+    def test_traced_lookup_addresses(self):
+        records = _records()
+        table = ChainedHashTable(records)
+        trace = table.traced_lookup(records[0][0])
+        assert trace.taxon == records[0][1]
+        assert len(trace.addresses) >= 2  # bucket slot + >= 1 entry
+        assert trace.addresses[0] < table.entry_base
+
+    def test_traced_miss(self):
+        records = _records()
+        stored = {k for k, _ in records}
+        table = ChainedHashTable(records)
+        miss = next(x for x in range(4**8) if x not in stored)
+        trace = table.traced_lookup(miss)
+        assert trace.taxon is None
+
+    def test_memory_accounting(self):
+        table = ChainedHashTable(_records(50))
+        assert table.memory_bytes() == table.num_buckets * 8 + 50 * 16
+
+    def test_chain_length_reasonable(self):
+        table = ChainedHashTable(_records(500), load_factor=0.7)
+        assert 1.0 <= table.mean_chain_length() < 3.0
+
+    def test_validation(self):
+        with pytest.raises(HashTableError):
+            ChainedHashTable([])
+        with pytest.raises(HashTableError):
+            ChainedHashTable([(1, 2)], load_factor=2.0)
+
+    @given(st.sets(st.integers(0, 4**8 - 1), min_size=1, max_size=200))
+    def test_equivalence_with_dict(self, kmers):
+        records = [(k, k % 97) for k in sorted(kmers)]
+        table = ChainedHashTable(records)
+        reference = dict(records)
+        for k in sorted(kmers):
+            assert table.lookup(k) == reference[k]
+
+
+class TestSignatureIndex:
+    def test_minimizer_basic(self):
+        # GATTACA: minimum 3-mer window should be found.
+        kmer = encode_kmer("GATTACA")
+        m = minimizer(kmer, 7, 3)
+        windows = [encode_kmer("GATTACA"[i : i + 3]) for i in range(5)]
+        assert m == min(windows)
+
+    def test_minimizer_validation(self):
+        with pytest.raises(KrakenIndexError):
+            minimizer(0, 5, 6)
+
+    def test_lookup_all(self):
+        records = _records()
+        index = SignatureSortedIndex(records, k=8, m=4)
+        for kmer, taxon in records:
+            assert index.lookup(kmer) == taxon
+
+    def test_misses(self):
+        records = _records()
+        stored = {k for k, _ in records}
+        index = SignatureSortedIndex(records, k=8, m=4)
+        for miss in (x for x in range(200) if x not in stored):
+            assert index.lookup(miss) is None
+            break
+
+    def test_traced_lookup_probes(self):
+        records = _records(200)
+        index = SignatureSortedIndex(records, k=8, m=4)
+        trace = index.traced_lookup(records[5][0])
+        assert trace.taxon == records[5][1]
+        assert trace.probes >= 1
+        assert len(trace.addresses) == trace.probes + 1  # + directory
+
+    def test_bucket_stats(self):
+        index = SignatureSortedIndex(_records(300), k=8, m=3)
+        mean, biggest = index.bucket_size_stats()
+        assert mean >= 1
+        assert biggest >= mean
+
+    def test_consecutive_same_bucket_fraction(self):
+        """The locality measurement the paper runs (~8 % on Kraken's
+        k=31 data): adjacent k-mers share a bucket only when their
+        minimizer survives the window shift.  On random reads the
+        fraction is strictly between the extremes, and repeating a
+        single base drives it to 1."""
+        import numpy as np
+
+        from repro.genomics import DnaSequence, random_genome
+
+        rng = np.random.default_rng(9)
+        reads = [random_genome(rng, 120, f"r{i}") for i in range(20)]
+        index = SignatureSortedIndex(_records(100), k=8, m=3)
+        frac = index.consecutive_same_bucket_fraction(reads)
+        assert 0.0 < frac < 1.0
+        homopolymer = [DnaSequence("h", "A" * 50)]
+        assert index.consecutive_same_bucket_fraction(homopolymer) == 1.0
+
+    def test_same_bucket_fraction_needs_kmers(self):
+        from repro.genomics import DnaSequence
+
+        index = SignatureSortedIndex(_records(10), k=8, m=3)
+        with pytest.raises(KrakenIndexError):
+            index.consecutive_same_bucket_fraction([DnaSequence("s", "ACGT")])
+
+    def test_memory_accounting(self):
+        index = SignatureSortedIndex(_records(100), k=8, m=4)
+        assert index.memory_bytes() == index.num_buckets * 8 + 100 * 12
+
+    def test_validation(self):
+        with pytest.raises(KrakenIndexError):
+            SignatureSortedIndex([], k=8)
+
+    @given(st.sets(st.integers(0, 4**8 - 1), min_size=1, max_size=150))
+    def test_equivalence_with_dict(self, kmers):
+        records = [(k, k % 89) for k in sorted(kmers)]
+        index = SignatureSortedIndex(records, k=8, m=4)
+        reference = dict(records)
+        for k in sorted(kmers):
+            assert index.lookup(k) == reference[k]
+
+
+class TestClassification:
+    def test_majority_vote(self):
+        assert majority_vote({3: 5, 7: 2}) == 3
+        assert majority_vote({}) is None
+        assert majority_vote({3: 2, 1: 2}) == 1  # tie -> smaller id
+
+    def test_classify_read_counts(self, small_dataset):
+        read = small_dataset.reads[0]
+        db = small_dataset.database
+        result = classify_read(read, small_dataset.k, db.lookup)
+        assert result.kmers_total == read.kmer_count(small_dataset.k)
+        assert 0 <= result.kmers_hit <= result.kmers_total
+        assert result.read_id == read.seq_id
+
+    def test_classifiers_agree_with_database(self, small_dataset):
+        db = small_dataset.database
+        clark = ClarkClassifier(db)
+        kraken = KrakenClassifier(db, m=4)
+        for read in small_dataset.reads[:10]:
+            for kmer in read.kmers(small_dataset.k):
+                expected = db.lookup(kmer)
+                assert clark.lookup(kmer) == expected
+                assert kraken.lookup(kmer) == expected
+
+    def test_error_free_reads_classified_correctly(self):
+        from repro.genomics import build_dataset
+
+        ds = build_dataset(
+            k=9, num_species=3, genome_length=300, num_reads=20,
+            read_length=60, error_rate=0.0, novel_fraction=0.0, seed=8,
+        )
+        clark = ClarkClassifier(ds.database)
+        results = classify_reads(ds.reads, ds.k, clark.lookup)
+        summary = summarize(results)
+        assert summary.accuracy is not None
+        assert summary.accuracy > 0.9
+        assert summary.kmer_hit_rate == 1.0
+
+    def test_summary_counts(self, small_dataset):
+        db = small_dataset.database
+        results = classify_reads(small_dataset.reads, small_dataset.k, db.lookup)
+        summary = summarize(results)
+        assert summary.reads == len(small_dataset.reads)
+        assert summary.classified <= summary.reads
+        assert sum(summary.taxon_counts.values()) == summary.classified
+
+
+class TestCpuModel:
+    def test_lookup_arithmetic(self):
+        model = CpuBaselineModel(params=CpuModelParams(10, 100, 1.0, 50))
+        assert model.lookup_ns() == pytest.approx(1050)
+        assert model.aggregate_ns_per_kmer() == pytest.approx(1050 / 24)
+
+    def test_run_scales_linearly(self):
+        model = CpuBaselineModel()
+        a = model.run(make_workload(10**6))
+        b = model.run(make_workload(10**8))
+        assert b.time_s / a.time_s == pytest.approx(100)
+
+    def test_energy_is_power_times_time(self):
+        model = CpuBaselineModel()
+        res = model.run(make_workload())
+        assert res.energy_j == pytest.approx(
+            model.config.matching_power_w * res.time_s
+        )
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            CpuModelParams(probes_per_lookup=0)
+        with pytest.raises(ValueError):
+            CpuModelParams(mlp=0.5)
+
+    def test_from_cache_simulation(self):
+        records = _records(400)
+        table = ChainedHashTable(records)
+        traces = [table.traced_lookup(k) for k, _ in records * 2]
+        model = CpuBaselineModel.from_cache_simulation(traces)
+        assert model.params.probes_per_lookup >= 0.5
+
+    def test_from_cache_simulation_empty(self):
+        with pytest.raises(ValueError):
+            CpuBaselineModel.from_cache_simulation([])
+
+
+class TestGpuModel:
+    def test_latency_bound_binds(self):
+        """Random-access lookups are latency-bound, not bandwidth-bound
+        (Section VI-B)."""
+        model = GpuBaselineModel()
+        assert model.latency_bound_qps() < model.bandwidth_bound_qps()
+        assert model.throughput_qps() == model.latency_bound_qps()
+
+    def test_gpu_faster_than_cpu(self):
+        wl = make_workload()
+        gpu = GpuBaselineModel().run(wl)
+        cpu = CpuBaselineModel().run(wl)
+        assert 4.0 < cpu.time_s / gpu.time_s < 15.0
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            GpuModelParams(dependent_accesses_per_lookup=0)
+        with pytest.raises(ValueError):
+            GpuModelParams(effective_concurrent_warps=0)
+
+    def test_energy(self):
+        model = GpuBaselineModel()
+        res = model.run(make_workload())
+        assert res.energy_j == pytest.approx(
+            model.config.matching_power_w * res.time_s
+        )
+
+
+class TestMlpAnalysis:
+    def test_mshr_limited_bandwidth_exceeds_peak(self):
+        """14 cores x 10 MSHRs can formally demand more than the 2-channel
+        peak — the point is that latency, not bandwidth, binds."""
+        assert mshr_limited_bandwidth_gbs() > 0
+
+    def test_many_cores_needed(self):
+        """Matching Type-3 needs a wildly over-provisioned machine."""
+        analysis = ideal_machine_analysis(target_qps=1.5e9)
+        assert analysis.cores_needed_to_match > 215
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ideal_machine_analysis(target_qps=0)
+        with pytest.raises(ValueError):
+            ideal_machine_analysis(target_qps=1e9, probes_per_lookup=0)

@@ -1,0 +1,51 @@
+"""Tests for the claims ledger and intro-scenario runners."""
+
+import pytest
+
+from repro.experiments import claims_ledger, intro_claims
+from repro.experiments.intro_claims import novaseq_kmer_count
+
+
+class TestClaimsLedger:
+    @pytest.fixture(scope="class")
+    def ledger(self):
+        return claims_ledger()
+
+    def test_all_claims_pass(self, ledger):
+        failures = [row[0] for row in ledger.rows if row[5] != "PASS"]
+        assert not failures, failures
+
+    def test_ids_unique_and_complete(self, ledger):
+        ids = ledger.column("id")
+        assert len(ids) == len(set(ids))
+        assert len(ids) >= 19
+
+    def test_measured_values_inside_bands(self, ledger):
+        """The verdict column is consistent with the band column."""
+        for row in ledger.rows:
+            measured = row[4]
+            band = row[3]
+            if band.startswith(">="):
+                low, high = float(band[2:]), float("inf")
+            else:
+                low, high = (float(x) for x in band.strip("[]").split(","))
+            assert (low <= measured <= high) == (row[5] == "PASS")
+
+    def test_note_summarizes(self, ledger):
+        assert f"{len(ledger.rows)}/{len(ledger.rows)} claims" in ledger.notes
+
+
+class TestIntroClaims:
+    def test_sample_size_order_of_magnitude(self):
+        # 10 TB at ~0.45 bases/byte -> trillions of k-mers.
+        assert 1e12 < novaseq_kmer_count() < 1e13
+
+    def test_runner_shape(self):
+        result = intro_claims()
+        rows = {row[0]: row for row in result.rows}
+        assert rows["CPU (Kraken-class)"][1] > 1.0  # days
+        assert rows["Sieve Type-3 (8SA)"][1] < 0.2
+        # Ordering: CPU slowest of the matchers, T3 fastest.
+        days = [row[1] for row in result.rows]
+        assert rows["CPU (Kraken-class)"][1] == max(days)
+        assert rows["Sieve Type-3 (8SA)"][1] == min(days)

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out
+        assert "C.ST.BG" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "tab2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+    def test_run_fast_experiments(self, capsys):
+        for name in ("tab1", "tab3", "area", "fig1", "pcie", "bandwidth"):
+            assert main(["run", name]) == 0
+        assert capsys.readouterr().out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_bench(self, capsys):
+        assert main(["bench", "K2.HA.4"]) == 0
+        out = capsys.readouterr().out
+        assert "T3.8SA" in out
+        assert "CPU" in out
+
+    def test_bench_unknown(self, capsys):
+        assert main(["bench", "X.Y.Z"]) == 2
+
+    def test_feasibility(self, capsys):
+        assert main(["feasibility"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("PASS") == 3
+
+    def test_experiment_registry_complete(self):
+        assert {"fig1", "fig6", "tab1", "tab2", "tab3", "area", "fig13",
+                "fig14", "fig15", "fig16", "fig17", "etm", "pcie",
+                "bandwidth", "abl-steady", "abl-esp", "abl-power",
+                "abl-tech", "abl-type1", "k-sweep", "hit-sweep",
+                "capacity", "accuracy", "abl-device",
+                "abl-segment", "intro", "claims"} == set(EXPERIMENTS)
+
+    def test_run_ablation(self, capsys):
+        assert main(["run", "abl-power"]) == 0
+        assert "Ablation A3" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_workload_export(self, tmp_path, capsys):
+        out = tmp_path / "wl.json"
+        assert main(["workload", "C.ST.BG", str(out)]) == 0
+        from repro.serialization import load_workload
+
+        wl = load_workload(out)
+        assert wl.name == "C.ST.BG"
+        assert wl.k == 31
+
+    def test_workload_unknown_benchmark(self, tmp_path):
+        assert main(["workload", "nope", str(tmp_path / "x.json")]) == 2

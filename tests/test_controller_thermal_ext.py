@@ -1,0 +1,231 @@
+"""Tests for the event-driven bank controller, the thermal/power model,
+and the HBM/NVM future-work extensions."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.thermal import (
+    DRAM_TEMP_LIMIT_C,
+    ThermalError,
+    device_background_power_w,
+    max_concurrent_per_bank,
+    per_stream_matching_power_w,
+    power_budget_report,
+    steady_state_temp_c,
+    throttled_streams,
+)
+from repro.interconnect.dimm import DimmEnvelope
+from repro.sieve import (
+    BankEventSim,
+    EspModel,
+    SimRequest,
+    SubarrayLayout,
+    WorkloadStats,
+    sample_requests,
+    technology_comparison,
+    validate_steady_state,
+)
+from repro.sieve.extensions import (
+    ExtensionError,
+    hbm_config,
+    hbm_geometry,
+    nvm_config,
+    nvm_geometry,
+    scaled_refresh_penalty,
+)
+from repro.sieve.perfmodel import ModelError
+
+
+def make_workload(hit_rate=0.01):
+    return WorkloadStats(
+        name="wl", k=31, num_kmers=10**7, hit_rate=hit_rate,
+        esp=EspModel.paper_fig6(31),
+    )
+
+
+@pytest.fixture(scope="module")
+def paper_layout():
+    return SubarrayLayout(k=31)
+
+
+class TestBankEventSim:
+    def test_single_request(self, paper_layout):
+        sim = BankEventSim(paper_layout, streams=4)
+        req = SimRequest(0, subarray=0, pattern_rows=10, hit=False)
+        result = sim.run([req])
+        assert result.total_ns == pytest.approx(
+            sim.batch_write_ns + 10 * sim.timing.row_cycle
+        )
+        assert result.requests == 1
+
+    def test_hit_adds_payload_rows(self, paper_layout):
+        sim = BankEventSim(paper_layout, streams=1)
+        miss = sim.run([SimRequest(0, 0, 10, False)]).total_ns
+        hit = sim.run([SimRequest(0, 0, 10, True)]).total_ns
+        assert hit == pytest.approx(miss + 2 * sim.timing.row_cycle)
+
+    def test_streams_parallelize(self, paper_layout):
+        reqs = [SimRequest(i, i % 4, 62, False) for i in range(256)]
+        one = BankEventSim(paper_layout, streams=1).run(reqs).total_ns
+        eight = BankEventSim(paper_layout, streams=8).run(reqs).total_ns
+        assert one / eight > 4.0
+
+    def test_out_of_order_completion(self, paper_layout):
+        """Requests with fewer rows overtake long ones (Section IV-E)."""
+        sim = BankEventSim(paper_layout, streams=2)
+        reqs = [
+            SimRequest(0, 0, 62, True),
+            SimRequest(1, 0, 2, False),
+            SimRequest(2, 0, 2, False),
+            SimRequest(3, 0, 2, False),
+        ]
+        result = sim.run(reqs)
+        assert result.completed_out_of_order >= 1
+
+    def test_empty_rejected(self, paper_layout):
+        with pytest.raises(ModelError):
+            BankEventSim(paper_layout).run([])
+        with pytest.raises(ModelError):
+            BankEventSim(paper_layout, streams=0)
+
+    def test_utilizations_bounded(self, paper_layout):
+        reqs = sample_requests(make_workload(), 500, subarrays=16)
+        result = BankEventSim(paper_layout, streams=8).run(reqs)
+        assert 0 < result.io_utilization <= 1.0
+        assert 0 < result.stream_utilization <= 1.0
+        assert result.mean_latency_ns > 0
+
+
+class TestSampleRequests:
+    def test_statistics(self):
+        wl = make_workload(hit_rate=0.2)
+        reqs = sample_requests(wl, 4000, subarrays=32,
+                               rng=np.random.default_rng(3))
+        hits = sum(r.hit for r in reqs)
+        assert 600 < hits < 1000  # ~800 expected
+        miss_rows = [r.pattern_rows for r in reqs if not r.hit]
+        assert abs(np.mean(miss_rows) - wl.esp.mean_rows()) < 1.0
+        assert all(r.pattern_rows == 62 for r in reqs if r.hit)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            sample_requests(make_workload(), 0, 4)
+        with pytest.raises(ModelError):
+            sample_requests(make_workload(), 10, 0)
+
+
+class TestSteadyStateValidation:
+    """The event-driven pipeline converges to the analytic closed form
+    in both regimes — the justification for using the closed form at
+    paper scale."""
+
+    @pytest.mark.parametrize("streams", [1, 4, 8, 16])
+    def test_within_five_percent(self, paper_layout, streams):
+        report = validate_steady_state(
+            make_workload(), paper_layout, streams=streams, num_requests=4000
+        )
+        assert report["ratio"] == pytest.approx(1.0, abs=0.05)
+
+    def test_matching_bound_regime(self, paper_layout):
+        report = validate_steady_state(
+            make_workload(), paper_layout, streams=1, num_requests=2000
+        )
+        assert report["stream_utilization"] > 0.95
+        assert report["io_utilization"] < 0.5
+
+    def test_io_bound_regime(self, paper_layout):
+        report = validate_steady_state(
+            make_workload(), paper_layout, streams=16, num_requests=2000
+        )
+        assert report["io_utilization"] > 0.95
+        assert report["stream_utilization"] < 0.5
+
+
+class TestThermal:
+    def test_per_stream_power_magnitude(self):
+        """~1 nJ activation / 50 ns row cycle -> ~20 mW per stream."""
+        assert 0.01 < per_stream_matching_power_w() < 0.05
+
+    def test_background_power(self):
+        assert 1.0 < device_background_power_w() < 10.0
+
+    def test_paper_8sa_fits_pcie_slot(self):
+        report = power_budget_report(8, budget_w=75.0)
+        assert report.feasible
+        assert report.thermally_feasible
+        assert report.steady_state_temp_c < DRAM_TEMP_LIMIT_C
+
+    def test_all_subarrays_infeasible(self):
+        """The paper's caveat: 128 concurrent subarrays per bank is not
+        deliverable."""
+        report = power_budget_report(128, budget_w=150.0)
+        assert not report.feasible
+
+    def test_max_concurrent_ordering(self):
+        dimm = max_concurrent_per_bank(DimmEnvelope(32).power_budget_w,
+                                       theta_ja=1.8)
+        slot = max_concurrent_per_bank(75.0)
+        assert 0 < dimm < slot < 128
+
+    def test_throttling(self):
+        assert throttled_streams(128, 75.0) < 128
+        assert throttled_streams(1, 75.0) == 1
+
+    def test_temp_monotone_in_power(self):
+        assert steady_state_temp_c(100) > steady_state_temp_c(10)
+
+    def test_power_limited_type3(self):
+        from repro.sieve import Type3Model
+
+        # With unlimited power AND aggressive cooling, nothing throttles.
+        unconstrained = Type3Model.power_limited(
+            128, budget_w=10_000.0, theta_ja=0.01
+        )
+        assert unconstrained.concurrent_subarrays == 128
+        # At realistic cooling, the 85 C ceiling binds even with power
+        # to spare — the thermal side of the Section VI-C caveat.
+        cooled = Type3Model.power_limited(128, budget_w=10_000.0)
+        assert cooled.concurrent_subarrays < 128
+        slot = Type3Model.power_limited(128, budget_w=75.0)
+        assert slot.concurrent_subarrays < 128
+        assert slot.concurrent_subarrays >= 8  # the paper's pick fits
+        tiny = Type3Model.power_limited(8, budget_w=5.0)
+        assert tiny.concurrent_subarrays == 1  # floor at one stream
+
+    def test_validation(self):
+        with pytest.raises(ThermalError):
+            power_budget_report(0, 75.0)
+        with pytest.raises(ThermalError):
+            power_budget_report(200, 75.0)
+        with pytest.raises(ThermalError):
+            max_concurrent_per_bank(0)
+        with pytest.raises(ThermalError):
+            steady_state_temp_c(-1)
+
+
+class TestExtensions:
+    def test_hbm_geometry(self):
+        geom = hbm_geometry(4)
+        assert geom.capacity_gib == pytest.approx(32.0)
+        assert geom.total_banks == 1024
+
+    def test_nvm_geometry_density(self):
+        geom = nvm_geometry(128.0)
+        assert geom.capacity_gib == pytest.approx(128.0)
+        assert geom.total_banks == 128  # same banks, 4x rows
+
+    def test_technology_shapes(self):
+        """HBM wins throughput/GB; NVM wins capacity; DDR4 in between."""
+        wl = make_workload()
+        variants = {v.name.split()[0]: v for v in technology_comparison(wl)}
+        assert variants["HBM2"].qps_per_gib > variants["DDR4"].qps_per_gib
+        assert variants["DDR4"].qps_per_gib > variants["NVM"].qps_per_gib
+        assert variants["NVM"].capacity_gib > variants["DDR4"].capacity_gib
+
+    def test_nvm_no_refresh(self):
+        assert scaled_refresh_penalty(nvm_config().timing) < 1e-6
+        assert scaled_refresh_penalty(hbm_config().timing) > 0
+
+    def test_validation(self):
+        with pytest.raises(ExtensionError):
+            hbm_geometry(0)

@@ -1,0 +1,129 @@
+"""Tests for the k-mer counting substrates (exact + count-min sketch)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.genomics import (
+    CountMinSketch,
+    DnaSequence,
+    ExactKmerCounter,
+    count_reads,
+    encode_kmer,
+)
+from repro.genomics.counting import CountingError
+
+
+class TestExactCounter:
+    def test_add_and_count(self):
+        counter = ExactKmerCounter(5)
+        kmer = encode_kmer("AACTG")
+        counter.add(kmer)
+        counter.add(kmer, 2)
+        assert counter.count(kmer) == 3
+        assert counter.total == 3
+        assert len(counter) == 1
+
+    def test_absent_is_zero(self):
+        assert ExactKmerCounter(5).count(0) == 0
+
+    def test_add_sequence(self):
+        counter = ExactKmerCounter(3)
+        n = counter.add_sequence(DnaSequence("r", "AAAA"))
+        assert n == 2
+        assert counter.count(encode_kmer("AAA")) == 2
+
+    def test_most_common(self):
+        counter = ExactKmerCounter(3)
+        counter.add_sequence(DnaSequence("r", "AAAAACGACG"))
+        top = counter.most_common(2)
+        assert top[0][0] == encode_kmer("AAA")
+        assert top[0][1] == 3
+        with pytest.raises(CountingError):
+            counter.most_common(0)
+
+    def test_histogram(self):
+        counter = ExactKmerCounter(3)
+        counter.add_sequence(DnaSequence("r", "AAAA"))  # AAA x2
+        counter.add(encode_kmer("CCC"))
+        hist = counter.histogram()
+        assert hist == {1: 1, 2: 1}
+
+    def test_validation(self):
+        with pytest.raises(CountingError):
+            ExactKmerCounter(0)
+        with pytest.raises(CountingError):
+            ExactKmerCounter(3).add(1, 0)
+
+    @given(st.lists(st.integers(0, 4**4 - 1), min_size=1, max_size=200))
+    def test_total_is_sum(self, kmers):
+        counter = ExactKmerCounter(4)
+        for kmer in kmers:
+            counter.add(kmer)
+        assert counter.total == len(kmers)
+        assert sum(c for _, c in counter.items()) == len(kmers)
+
+
+class TestCountMinSketch:
+    def test_never_underestimates(self):
+        rng = np.random.default_rng(2)
+        sketch = CountMinSketch(epsilon=1e-2, delta=1e-2)
+        exact = {}
+        for kmer in rng.integers(0, 4**10, size=2000):
+            kmer = int(kmer)
+            sketch.add(kmer)
+            exact[kmer] = exact.get(kmer, 0) + 1
+        for kmer, count in exact.items():
+            assert sketch.estimate(kmer) >= count
+
+    def test_overestimate_bounded(self):
+        rng = np.random.default_rng(3)
+        sketch = CountMinSketch(epsilon=1e-2, delta=1e-3)
+        exact = {}
+        for kmer in rng.integers(0, 4**10, size=3000):
+            kmer = int(kmer)
+            sketch.add(kmer)
+            exact[kmer] = exact.get(kmer, 0) + 1
+        bound = sketch.error_bound()
+        violations = sum(
+            1 for kmer, count in exact.items()
+            if sketch.estimate(kmer) > count + bound
+        )
+        assert violations / len(exact) <= 0.01  # delta-class failure rate
+
+    def test_dimensions_from_bounds(self):
+        sketch = CountMinSketch(epsilon=1e-3, delta=1e-3)
+        assert sketch.width >= int(np.e / 1e-3)
+        assert sketch.depth >= 6  # ln(1000) ~ 6.9
+
+    def test_memory_far_below_exact(self):
+        """The reason large-scale tools sketch: fixed memory."""
+        sketch = CountMinSketch(epsilon=1e-3, delta=1e-3)
+        assert sketch.memory_bytes() < 2**21  # ~1.5 MB regardless of input
+
+    def test_validation(self):
+        with pytest.raises(CountingError):
+            CountMinSketch(epsilon=0)
+        with pytest.raises(CountingError):
+            CountMinSketch(delta=1.5)
+        with pytest.raises(CountingError):
+            CountMinSketch().add(1, -1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 4**6 - 1), min_size=1, max_size=100))
+    def test_sketch_dominates_exact_property(self, kmers):
+        sketch = CountMinSketch(epsilon=0.05, delta=0.05)
+        exact = ExactKmerCounter(6)
+        for kmer in kmers:
+            sketch.add(kmer)
+            exact.add(kmer)
+        for kmer, count in exact.items():
+            assert sketch.estimate(kmer) >= count
+
+
+class TestCountReads:
+    def test_both_structures_agree_on_totals(self, small_dataset):
+        exact, sketch = count_reads(small_dataset.reads[:10], small_dataset.k)
+        assert exact.total == sketch.total
+        for kmer, count in list(exact.items())[:50]:
+            assert sketch.estimate(kmer) >= count

@@ -1,0 +1,85 @@
+"""Tests for the device-level discrete-event simulation."""
+
+import pytest
+
+from repro.sieve import EspModel, SubarrayLayout, WorkloadStats
+from repro.sieve.controller import SimRequest
+from repro.sieve.device_sim import (
+    DeviceEventSim,
+    DeviceSimConfig,
+    simulate_device,
+)
+from repro.sieve.perfmodel import ModelError
+
+
+def make_workload(hit_rate=0.01):
+    return WorkloadStats(
+        name="wl", k=31, num_kmers=10**7, hit_rate=hit_rate,
+        esp=EspModel.paper_fig6(31),
+    )
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return SubarrayLayout(k=31)
+
+
+class TestDeviceSimConfig:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            DeviceSimConfig(banks=0)
+        with pytest.raises(ModelError):
+            DeviceSimConfig(streams_per_bank=0)
+
+
+class TestDeviceEventSim:
+    def test_packet_transfer_time(self, layout):
+        sim = DeviceEventSim(layout)
+        # 340 x 12 B over ~31.5 GB/s: ~130 ns.
+        assert 50 < sim.packet_transfer_ns() < 500
+
+    def test_empty_rejected(self, layout):
+        with pytest.raises(ModelError):
+            DeviceEventSim(layout).run([])
+
+    def test_bad_bank_rejected(self, layout):
+        cfg = DeviceSimConfig(banks=2, subarrays_per_bank=4)
+        req = SimRequest(0, subarray=100, pattern_rows=5, hit=False)
+        with pytest.raises(ModelError):
+            DeviceEventSim(layout, cfg).run([req])
+
+    def test_overhead_small_and_positive(self, layout):
+        """Transfer/queueing overhead over ideal dispatch is a few
+        percent — combined with the fixed driver overhead of
+        repro.interconnect.pcie it lands in the paper's 4.6-6.7 %."""
+        result = simulate_device(make_workload(), num_requests=20_000)
+        assert 0.0 < result.overhead_fraction < 0.07
+
+    def test_banks_stay_balanced(self):
+        result = simulate_device(make_workload(), num_requests=20_000)
+        assert result.load_imbalance < 1.1
+
+    def test_makespan_exceeds_wire_time(self):
+        result = simulate_device(make_workload(), num_requests=20_000)
+        assert result.makespan_ns > result.pcie_transfer_ns
+
+    def test_packet_count(self):
+        result = simulate_device(make_workload(), num_requests=1000)
+        assert result.packets == -(-1000 // 341)
+
+    def test_more_banks_faster(self):
+        wl = make_workload()
+        small = simulate_device(
+            wl, num_requests=10_000,
+            config=DeviceSimConfig(banks=4, subarrays_per_bank=16),
+        )
+        large = simulate_device(
+            wl, num_requests=10_000,
+            config=DeviceSimConfig(banks=16, subarrays_per_bank=16),
+        )
+        assert large.makespan_ns < small.makespan_ns
+
+    def test_hit_heavy_slower(self):
+        lo = simulate_device(make_workload(0.01), num_requests=10_000)
+        hi = simulate_device(make_workload(0.5), num_requests=10_000)
+        assert hi.makespan_ns > lo.makespan_ns

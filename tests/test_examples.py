@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion.
+
+The metagenomic classification example performs ~2k bit-accurate device
+lookups (~1 min), so it is marked slow and excluded from the default
+run with ``-m 'not slow'`` if desired; everything else finishes in
+seconds.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "reference database" in out
+        assert "vs CPU" in out
+
+    def test_etm_deep_dive(self):
+        out = run_example("etm_deep_dive.py")
+        assert "ETM interrupt" in out
+        assert "HIT at column" in out
+        assert "row-major" in out
+
+    def test_design_space_exploration(self):
+        out = run_example("design_space_exploration.py")
+        assert "Pareto frontier" in out
+        assert "ETM ablation" in out
+
+    def test_deployment_planning(self):
+        out = run_example("deployment_planning.py")
+        assert "recommended interface: PCIe 4.0 x16" in out
+        assert "future work" in out
+
+    def test_abundance_profiling(self):
+        out = run_example("abundance_profiling.py")
+        assert "taxonomic abundance" in out
+        assert "never underestimates: True" in out
+
+    @pytest.mark.slow
+    def test_metagenomic_classification(self):
+        out = run_example("metagenomic_classification.py", timeout=300)
+        assert "agrees with CLARK" in out
+        assert "DIVERGED" not in out

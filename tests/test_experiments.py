@@ -1,0 +1,213 @@
+"""Tests for the experiment harness: benchmark definitions and every
+figure runner, with the paper's qualitative shape assertions."""
+
+import pytest
+
+from repro.experiments import (
+    FIG16_SUBARRAYS,
+    FigureResult,
+    area_overheads,
+    benchmark_by_name,
+    fig01_breakdown,
+    fig13_row_vs_col,
+    fig14_vs_cpu,
+    fig15_vs_gpu,
+    fig16_salp_sweep,
+    fig17_cb_sweep,
+    geomean,
+    gpu_benchmarks,
+    paper_benchmarks,
+    perf_results_for,
+    sensitivity_bandwidth,
+    sensitivity_etm_off,
+    sensitivity_pcie,
+    tab01_machines,
+    tab02_queries,
+    tab03_components,
+)
+
+
+class TestWorkloads:
+    def test_nine_benchmarks(self):
+        names = [b.name for b in paper_benchmarks()]
+        assert names == [
+            "K2.HA.4", "K2.MA.4", "K2.SA.4",
+            "K2.HA.8", "K2.MA.8", "K2.SA.8",
+            "C.HT.BG", "C.MT.BG", "C.ST.BG",
+        ]
+
+    def test_gpu_benchmarks_are_clark(self):
+        assert [b.name for b in gpu_benchmarks()] == [
+            "C.HT.BG", "C.MT.BG", "C.ST.BG",
+        ]
+
+    def test_mt_hit_rate_is_3_28x_st(self):
+        """Section VI-B: C.MT.BG matches 3.28x more k-mers than C.ST.BG."""
+        mt = benchmark_by_name("C.MT.BG").hit_rate
+        st_ = benchmark_by_name("C.ST.BG").hit_rate
+        assert mt / st_ == pytest.approx(3.28)
+
+    def test_workload_kmer_counts_match_table_ii(self):
+        wl = benchmark_by_name("C.MT.BG").workload()
+        assert wl.num_kmers == pytest.approx(1.27e10, rel=0.01)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            benchmark_by_name("X.YZ.0")
+
+
+class TestFigureResult:
+    def test_format_contains_rows(self):
+        result = FigureResult("F", "title", ["a", "b"], [[1, 2.5], ["x", 0.001]])
+        text = result.format()
+        assert "F: title" in text
+        assert "2.50" in text
+        assert "0.001" in text
+
+    def test_column_extraction(self):
+        result = FigureResult("F", "t", ["a", "b"], [[1, 2], [3, 4]])
+        assert result.column("b") == [2, 4]
+
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1, -1])
+
+
+class TestMotivationRunners:
+    def test_fig01_dominance(self):
+        result = fig01_breakdown()
+        pct = dict(zip(result.column("tool"), result.column("kmer_matching_pct")))
+        assert pct["stringMLST"] > 90
+        assert all(p > 70 for tool, p in pct.items() if tool != "BLASTN")
+
+    def test_tab01_has_cpu_and_gpu(self):
+        fields = tab01_machines().column("field")
+        assert any(f.startswith("cpu.") for f in fields)
+        assert any(f.startswith("gpu.") for f in fields)
+
+    def test_tab02_six_rows(self):
+        result = tab02_queries()
+        assert len(result.rows) == 6
+        kmers = dict(zip(result.column("query_file"), result.column("kmers")))
+        assert kmers["MiSeq_Accuracy.fa"] == pytest.approx(1.27e6, rel=0.01)
+        assert kmers["simBA5_Timing.fa"] == pytest.approx(7.0e9, rel=0.01)
+
+    def test_tab03_seven_rows(self):
+        result = tab03_components()
+        assert len(result.rows) == 7
+
+    def test_area_rows_close_to_paper(self):
+        result = area_overheads()
+        for _, mine, paper in result.rows:
+            assert mine == pytest.approx(paper, rel=0.16)
+
+
+class TestEvaluationRunners:
+    @pytest.fixture(scope="class")
+    def fig13(self):
+        return fig13_row_vs_col()
+
+    @pytest.fixture(scope="class")
+    def fig14(self):
+        return fig14_vs_cpu()
+
+    @pytest.fixture(scope="class")
+    def fig15(self):
+        return fig15_vs_gpu()
+
+    def test_fig13_ranking_every_benchmark(self, fig13):
+        for row in fig13.rows:
+            _, row_major, col_major, cdram, sieve = row
+            assert sieve > cdram > col_major >= row_major * 0.99
+
+    def test_fig13_etm_contribution(self, fig13):
+        """Sieve / col-major(no ETM) in the paper's 5.2-7.2x vicinity."""
+        for row in fig13.rows:
+            gain = row[4] / row[2]
+            assert 4.0 < gain < 8.0
+
+    def test_fig14_shapes(self, fig14):
+        """T1 single digits, T2 tens, T3 hundreds (paper's headline)."""
+        for row in fig14.rows:
+            t1_speed, t2_speed, t3_speed = row[1], row[3], row[5]
+            assert 1.0 < t1_speed < 10.0
+            assert 10.0 < t2_speed < 80.0
+            assert 100.0 < t3_speed < 450.0
+            assert t1_speed < t2_speed < t3_speed
+
+    def test_fig14_energy_savings_positive_ordering(self, fig14):
+        for row in fig14.rows:
+            t1_e, t2_e, t3_e = row[2], row[4], row[6]
+            assert t1_e < t2_e < t3_e
+            assert 30.0 < t3_e < 120.0  # paper band: tens of x
+
+    def test_fig14_mt_is_worst_clark_benchmark(self, fig14):
+        """Section VI-B: C.MT.BG performs worse than C.ST.BG (3.28x the
+        matches -> more row activations)."""
+        by_name = {row[0]: row for row in fig14.rows}
+        assert by_name["C.MT.BG"][3] < by_name["C.ST.BG"][3]  # T2 speedup
+
+    def test_fig15_t1_slower_than_gpu(self, fig15):
+        for row in fig15.rows:
+            assert row[1] < 1.0  # T1 speedup vs GPU < 1
+            assert row[2] > 1.0  # but more energy efficient
+
+    def test_fig15_t3_tens_of_x(self, fig15):
+        for row in fig15.rows:
+            assert 10.0 < row[5] < 80.0
+            assert 20.0 < row[6] < 200.0
+
+    def test_fig16_plateau_at_8(self):
+        result = fig16_salp_sweep()
+        col = result.column("T3.32GB")
+        by_sa = dict(zip((f"{s}SA" for s in FIG16_SUBARRAYS), col))
+        assert by_sa["2SA"] == pytest.approx(by_sa["1SA"] / 2, rel=0.02)
+        assert by_sa["16SA"] == pytest.approx(by_sa["8SA"], rel=0.02)
+        assert by_sa["128SA"] == pytest.approx(by_sa["8SA"], rel=0.02)
+
+    def test_fig16_capacity_scaling(self):
+        result = fig16_salp_sweep()
+        first = result.rows[0]
+        # 4 GB has 8x fewer banks than 32 GB -> 8x the cycles.
+        assert first[1] == pytest.approx(first[4] * 8, rel=0.02)
+
+    def test_fig17_monotone_speedup(self):
+        result = fig17_cb_sweep()
+        speedups = result.column("speedup_vs_cpu")
+        t2_speedups = speedups[1:-1]
+        assert t2_speedups == sorted(t2_speedups)
+        assert speedups[0] < speedups[1]  # T1 < T2.1CB
+        assert speedups[-2] < speedups[-1]  # T2.128CB < T3.1SA
+
+    def test_fig17_area_monotone(self):
+        result = fig17_cb_sweep()
+        areas = result.column("area_overhead_pct")[1:-1]
+        assert areas == sorted(areas)
+
+    def test_etm_off_still_beats_cpu(self):
+        result = sensitivity_etm_off()
+        for row in result.rows:
+            assert row[2] > 1.3  # paper: >= 1.34x vs CPU
+
+    def test_pcie_overhead_band_and_interfaces(self):
+        result = sensitivity_pcie()
+        rows = {row[0]: row for row in result.rows}
+        for row in result.rows:
+            assert 4.5 < row[3] < 6.8
+        assert rows["T1"][4] == "DIMM"
+        assert rows["T2.16CB"][4] == "PCIe 3.0 x8"
+        assert rows["T3.8SA"][4] == "PCIe 4.0 x16"
+
+    def test_bandwidth_analysis_cores(self):
+        result = sensitivity_bandwidth()
+        values = dict(zip(result.column("quantity"), result.column("value")))
+        assert values["cores needed to match Type-3"] > 215
+
+    def test_perf_results_for_contains_all_designs(self):
+        wl = paper_benchmarks()[0].workload()
+        results = perf_results_for(wl)
+        assert set(results) == {"CPU", "GPU", "T1", "T2.16CB", "T3.8SA"}
+        assert results["T3.8SA"].time_s < results["CPU"].time_s

@@ -1,0 +1,211 @@
+"""Tests for hardware cost models: Table III components, scaling, area,
+and the circuit feasibility checks."""
+
+import pytest
+
+from repro.hardware import (
+    ACTIVATION_OVERHEAD_SPLIT,
+    DEFAULT_AREA_MODEL,
+    PAPER_OVERHEADS,
+    TABLE_III,
+    AreaError,
+    DramAreaModel,
+    all_feasibility_reports,
+    cell_readout_differential_mv,
+    estimate_etm_segment,
+    estimate_matcher_array,
+    estimate_sram_buffer,
+    hop_delay_ns,
+    link_charge_sharing_report,
+    matcher_loading_report,
+    matcher_settle_report,
+    scale_area,
+    scale_delay,
+    scale_energy,
+    scale_static_power,
+    supported_nodes,
+    table_iii_rows,
+)
+from repro.hardware.circuits import CircuitError
+from repro.hardware.scaling import ScalingError
+
+
+class TestScaling:
+    def test_identity(self):
+        assert scale_energy(1.0, 45, 45) == 1.0
+        assert scale_delay(2.0, 22, 22) == 2.0
+
+    def test_energy_shrinks_to_22(self):
+        assert scale_energy(1.0, 45, 22) == pytest.approx(0.37)
+
+    def test_delay_shrinks_to_22(self):
+        assert scale_delay(1.0, 45, 22) == pytest.approx(0.65)
+
+    def test_area_quadratic(self):
+        assert scale_area(1.0, 45, 22) == pytest.approx((22 / 45) ** 2)
+
+    def test_static_power_between(self):
+        sp = scale_static_power(1.0, 45, 22)
+        assert scale_energy(1.0, 45, 22) < sp < 1.0
+
+    def test_transitivity(self):
+        via_32 = scale_energy(scale_energy(1.0, 45, 32), 32, 22)
+        assert via_32 == pytest.approx(scale_energy(1.0, 45, 22))
+
+    def test_unsupported_node(self):
+        with pytest.raises(ScalingError):
+            scale_energy(1.0, 45, 10)
+        with pytest.raises(ScalingError):
+            scale_area(1.0, 10, 22)
+
+    def test_supported_nodes_sorted(self):
+        nodes = supported_nodes()
+        assert list(nodes) == sorted(nodes)
+        assert 45 in nodes and 22 in nodes
+
+
+class TestTableIII:
+    def test_published_values_verbatim(self):
+        """The seven Table III rows."""
+        ma = TABLE_III["t23_matcher_array"]
+        assert ma.dynamic_energy_pj == pytest.approx(181.683)
+        assert ma.latency_ns == pytest.approx(0.535)
+        etm = TABLE_III["t23_etm_segment"]
+        assert etm.latency_ns == pytest.approx(43.653)
+        sram = TABLE_III["t1_sram_buffer"]
+        assert sram.dynamic_energy_pj == pytest.approx(5.12)
+
+    def test_row_order(self):
+        rows = table_iii_rows()
+        assert len(rows) == 7
+        assert rows[0].name.startswith("(T1)")
+        assert rows[-1].name == "(T2/3) Column Finder"
+
+    def test_etm_segment_fits_row_cycle(self):
+        """Section VI-A: each ETM segment completes within ~50 ns."""
+        assert TABLE_III["t23_etm_segment"].latency_ns < 50.0
+
+    def test_matcher_adds_subnanosecond_latency(self):
+        assert TABLE_III["t23_matcher_array"].latency_ns < 1.0
+
+    def test_energy_split_sums_to_one(self):
+        assert sum(ACTIVATION_OVERHEAD_SPLIT.values()) == pytest.approx(1.0)
+        assert ACTIVATION_OVERHEAD_SPLIT["t23_matcher_array"] == pytest.approx(0.789)
+
+    def test_dynamic_energy_nj_property(self):
+        assert TABLE_III["t1_registers"].dynamic_energy_nj == pytest.approx(0.00192)
+
+
+class TestGateEstimates:
+    def test_matcher_array_same_magnitude_as_table(self):
+        est = estimate_matcher_array(8192)
+        published = TABLE_III["t23_matcher_array"].dynamic_energy_pj
+        assert published / 10 < est.dynamic_energy_pj < published * 10
+
+    def test_matcher_latency_subnanosecond(self):
+        assert estimate_matcher_array(8192).critical_path_ns < 1.0
+
+    def test_etm_segment_fits_budget(self):
+        est = estimate_etm_segment(256)
+        assert est.critical_path_ns < 50.0
+        assert est.gate_count > 255
+
+    def test_sram_buffer_magnitude(self):
+        est = estimate_sram_buffer(8192)
+        published = TABLE_III["t1_sram_buffer"].dynamic_energy_pj
+        assert published / 10 < est.dynamic_energy_pj < published * 10
+
+    def test_scaling_with_width(self):
+        small = estimate_matcher_array(64)
+        large = estimate_matcher_array(8192)
+        assert large.dynamic_energy_pj / small.dynamic_energy_pj == pytest.approx(128)
+
+
+class TestAreaModel:
+    def test_type2_sweep_matches_paper(self):
+        """Section VI-A: 1.03 / 6.3 / 10.75 % for 1 / 64 / 128 CBs."""
+        m = DEFAULT_AREA_MODEL
+        assert m.type2_overhead(1) == pytest.approx(PAPER_OVERHEADS["type2_1cb"], rel=0.15)
+        assert m.type2_overhead(64) == pytest.approx(PAPER_OVERHEADS["type2_64cb"], rel=0.15)
+        assert m.type2_overhead(128) == pytest.approx(
+            PAPER_OVERHEADS["type2_128cb"], rel=0.05
+        )
+
+    def test_type3_matches_paper(self):
+        assert DEFAULT_AREA_MODEL.type3_overhead() == pytest.approx(
+            PAPER_OVERHEADS["type3"], rel=0.02
+        )
+
+    def test_type1_matches_paper(self):
+        assert DEFAULT_AREA_MODEL.type1_overhead() == pytest.approx(0.0248)
+
+    def test_type2_monotone_in_cbs(self):
+        m = DEFAULT_AREA_MODEL
+        overheads = [m.type2_overhead(n) for n in (1, 2, 4, 8, 16, 32, 64, 128)]
+        assert overheads == sorted(overheads)
+
+    def test_type2_128cb_below_type3(self):
+        """T2.128CB area < T3 (T3 adds SALP latches on top)."""
+        m = DEFAULT_AREA_MODEL
+        assert m.type2_overhead(128) < m.type3_overhead()
+
+    def test_cb_bounds(self):
+        with pytest.raises(AreaError):
+            DEFAULT_AREA_MODEL.type2_overhead(0)
+        with pytest.raises(AreaError):
+            DEFAULT_AREA_MODEL.type2_overhead(129)
+
+    def test_sram_macro_area(self):
+        area = DEFAULT_AREA_MODEL.sram_macro_area_f2(8192)
+        assert area == pytest.approx(8192 * 140 * 1.4)
+        with pytest.raises(AreaError):
+            DEFAULT_AREA_MODEL.sram_macro_area_f2(0)
+
+    def test_validation(self):
+        with pytest.raises(AreaError):
+            DramAreaModel(mat_height_f=-1)
+        with pytest.raises(AreaError):
+            DramAreaModel(mats_per_bank=0)
+
+
+class TestCircuits:
+    def test_matcher_loading_negligible(self):
+        report = matcher_loading_report()
+        assert report.ok
+        assert report.value == pytest.approx(0.2 / 22.0)
+
+    def test_matcher_loading_fail_case(self):
+        report = matcher_loading_report(matcher_capacitance_pf=5.0)
+        assert not report.ok
+
+    def test_matcher_settle_under_1ns(self):
+        """Section V: matcher output ready < 1 ns after safe BL level."""
+        report = matcher_settle_report()
+        assert report.ok
+        assert report.value < 1.0
+
+    def test_link_charge_sharing(self):
+        """Relay differential is orders of magnitude above threshold."""
+        report = link_charge_sharing_report()
+        assert report.ok
+        assert report.value > 5 * report.limit
+
+    def test_cell_readout_differential_positive(self):
+        dv = cell_readout_differential_mv()
+        assert 0 < dv < 100
+
+    def test_hop_delay_is_tras_over_8(self):
+        assert hop_delay_ns(35.0) == pytest.approx(4.375)
+
+    def test_invalid_params(self):
+        with pytest.raises(CircuitError):
+            hop_delay_ns(-1)
+        with pytest.raises(CircuitError):
+            matcher_loading_report(matcher_capacitance_pf=0)
+        with pytest.raises(CircuitError):
+            link_charge_sharing_report(source_fraction_vdd=0)
+
+    def test_all_reports_pass(self):
+        reports = all_feasibility_reports()
+        assert len(reports) == 3
+        assert all(r.ok for r in reports)

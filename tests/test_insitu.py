@@ -1,0 +1,234 @@
+"""Tests for the Ambit functional array and the row-major baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.insitu import (
+    AmbitArray,
+    AmbitError,
+    ComputeDramModel,
+    RowMajorError,
+    RowMajorMatcher,
+    RowMajorModel,
+)
+from repro.sieve import EspModel, Type3Model, WorkloadStats
+
+
+def make_workload(hit_rate=0.01):
+    return WorkloadStats(
+        name="wl", k=31, num_kmers=10**7, hit_rate=hit_rate,
+        esp=EspModel.paper_fig6(31),
+    )
+
+
+BITS = st.lists(st.integers(0, 1), min_size=16, max_size=16)
+
+
+class TestAmbitArray:
+    def _array(self):
+        return AmbitArray(16, 16)
+
+    def test_reserved_region_protected(self):
+        arr = self._array()
+        with pytest.raises(AmbitError):
+            arr.load_row(arr.T0, np.zeros(16, dtype=np.uint8))
+
+    def test_control_rows_initialized(self):
+        arr = self._array()
+        assert (arr.read_row(arr.C0) == 0).all()
+        assert (arr.read_row(arr.C1) == 1).all()
+
+    def test_row_clone(self):
+        arr = self._array()
+        bits = np.arange(16, dtype=np.uint8) % 2
+        arr.load_row(0, bits)
+        arr.row_clone(0, 1)
+        np.testing.assert_array_equal(arr.read_row(1), bits)
+        assert arr.stats.row_clones == 1
+
+    def test_tra_majority_and_destructive(self):
+        arr = self._array()
+        a = np.array([1] * 8 + [0] * 8, dtype=np.uint8)
+        b = np.array([1, 0] * 8, dtype=np.uint8)
+        arr.load_row(0, a)
+        arr.load_row(1, b)
+        arr.row_clone(0, arr.T0)
+        arr.row_clone(1, arr.T1)
+        arr.row_clone(arr.C0, arr.T2)
+        result = arr.triple_row_activation(arr.T0, arr.T1, arr.T2)
+        np.testing.assert_array_equal(result, a & b)
+        # destructive: all three rows now hold the majority
+        np.testing.assert_array_equal(arr.read_row(arr.T0), a & b)
+        np.testing.assert_array_equal(arr.read_row(arr.T1), a & b)
+
+    def test_tra_distinct_rows(self):
+        arr = self._array()
+        with pytest.raises(AmbitError):
+            arr.triple_row_activation(0, 0, 1)
+
+    def test_min_rows(self):
+        with pytest.raises(AmbitError):
+            AmbitArray(4, 8)
+
+    @given(BITS, BITS)
+    def test_bulk_and(self, a_bits, b_bits):
+        arr = self._array()
+        a = np.array(a_bits, dtype=np.uint8)
+        b = np.array(b_bits, dtype=np.uint8)
+        arr.load_row(0, a)
+        arr.load_row(1, b)
+        result = arr.bulk_and(0, 1, 2)
+        np.testing.assert_array_equal(result, a & b)
+        np.testing.assert_array_equal(arr.read_row(2), a & b)
+
+    @given(BITS, BITS)
+    def test_bulk_or(self, a_bits, b_bits):
+        arr = self._array()
+        a = np.array(a_bits, dtype=np.uint8)
+        b = np.array(b_bits, dtype=np.uint8)
+        arr.load_row(0, a)
+        arr.load_row(1, b)
+        np.testing.assert_array_equal(arr.bulk_or(0, 1, 2), a | b)
+
+    @given(BITS)
+    def test_bulk_not(self, bits):
+        arr = self._array()
+        a = np.array(bits, dtype=np.uint8)
+        arr.load_row(0, a)
+        np.testing.assert_array_equal(arr.bulk_not(0, 1), 1 - a)
+
+    @given(BITS, BITS)
+    def test_bulk_xnor(self, a_bits, b_bits):
+        arr = self._array()
+        a = np.array(a_bits, dtype=np.uint8)
+        b = np.array(b_bits, dtype=np.uint8)
+        arr.load_row(0, a)
+        arr.load_row(1, b)
+        result = arr.bulk_xnor(0, 1, 2, 3)
+        np.testing.assert_array_equal(result, (a == b).astype(np.uint8))
+
+    def test_xnor_needs_distinct_scratch(self):
+        arr = self._array()
+        arr.load_row(0, np.zeros(16, dtype=np.uint8))
+        with pytest.raises(AmbitError):
+            arr.bulk_xnor(0, 0, 2, 2)
+
+    def test_paper_and_sequence_op_counts(self):
+        """Ambit's AND = 3 copies + 1 TRA + result copy (~8 ACT/4 PRE)."""
+        arr = self._array()
+        arr.load_row(0, np.ones(16, dtype=np.uint8))
+        arr.load_row(1, np.ones(16, dtype=np.uint8))
+        arr.bulk_and(0, 1, 2)
+        assert arr.stats.triple_activations == 1
+        assert arr.stats.row_clones == 4
+
+
+class TestRowMajorMatcher:
+    def _matcher(self, rng, n=40, k=7, row_bits=64):
+        kmers = sorted(int(x) for x in rng.choice(4**k, size=n, replace=False))
+        records = [(kmer, 500 + i) for i, kmer in enumerate(kmers)]
+        return RowMajorMatcher(k, records, row_bits=row_bits), records
+
+    def test_hits_and_payloads(self, rng):
+        matcher, records = self._matcher(rng)
+        for kmer, payload in records[:10]:
+            outcome = matcher.match(kmer)
+            assert outcome.hit
+            assert outcome.payload == payload
+
+    def test_misses_scan_all_rows(self, rng):
+        matcher, records = self._matcher(rng)
+        stored = {k for k, _ in records}
+        miss = next(
+            int(x) for x in rng.integers(0, 4**7, size=200) if int(x) not in stored
+        )
+        outcome = matcher.match(miss)
+        assert not outcome.hit
+        assert outcome.rows_compared == matcher.num_ref_rows
+
+    def test_stops_on_hit(self, rng):
+        matcher, records = self._matcher(rng)
+        first_row_kmer = records[0][0]
+        outcome = matcher.match(first_row_kmer)
+        assert outcome.rows_compared == 1
+
+    def test_query_replication_writes(self, rng):
+        """One write burst per 64 bits of the row (~10x Sieve's cost)."""
+        matcher, records = self._matcher(rng)
+        outcome = matcher.match(records[0][0])
+        assert outcome.query_writes == 64 // 64 * (64 // 64)  # row_bits/64
+
+    def test_lane_packing(self, rng):
+        matcher, _ = self._matcher(rng, k=7, row_bits=64)
+        assert matcher.refs_per_row == 64 // 14
+
+    def test_kmer_too_wide(self):
+        with pytest.raises(RowMajorError):
+            RowMajorMatcher(40, [(0, 1)], row_bits=64)
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.data())
+    def test_equivalence_with_dict(self, data):
+        k = 6
+        kmers = data.draw(st.sets(st.integers(0, 4**k - 1), min_size=1, max_size=30))
+        records = [(kmer, 10 + kmer % 7) for kmer in sorted(kmers)]
+        matcher = RowMajorMatcher(k, records, row_bits=48)
+        table = dict(records)
+        queries = data.draw(st.lists(st.integers(0, 4**k - 1), min_size=1, max_size=6))
+        for q in queries:
+            outcome = matcher.match(q)
+            assert outcome.hit == (q in table)
+            assert outcome.payload == table.get(q)
+
+
+class TestRowMajorModels:
+    def test_figure13_ranking(self):
+        """row-major <= col-major(no ETM) < ComputeDRAM < Sieve."""
+        wl = make_workload()
+        row = RowMajorModel().run(wl).time_s
+        col = Type3Model(concurrent_subarrays=8, etm_enabled=False).run(wl).time_s
+        cdram = ComputeDramModel().run(wl).time_s
+        sieve = Type3Model(concurrent_subarrays=8).run(wl).time_s
+        assert sieve < cdram < col <= row
+
+    def test_row_major_close_to_col_major(self):
+        """'Row-major performs similarly to column-major without ETM
+        (slightly worse)'."""
+        wl = make_workload()
+        row = RowMajorModel().run(wl).time_s
+        col = Type3Model(concurrent_subarrays=8, etm_enabled=False).run(wl).time_s
+        assert 1.0 <= row / col < 2.5
+
+    def test_computedram_write_savings(self):
+        """ComputeDRAM replicates queries with in-array copies: far fewer
+        I/O writes than the row-major design's full-row replication."""
+        wl = make_workload()
+        assert ComputeDramModel().query_writes(wl) < RowMajorModel().query_writes(wl) / 10
+
+    def test_candidate_rows_near_62(self):
+        """Both designs open ~62 rows per miss at k=31 (Section VI-B)."""
+        wl = make_workload()
+        rows = RowMajorModel().candidate_rows(wl)
+        assert 50 <= rows <= 70
+
+    def test_hits_stop_early(self):
+        wl_hit = make_workload(hit_rate=1.0)
+        wl_miss = make_workload(hit_rate=0.0)
+        model = RowMajorModel()
+        assert (
+            model.query_cost(wl_hit).matching_ns
+            < model.query_cost(wl_miss).matching_ns
+        )
+
+    def test_tra_energy_exceeds_single_activation(self):
+        wl = make_workload()
+        row = RowMajorModel().query_cost(wl)
+        sieve = Type3Model(concurrent_subarrays=8, etm_enabled=False).query_cost(wl)
+        assert row.energy_nj > sieve.energy_nj / 2  # same order, TRA-heavier per op
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowMajorModel(concurrent_subarrays=0)
+        with pytest.raises(ValueError):
+            RowMajorModel(tra_row_cycles=0)

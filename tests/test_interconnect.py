@@ -1,0 +1,117 @@
+"""Tests for the PCIe model and DIMM envelope."""
+
+import pytest
+
+from repro.interconnect import (
+    BANK_REQUEST_BUFFER,
+    DIMM_BANDWIDTH_GBS,
+    DIMM_POWER_W_PER_GB,
+    PCIE3_X8,
+    PCIE4_X16,
+    DeploymentRequirement,
+    DimmEnvelope,
+    DimmError,
+    PcieError,
+    PcieLink,
+    PcieModel,
+    recommend_interface,
+)
+from repro.interconnect.dimm import link_for
+from repro.interconnect.pcie import REQUESTS_PER_PACKET
+
+
+class TestPcieLink:
+    def test_effective_bandwidths(self):
+        assert PCIE3_X8.effective_gbs == pytest.approx(7.88, rel=0.01)
+        assert PCIE4_X16.effective_gbs == pytest.approx(31.5, rel=0.01)
+
+    def test_names(self):
+        assert PCIE3_X8.name == "PCIe 3.0 x8"
+        assert PCIE4_X16.name == "PCIe 4.0 x16"
+
+    def test_validation(self):
+        with pytest.raises(PcieError):
+            PcieLink(2, 8)
+        with pytest.raises(PcieError):
+            PcieLink(4, 3)
+
+
+class TestPcieModel:
+    def test_requests_per_packet(self):
+        """Section IV-C: ~340 twelve-byte requests per 4 KB packet."""
+        assert REQUESTS_PER_PACKET in (340, 341)
+
+    def test_overhead_in_paper_band(self):
+        """4.6-6.7 % across the utilization range."""
+        model = PcieModel(PCIE4_X16)
+        low = model.overhead_fraction(1e6)
+        high = model.overhead_fraction(model.sustainable_qps() * 0.99)
+        assert 0.045 < low < 0.05
+        assert high < 0.068
+
+    def test_overhead_monotone_in_qps(self):
+        model = PcieModel(PCIE4_X16)
+        assert model.overhead_fraction(1e9) > model.overhead_fraction(1e8)
+
+    def test_saturation_raises(self):
+        model = PcieModel(PCIE3_X8)
+        with pytest.raises(PcieError):
+            model.overhead_fraction(model.sustainable_qps() * 1.01)
+
+    def test_negative_qps(self):
+        with pytest.raises(PcieError):
+            PcieModel().utilization(-1)
+
+    def test_queue_depth_matches_paper(self):
+        """Section IV-C: 24 packets saturate 16 ranks x 8 banks x 64."""
+        assert PcieModel.queue_depth_packets(16 * 8) == 25  # ceil(8192/340)
+        with pytest.raises(PcieError):
+            PcieModel.queue_depth_packets(0)
+
+    def test_summary_keys(self):
+        summary = PcieModel().summary(1e9)
+        assert set(summary) == {
+            "link_gbs", "utilization", "overhead_fraction", "sustainable_qps",
+        }
+
+
+class TestDimm:
+    def test_power_budget(self):
+        env = DimmEnvelope(32)
+        assert env.power_budget_w == pytest.approx(32 * DIMM_POWER_W_PER_GB)
+        assert env.bandwidth_gbs == DIMM_BANDWIDTH_GBS
+
+    def test_supports(self):
+        env = DimmEnvelope(32)
+        ok = DeploymentRequirement(device_qps=1e7, power_w=5.0, capacity_gb=32)
+        assert env.supports(ok)
+        too_hot = DeploymentRequirement(device_qps=1e7, power_w=20.0, capacity_gb=32)
+        assert not env.supports(too_hot)
+        too_fast = DeploymentRequirement(device_qps=3e9, power_w=5.0, capacity_gb=32)
+        assert not env.supports(too_fast)
+
+    def test_validation(self):
+        with pytest.raises(DimmError):
+            DimmEnvelope(0)
+
+
+class TestRecommendation:
+    def test_paper_table(self):
+        """Section IV-C: T1 -> DIMM, T2 -> PCIe3 x8, T3 -> PCIe4 x16."""
+        t1 = DeploymentRequirement(device_qps=2.8e7, power_w=8.0, capacity_gb=32)
+        t2 = DeploymentRequirement(device_qps=2.2e8, power_w=25.0, capacity_gb=32)
+        t3 = DeploymentRequirement(device_qps=1.6e9, power_w=40.0, capacity_gb=32)
+        assert recommend_interface(t1) == "DIMM"
+        assert recommend_interface(t2) == "PCIe 3.0 x8"
+        assert recommend_interface(t3) == "PCIe 4.0 x16"
+
+    def test_nothing_fits(self):
+        monster = DeploymentRequirement(device_qps=1e11, power_w=10, capacity_gb=32)
+        with pytest.raises(DimmError):
+            recommend_interface(monster)
+
+    def test_link_for_roundtrip(self):
+        assert link_for("PCIe 3.0 x8") == PCIE3_X8
+        assert link_for("PCIe 4.0 x16") == PCIE4_X16
+        with pytest.raises(DimmError):
+            link_for("DIMM")

@@ -1,0 +1,123 @@
+"""Hypothesis property tests for the analytic model's invariants.
+
+These pin down the monotonicity and scaling laws every figure implicitly
+relies on, across randomly drawn workloads and configurations.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.baselines import CpuBaselineModel, GpuBaselineModel
+from repro.sieve import (
+    EspModel,
+    Type1Model,
+    Type2Model,
+    Type3Model,
+    WorkloadStats,
+)
+
+WORKLOADS = st.builds(
+    lambda n, hit: WorkloadStats(
+        name="prop", k=31, num_kmers=n, hit_rate=hit,
+        esp=EspModel.paper_fig6(31),
+    ),
+    st.integers(10**4, 10**10),
+    st.floats(0.0, 1.0),
+)
+
+MODELS = st.sampled_from(
+    [
+        Type1Model(),
+        Type2Model(compute_buffers_per_bank=1),
+        Type2Model(compute_buffers_per_bank=16),
+        Type2Model(compute_buffers_per_bank=128),
+        Type3Model(concurrent_subarrays=1),
+        Type3Model(concurrent_subarrays=8),
+        Type3Model(concurrent_subarrays=8, etm_enabled=False),
+    ]
+)
+
+
+class TestModelInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(WORKLOADS, MODELS)
+    def test_positive_outputs(self, workload, model):
+        result = model.run(workload)
+        assert result.time_s > 0
+        assert result.energy_j > 0
+        assert result.throughput_qps > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(WORKLOADS, MODELS)
+    def test_linear_in_kmers(self, workload, model):
+        doubled = WorkloadStats(
+            name=workload.name, k=workload.k,
+            num_kmers=workload.num_kmers * 2,
+            hit_rate=workload.hit_rate, esp=workload.esp,
+        )
+        assert model.run(doubled).time_s == pytest.approx(
+            2 * model.run(workload).time_s, rel=1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(WORKLOADS, st.floats(0.0, 1.0))
+    def test_time_monotone_in_hit_rate(self, workload, other_rate):
+        """More hits can never make Sieve faster (ETM loses work)."""
+        model = Type3Model(concurrent_subarrays=8)
+        lo, hi = sorted([workload.hit_rate, other_rate])
+        assert (
+            model.run(workload.with_hit_rate(hi)).time_s
+            >= model.run(workload.with_hit_rate(lo)).time_s - 1e-12
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(WORKLOADS)
+    def test_etm_never_hurts(self, workload):
+        on = Type3Model(concurrent_subarrays=8, etm_enabled=True)
+        off = Type3Model(concurrent_subarrays=8, etm_enabled=False)
+        assert on.run(workload).time_s <= off.run(workload).time_s + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(WORKLOADS, st.integers(1, 7))
+    def test_salp_monotone(self, workload, exp):
+        fewer = Type3Model(concurrent_subarrays=2 ** (exp - 1))
+        more = Type3Model(concurrent_subarrays=2**exp)
+        assert more.run(workload).time_s <= fewer.run(workload).time_s + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(WORKLOADS, st.integers(1, 7))
+    def test_compute_buffers_monotone(self, workload, exp):
+        fewer = Type2Model(compute_buffers_per_bank=2 ** (exp - 1))
+        more = Type2Model(compute_buffers_per_bank=2**exp)
+        assert more.run(workload).time_s <= fewer.run(workload).time_s + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(WORKLOADS)
+    def test_type_ordering_holds_universally(self, workload):
+        """T3.8SA <= T2.16CB <= T1 on any workload."""
+        t1 = Type1Model().run(workload).time_s
+        t2 = Type2Model(compute_buffers_per_bank=16).run(workload).time_s
+        t3 = Type3Model(concurrent_subarrays=8).run(workload).time_s
+        assert t3 <= t2 <= t1 * 1.001
+
+    @settings(max_examples=30, deadline=None)
+    @given(WORKLOADS)
+    def test_baselines_linear_and_positive(self, workload):
+        for model in (CpuBaselineModel(), GpuBaselineModel()):
+            res = model.run(workload)
+            assert res.time_s > 0 and res.energy_j > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(WORKLOADS)
+    def test_energy_breakdown_sums(self, workload):
+        res = Type2Model(compute_buffers_per_bank=16).run(workload)
+        b = res.breakdown
+        assert b["dynamic_j"] + b["background_j"] + b["host_j"] == pytest.approx(
+            res.energy_j, rel=1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(6, 32))
+    def test_esp_mean_bounded_by_support(self, k):
+        esp = EspModel.paper_fig6(k)
+        assert 1.0 <= esp.mean_rows() <= 2 * k

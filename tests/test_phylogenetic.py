@@ -1,0 +1,109 @@
+"""Tests for phylogenetically correlated genome generation."""
+
+import numpy as np
+import pytest
+
+from repro.genomics import (
+    balanced_taxonomy,
+    build_dataset,
+    phylogenetic_genomes,
+)
+from repro.genomics.synthetic import GenerationError
+
+
+def kmer_set(genome, k):
+    return set(genome.kmers(k))
+
+
+class TestPhylogeneticGenomes:
+    @pytest.fixture(scope="class")
+    def family(self):
+        tax = balanced_taxonomy(8)
+        rng = np.random.default_rng(13)
+        genomes = phylogenetic_genomes(tax, 800, rng, mutation_rate_per_level=0.03)
+        return tax, genomes
+
+    def test_one_genome_per_species(self, family):
+        tax, genomes = family
+        species = {t for t in tax.leaves() if tax.node(t).rank == "species"}
+        assert {g.taxon_id for g in genomes} == species
+
+    def test_all_same_length(self, family):
+        _, genomes = family
+        assert len({len(g) for g in genomes}) == 1
+
+    def test_siblings_share_more_kmers_than_distant_relatives(self, family):
+        tax, genomes = family
+        k = 15
+        by_taxon = {g.taxon_id: g for g in genomes}
+        best_sib = 0.0
+        worst_far = 1.0
+        taxa = sorted(by_taxon)
+        for a in taxa:
+            for b in taxa:
+                if a >= b:
+                    continue
+                shared = len(kmer_set(by_taxon[a], k) & kmer_set(by_taxon[b], k))
+                total = len(kmer_set(by_taxon[a], k))
+                frac = shared / total
+                depth = tax.depth(tax.lca(a, b))
+                if depth >= tax.depth(a) - 1:  # siblings
+                    best_sib = max(best_sib, frac)
+                elif depth <= 1:  # related only through the root
+                    worst_far = min(worst_far, frac)
+        assert best_sib > worst_far
+
+    def test_shared_kmers_lca_merge(self):
+        """Correlated genomes produce k-mers in several species, which a
+        taxonomy-aware database merges to interior taxa."""
+        ds = build_dataset(
+            k=11, num_species=6, genome_length=600, num_reads=5,
+            read_length=50, seed=3, phylogenetic=True,
+            mutation_rate_per_level=0.01,
+        )
+        species = {g.taxon_id for g in ds.genomes}
+        interior = {
+            taxon for _, taxon in ds.database.items() if taxon not in species
+        }
+        assert interior  # at least one LCA-merged record
+
+    def test_mutation_rate_controls_divergence(self):
+        tax = balanced_taxonomy(4)
+        close = phylogenetic_genomes(
+            tax, 500, np.random.default_rng(1), mutation_rate_per_level=0.005
+        )
+        far = phylogenetic_genomes(
+            tax, 500, np.random.default_rng(1), mutation_rate_per_level=0.2
+        )
+
+        def mean_pairwise_shared(genomes, k=13):
+            sets = [kmer_set(g, k) for g in genomes]
+            fracs = []
+            for i in range(len(sets)):
+                for j in range(i + 1, len(sets)):
+                    fracs.append(len(sets[i] & sets[j]) / max(len(sets[i]), 1))
+            return sum(fracs) / len(fracs)
+
+        assert mean_pairwise_shared(close) > mean_pairwise_shared(far)
+
+    def test_validation(self):
+        tax = balanced_taxonomy(4)
+        rng = np.random.default_rng(0)
+        with pytest.raises(GenerationError):
+            phylogenetic_genomes(tax, 0, rng)
+        with pytest.raises(GenerationError):
+            phylogenetic_genomes(tax, 100, rng, mutation_rate_per_level=2.0)
+
+    def test_end_to_end_classification_still_works(self):
+        from repro.baselines import classify_reads, summarize
+
+        ds = build_dataset(
+            k=13, num_species=4, genome_length=500, num_reads=30,
+            read_length=60, error_rate=0.0, novel_fraction=0.0,
+            seed=21, phylogenetic=True, mutation_rate_per_level=0.05,
+        )
+        results = classify_reads(ds.reads, ds.k, ds.database.lookup)
+        summary = summarize(results)
+        # Shared k-mers map to interior taxa, so plain majority may pick
+        # an ancestor; classification rate must still be high.
+        assert summary.classification_rate > 0.9

@@ -1,0 +1,97 @@
+"""Tests for the one-shot report generator, the functional-device
+command ledger bridge, and the segment-size ablation."""
+
+import pytest
+
+from repro.dram.commands import Command
+from repro.experiments.ablations import ablation_segment_size
+from repro.experiments.report import generate_report
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def document(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("report") / "report.md"
+        return generate_report(path, quick=True), path
+
+    def test_contains_every_section(self, document):
+        text, _ = document
+        for section in ("Motivation", "Methodology", "Evaluation",
+                        "Sensitivity", "Ablations"):
+            assert f"## {section}" in text
+
+    def test_contains_every_paper_figure(self, document):
+        text, _ = document
+        for figure in ("Figure 1", "Figure 6", "Table II", "Table III",
+                       "Figure 13", "Figure 14", "Figure 15", "Figure 16",
+                       "Figure 17"):
+            assert figure in text
+
+    def test_contains_ablations(self, document):
+        text, _ = document
+        for tag in ("Ablation A1", "Ablation A2", "Ablation A3",
+                    "Ablation A4", "Ablation A5", "Ablation A6",
+                    "Ablation A7"):
+            assert tag in text
+
+    def test_written_to_disk(self, document):
+        text, path = document
+        assert path.read_text(encoding="utf-8") == text
+
+
+class TestSegmentAblation:
+    def test_paper_choice_emerges(self):
+        result = ablation_segment_size()
+        rows = {row[0]: row for row in result.rows}
+        # 256 fits the row cycle; 512 does not.
+        assert rows[256][3] is True
+        assert rows[512][3] is False
+        # Among fitting sizes, 256 minimizes the flush (segment count).
+        fitting = [row for row in result.rows if row[3]]
+        best = min(fitting, key=lambda row: row[4])
+        assert best[0] == 256
+
+    def test_cf_cost_grows_with_segment_size(self):
+        result = ablation_segment_size()
+        cf = result.column("cf_worst_cycles")
+        assert cf[-1] > cf[0]
+
+
+class TestDeviceLedger:
+    def test_ledger_prices_functional_run(self, small_device, small_dataset):
+        queries = [
+            k for r in small_dataset.reads for k in r.kmers(small_dataset.k)
+        ][:100]
+        small_device.lookup_many(queries)
+        ledger = small_device.to_ledger()
+        assert ledger.count(Command.ACTIVATE) == small_device.stats.row_activations
+        assert ledger.count(Command.WRITE_BURST) == small_device.stats.write_commands
+        assert ledger.serial_time_ns > 0
+        assert ledger.energy_nj > 0
+        # Sieve activations carry the +6 % energy factor.
+        assert ledger.activation_energy_factor == pytest.approx(1.06)
+
+    def test_bank_accounting(self, small_dataset, small_layout):
+        from repro.dram import DramGeometry
+        from repro.sieve import SieveDevice
+
+        geometry = DramGeometry(
+            ranks=1, banks_per_rank=2, subarrays_per_bank=8,
+            rows_per_subarray=160, row_bits=64,
+        )
+        device = SieveDevice.from_database(
+            small_dataset.database, layout=small_layout, geometry=geometry
+        )
+        queries = [
+            k for r in small_dataset.reads for k in r.kmers(small_dataset.k)
+        ][:100]
+        device.lookup_many(queries)
+        per_bank = device.per_bank_activations()
+        assert sum(per_bank.values()) >= device.stats.row_activations
+        for sid in device.subarrays:
+            assert device.bank_of(sid) in per_bank
+
+    def test_bank_of_requires_geometry(self, small_device):
+        assert small_device.bank_of(0) is None or isinstance(
+            small_device.bank_of(0), int
+        )

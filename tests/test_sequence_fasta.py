@@ -1,0 +1,158 @@
+"""Tests for DnaSequence and FASTA/FASTQ I/O."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.genomics import DnaSequence, encode_kmer
+from repro.genomics.encoding import EncodingError
+from repro.genomics.fasta import (
+    FastaError,
+    fasta_string,
+    read_fasta,
+    read_fastq,
+    write_fasta,
+    write_fastq,
+)
+
+
+class TestDnaSequence:
+    def test_uppercased(self):
+        assert DnaSequence("r", "acgt").bases == "ACGT"
+
+    def test_invalid_base(self):
+        with pytest.raises(EncodingError):
+            DnaSequence("r", "ACGN")
+
+    def test_len_and_str(self):
+        seq = DnaSequence("r", "GATTACA")
+        assert len(seq) == 7
+        assert str(seq) == "GATTACA"
+
+    def test_kmer_count(self):
+        seq = DnaSequence("r", "ACGTACGT")
+        assert seq.kmer_count(3) == 6
+        assert len(seq.kmer_list(3)) == 6
+        assert seq.kmer_count(20) == 0
+
+    def test_kmers_values(self):
+        seq = DnaSequence("r", "ACGT")
+        assert list(seq.kmers(2))[0] == encode_kmer("AC")
+
+    def test_reverse_complement_keeps_taxon(self):
+        seq = DnaSequence("r", "AACC", taxon_id=5)
+        rc = seq.reverse_complement()
+        assert rc.bases == "GGTT"
+        assert rc.taxon_id == 5
+
+    def test_subsequence(self):
+        seq = DnaSequence("r", "ACGTACGT", taxon_id=3)
+        sub = seq.subsequence(2, 6)
+        assert sub.bases == "GTAC"
+        assert sub.taxon_id == 3
+
+    def test_subsequence_bounds(self):
+        seq = DnaSequence("r", "ACGT")
+        with pytest.raises(IndexError):
+            seq.subsequence(2, 9)
+        with pytest.raises(IndexError):
+            seq.subsequence(-1, 2)
+
+    def test_equality_ignores_taxon(self):
+        assert DnaSequence("r", "ACG", taxon_id=1) == DnaSequence("r", "ACG", taxon_id=2)
+
+
+SEQS = st.lists(
+    st.tuples(
+        st.text(alphabet="abcdefgh0123", min_size=1, max_size=10),
+        st.text(alphabet="ACGT", min_size=1, max_size=120),
+    ),
+    min_size=1,
+    max_size=8,
+    unique_by=lambda t: t[0],
+)
+
+
+class TestFasta:
+    def test_roundtrip_simple(self):
+        seqs = [DnaSequence("a", "ACGT"), DnaSequence("b", "GGGTTT")]
+        text = fasta_string(seqs)
+        back = list(read_fasta(io.StringIO(text)))
+        assert back == seqs
+
+    def test_multiline_records_joined(self):
+        text = ">x\nACG\nTAC\n>y\nTTTT\n"
+        seqs = list(read_fasta(io.StringIO(text)))
+        assert seqs[0].bases == "ACGTAC"
+        assert seqs[1].bases == "TTTT"
+
+    def test_header_takes_first_token(self):
+        text = ">read1 extra metadata\nACGT\n"
+        assert next(read_fasta(io.StringIO(text))).seq_id == "read1"
+
+    def test_line_width_respected(self):
+        buf = io.StringIO()
+        write_fasta([DnaSequence("a", "A" * 100)], buf, line_width=30)
+        lines = buf.getvalue().splitlines()
+        assert max(len(line) for line in lines[1:]) == 30
+
+    def test_bad_line_width(self):
+        with pytest.raises(ValueError):
+            write_fasta([], io.StringIO(), line_width=0)
+
+    def test_no_header_raises(self):
+        with pytest.raises(FastaError):
+            list(read_fasta(io.StringIO("ACGT\n")))
+
+    def test_empty_record_raises(self):
+        with pytest.raises(FastaError):
+            list(read_fasta(io.StringIO(">a\n>b\nACG\n")))
+
+    def test_empty_header_raises(self):
+        with pytest.raises(FastaError):
+            list(read_fasta(io.StringIO(">\nACG\n")))
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "reads.fa"
+        seqs = [DnaSequence(f"r{i}", "ACGT" * (i + 1)) for i in range(5)]
+        assert write_fasta(seqs, path) == 5
+        assert list(read_fasta(path)) == seqs
+
+    @given(SEQS)
+    def test_roundtrip_property(self, pairs):
+        seqs = [DnaSequence(sid, bases) for sid, bases in pairs]
+        assert list(read_fasta(io.StringIO(fasta_string(seqs)))) == seqs
+
+
+class TestFastq:
+    def test_roundtrip(self):
+        seqs = [DnaSequence("a", "ACGT"), DnaSequence("b", "TT")]
+        buf = io.StringIO()
+        assert write_fastq(seqs, buf) == 2
+        back = list(read_fastq(io.StringIO(buf.getvalue())))
+        assert back == seqs
+
+    def test_quality_length_validated(self):
+        bad = "@a\nACGT\n+\nII\n"
+        with pytest.raises(FastaError):
+            list(read_fastq(io.StringIO(bad)))
+
+    def test_missing_plus(self):
+        bad = "@a\nACGT\nIIII\n@b\n"
+        with pytest.raises(FastaError):
+            list(read_fastq(io.StringIO(bad)))
+
+    def test_bad_header(self):
+        with pytest.raises(FastaError):
+            list(read_fastq(io.StringIO("a\nACGT\n+\nIIII\n")))
+
+    def test_bad_quality_char(self):
+        with pytest.raises(ValueError):
+            write_fastq([], io.StringIO(), quality_char="II")
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "reads.fq"
+        seqs = [DnaSequence("x", "GATTACA")]
+        write_fastq(seqs, path)
+        assert list(read_fastq(path)) == seqs

@@ -1,0 +1,133 @@
+"""Tests for database/workload persistence and the vectorized transpose."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.genomics import KmerDatabase, encode_kmer, transpose_kmers
+from repro.serialization import (
+    SerializationError,
+    load_database,
+    load_workload,
+    save_database,
+    save_workload,
+)
+from repro.sieve import EspModel, WorkloadStats
+
+
+class TestDatabaseRoundtrip:
+    def test_roundtrip(self, tmp_path, tiny_database):
+        path = tmp_path / "db.npz"
+        count = save_database(tiny_database, path)
+        assert count == len(tiny_database)
+        loaded = load_database(path)
+        assert loaded.k == tiny_database.k
+        assert loaded.canonical == tiny_database.canonical
+        assert loaded.sorted_records() == tiny_database.sorted_records()
+
+    def test_roundtrip_canonical(self, tmp_path):
+        db = KmerDatabase(k=5, canonical=True)
+        db.add(encode_kmer("AACTG"), 7)
+        path = tmp_path / "canon.npz"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.canonical
+        assert loaded.lookup(encode_kmer("CAGTT")) == 7
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_database(KmerDatabase(k=5), tmp_path / "empty.npz")
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, format="something-else", data=[1, 2, 3])
+        with pytest.raises(SerializationError):
+            load_database(path)
+
+    def test_suffix_added_by_numpy_is_handled(self, tmp_path, tiny_database):
+        """np.savez appends .npz to suffix-less paths; load copes."""
+        path = tmp_path / "db"
+        save_database(tiny_database, path)
+        loaded = load_database(path)
+        assert len(loaded) == len(tiny_database)
+
+    @given(st.sets(st.integers(0, 4**8 - 1), min_size=1, max_size=80))
+    def test_roundtrip_property(self, kmers):
+        import tempfile
+        from pathlib import Path
+
+        db = KmerDatabase(k=8)
+        for i, kmer in enumerate(sorted(kmers)):
+            db.add(kmer, 10 + i)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "db.npz"
+            save_database(db, path)
+            assert load_database(path).sorted_records() == db.sorted_records()
+
+
+class TestWorkloadRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        wl = WorkloadStats(
+            name="C.ST.BG", k=31, num_kmers=7 * 10**9, hit_rate=0.01,
+            esp=EspModel.paper_fig6(31), index_filtered_fraction=0.02,
+        )
+        path = tmp_path / "wl.json"
+        save_workload(wl, path)
+        loaded = load_workload(path)
+        assert loaded == wl
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(SerializationError):
+            load_workload(path)
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_workload(path)
+
+    def test_loaded_workload_drives_model(self, tmp_path):
+        from repro.sieve import Type3Model
+
+        wl = WorkloadStats(
+            name="x", k=31, num_kmers=10**6, hit_rate=0.05,
+            esp=EspModel.paper_fig6(31),
+        )
+        path = tmp_path / "wl.json"
+        save_workload(wl, path)
+        a = Type3Model(concurrent_subarrays=8).run(wl)
+        b = Type3Model(concurrent_subarrays=8).run(load_workload(path))
+        assert a.time_s == pytest.approx(b.time_s)
+
+
+class TestVectorizedTranspose:
+    def test_empty(self):
+        assert transpose_kmers([], 6).shape == (12, 0)
+
+    def test_matches_scalar_reference(self):
+        rng = np.random.default_rng(4)
+        values = [int(x) for x in rng.integers(0, 4**31, size=50)]
+        fast = transpose_kmers(values, 31)
+        for col, value in enumerate(values):
+            bits = [(value >> (61 - i)) & 1 for i in range(62)]
+            np.testing.assert_array_equal(fast[:, col], bits)
+
+    def test_k32_boundary(self):
+        """k = 32 packs to exactly 64 bits — the uint64 edge."""
+        top = 4**32 - 1
+        matrix = transpose_kmers([top, 0], 32)
+        assert matrix.shape == (64, 2)
+        assert matrix[:, 0].all()
+        assert not matrix[:, 1].any()
+
+    def test_out_of_range_still_rejected(self):
+        from repro.genomics.encoding import EncodingError
+
+        with pytest.raises(EncodingError):
+            transpose_kmers([4**6], 6)
+        with pytest.raises(EncodingError):
+            transpose_kmers([-1], 6)

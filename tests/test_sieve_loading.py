@@ -1,0 +1,69 @@
+"""Tests for the database transposition/load cost model."""
+
+import pytest
+
+from repro.sieve import LoadCostModel, LoadingError
+from repro.sieve.perfmodel import EspModel, Type3Model, WorkloadStats
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LoadCostModel()
+
+
+MINIKRAKEN_4GB_KMERS = int(4 * 2**30 / 12)
+
+
+class TestLoadCost:
+    def test_image_accounting(self, model):
+        # 1M 31-mers: 62 pattern bits + 64 offset/payload bits each.
+        image = model.image_bytes(10**6, 31)
+        assert image == (10**6 * (62 + 64) + 7) // 8
+
+    def test_minikraken_load_fits_and_is_minutes_not_hours(self, model):
+        report = model.report(MINIKRAKEN_4GB_KMERS, 31)
+        assert report.total_s < 600  # well under the paper's reuse horizon
+        assert report.transfer_s < report.transpose_s
+
+    def test_online_cost_excludes_transpose(self, model):
+        report = model.report(10**8, 31)
+        assert report.online_s == pytest.approx(
+            report.transfer_s + report.write_s
+        )
+        assert report.online_s < report.total_s
+
+    def test_write_parallel_across_banks(self):
+        small = LoadCostModel()
+        from repro.dram import DramGeometry
+
+        few_banks = LoadCostModel(
+            geometry=DramGeometry.for_capacity(4.0, ranks=2)
+        )
+        n = 10**8
+        assert few_banks.report(n, 31).write_s > small.report(n, 31).write_s
+
+    def test_amortization_claim(self, model):
+        """Section IV-C: 'high reuse can be expected to amortize the cost
+        of database loading' — at Type-3 throughput, the online load is
+        <1 % of total time after a small fraction of one timing workload."""
+        report = model.report(MINIKRAKEN_4GB_KMERS, 31)
+        wl = WorkloadStats("w", 31, 10**9, 0.01, EspModel.paper_fig6(31))
+        res = Type3Model(concurrent_subarrays=8).run(wl)
+        ns_per_query = res.time_s * 1e9 / wl.num_kmers
+        # Load cost down to 5 % of cumulative time well within one of
+        # the paper's timing workloads (6e9-1.3e10 k-mers).
+        queries_needed = report.amortization_queries(
+            ns_per_query, overhead_fraction=0.05
+        )
+        assert queries_needed < 1.3e10
+
+    def test_capacity_enforced(self, model):
+        with pytest.raises(LoadingError):
+            model.report(10**12, 31)
+
+    def test_validation(self, model):
+        with pytest.raises(LoadingError):
+            model.image_bytes(0, 31)
+        report = model.report(10**6, 31)
+        with pytest.raises(LoadingError):
+            report.amortization_queries(0)

@@ -1,0 +1,252 @@
+"""Tests for the matcher array, ETM pipeline, and Column Finder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sieve import (
+    ColumnFinder,
+    ColumnFinderError,
+    EtmError,
+    EtmPipeline,
+    MatcherArray,
+    MatcherError,
+)
+
+
+class TestMatcherArray:
+    def test_latches_preset_to_one(self):
+        ma = MatcherArray(8)
+        ma.reset()
+        assert ma.latches.sum() == 8
+        assert ma.any_match()
+
+    def test_compare_kills_mismatches(self):
+        ma = MatcherArray(4)
+        ma.reset()
+        ma.compare(np.array([0, 1, 0, 1], dtype=np.uint8), 1)
+        np.testing.assert_array_equal(ma.latches, [0, 1, 0, 1])
+
+    def test_running_match_is_and(self):
+        """A latch once dead stays dead (bit-serial exact match)."""
+        ma = MatcherArray(3)
+        ma.reset()
+        ma.compare(np.array([1, 0, 1], dtype=np.uint8), 1)
+        ma.compare(np.array([1, 1, 0], dtype=np.uint8), 1)
+        np.testing.assert_array_equal(ma.latches, [1, 0, 0])
+
+    def test_enable_mask_pins_zero(self):
+        ma = MatcherArray(4)
+        ma.set_enable(np.array([1, 0, 1, 0], dtype=np.uint8))
+        ma.reset()
+        np.testing.assert_array_equal(ma.latches, [1, 0, 1, 0])
+        ma.compare(np.ones(4, dtype=np.uint8), 1)
+        np.testing.assert_array_equal(ma.latches, [1, 0, 1, 0])
+
+    def test_compare_per_column(self):
+        ma = MatcherArray(4)
+        ma.reset()
+        ma.compare_per_column(
+            np.array([1, 0, 1, 0], dtype=np.uint8),
+            np.array([1, 1, 0, 0], dtype=np.uint8),
+        )
+        np.testing.assert_array_equal(ma.latches, [1, 0, 0, 1])
+
+    def test_match_columns(self):
+        ma = MatcherArray(5)
+        ma.reset()
+        ma.compare(np.array([0, 1, 0, 1, 0], dtype=np.uint8), 1)
+        assert list(ma.match_columns()) == [1, 3]
+
+    def test_shape_validation(self):
+        ma = MatcherArray(4)
+        ma.reset()
+        with pytest.raises(MatcherError):
+            ma.compare(np.zeros(3, dtype=np.uint8), 1)
+        with pytest.raises(MatcherError):
+            ma.compare(np.zeros(4, dtype=np.uint8), 2)
+        with pytest.raises(MatcherError):
+            ma.set_enable(np.zeros(5, dtype=np.uint8))
+        with pytest.raises(MatcherError):
+            MatcherArray(0)
+
+    def test_latch_view_readonly(self):
+        ma = MatcherArray(4)
+        with pytest.raises(ValueError):
+            ma.latches[0] = 0
+
+    def test_compare_count(self):
+        ma = MatcherArray(4)
+        ma.reset()
+        for _ in range(5):
+            ma.compare(np.zeros(4, dtype=np.uint8), 0)
+        assert ma.compare_count == 5
+        ma.reset()
+        assert ma.compare_count == 0
+
+    @given(st.integers(0, 2**10 - 1), st.integers(0, 2**10 - 1))
+    def test_exact_match_semantics(self, ref, query):
+        """After feeding all bits, latch == (ref == query)."""
+        ma = MatcherArray(1)
+        ma.reset()
+        for i in range(9, -1, -1):
+            ma.compare(
+                np.array([(ref >> i) & 1], dtype=np.uint8), (query >> i) & 1
+            )
+        assert bool(ma.latches[0]) == (ref == query)
+
+
+class TestEtmPipeline:
+    def test_segment_count(self):
+        assert EtmPipeline(8192, 256).num_segments == 32
+        assert EtmPipeline(100, 30).num_segments == 4
+
+    def test_segment_bounds(self):
+        etm = EtmPipeline(100, 30)
+        assert etm.segment_bounds(3) == range(90, 100)
+        with pytest.raises(EtmError):
+            etm.segment_bounds(4)
+
+    def test_not_terminated_while_alive(self):
+        etm = EtmPipeline(16, 4)
+        latches = np.zeros(16, dtype=np.uint8)
+        latches[9] = 1
+        etm.step(latches)
+        assert not etm.terminated
+        assert etm.live_segments == [2]
+
+    def test_terminates_when_all_dead(self):
+        etm = EtmPipeline(16, 4)
+        etm.step(np.zeros(16, dtype=np.uint8))
+        assert etm.terminated
+
+    def test_figure9_progressive_sweep_drains_with_detection(self):
+        """Zeros sweeping left to right one segment per cycle (Fig 9's
+        example): the drain keeps pace with the sweep, so by the cycle
+        the last segment clears, the SR chain is already empty."""
+        etm = EtmPipeline(16, 4)
+        latches = np.ones(16, dtype=np.uint8)
+        for cycle in range(4):
+            latches[cycle * 4 : (cycle + 1) * 4] = 0
+            etm.step(latches)
+        assert etm.terminated
+        assert etm.flush_cycles_after_last_row() == 0
+
+    def test_figure9_sudden_death_needs_flush(self):
+        """All latches dying at once leaves stale 1s in the SR chain;
+        flushing them takes up to one cycle per segment (Fig 9's 'extra
+        cycle', Section IV-A's worst case)."""
+        etm = EtmPipeline(16, 4)
+        etm.step(np.ones(16, dtype=np.uint8))
+        etm.step(np.zeros(16, dtype=np.uint8))
+        assert etm.terminated  # detector is the parallel per-segment OR
+        assert etm.flush_cycles_after_last_row() == 3
+
+    def test_flush_cycles_bounded_by_segments(self):
+        etm = EtmPipeline(1024, 256)
+        etm.step(np.ones(1024, dtype=np.uint8))
+        assert 0 < etm.flush_cycles_after_last_row() <= etm.num_segments
+
+    def test_flush_zero_after_drain(self):
+        etm = EtmPipeline(16, 4)
+        zeros = np.zeros(16, dtype=np.uint8)
+        for _ in range(etm.num_segments + 1):
+            etm.step(zeros)
+        assert etm.flush_cycles_after_last_row() == 0
+
+    def test_reset(self):
+        etm = EtmPipeline(16, 4)
+        etm.step(np.zeros(16, dtype=np.uint8))
+        etm.reset()
+        assert not etm.terminated
+        assert etm.cycles == 0
+
+    def test_bsr_mirrors_segments(self):
+        etm = EtmPipeline(16, 4)
+        latches = np.zeros(16, dtype=np.uint8)
+        latches[5] = 1
+        etm.step(latches)
+        np.testing.assert_array_equal(etm.bsr, [0, 1, 0, 0])
+
+    def test_shape_validation(self):
+        etm = EtmPipeline(16, 4)
+        with pytest.raises(EtmError):
+            etm.step(np.zeros(8, dtype=np.uint8))
+        with pytest.raises(EtmError):
+            EtmPipeline(0)
+        with pytest.raises(EtmError):
+            EtmPipeline(16, 0)
+
+    @given(st.integers(0, 63))
+    def test_single_survivor_never_terminates(self, pos):
+        etm = EtmPipeline(64, 16)
+        latches = np.zeros(64, dtype=np.uint8)
+        latches[pos] = 1
+        for _ in range(10):
+            etm.step(latches)
+            assert not etm.terminated
+
+
+class TestColumnFinder:
+    def _find(self, width, seg, pos):
+        etm = EtmPipeline(width, seg)
+        cf = ColumnFinder(etm)
+        latches = np.zeros(width, dtype=np.uint8)
+        latches[pos] = 1
+        return cf.find(latches)
+
+    def test_finds_column(self):
+        result = self._find(64, 16, 37)
+        assert result.column == 37
+        assert result.segment == 2
+
+    def test_paper_composition_formula(self):
+        """column = segment x (#cols/segment) + in-segment index."""
+        result = self._find(1024, 256, 700)
+        assert result.segment == 2
+        assert result.column == 2 * 256 + (700 - 512)
+
+    def test_cycle_costs(self):
+        result = self._find(64, 16, 37)
+        assert result.bsr_shift_cycles == 3  # segments 0,1,2
+        assert result.copy_cycles == 1
+        assert result.rs_shift_cycles == 6  # in-segment index 5 + 1
+        assert result.total_cycles == 10
+        assert result.critical_path_cycles == 4
+
+    def test_worst_case_bound(self):
+        etm = EtmPipeline(8192, 256)
+        cf = ColumnFinder(etm)
+        assert cf.worst_case_cycles() == 32 + 1 + 256
+
+    def test_paper_no_contention_bound(self):
+        """CF worst case (~289 I/O cycles here, 1032 in the paper's
+        config) is far below a hit's ~4800 cycles, so consecutive hits
+        never contend (Section IV-A)."""
+        etm = EtmPipeline(8192, 256)
+        cf = ColumnFinder(etm)
+        row_cycles_per_hit = 62 * 60  # 62 rows x (~50 ns / 0.833 ns)
+        assert cf.worst_case_cycles() < row_cycles_per_hit
+
+    def test_no_match_raises(self):
+        etm = EtmPipeline(16, 4)
+        with pytest.raises(ColumnFinderError):
+            ColumnFinder(etm).find(np.zeros(16, dtype=np.uint8))
+
+    def test_multiple_matches_raise(self):
+        etm = EtmPipeline(16, 4)
+        latches = np.zeros(16, dtype=np.uint8)
+        latches[[2, 9]] = 1
+        with pytest.raises(ColumnFinderError):
+            ColumnFinder(etm).find(latches)
+
+    def test_shape_validation(self):
+        etm = EtmPipeline(16, 4)
+        with pytest.raises(ColumnFinderError):
+            ColumnFinder(etm).find(np.ones(8, dtype=np.uint8))
+
+    @given(st.integers(1, 8192 - 1))
+    def test_any_position_recovered(self, pos):
+        result = self._find(8192, 256, pos)
+        assert result.column == pos
+        assert result.total_cycles <= ColumnFinder(EtmPipeline(8192, 256)).worst_case_cycles()

@@ -1,0 +1,259 @@
+"""Tests for the trace-driven analytic performance model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram import SIEVE_4GB, SIEVE_32GB
+from repro.sieve import (
+    EspModel,
+    ModelError,
+    SieveModelConfig,
+    Type1Model,
+    Type2Model,
+    Type3Model,
+    WorkloadStats,
+)
+from repro.sieve.perfmodel import QueryCost
+
+
+def make_workload(hit_rate=0.01, num_kmers=10**7, k=31, name="wl"):
+    return WorkloadStats(
+        name=name, k=k, num_kmers=num_kmers, hit_rate=hit_rate,
+        esp=EspModel.paper_fig6(k),
+    )
+
+
+class TestEspModel:
+    def test_paper_fig6_anchors(self):
+        """96.9 % within 5 bases, 0.17 % full scans (before the lag)."""
+        esp = EspModel.paper_fig6(31, interrupt_lag_rows=0)
+        within_10 = sum(esp.probabilities[:10])
+        assert within_10 == pytest.approx(0.969, abs=0.002)
+        assert esp.probabilities[-1] == pytest.approx(0.0017, abs=2e-4)
+
+    def test_mean_rows_in_expected_band(self):
+        """Mean termination ~6-9 rows: what gives ETM its ~5-7x gain."""
+        esp = EspModel.paper_fig6(31)
+        assert 5.0 < esp.mean_rows() < 9.0
+
+    def test_interrupt_lag_shifts_mean(self):
+        lag0 = EspModel.paper_fig6(31, interrupt_lag_rows=0)
+        lag2 = EspModel.paper_fig6(31, interrupt_lag_rows=2)
+        assert lag2.mean_rows() == pytest.approx(lag0.mean_rows() + 2, abs=0.1)
+
+    def test_probabilities_sum_to_one(self):
+        esp = EspModel.paper_fig6(31)
+        assert sum(esp.probabilities) == pytest.approx(1.0)
+
+    def test_support_is_2k(self):
+        assert EspModel.paper_fig6(31).total_rows == 62
+        assert EspModel.paper_fig6(15).total_rows == 30
+
+    def test_from_rows(self):
+        esp = EspModel.from_rows([1, 1, 2, 62, 70], total_rows=62)
+        assert esp.probabilities[0] == pytest.approx(0.4)
+        assert esp.probabilities[1] == pytest.approx(0.2)
+        assert esp.probabilities[61] == pytest.approx(0.4)  # 62 and clamped 70
+        assert esp.mean_rows() > 1
+
+    def test_from_rows_ignores_filtered(self):
+        esp = EspModel.from_rows([0, 0, 5], total_rows=62)
+        assert esp.probabilities[4] == pytest.approx(1.0)
+
+    def test_from_rows_empty_raises(self):
+        with pytest.raises(ModelError):
+            EspModel.from_rows([0, 0], total_rows=62)
+
+    def test_uniform_random_grows_with_candidates(self):
+        few = EspModel.uniform_random(31, candidates=8)
+        many = EspModel.uniform_random(31, candidates=8192)
+        assert many.mean_rows() > few.mean_rows()
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            EspModel(())
+        with pytest.raises(ModelError):
+            EspModel((0.5, 0.4))  # does not sum to 1
+        with pytest.raises(ModelError):
+            EspModel.paper_fig6(5)  # 2k too small
+        with pytest.raises(ModelError):
+            EspModel.paper_fig6(31, head_prob=1.5)
+
+    @given(st.integers(6, 32), st.integers(0, 2))
+    def test_always_valid_distribution(self, k, lag):
+        esp = EspModel.paper_fig6(k, interrupt_lag_rows=lag)
+        assert sum(esp.probabilities) == pytest.approx(1.0)
+        assert 1.0 <= esp.mean_rows() <= 2 * k
+
+
+class TestWorkloadStats:
+    def test_validation(self):
+        esp = EspModel.paper_fig6(31)
+        with pytest.raises(ModelError):
+            WorkloadStats("w", 31, 0, 0.5, esp)
+        with pytest.raises(ModelError):
+            WorkloadStats("w", 31, 10, 1.5, esp)
+        with pytest.raises(ModelError):
+            WorkloadStats("w", 15, 10, 0.5, esp)  # ESP support mismatch
+
+    def test_with_hit_rate(self):
+        wl = make_workload(hit_rate=0.01)
+        adv = wl.with_hit_rate(1.0)
+        assert adv.hit_rate == 1.0
+        assert adv.num_kmers == wl.num_kmers
+
+    def test_dispatched(self):
+        wl = WorkloadStats(
+            "w", 31, 1000, 0.1, EspModel.paper_fig6(31),
+            index_filtered_fraction=0.2,
+        )
+        assert wl.dispatched_kmers == pytest.approx(800)
+
+    def test_from_functional(self, small_device, small_dataset):
+        queries = [
+            k for r in small_dataset.reads for k in r.kmers(small_dataset.k)
+        ][:200]
+        small_device.lookup_many(queries)
+        wl = WorkloadStats.from_functional(
+            "measured", small_dataset.k, small_device.stats
+        )
+        assert wl.num_kmers == small_device.stats.queries
+        assert 0.0 <= wl.hit_rate <= 1.0
+        assert wl.esp.total_rows == 2 * small_dataset.k
+
+
+class TestQueryCost:
+    def test_bank_time_rule(self):
+        cost = QueryCost(matching_ns=800.0, io_ns=100.0, energy_nj=1.0)
+        assert cost.bank_time_ns(1) == 800.0
+        assert cost.bank_time_ns(8) == 100.0  # io floor binds
+        assert cost.bank_time_ns(4) == 200.0
+        with pytest.raises(ModelError):
+            cost.bank_time_ns(0)
+
+
+class TestTypeModels:
+    def test_design_names(self):
+        assert Type1Model().design == "T1"
+        assert Type2Model(compute_buffers_per_bank=16).design == "T2.16CB"
+        assert Type3Model(concurrent_subarrays=8).design == "T3.8SA"
+        assert Type3Model(concurrent_subarrays=8, etm_enabled=False).design == "T3.8SA.noETM"
+
+    def test_type_ranking(self):
+        """T3 > T2 > T1 in throughput (the paper's headline ordering)."""
+        wl = make_workload()
+        t1 = Type1Model().run(wl).time_s
+        t2 = Type2Model(compute_buffers_per_bank=16).run(wl).time_s
+        t3 = Type3Model(concurrent_subarrays=8).run(wl).time_s
+        assert t3 < t2 < t1
+
+    def test_etm_gain_in_paper_band(self):
+        """ETM contributes ~5-7x for Type-3 (Figure 13 discussion)."""
+        wl = make_workload()
+        with_etm = Type3Model(concurrent_subarrays=8).run(wl).time_s
+        without = Type3Model(concurrent_subarrays=8, etm_enabled=False).run(wl).time_s
+        assert 4.0 < without / with_etm < 8.0
+
+    def test_salp_plateau(self):
+        """Fig 16: speedup saturates around 8 concurrent subarrays."""
+        wl = make_workload()
+        times = {
+            sa: Type3Model(concurrent_subarrays=sa).run(wl).time_s
+            for sa in (1, 2, 4, 8, 16, 32, 64, 128)
+        }
+        assert times[2] == pytest.approx(times[1] / 2, rel=0.01)
+        assert times[16] == pytest.approx(times[8], rel=0.01)
+        assert times[128] == pytest.approx(times[8], rel=0.01)
+
+    def test_type2_more_cbs_faster(self):
+        wl = make_workload()
+        times = [
+            Type2Model(compute_buffers_per_bank=cb).run(wl).time_s
+            for cb in (1, 4, 16, 64, 128)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_type2_128cb_slightly_trails_t3_1sa(self):
+        wl = make_workload()
+        t2 = Type2Model(compute_buffers_per_bank=128).run(wl).time_s
+        t3 = Type3Model(concurrent_subarrays=1).run(wl).time_s
+        assert 1.0 < t2 / t3 < 1.3
+
+    def test_t1_between_t2_1cb_bounds(self):
+        """Paper: T2.1CB is 1.39x-1.94x faster than T1."""
+        wl = make_workload()
+        t1 = Type1Model().run(wl).time_s
+        t2 = Type2Model(compute_buffers_per_bank=1).run(wl).time_s
+        assert 1.3 < t1 / t2 < 2.1
+
+    def test_capacity_proportional_performance(self):
+        """Section VI-B: Sieve throughput scales with memory capacity."""
+        wl = make_workload()
+        small = Type3Model(SieveModelConfig(geometry=SIEVE_4GB), 8).run(wl).time_s
+        large = Type3Model(SieveModelConfig(geometry=SIEVE_32GB), 8).run(wl).time_s
+        assert small / large == pytest.approx(8.0, rel=0.01)
+
+    def test_hit_rate_sensitivity(self):
+        """More hits -> more row activations -> slower (C.MT.BG effect)."""
+        lo = Type2Model(compute_buffers_per_bank=16).run(make_workload(hit_rate=0.01))
+        hi = Type2Model(compute_buffers_per_bank=16).run(make_workload(hit_rate=0.0328))
+        assert hi.time_s > lo.time_s
+        assert hi.energy_j > lo.energy_j
+
+    def test_adversarial_all_hit_still_faster_than_nothing(self):
+        wl = make_workload(hit_rate=1.0)
+        res = Type3Model(concurrent_subarrays=8, etm_enabled=False).run(wl)
+        assert res.time_s > 0
+
+    def test_energy_breakdown_components(self):
+        wl = make_workload()
+        res = Type3Model(concurrent_subarrays=8).run(wl)
+        b = res.breakdown
+        assert b["dynamic_j"] + b["background_j"] + b["host_j"] == pytest.approx(
+            res.energy_j
+        )
+        assert res.throughput_qps > 0
+
+    def test_interconnect_overhead_applied(self):
+        wl = make_workload()
+        no_ic = Type3Model(SieveModelConfig(interconnect_overhead=0.0), 8)
+        with_ic = Type3Model(SieveModelConfig(interconnect_overhead=0.055), 8)
+        assert with_ic.run(wl).time_s == pytest.approx(
+            no_ic.run(wl).time_s * 1.055
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ModelError):
+            Type3Model(concurrent_subarrays=0)
+        with pytest.raises(ModelError):
+            Type3Model(concurrent_subarrays=1000)
+        with pytest.raises(ModelError):
+            Type2Model(compute_buffers_per_bank=0)
+        with pytest.raises(ModelError):
+            Type2Model(compute_buffers_per_bank=1000)
+
+    def test_type2_hop_arithmetic(self):
+        m1 = Type2Model(compute_buffers_per_bank=1)
+        m128 = Type2Model(compute_buffers_per_bank=128)
+        assert m1.subarrays_per_group == 128
+        assert m128.subarrays_per_group == 1
+        assert m1.mean_hops == pytest.approx(64.5)
+        assert m128.mean_hops == pytest.approx(1.0)
+
+    def test_type1_live_batches_decay(self):
+        wl = make_workload()
+        live = Type1Model().live_batches_by_row(wl)
+        assert live[0] == pytest.approx(128, rel=0.01)
+        assert live[-1] < 2.0
+        assert all(a >= b for a, b in zip(live, live[1:]))
+
+    def test_type1_etm_off_reads_everything(self):
+        wl = make_workload(hit_rate=0.0)
+        on = Type1Model(etm_enabled=True).query_cost(wl)
+        off = Type1Model(etm_enabled=False).query_cost(wl)
+        assert off.matching_ns > on.matching_ns
+
+    def test_scaling_linear_in_kmers(self):
+        small = Type3Model(concurrent_subarrays=8).run(make_workload(num_kmers=10**6))
+        large = Type3Model(concurrent_subarrays=8).run(make_workload(num_kmers=10**8))
+        assert large.time_s / small.time_s == pytest.approx(100.0, rel=0.01)

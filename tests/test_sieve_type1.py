@@ -1,0 +1,167 @@
+"""Tests for the bit-accurate Type-1 bank simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sieve import Type1BankSim, Type1Layout
+from repro.sieve.layout import LayoutError
+from repro.sieve.type1 import BATCH_BITS, Type1Error
+
+
+@pytest.fixture(scope="module")
+def t1_layout():
+    return Type1Layout(k=8, row_bits=128, rows=128)
+
+
+@pytest.fixture(scope="module")
+def t1_records(t1_layout):
+    rng = np.random.default_rng(17)
+    kmers = sorted(
+        int(x) for x in rng.choice(4**t1_layout.k, size=90, replace=False)
+    )
+    return [(kmer, 300 + i) for i, kmer in enumerate(kmers)]
+
+
+@pytest.fixture()
+def t1_sim(t1_layout, t1_records):
+    return Type1BankSim(t1_layout, t1_records)
+
+
+class TestType1Layout:
+    def test_no_pattern_groups(self, t1_layout):
+        """Type-1 rows hold references only (queries live in the QR)."""
+        assert t1_layout.refs_per_row == t1_layout.row_bits
+
+    def test_batches(self, t1_layout):
+        assert t1_layout.num_batches == 128 // BATCH_BITS == 2
+
+    def test_paper_geometry(self):
+        layout = Type1Layout(k=31)
+        assert layout.num_batches == 128  # Figure 12: 8192/64
+        assert layout.kmer_rows == 62
+
+    def test_rows_budget(self):
+        with pytest.raises(LayoutError):
+            Type1Layout(k=31, row_bits=8192, rows=60)
+
+    def test_row_bits_multiple_of_batch(self):
+        with pytest.raises(LayoutError):
+            Type1Layout(k=8, row_bits=100)
+
+    def test_offset_payload_locations(self, t1_layout):
+        for slot in (0, t1_layout.refs_per_row - 1):
+            row, col = t1_layout.offset_location(slot)
+            assert t1_layout.kmer_rows <= row < t1_layout.kmer_rows + t1_layout.offset_rows
+            assert 0 <= col < t1_layout.row_bits
+
+
+class TestType1Matching:
+    def test_every_stored_kmer_hits(self, t1_sim, t1_records):
+        for kmer, payload in t1_records:
+            outcome = t1_sim.match(kmer)
+            assert outcome.hit
+            assert outcome.payload == payload
+
+    def test_misses(self, t1_sim, t1_records, rng):
+        stored = {k for k, _ in t1_records}
+        misses = 0
+        while misses < 20:
+            q = int(rng.integers(0, 4**8))
+            if q in stored:
+                continue
+            outcome = t1_sim.match(q)
+            assert not outcome.hit
+            assert outcome.payload is None
+            misses += 1
+
+    def test_hit_column_matches_slot(self, t1_sim, t1_records):
+        for slot, (kmer, _) in enumerate(t1_records[:10]):
+            outcome = t1_sim.match(kmer)
+            assert outcome.column == slot
+
+    def test_skbr_prunes_batch_reads(self, t1_sim, t1_layout, t1_records, rng):
+        """Once candidates die, their batches stop being burst-read."""
+        stored = {k for k, _ in t1_records}
+        full = t1_layout.kmer_rows * t1_layout.num_batches
+        q = next(int(x) for x in rng.integers(0, 4**8, size=200)
+                 if int(x) not in stored)
+        outcome = t1_sim.match(q)
+        assert outcome.batch_reads < full
+
+    def test_etm_terminates_misses(self, t1_layout, t1_records, rng):
+        sim = Type1BankSim(t1_layout, t1_records)
+        stored = {k for k, _ in t1_records}
+        early = 0
+        for _ in range(20):
+            q = int(rng.integers(0, 4**8))
+            if q in stored:
+                continue
+            outcome = sim.match(q)
+            if outcome.terminated_early:
+                early += 1
+                assert outcome.rows_activated < t1_layout.kmer_rows
+        assert early > 0
+
+    def test_etm_disabled_scans_all_rows(self, t1_layout, t1_records, rng):
+        sim = Type1BankSim(t1_layout, t1_records, etm_enabled=False)
+        stored = {k for k, _ in t1_records}
+        q = next(int(x) for x in rng.integers(0, 4**8, size=200)
+                 if int(x) not in stored)
+        outcome = sim.match(q)
+        assert outcome.rows_activated == t1_layout.kmer_rows
+        assert not outcome.terminated_early
+
+    def test_hit_reads_payload_rows(self, t1_sim, t1_layout, t1_records):
+        outcome = t1_sim.match(t1_records[0][0])
+        assert outcome.rows_activated == t1_layout.kmer_rows + 2
+
+    def test_agrees_with_type23_functional(self, t1_records, rng):
+        """Type-1 and Type-2/3 functional simulators return identical
+        hit/payload answers on the same records."""
+        from repro.sieve import SieveSubarraySim, SubarrayLayout
+
+        t1 = Type1BankSim(Type1Layout(k=8, row_bits=128, rows=128), t1_records)
+        layout23 = SubarrayLayout(
+            k=8, row_bits=128, rows_per_subarray=128,
+            refs_per_group=30, queries_per_group=2,
+        )
+        t23 = SieveSubarraySim(layout23, t1_records[: layout23.refs_per_subarray])
+        common = t1_records[: layout23.refs_per_subarray]
+        stored = {k for k, _ in common}
+        queries = [k for k, _ in common[:10]]
+        queries += [int(x) for x in rng.integers(0, 4**8, size=10)
+                    if int(x) not in stored]
+        for q in queries:
+            a = t1.match(q) if q in stored or True else None
+            b = t23.match_query(q)
+            if q in stored:
+                assert a.hit == b.hit == True  # noqa: E712
+                assert a.payload == b.payload
+            else:
+                assert a.hit == b.hit == False  # noqa: E712
+
+    def test_validation(self, t1_layout, t1_records):
+        with pytest.raises(Type1Error):
+            Type1BankSim(t1_layout, [(5, 1), (3, 2)])
+        with pytest.raises(LayoutError):
+            Type1BankSim(t1_layout, [(i, i) for i in range(129)])
+        sim = Type1BankSim(t1_layout, t1_records)
+        with pytest.raises(Type1Error):
+            sim.match(4**8)
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.data())
+    def test_equivalence_with_dict(self, data):
+        k = 6
+        layout = Type1Layout(k=k, row_bits=64, rows=128)
+        kmers = data.draw(st.sets(st.integers(0, 4**k - 1), min_size=1, max_size=60))
+        records = [(kmer, 40 + kmer % 13) for kmer in sorted(kmers)]
+        sim = Type1BankSim(layout, records)
+        table = dict(records)
+        for q in data.draw(
+            st.lists(st.integers(0, 4**k - 1), min_size=1, max_size=6)
+        ):
+            outcome = sim.match(q)
+            assert outcome.hit == (q in table)
+            assert outcome.payload == table.get(q)

@@ -1,0 +1,115 @@
+"""Tests for the bit-accurate Type-2 subarray-group simulator."""
+
+import numpy as np
+import pytest
+
+from repro.sieve import SieveSubarraySim, SubarrayLayout, Type2GroupSim
+from repro.sieve.type2 import Type2Error
+
+
+@pytest.fixture(scope="module")
+def group_layout():
+    return SubarrayLayout(
+        k=9, row_bits=64, rows_per_subarray=160,
+        refs_per_group=12, queries_per_group=4, layers=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def group_records(group_layout):
+    """Three member subarrays' worth of sorted records."""
+    rng = np.random.default_rng(31)
+    per = group_layout.refs_per_subarray
+    kmers = sorted(
+        int(x) for x in rng.choice(4**9, size=3 * per, replace=False)
+    )
+    records = [(kmer, 600 + i) for i, kmer in enumerate(kmers)]
+    return [records[i * per : (i + 1) * per] for i in range(3)]
+
+
+@pytest.fixture()
+def group(group_layout, group_records):
+    return Type2GroupSim(group_layout, group_records)
+
+
+class TestType2Routing:
+    def test_hops_geometry(self, group):
+        """Bottom member is 1 hop from the CB, top member `size` hops."""
+        assert group.size == 3
+        assert group.hops_from(2) == 1
+        assert group.hops_from(0) == 3
+        with pytest.raises(Type2Error):
+            group.hops_from(3)
+
+    def test_route_member_by_range(self, group, group_records):
+        for idx, records in enumerate(group_records):
+            assert group.route_member(records[0][0]) == idx
+            assert group.route_member(records[-1][0]) == idx
+
+    def test_needs_members(self, group_layout):
+        with pytest.raises(Type2Error):
+            Type2GroupSim(group_layout, [])
+
+
+class TestType2Matching:
+    def test_hits_in_every_member(self, group, group_records):
+        for idx, records in enumerate(group_records):
+            kmer, payload = records[len(records) // 2]
+            outcome = group.match_query(kmer)
+            assert outcome.base.hit
+            assert outcome.base.payload == payload
+            assert outcome.source_subarray == idx
+            assert outcome.hops_per_row == group.hops_from(idx)
+
+    def test_misses(self, group, group_records, rng):
+        stored = {k for recs in group_records for k, _ in recs}
+        misses = 0
+        while misses < 15:
+            q = int(rng.integers(0, 4**9))
+            if q in stored:
+                continue
+            outcome = group.match_query(q)
+            assert not outcome.base.hit
+            misses += 1
+
+    def test_hop_accounting(self, group, group_records):
+        """Every activated row pays the member's hop distance."""
+        group.total_hops = 0
+        kmer, _ = group_records[0][len(group_records[0]) // 2]
+        outcome = group.match_query(kmer)
+        assert outcome.total_hops == outcome.base.rows_activated * 3
+        assert group.total_hops == outcome.total_hops
+
+    def test_bottom_member_cheapest(self, group, group_records):
+        """The member adjacent to the CB relays the fewest hops —
+        the mechanism behind the Figure 17 compute-buffer sweep."""
+        top = group.match_query(group_records[0][0][0])
+        bottom = group.match_query(group_records[2][0][0])
+        assert bottom.hops_per_row < top.hops_per_row
+
+    def test_agrees_with_type3(self, group_layout, group_records, rng):
+        """Type-2 and Type-3 functional models give identical answers;
+        only the data movement differs."""
+        group = Type2GroupSim(group_layout, group_records)
+        t3 = [
+            SieveSubarraySim(group_layout, records)
+            for records in group_records
+        ]
+        stored = {k for recs in group_records for k, _ in recs}
+        queries = [recs[0][0] for recs in group_records]
+        queries += [int(x) for x in rng.integers(0, 4**9, size=10)]
+        for q in queries:
+            t2_out = group.match_query(q)
+            member = group.route_member(q)
+            t3_out = t3[member].match_query(q)
+            assert t2_out.base.hit == t3_out.hit == (q in stored)
+            assert t2_out.base.payload == t3_out.payload
+            assert t2_out.base.rows_activated == t3_out.rows_activated
+
+    def test_etm_disabled_scans_all(self, group_layout, group_records, rng):
+        group = Type2GroupSim(group_layout, group_records, etm_enabled=False)
+        stored = {k for recs in group_records for k, _ in recs}
+        q = next(int(x) for x in rng.integers(0, 4**9, size=200)
+                 if int(x) not in stored)
+        outcome = group.match_query(q)
+        assert outcome.base.rows_activated == group_layout.kmer_rows

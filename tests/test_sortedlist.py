@@ -1,0 +1,91 @@
+"""Tests for the flat sorted-list baseline."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines import (
+    SortedKmerList,
+    SortedListClassifier,
+    SortedListError,
+)
+
+
+def _records(n=120, k=8, seed=5):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    kmers = sorted(int(x) for x in rng.choice(4**k, size=n, replace=False))
+    return [(kmer, 100 + i) for i, kmer in enumerate(kmers)]
+
+
+class TestSortedKmerList:
+    def test_lookup_all(self):
+        records = _records()
+        index = SortedKmerList(records)
+        for kmer, taxon in records:
+            assert index.lookup(kmer) == taxon
+
+    def test_miss(self):
+        records = _records()
+        stored = {k for k, _ in records}
+        index = SortedKmerList(records)
+        miss = next(x for x in range(4**8) if x not in stored)
+        assert index.lookup(miss) is None
+
+    def test_probe_count_logarithmic(self):
+        records = _records(1000, k=8, seed=9)
+        index = SortedKmerList(records)
+        worst = max(index.traced_lookup(k).probes for k, _ in records)
+        assert worst <= math.ceil(math.log2(len(records))) + 1
+        assert index.expected_probes() == pytest.approx(math.log2(1000))
+
+    def test_traced_addresses_are_record_aligned(self):
+        index = SortedKmerList(_records())
+        trace = index.traced_lookup(_records()[3][0])
+        assert all(addr % 12 == 0 for addr in trace.addresses)
+        assert len(trace.addresses) == trace.probes
+
+    def test_probes_touch_distant_lines(self):
+        """The memory-wall point: successive binary-search probes land on
+        different cache lines for any large array."""
+        records = _records(4000, k=8, seed=2)
+        index = SortedKmerList(records)
+        trace = index.traced_lookup(records[1][0])
+        lines = {addr // 64 for addr in trace.addresses}
+        assert len(lines) >= trace.probes - 2
+
+    def test_memory_bytes(self):
+        index = SortedKmerList(_records(50))
+        assert index.memory_bytes() == 50 * 12
+
+    def test_validation(self):
+        with pytest.raises(SortedListError):
+            SortedKmerList([])
+        with pytest.raises(SortedListError):
+            SortedKmerList([(1, 2), (1, 3)])
+
+    @given(st.sets(st.integers(0, 4**8 - 1), min_size=1, max_size=150))
+    def test_equivalence_with_dict(self, kmers):
+        records = [(k, k % 83) for k in sorted(kmers)]
+        index = SortedKmerList(records)
+        reference = dict(records)
+        for k in sorted(kmers):
+            assert index.lookup(k) == reference[k]
+
+
+class TestSortedListClassifier:
+    def test_agrees_with_database(self, small_dataset):
+        classifier = SortedListClassifier(small_dataset.database)
+        for read in small_dataset.reads[:8]:
+            for kmer in read.kmers(small_dataset.k):
+                assert classifier.lookup(kmer) == small_dataset.database.lookup(kmer)
+
+    def test_canonical_mode(self):
+        from repro.genomics import KmerDatabase, encode_kmer
+
+        db = KmerDatabase(k=5, canonical=True)
+        db.add(encode_kmer("AACTG"), 7)
+        classifier = SortedListClassifier(db)
+        assert classifier.lookup(encode_kmer("CAGTT")) == 7

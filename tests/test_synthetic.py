@@ -1,0 +1,166 @@
+"""Tests for the synthetic genome/read/database generators."""
+
+import numpy as np
+import pytest
+
+from repro.genomics import (
+    TABLE_II_PROFILES,
+    build_dataset,
+    mutate,
+    random_genome,
+    simulate_reads,
+)
+from repro.genomics.sequence import DnaSequence
+from repro.genomics.synthetic import GenerationError
+
+
+class TestRandomGenome:
+    def test_length_and_alphabet(self, rng):
+        genome = random_genome(rng, 500, "g", taxon_id=4)
+        assert len(genome) == 500
+        assert set(genome.bases) <= set("ACGT")
+        assert genome.taxon_id == 4
+
+    def test_deterministic_by_seed(self):
+        a = random_genome(np.random.default_rng(7), 100)
+        b = random_genome(np.random.default_rng(7), 100)
+        assert a.bases == b.bases
+
+    def test_invalid_length(self, rng):
+        with pytest.raises(GenerationError):
+            random_genome(rng, 0)
+
+
+class TestMutate:
+    def test_zero_rate_identity(self, rng):
+        seq = DnaSequence("r", "ACGT" * 20)
+        assert mutate(seq, 0.0, rng).bases == seq.bases
+
+    def test_full_rate_changes_everything(self, rng):
+        seq = DnaSequence("r", "A" * 200)
+        mutated = mutate(seq, 1.0, rng)
+        assert all(b != "A" for b in mutated.bases)
+
+    def test_rate_roughly_respected(self):
+        rng = np.random.default_rng(3)
+        seq = DnaSequence("r", "A" * 10_000)
+        mutated = mutate(seq, 0.05, rng)
+        diffs = sum(a != b for a, b in zip(seq.bases, mutated.bases))
+        assert 300 < diffs < 700  # ~500 expected
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(GenerationError):
+            mutate(DnaSequence("r", "ACGT"), 1.5, rng)
+
+    def test_preserves_metadata(self, rng):
+        seq = DnaSequence("r", "ACGT" * 5, taxon_id=9)
+        assert mutate(seq, 0.5, rng).taxon_id == 9
+
+
+class TestSimulateReads:
+    def test_read_properties(self, rng):
+        genome = random_genome(rng, 300, "g", taxon_id=7)
+        reads = list(simulate_reads([genome], 20, 50, 0.0, rng))
+        assert len(reads) == 20
+        for read in reads:
+            assert len(read) == 50
+            assert read.taxon_id == 7
+            assert read.bases in genome.bases  # error-free windows
+
+    def test_novel_fraction_one(self, rng):
+        reads = list(simulate_reads([], 10, 40, 0.0, rng, novel_fraction=1.0))
+        assert len(reads) == 10
+        assert all(r.taxon_id is None for r in reads)
+
+    def test_novel_fraction_statistics(self):
+        rng = np.random.default_rng(11)
+        genome = random_genome(rng, 500, "g", taxon_id=7)
+        reads = list(simulate_reads([genome], 400, 50, 0.0, rng, novel_fraction=0.5))
+        novel = sum(1 for r in reads if r.taxon_id is None)
+        assert 140 < novel < 260
+
+    def test_needs_genomes(self, rng):
+        with pytest.raises(GenerationError):
+            list(simulate_reads([], 5, 40, 0.0, rng))
+
+    def test_genome_too_short(self, rng):
+        genome = random_genome(rng, 10)
+        with pytest.raises(GenerationError):
+            list(simulate_reads([genome], 5, 40, 0.0, rng))
+
+    def test_bad_novel_fraction(self, rng):
+        genome = random_genome(rng, 100)
+        with pytest.raises(GenerationError):
+            list(simulate_reads([genome], 5, 40, 0.0, rng, novel_fraction=2.0))
+
+
+class TestProfiles:
+    def test_table_ii_complete(self):
+        assert set(TABLE_II_PROFILES) == {"HA", "MA", "SA", "HT", "MT", "ST"}
+
+    def test_table_ii_row_values(self):
+        ma = TABLE_II_PROFILES["MA"]
+        assert ma.num_sequences == 10_000
+        assert ma.read_length == 157
+        # Table II: 1.27e6 k-mers for MiSeq accuracy at k=31.
+        assert ma.kmer_count(31) == 10_000 * (157 - 31 + 1)
+        assert ma.kmer_count(31) == pytest.approx(1.27e6, rel=0.01)
+
+    def test_timing_profiles_scale(self):
+        st_profile = TABLE_II_PROFILES["ST"]
+        assert st_profile.kmer_count(31) == pytest.approx(7.0e9, rel=0.01)
+
+    def test_scaled_count_override(self):
+        ht = TABLE_II_PROFILES["HT"]
+        assert ht.kmer_count(31, num_sequences=100) == 100 * 62
+
+
+class TestBuildDataset:
+    def test_structure(self, small_dataset):
+        assert small_dataset.k == 9
+        assert len(small_dataset.genomes) == 4
+        assert len(small_dataset.reads) == 30
+        assert len(small_dataset.database) > 0
+
+    def test_reads_inherit_taxa(self, small_dataset):
+        sourced = [r for r in small_dataset.reads if r.taxon_id is not None]
+        species = {g.taxon_id for g in small_dataset.genomes}
+        assert sourced
+        assert all(r.taxon_id in species for r in sourced)
+
+    def test_hit_rate_with_no_errors_no_novel(self):
+        ds = build_dataset(
+            k=9, num_species=2, genome_length=200, num_reads=20,
+            read_length=60, error_rate=0.0, novel_fraction=0.0, seed=5,
+        )
+        assert ds.measured_hit_rate() == 1.0
+
+    def test_novel_fraction_lowers_hit_rate(self):
+        clean = build_dataset(k=9, num_species=2, genome_length=200,
+                              num_reads=40, read_length=60, error_rate=0.0,
+                              novel_fraction=0.0, seed=5)
+        noisy = build_dataset(k=9, num_species=2, genome_length=200,
+                              num_reads=40, read_length=60, error_rate=0.0,
+                              novel_fraction=0.8, seed=5)
+        assert noisy.measured_hit_rate() < clean.measured_hit_rate()
+
+    def test_profile_controls_read_shape(self):
+        ds = build_dataset(
+            k=31, num_species=2, genome_length=500, num_reads=10,
+            profile=TABLE_II_PROFILES["HA"], seed=3,
+        )
+        assert all(len(r) == 92 for r in ds.reads)
+        assert "scaled" in ds.scale_note
+
+    def test_deterministic(self):
+        a = build_dataset(k=9, num_species=2, genome_length=150,
+                          num_reads=10, read_length=50, seed=77)
+        b = build_dataset(k=9, num_species=2, genome_length=150,
+                          num_reads=10, read_length=50, seed=77)
+        assert [r.bases for r in a.reads] == [r.bases for r in b.reads]
+        assert a.database.sorted_kmers() == b.database.sorted_kmers()
+
+    def test_query_kmers_enumeration(self, small_dataset):
+        pairs = list(small_dataset.query_kmers())
+        expected = sum(r.kmer_count(small_dataset.k) for r in small_dataset.reads)
+        assert len(pairs) == expected

@@ -1,0 +1,198 @@
+"""Tests for the taxonomy tree and the reference k-mer database."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.genomics import (
+    KMER_RECORD_BYTES,
+    DnaSequence,
+    KmerDatabase,
+    Taxonomy,
+    balanced_taxonomy,
+    encode_kmer,
+)
+from repro.genomics.database import DatabaseError
+from repro.genomics.taxonomy import ROOT_TAXON, TaxonomyError
+
+
+class TestTaxonomy:
+    def test_root_exists(self):
+        tax = Taxonomy()
+        assert ROOT_TAXON in tax
+        assert tax.depth(ROOT_TAXON) == 0
+
+    def test_add_and_lineage(self):
+        tax = Taxonomy()
+        tax.add(2, "bacteria", "domain")
+        tax.add(3, "proteo", "phylum", parent_id=2)
+        assert tax.lineage(3) == [1, 2, 3]
+        assert tax.depth(3) == 2
+
+    def test_duplicate_id_rejected(self):
+        tax = Taxonomy()
+        tax.add(2, "x", "domain")
+        with pytest.raises(TaxonomyError):
+            tax.add(2, "y", "domain")
+
+    def test_missing_parent_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy().add(5, "x", "domain", parent_id=99)
+
+    def test_unknown_node(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy().node(42)
+
+    def test_lca_basic(self):
+        tax = Taxonomy()
+        tax.add(2, "d", "domain")
+        tax.add(3, "p1", "phylum", 2)
+        tax.add(4, "p2", "phylum", 2)
+        tax.add(5, "s1", "species", 3)
+        assert tax.lca(5, 4) == 2
+        assert tax.lca(3, 5) == 3
+        assert tax.lca(5, 5) == 5
+
+    def test_lca_with_root(self):
+        tax = Taxonomy()
+        tax.add(2, "d", "domain")
+        assert tax.lca(ROOT_TAXON, 2) == ROOT_TAXON
+
+    def test_lca_many(self):
+        tax = Taxonomy()
+        tax.add(2, "d", "domain")
+        tax.add(3, "p", "phylum", 2)
+        tax.add(4, "q", "phylum", 2)
+        assert tax.lca_many([3, 4, 2]) == 2
+        with pytest.raises(TaxonomyError):
+            tax.lca_many([])
+
+    def test_is_ancestor(self):
+        tax = Taxonomy()
+        tax.add(2, "d", "domain")
+        tax.add(3, "p", "phylum", 2)
+        assert tax.is_ancestor(2, 3)
+        assert not tax.is_ancestor(3, 2)
+
+    def test_leaves(self):
+        tax = Taxonomy()
+        tax.add(2, "d", "domain")
+        tax.add(3, "p", "phylum", 2)
+        assert set(tax.leaves()) == {3}
+
+    def test_linear_chain(self):
+        tax = Taxonomy.linear_chain(["a", "b", "c"])
+        assert len(tax) == 4
+        leaves = list(tax.leaves())
+        assert len(leaves) == 1
+        assert tax.depth(leaves[0]) == 3
+
+
+class TestBalancedTaxonomy:
+    @pytest.mark.parametrize("n", [1, 2, 4, 7, 16, 33])
+    def test_species_count(self, n):
+        tax = balanced_taxonomy(n)
+        species = [t for t in tax.leaves() if tax.node(t).rank == "species"]
+        assert len(species) == n
+
+    def test_every_species_reaches_root(self):
+        tax = balanced_taxonomy(12)
+        for leaf in tax.leaves():
+            assert tax.lineage(leaf)[0] == ROOT_TAXON
+
+    def test_deterministic(self):
+        a = balanced_taxonomy(9)
+        b = balanced_taxonomy(9)
+        assert sorted(a.leaves()) == sorted(b.leaves())
+
+    def test_invalid_params(self):
+        with pytest.raises(TaxonomyError):
+            balanced_taxonomy(0)
+        with pytest.raises(TaxonomyError):
+            balanced_taxonomy(4, branching=1)
+
+
+class TestKmerDatabase:
+    def test_add_lookup(self, tiny_database):
+        assert tiny_database.lookup(encode_kmer("AACTG")) == 7
+        assert tiny_database.lookup(encode_kmer("AAAAA")) is None
+        assert encode_kmer("CCCCC") in tiny_database
+        assert len(tiny_database) == 5
+
+    def test_k_range_validation(self):
+        with pytest.raises(DatabaseError):
+            KmerDatabase(k=0)
+        with pytest.raises(DatabaseError):
+            KmerDatabase(k=33)
+
+    def test_kmer_out_of_range(self, tiny_database):
+        with pytest.raises(DatabaseError):
+            tiny_database.lookup(4**5)
+
+    def test_conflict_without_taxonomy_raises(self):
+        db = KmerDatabase(k=5)
+        db.add(encode_kmer("AACTG"), 7)
+        with pytest.raises(DatabaseError):
+            db.add(encode_kmer("AACTG"), 8)
+
+    def test_conflict_same_taxon_ok(self):
+        db = KmerDatabase(k=5)
+        db.add(encode_kmer("AACTG"), 7)
+        db.add(encode_kmer("AACTG"), 7)
+        assert len(db) == 1
+
+    def test_conflict_lca_merge(self):
+        tax = Taxonomy()
+        tax.add(2, "d", "domain")
+        tax.add(3, "s1", "species", 2)
+        tax.add(4, "s2", "species", 2)
+        db = KmerDatabase(k=5, taxonomy=tax)
+        km = encode_kmer("AACTG")
+        db.add(km, 3)
+        db.add(km, 4)
+        assert db.lookup(km) == 2
+
+    def test_canonical_mode(self):
+        db = KmerDatabase(k=5, canonical=True)
+        db.add(encode_kmer("AACTG"), 7)
+        # reverse complement of AACTG is CAGTT
+        assert db.lookup(encode_kmer("CAGTT")) == 7
+
+    def test_add_genome_counts(self):
+        db = KmerDatabase(k=3)
+        genome = DnaSequence("g", "ACGTAC", taxon_id=5)
+        assert db.add_genome(genome, 5) == 4
+
+    def test_sorted_kmers_ascending(self, small_dataset):
+        kmers = small_dataset.database.sorted_kmers()
+        assert kmers == sorted(kmers)
+        assert len(kmers) == len(set(kmers))
+
+    def test_sorted_records_consistent(self, small_dataset):
+        db = small_dataset.database
+        for kmer, taxon in db.sorted_records():
+            assert db.lookup(kmer) == taxon
+
+    def test_stats(self, tiny_database):
+        stats = tiny_database.stats()
+        assert stats.num_kmers == 5
+        assert stats.num_taxa == 5
+        assert stats.record_bytes == KMER_RECORD_BYTES
+        assert stats.total_bytes == 60
+        assert stats.total_gib == pytest.approx(60 / 2**30)
+
+    def test_from_genomes(self):
+        genomes = [
+            (DnaSequence("a", "ACGTACG"), 2),
+            (DnaSequence("b", "TTTTTTT"), 3),
+        ]
+        db = KmerDatabase.from_genomes(genomes, k=4)
+        assert db.lookup(encode_kmer("ACGT")) == 2
+        assert db.lookup(encode_kmer("TTTT")) == 3
+
+    @given(st.sets(st.integers(0, 4**6 - 1), min_size=1, max_size=50))
+    def test_lookup_matches_insertion(self, kmers):
+        db = KmerDatabase(k=6)
+        for i, kmer in enumerate(sorted(kmers)):
+            db.add(kmer, 100 + i)
+        for i, kmer in enumerate(sorted(kmers)):
+            assert db.lookup(kmer) == 100 + i
