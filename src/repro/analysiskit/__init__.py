@@ -1,0 +1,44 @@
+"""Correctness tooling for the Sieve reproduction.
+
+Two halves (see ``docs/CORRECTNESS.md``):
+
+* **static**: a simulator-aware AST lint pass (``python -m repro.lint``)
+  with rules SV001-SV005 over unit suffixes, float equality, Command
+  exhaustiveness, nondeterminism, and mutable defaults;
+* **dynamic**: a runtime DRAM protocol sanitizer installed into the
+  :mod:`repro.dram.hooks` seam, toggled by ``SIEVE_SANITIZE=1`` or the
+  CLI's ``--sanitize`` flag.
+"""
+
+from .engine import FileSource, Finding, Rule, lint_file, lint_paths
+from .reporting import render_json, render_rule_catalog, render_text
+from .rules import ALL_RULES, rules_by_id
+from .sanitizer import (
+    ProtocolSanitizer,
+    SanitizerError,
+    active_sanitizer,
+    disable_sanitizer,
+    enable_from_env,
+    enable_sanitizer,
+    sanitize_requested,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "FileSource",
+    "Finding",
+    "ProtocolSanitizer",
+    "Rule",
+    "SanitizerError",
+    "active_sanitizer",
+    "disable_sanitizer",
+    "enable_from_env",
+    "enable_sanitizer",
+    "lint_file",
+    "lint_paths",
+    "render_json",
+    "render_rule_catalog",
+    "render_text",
+    "rules_by_id",
+    "sanitize_requested",
+]

@@ -1,0 +1,84 @@
+"""``python -m repro.lint`` — run the simulator-aware lint pass.
+
+Exit status: 0 when clean, 1 when findings exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .engine import lint_paths
+from .reporting import render_json, render_rule_catalog, render_text
+from .rules import rules_by_id
+
+
+def _emit(report: str) -> None:
+    """Print ``report``, tolerating a reader that hung up (e.g. ``| head``)."""
+    try:
+        print(report)
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream closed the pipe early; that is its prerogative, not an
+        # error. Point stdout at devnull so the interpreter's shutdown flush
+        # does not raise a second time, and keep the computed exit code.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "Simulator-aware static analysis: unit-suffix discipline, "
+            "float equality, Command exhaustiveness, nondeterminism, "
+            "mutable defaults. See docs/CORRECTNESS.md."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="IDS",
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _emit(render_rule_catalog())
+        return 0
+
+    try:
+        selected = rules_by_id(
+            [s.strip() for s in args.select.split(",") if s.strip()]
+            if args.select
+            else None
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    try:
+        findings = lint_paths(args.paths, selected)
+    except (OSError, SyntaxError) as exc:
+        print(f"lint failed: {exc}", file=sys.stderr)
+        return 2
+
+    renderer = render_json if args.format == "json" else render_text
+    _emit(renderer(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.lint
+    sys.exit(main())

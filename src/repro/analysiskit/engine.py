@@ -1,0 +1,148 @@
+"""Lint engine: file discovery, suppression parsing, rule dispatch.
+
+The engine is deliberately small and stdlib-only (``ast`` + ``re``).
+Rules live in :mod:`repro.analysiskit.rules`; each one visits a parsed
+module and yields :class:`Finding` objects.  Suppression is comment
+driven:
+
+* a comment-only line ``# lint: disable=SV001,SV004`` suppresses those
+  rules for the whole file,
+* a trailing ``# lint: disable=SV002`` on a code line suppresses those
+  rules for that line only.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileSource:
+    """A parsed source file plus its suppression directives."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    file_suppressions: Set[str] = field(default_factory=set)
+    line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, text: str) -> "FileSource":
+        tree = ast.parse(text, filename=path)
+        source = cls(path=path, text=text, tree=tree)
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _DISABLE_RE.search(line)
+            if not match:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            if line.lstrip().startswith("#"):
+                source.file_suppressions |= ids
+            else:
+                source.line_suppressions.setdefault(lineno, set()).update(ids)
+        return source
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self.file_suppressions:
+            return True
+        return rule_id in self.line_suppressions.get(line, set())
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id``/``title``/``rationale`` (surfaced by
+    ``--list-rules`` and ``docs/CORRECTNESS.md``) and implement
+    :meth:`check`.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, source: FileSource) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, source: FileSource, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=source.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_file(
+    path: str,
+    rules: Sequence[Rule],
+    text: Optional[str] = None,
+) -> List[Finding]:
+    """Run ``rules`` over one file, honouring suppression comments."""
+    if text is None:
+        text = Path(path).read_text(encoding="utf-8")
+    source = FileSource.parse(path, text)
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(source):
+            if not source.suppressed(finding.rule_id, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+) -> List[Finding]:
+    """Run ``rules`` over every ``.py`` file reachable from ``paths``."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(str(path), rules))
+    return findings

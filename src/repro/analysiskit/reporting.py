@@ -1,0 +1,43 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from .engine import Finding
+from .rules import ALL_RULES
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: ID message`` line per finding plus a tally."""
+    lines: List[str] = [finding.format() for finding in findings]
+    if findings:
+        by_rule = {}
+        for finding in findings:
+            by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+        tally = ", ".join(f"{rid} x{n}" for rid, n in sorted(by_rule.items()))
+        lines.append(f"{len(findings)} finding(s): {tally}")
+    else:
+        lines.append("0 findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """A JSON document: finding objects plus the rule catalog version."""
+    return json.dumps(
+        {
+            "findings": [finding.to_dict() for finding in findings],
+            "count": len(findings),
+            "rules": [rule.rule_id for rule in ALL_RULES],
+        },
+        indent=2,
+    )
+
+
+def render_rule_catalog() -> str:
+    """The ``--list-rules`` listing: ID, title, and rationale."""
+    blocks = []
+    for rule in ALL_RULES:
+        blocks.append(f"{rule.rule_id}  {rule.title}\n    {rule.rationale}")
+    return "\n".join(blocks)

@@ -1,0 +1,559 @@
+"""Simulator-specific lint rules (SV001-SV005).
+
+These encode the invariants the trace-driven model's numbers rest on —
+unit-suffix discipline, deterministic randomness, exhaustive command
+dispatch — as machine-checked rules instead of docstring conventions.
+See ``docs/CORRECTNESS.md`` for the full catalog with rationale and
+suppression syntax.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .engine import FileSource, Finding, Rule
+
+# --------------------------------------------------------------------------
+# SV001 — unit-suffix discipline
+# --------------------------------------------------------------------------
+
+#: Suffixes that mark an identifier as carrying a physical unit.  Every
+#: distinct suffix is its own unit: ``_ns`` + ``_us`` is as much an error
+#: as ``_ns`` + ``_nj`` (same dimension, thousandfold scale bug).
+UNIT_SUFFIXES: Set[str] = {
+    "ps", "ns", "us", "ms", "s",          # time
+    "pj", "nj", "uj", "mj", "j",          # energy
+    "mw", "w", "kw",                      # power
+    "khz", "mhz", "ghz",                  # frequency
+}
+
+#: Dimension of each suffix, used only to sharpen messages.
+_DIMENSION: Dict[str, str] = {}
+for _suffixes, _dim in (
+    (("ps", "ns", "us", "ms", "s"), "time"),
+    (("pj", "nj", "uj", "mj", "j"), "energy"),
+    (("mw", "w", "kw"), "power"),
+    (("khz", "mhz", "ghz"), "frequency"),
+):
+    for _sfx in _suffixes:
+        _DIMENSION[_sfx] = _dim
+
+
+def unit_of_identifier(name: str) -> Optional[str]:
+    """The unit suffix of ``name`` (``"serial_time_ns"`` -> ``"ns"``)."""
+    if "_" not in name:
+        return None
+    suffix = name.rsplit("_", 1)[1].lower()
+    return suffix if suffix in UNIT_SUFFIXES else None
+
+
+def _is_number(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and not isinstance(
+            node.value, bool
+        )
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_number(node.operand)
+    return False
+
+
+def infer_unit(node: ast.AST) -> Optional[str]:
+    """Best-effort unit of an expression, from identifier suffixes.
+
+    Inference is deliberately conservative — ``None`` means "unknown",
+    and unknown never produces a finding:
+
+    * names/attributes/calls carry the unit of their (function) name,
+    * ``+``/``-`` propagate the known operand's unit,
+    * ``*``/``/`` by a plain name (a count) keep the unit; by a numeric
+      literal they erase it (that is how unit *conversions* are written,
+      e.g. ``time_s = total_ns / 1e9``); between two united operands
+      they erase it (a derived quantity or a ratio).
+    """
+    if isinstance(node, ast.Name):
+        return unit_of_identifier(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_of_identifier(node.attr)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return unit_of_identifier(func.id)
+        if isinstance(func, ast.Attribute):
+            return unit_of_identifier(func.attr)
+        return None
+    if isinstance(node, ast.Subscript):
+        return infer_unit(node.value)
+    if isinstance(node, ast.UnaryOp):
+        return infer_unit(node.operand)
+    if isinstance(node, ast.IfExp):
+        body = infer_unit(node.body)
+        orelse = infer_unit(node.orelse)
+        return body if body == orelse else None
+    if isinstance(node, ast.BinOp):
+        left = infer_unit(node.left)
+        right = infer_unit(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            return left or right
+        if isinstance(node.op, ast.Mult):
+            if left and right:
+                return None  # derived quantity (e.g. ns * ns)
+            if _is_number(node.left) or _is_number(node.right):
+                return None  # literal factor: a unit conversion
+            return left or right  # scaled by a count
+        if isinstance(node.op, ast.Div):
+            if left and right:
+                return None  # ratio
+            if left and not _is_number(node.right):
+                return left  # per-count average keeps the unit
+            return None
+        return None
+    return None
+
+
+class _UnitVisitor(ast.NodeVisitor):
+    def __init__(self, rule: "UnitSuffixRule", source: FileSource) -> None:
+        self.rule = rule
+        self.source = source
+        self.findings: List[Finding] = []
+        self._function_units: List[Optional[str]] = []
+
+    def _clash(self, node: ast.AST, left: str, right: str, context: str) -> None:
+        left_dim = _DIMENSION[left]
+        right_dim = _DIMENSION[right]
+        if left_dim == right_dim:
+            detail = f"same dimension ({left_dim}), different scales"
+        else:
+            detail = f"{left_dim} vs {right_dim}"
+        self.findings.append(
+            self.rule.finding(
+                self.source,
+                node,
+                f"{context} mixes `_{left}` and `_{right}` quantities ({detail})",
+            )
+        )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            left = infer_unit(node.left)
+            right = infer_unit(node.right)
+            if left and right and left != right:
+                self._clash(node, left, right, "arithmetic")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for first, second in zip(operands, operands[1:]):
+            left = infer_unit(first)
+            right = infer_unit(second)
+            if left and right and left != right:
+                self._clash(node, left, right, "comparison")
+        self.generic_visit(node)
+
+    def _check_assignment(
+        self, node: ast.AST, target: ast.AST, value: ast.AST
+    ) -> None:
+        target_unit = (
+            infer_unit(target)
+            if isinstance(target, (ast.Name, ast.Attribute, ast.Subscript))
+            else None
+        )
+        if not target_unit:
+            return
+        value_unit = infer_unit(value)
+        if value_unit and value_unit != target_unit:
+            self._clash(node, target_unit, value_unit, "assignment")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_assignment(node, target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_assignment(node, node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_assignment(node, node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            target_unit = unit_of_identifier(keyword.arg)
+            if not target_unit:
+                continue
+            value_unit = infer_unit(keyword.value)
+            if value_unit and value_unit != target_unit:
+                self._clash(keyword.value, target_unit, value_unit, "argument")
+        self.generic_visit(node)
+
+    def _visit_function(self, node: ast.AST, name: str) -> None:
+        self._function_units.append(unit_of_identifier(name))
+        self.generic_visit(node)
+        self._function_units.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None and self._function_units:
+            target_unit = self._function_units[-1]
+            if target_unit:
+                value_unit = infer_unit(node.value)
+                if value_unit and value_unit != target_unit:
+                    self._clash(node, target_unit, value_unit, "return value")
+        self.generic_visit(node)
+
+
+class UnitSuffixRule(Rule):
+    rule_id = "SV001"
+    title = "unit-suffix discipline"
+    rationale = (
+        "Quantities are in nanoseconds/nanojoules by suffix convention "
+        "(`_ns`, `_nj`, ...). Adding, comparing, assigning, or passing a "
+        "quantity across a suffix boundary is a silent unit bug — the "
+        "class of error that corrupts speedup/energy claims."
+    )
+
+    def check(self, source: FileSource) -> Iterator[Finding]:
+        visitor = _UnitVisitor(self, source)
+        visitor.visit(source.tree)
+        yield from visitor.findings
+
+
+# --------------------------------------------------------------------------
+# SV002 — float equality
+# --------------------------------------------------------------------------
+
+
+def _is_float_constant(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_constant(node.operand)
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+class FloatEqualityRule(Rule):
+    rule_id = "SV002"
+    title = "float equality"
+    rationale = (
+        "`==`/`!=` against a float literal in control flow silently "
+        "misfires under rounding; write the guard you mean (`<= 0.0`, "
+        "`math.isclose`). `assert` statements are exempt: exact-value "
+        "assertions on deterministic arithmetic fail loudly by design."
+    )
+
+    def check(self, source: FileSource) -> Iterator[Finding]:
+        exempt: Set[int] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Assert):
+                for child in ast.walk(node):
+                    exempt.add(id(child))
+        for node in ast.walk(source.tree):
+            if id(node) in exempt or not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, first, second in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_constant(first) or _is_float_constant(second):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        source,
+                        node,
+                        f"`{symbol}` against a float literal; use an "
+                        "inequality guard or `math.isclose`",
+                    )
+                    break
+
+
+# --------------------------------------------------------------------------
+# SV003 — Command-enum exhaustiveness
+# --------------------------------------------------------------------------
+
+
+def _command_variant(node: ast.AST) -> Optional[str]:
+    """``Command.ACTIVATE`` / ``commands.Command.ACTIVATE`` -> ``"ACTIVATE"``."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    base = node.value
+    if isinstance(base, ast.Name) and base.id == "Command":
+        return node.attr
+    if isinstance(base, ast.Attribute) and base.attr == "Command":
+        return node.attr
+    return None
+
+
+def _condition_variants(node: ast.AST) -> Optional[Set[str]]:
+    """Variants covered by one dispatch condition, or None if not one.
+
+    Recognizes ``x is Command.A``, ``x == Command.A``, ``x in (Command.A,
+    Command.B)``, and ``or`` combinations of those.
+    """
+    if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.Or):
+        covered: Set[str] = set()
+        for value in node.values:
+            sub = _condition_variants(value)
+            if sub is None:
+                return None
+            covered |= sub
+        return covered
+    if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+        return None
+    op = node.ops[0]
+    left, right = node.left, node.comparators[0]
+    if isinstance(op, (ast.Is, ast.Eq)):
+        for candidate in (left, right):
+            variant = _command_variant(candidate)
+            if variant is not None:
+                return {variant}
+        return None
+    if isinstance(op, ast.In) and isinstance(right, (ast.Tuple, ast.List, ast.Set)):
+        variants = [_command_variant(element) for element in right.elts]
+        if variants and all(v is not None for v in variants):
+            return {v for v in variants if v is not None}
+    return None
+
+
+class CommandExhaustivenessRule(Rule):
+    rule_id = "SV003"
+    title = "Command-enum exhaustiveness"
+    rationale = (
+        "Every dispatch over `repro.dram.commands.Command` (dict literal, "
+        "if/elif chain, match) must cover all variants or carry an "
+        "explicit default — a missing arm silently drops that command's "
+        "latency/energy from the model."
+    )
+
+    def _variants(self) -> Set[str]:
+        from repro.dram.commands import Command
+
+        return {member.name for member in Command}
+
+    def _report_missing(
+        self, source: FileSource, node: ast.AST, kind: str, covered: Set[str]
+    ) -> Iterator[Finding]:
+        missing = sorted(self._variants() - covered)
+        if missing:
+            yield self.finding(
+                source,
+                node,
+                f"{kind} over Command misses {', '.join(missing)} "
+                "and has no default arm",
+            )
+
+    def _check_dict(self, source: FileSource, node: ast.Dict) -> Iterator[Finding]:
+        if not node.keys or any(key is None for key in node.keys):
+            return  # empty, or contains ** unpacking (merged defaults)
+        variants = [_command_variant(key) for key in node.keys]
+        if not all(v is not None for v in variants):
+            return
+        covered = {v for v in variants if v is not None}
+        yield from self._report_missing(source, node, "dict dispatch", covered)
+
+    def _check_if_chain(
+        self, source: FileSource, node: ast.If, inner: Set[int]
+    ) -> Iterator[Finding]:
+        covered: Set[str] = set()
+        length = 0
+        current: ast.stmt = node
+        while isinstance(current, ast.If):
+            inner.add(id(current))
+            branch = _condition_variants(current.test)
+            if branch is None:
+                return  # not (purely) a Command dispatch
+            covered |= branch
+            length += 1
+            if len(current.orelse) == 1 and isinstance(current.orelse[0], ast.If):
+                current = current.orelse[0]
+            elif current.orelse:
+                return  # explicit else arm: fine
+            else:
+                break
+        if length >= 2:
+            yield from self._report_missing(
+                source, node, "if/elif dispatch", covered
+            )
+
+    def _check_match(self, source: FileSource, node: ast.AST) -> Iterator[Finding]:
+        covered: Set[str] = set()
+        for case in node.cases:  # type: ignore[attr-defined]
+            patterns = [case.pattern]
+            if isinstance(case.pattern, ast.MatchOr):
+                patterns = list(case.pattern.patterns)
+            for pattern in patterns:
+                if isinstance(pattern, ast.MatchAs) and pattern.pattern is None:
+                    return  # wildcard `case _`: explicit default
+                if isinstance(pattern, ast.MatchValue):
+                    variant = _command_variant(pattern.value)
+                    if variant is None:
+                        return
+                    covered.add(variant)
+                else:
+                    return
+        if covered:
+            yield from self._report_missing(source, node, "match dispatch", covered)
+
+    def check(self, source: FileSource) -> Iterator[Finding]:
+        chain_inner: Set[int] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Dict):
+                yield from self._check_dict(source, node)
+            elif isinstance(node, ast.If) and id(node) not in chain_inner:
+                yield from self._check_if_chain(source, node, chain_inner)
+            elif hasattr(ast, "Match") and isinstance(node, ast.Match):
+                yield from self._check_match(source, node)
+
+
+# --------------------------------------------------------------------------
+# SV004 — nondeterministic randomness
+# --------------------------------------------------------------------------
+
+#: Constructors of seedable generator objects — allowed.
+_RANDOM_ALLOWED = {"Random", "SystemRandom"}
+_NP_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "RandomState",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+
+class NondeterminismRule(Rule):
+    rule_id = "SV004"
+    title = "nondeterministic randomness"
+    rationale = (
+        "Simulations must be replayable: the regenerated tables/figures "
+        "are diffed across runs. Global-state RNG calls (`random.random`, "
+        "legacy `np.random.rand`) hide the seed; thread a seeded "
+        "`random.Random` / `np.random.default_rng` instance instead."
+    )
+
+    def check(self, source: FileSource) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                func = node.func
+                base = func.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id == "random"
+                    and func.attr not in _RANDOM_ALLOWED
+                ):
+                    yield self.finding(
+                        source,
+                        node,
+                        f"global-state `random.{func.attr}()`; use a seeded "
+                        "`random.Random` instance",
+                    )
+                elif (
+                    isinstance(base, ast.Attribute)
+                    and base.attr == "random"
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id in ("np", "numpy")
+                    and func.attr not in _NP_RANDOM_ALLOWED
+                ):
+                    yield self.finding(
+                        source,
+                        node,
+                        f"legacy global-state `{base.value.id}.random."
+                        f"{func.attr}()`; use `np.random.default_rng(seed)`",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module in (
+                "random",
+                "numpy.random",
+            ):
+                allowed = (
+                    _RANDOM_ALLOWED
+                    if node.module == "random"
+                    else _NP_RANDOM_ALLOWED
+                )
+                for alias in node.names:
+                    if alias.name not in allowed:
+                        yield self.finding(
+                            source,
+                            node,
+                            f"`from {node.module} import {alias.name}` pulls "
+                            "in global-state RNG; import a seedable "
+                            "generator class instead",
+                        )
+
+
+# --------------------------------------------------------------------------
+# SV005 — mutable default arguments
+# --------------------------------------------------------------------------
+
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                         ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    rule_id = "SV005"
+    title = "mutable default argument"
+    rationale = (
+        "A mutable default is created once and shared across calls — "
+        "ledgers/stats accumulated into it leak between simulations. "
+        "Default to `None` and construct inside the function."
+    )
+
+    def check(self, source: FileSource) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        source,
+                        default,
+                        f"mutable default argument in `{name}`; use None "
+                        "and construct per call",
+                    )
+
+
+ALL_RULES: Tuple[Rule, ...] = (
+    UnitSuffixRule(),
+    FloatEqualityRule(),
+    CommandExhaustivenessRule(),
+    NondeterminismRule(),
+    MutableDefaultRule(),
+)
+
+
+def rules_by_id(ids: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Resolve rule IDs (``None`` = all) to rule instances."""
+    if ids is None:
+        return list(ALL_RULES)
+    known = {rule.rule_id: rule for rule in ALL_RULES}
+    missing = [rule_id for rule_id in ids if rule_id not in known]
+    if missing:
+        raise KeyError(f"unknown rule id(s): {', '.join(missing)}")
+    return [known[rule_id] for rule_id in ids]

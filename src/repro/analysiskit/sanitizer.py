@@ -1,0 +1,290 @@
+"""Runtime DRAM protocol sanitizer — the simulator's AddressSanitizer.
+
+Installs into the :mod:`repro.dram.hooks` seam and validates, while the
+trace-driven models run:
+
+* **per bank/subarray command order** — ACTIVATE before READ/WRITE,
+  PRECHARGE before re-ACTIVATE, reads/writes target the open row;
+* **accounting sanity** — command counts never go negative, and every
+  ledger's ``serial_time_ns``/``energy_nj`` are finite and monotone
+  non-decreasing;
+* **replay classification** — a :class:`~repro.dram.memsys.MemorySystem`
+  access reported as hit/miss/conflict must agree with the sanitizer's
+  independent open-row mirror, and must charge exactly the latency its
+  classification implies.
+
+Violations raise :class:`SanitizerError` carrying the recent command
+history of the offending unit.  Enabled by ``SIEVE_SANITIZE=1`` (see
+:func:`enable_from_env`), the CLI's ``--sanitize`` flag, or directly via
+:func:`enable_sanitizer`; when disabled the hot paths pay one ``None``
+check per event.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.dram import hooks
+
+#: One history entry: (sequence number, unit, event, detail).
+HistoryEvent = Tuple[int, str, str, str]
+
+_ENV_VAR = "SIEVE_SANITIZE"
+_TRUTHY = ("1", "true", "on", "yes")
+
+
+class SanitizerError(RuntimeError):
+    """A DRAM protocol or accounting invariant was violated.
+
+    ``unit`` names the offending bank/subarray/ledger; ``history`` is
+    the unit's recent command stream (oldest first), ending with the
+    violating event.
+    """
+
+    def __init__(self, message: str, unit: str, history: List[HistoryEvent]):
+        self.unit = unit
+        self.history = list(history)
+        trace = "\n".join(
+            f"  #{seq} [{hist_unit}] {event}: {detail}"
+            for seq, hist_unit, event, detail in self.history
+        )
+        super().__init__(
+            f"{message} (unit {unit})\ncommand history (oldest first):\n{trace}"
+        )
+
+
+class ProtocolSanitizer:
+    """Validates DRAM command streams and ledger accounting invariants.
+
+    Implements the :mod:`repro.dram.hooks` observer interface plus a
+    direct :meth:`observe_command` API for raw per-unit command streams
+    (ACT / RD / WR / PRE).
+    """
+
+    def __init__(self, history_limit: int = 32) -> None:
+        self.history_limit = history_limit
+        self.violations_raised = 0
+        self.events_observed = 0
+        self._histories: Dict[str, Deque[HistoryEvent]] = {}
+        #: Open row per unit; absent or None means precharged.
+        self._open_rows: Dict[str, Optional[int]] = {}
+        self._memsys_ids: Dict[int, int] = {}
+        self._ledger_ids: Dict[int, int] = {}
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all tracked state (between independent simulations)."""
+        self._histories.clear()
+        self._open_rows.clear()
+        self._memsys_ids.clear()
+        self._ledger_ids.clear()
+
+    def _note(self, unit: str, event: str, detail: str) -> None:
+        self.events_observed += 1
+        history = self._histories.get(unit)
+        if history is None:
+            history = deque(maxlen=self.history_limit)
+            self._histories[unit] = history
+        history.append((self.events_observed, unit, event, detail))
+
+    def _fail(self, message: str, unit: str) -> None:
+        self.violations_raised += 1
+        raise SanitizerError(
+            message, unit, list(self._histories.get(unit, []))
+        )
+
+    def history_for(self, unit: str) -> List[HistoryEvent]:
+        """The recent command history of one unit (oldest first)."""
+        return list(self._histories.get(unit, []))
+
+    def _label(self, table: Dict[int, int], obj: Any, prefix: str) -> str:
+        key = id(obj)
+        if key not in table:
+            table[key] = len(table)
+        return f"{prefix}{table[key]}"
+
+    # -- raw command-stream protocol ---------------------------------------
+
+    def observe_command(
+        self, unit: str, command: str, row: Optional[int] = None
+    ) -> None:
+        """Validate one raw command (``ACT``/``RD``/``WR``/``PRE``) on a unit."""
+        self._note(unit, command, f"row={row}")
+        open_row = self._open_rows.get(unit)
+        if command == "ACT":
+            if open_row is not None:
+                self._fail(
+                    f"ACTIVATE of row {row} while row {open_row} is open "
+                    "(missing PRECHARGE)",
+                    unit,
+                )
+            self._open_rows[unit] = row
+        elif command in ("RD", "WR"):
+            verb = "READ" if command == "RD" else "WRITE"
+            if open_row is None:
+                self._fail(f"{verb} before any ACTIVATE", unit)
+            if row is not None and open_row != row:
+                self._fail(
+                    f"{verb} targets row {row} but row {open_row} is open",
+                    unit,
+                )
+        elif command == "PRE":
+            self._open_rows[unit] = None
+        else:
+            self._fail(f"unknown DRAM command {command!r}", unit)
+
+    # -- CommandLedger observers -------------------------------------------
+
+    def _check_ledger(self, ledger: Any, unit: str) -> None:
+        for command, count in ledger.counts.items():
+            if count < 0:
+                self._fail(
+                    f"negative count {count} for {command.name}", unit
+                )
+        time_ns = ledger.serial_time_ns
+        energy_nj = ledger.energy_nj
+        if not (math.isfinite(time_ns) and math.isfinite(energy_nj)):
+            self._fail(
+                f"non-finite accounting: serial_time_ns={time_ns}, "
+                f"energy_nj={energy_nj}",
+                unit,
+            )
+        prev_time, prev_energy = getattr(ledger, "_sanitizer_shadow", (0.0, 0.0))
+        if time_ns < prev_time:
+            self._fail(
+                f"serial_time_ns went backwards: {prev_time} -> {time_ns}",
+                unit,
+            )
+        if energy_nj < prev_energy:
+            self._fail(
+                f"energy_nj went backwards: {prev_energy} -> {energy_nj}",
+                unit,
+            )
+        ledger._sanitizer_shadow = (time_ns, energy_nj)
+
+    def on_ledger_record(self, ledger: Any, command: Any, count: int) -> None:
+        unit = self._label(self._ledger_ids, ledger, "ledger")
+        self._note(unit, command.name, f"count={count}")
+        if count < 0:
+            self._fail(f"negative event count {count}", unit)
+        self._check_ledger(ledger, unit)
+
+    def on_ledger_time(self, ledger: Any, ns: float) -> None:
+        unit = self._label(self._ledger_ids, ledger, "ledger")
+        self._note(unit, "ADD_TIME", f"ns={ns}")
+        self._check_ledger(ledger, unit)
+
+    def on_ledger_energy(self, ledger: Any, nj: float) -> None:
+        unit = self._label(self._ledger_ids, ledger, "ledger")
+        self._note(unit, "ADD_ENERGY", f"nj={nj}")
+        self._check_ledger(ledger, unit)
+
+    def on_ledger_merge(self, ledger: Any, other: Any, parallel: bool) -> None:
+        unit = self._label(self._ledger_ids, ledger, "ledger")
+        self._note(unit, "MERGE", f"parallel={parallel}")
+        self._check_ledger(ledger, unit)
+
+    # -- MemorySystem observer ---------------------------------------------
+
+    def on_memsys_access(
+        self, system: Any, bank: int, row: int, kind: str, latency_ns: float
+    ) -> None:
+        sys_label = self._label(self._memsys_ids, system, "memsys")
+        unit = f"{sys_label}:bank{bank}"
+        open_row = self._open_rows.get(unit)
+        timing = system.timing
+        if kind == "hit":
+            expected_ns = timing.tCAS + timing.burst_time
+            if open_row != row:
+                self._note(unit, "RD", f"row={row}")
+                self._fail(
+                    f"row-hit claimed for row {row} but open row is "
+                    f"{open_row}",
+                    unit,
+                )
+            self.observe_command(unit, "RD", row)
+        elif kind == "miss":
+            expected_ns = timing.tRCD + timing.tCAS + timing.burst_time
+            if open_row is not None:
+                self._note(unit, "ACT", f"row={row}")
+                self._fail(
+                    f"row-miss claimed for row {row} but row {open_row} "
+                    "is open (missing PRECHARGE accounting)",
+                    unit,
+                )
+            self.observe_command(unit, "ACT", row)
+            self.observe_command(unit, "RD", row)
+        elif kind == "conflict":
+            expected_ns = (
+                timing.tRP + timing.tRCD + timing.tCAS + timing.burst_time
+            )
+            if open_row is None:
+                self._note(unit, "PRE", f"row={row}")
+                self._fail(
+                    f"row-conflict claimed for row {row} but the bank is "
+                    "precharged (tRP charged for no open row)",
+                    unit,
+                )
+            self.observe_command(unit, "PRE", None)
+            self.observe_command(unit, "ACT", row)
+            self.observe_command(unit, "RD", row)
+        else:
+            self._note(unit, "ACCESS", f"kind={kind}")
+            self._fail(f"unknown access classification {kind!r}", unit)
+        if latency_ns != expected_ns:
+            # Exact comparison is intentional: the model and the check
+            # evaluate the same timing expression, so any difference is
+            # a real misclassification, not rounding.
+            self._fail(
+                f"{kind} access charged {latency_ns} ns, protocol implies "
+                f"{expected_ns} ns",
+                unit,
+            )
+
+
+# --------------------------------------------------------------------------
+# Installation
+# --------------------------------------------------------------------------
+
+
+def enable_sanitizer(
+    sanitizer: Optional[ProtocolSanitizer] = None,
+) -> ProtocolSanitizer:
+    """Install (and return) the active sanitizer; idempotent."""
+    current = hooks.get_observer()
+    if sanitizer is None:
+        if isinstance(current, ProtocolSanitizer):
+            return current
+        sanitizer = ProtocolSanitizer()
+    hooks.install(sanitizer)
+    return sanitizer
+
+
+def disable_sanitizer() -> None:
+    """Remove the active sanitizer (no-op when none is installed)."""
+    hooks.uninstall()
+
+
+def active_sanitizer() -> Optional[ProtocolSanitizer]:
+    """The installed :class:`ProtocolSanitizer`, or ``None``."""
+    observer = hooks.get_observer()
+    return observer if isinstance(observer, ProtocolSanitizer) else None
+
+
+def sanitize_requested(environ: Optional[Dict[str, str]] = None) -> bool:
+    """Whether ``SIEVE_SANITIZE`` asks for the sanitizer."""
+    env = os.environ if environ is None else environ
+    return env.get(_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def enable_from_env(
+    environ: Optional[Dict[str, str]] = None,
+) -> Optional[ProtocolSanitizer]:
+    """Enable the sanitizer iff ``SIEVE_SANITIZE`` requests it."""
+    if sanitize_requested(environ):
+        return enable_sanitizer()
+    return None

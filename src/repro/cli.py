@@ -160,6 +160,12 @@ def main(argv=None) -> int:
         prog="sieve-repro",
         description="Regenerate the Sieve (ISCA 2021) evaluation.",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the runtime DRAM protocol sanitizer "
+        "(also enabled by SIEVE_SANITIZE=1; see docs/CORRECTNESS.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiments and benchmarks").set_defaults(
         func=_cmd_list
@@ -187,6 +193,12 @@ def main(argv=None) -> int:
         func=_cmd_feasibility
     )
     args = parser.parse_args(argv)
+    from .analysiskit import enable_from_env, enable_sanitizer
+
+    if args.sanitize:
+        enable_sanitizer()
+    else:
+        enable_from_env()
     return args.func(args)
 
 

@@ -19,6 +19,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict
 
+from . import hooks
 from .energy import DramEnergy
 from .timing import DramTiming
 
@@ -60,9 +61,12 @@ class CommandLedger:
     hop_nj: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.logic_cycle_ns == 0.0:
+        # Unset-or-nonsense sentinel, not exact-zero: these are "use the
+        # timing-derived default" knobs, so any non-positive value means
+        # "not configured".
+        if self.logic_cycle_ns <= 0.0:
             self.logic_cycle_ns = self.timing.tCK
-        if self.hop_ns == 0.0:
+        if self.hop_ns <= 0.0:
             self.hop_ns = self.timing.tRAS / 8.0
 
     def record(self, command: Command, count: int = 1, rows: int = 1) -> None:
@@ -104,18 +108,27 @@ class CommandLedger:
             )
         else:  # pragma: no cover - exhaustive over enum
             raise ValueError(f"unknown command {command}")
+        observer = hooks.OBSERVER
+        if observer is not None:
+            observer.on_ledger_record(self, command, count)
 
     def add_time(self, ns: float) -> None:
         """Charge raw critical-path time (e.g. ETM flush stalls)."""
         if ns < 0:
             raise ValueError(f"time must be non-negative, got {ns}")
         self.serial_time_ns += ns
+        observer = hooks.OBSERVER
+        if observer is not None:
+            observer.on_ledger_time(self, ns)
 
     def add_energy(self, nj: float) -> None:
         """Charge raw energy (e.g. per-component dynamic energy)."""
         if nj < 0:
             raise ValueError(f"energy must be non-negative, got {nj}")
         self.energy_nj += nj
+        observer = hooks.OBSERVER
+        if observer is not None:
+            observer.on_ledger_energy(self, nj)
 
     def count(self, command: Command) -> int:
         """Total events of one command type."""
@@ -135,3 +148,6 @@ class CommandLedger:
             self.serial_time_ns = max(self.serial_time_ns, other.serial_time_ns)
         else:
             self.serial_time_ns += other.serial_time_ns
+        observer = hooks.OBSERVER
+        if observer is not None:
+            observer.on_ledger_merge(self, other, parallel)

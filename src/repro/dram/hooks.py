@@ -1,0 +1,47 @@
+"""Observer seam for runtime instrumentation of the DRAM layer.
+
+:mod:`repro.analysiskit` installs a :class:`ProtocolSanitizer` here to
+validate command-stream invariants while the trace-driven models run
+(see ``docs/CORRECTNESS.md``).  The seam is kept dependency-free so
+``repro.dram`` never imports the tooling that observes it.
+
+Hot paths check a single module-level reference and skip everything
+when no observer is installed (the default), so an idle seam costs one
+attribute load and a ``None`` test per event.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+#: The installed observer, or ``None`` (the default: no instrumentation).
+OBSERVER: Optional[Any] = None
+
+
+def install(observer: Any) -> None:
+    """Install ``observer`` as the single active DRAM-event observer.
+
+    The observer is duck-typed; it may implement any subset of:
+
+    * ``on_ledger_record(ledger, command, count)`` — after a
+      :class:`~repro.dram.commands.CommandLedger` records events,
+    * ``on_ledger_time(ledger, ns)`` / ``on_ledger_energy(ledger, nj)``
+      — after raw time/energy charges,
+    * ``on_ledger_merge(ledger, other, parallel)`` — after a merge,
+    * ``on_memsys_access(system, bank, row, kind, latency_ns)`` — after
+      a :class:`~repro.dram.memsys.MemorySystem` replays one access
+      (``kind`` is ``"hit"``/``"miss"``/``"conflict"``).
+    """
+    global OBSERVER
+    OBSERVER = observer
+
+
+def uninstall() -> None:
+    """Remove the active observer (instrumentation off)."""
+    global OBSERVER
+    OBSERVER = None
+
+
+def get_observer() -> Optional[Any]:
+    """Return the active observer, or ``None``."""
+    return OBSERVER

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
+from . import hooks
 from .energy import DDR4_ENERGY, DramEnergy
 from .timing import DDR4_2400, DramTiming
 
@@ -121,16 +122,19 @@ class MemorySystem:
         )
         if open_row == row:
             self.stats.row_hits += 1
+            kind = "hit"
             latency = timing.tCAS + timing.burst_time
             self.stats.energy_nj += burst_nj
         elif open_row is None:
             self.stats.row_misses += 1
+            kind = "miss"
             latency = timing.tRCD + timing.tCAS + timing.burst_time
             self.stats.energy_nj += (
                 self.energy.activation_energy_nj(timing) + burst_nj
             )
         else:
             self.stats.row_conflicts += 1
+            kind = "conflict"
             latency = (
                 timing.tRP + timing.tRCD + timing.tCAS + timing.burst_time
             )
@@ -140,6 +144,9 @@ class MemorySystem:
         self._open_rows[bank] = row
         self.stats.accesses += 1
         self.stats.total_latency_ns += latency
+        observer = hooks.OBSERVER
+        if observer is not None:
+            observer.on_memsys_access(self, bank, row, kind, latency)
         return latency
 
     def replay(self, addresses: Iterable[int]) -> MemSysStats:

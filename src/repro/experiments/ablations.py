@@ -281,7 +281,6 @@ def ablation_type1_functional(queries: int = 120) -> FigureResult:
     kmers = sorted(int(x) for x in rng.choice(4**k, size=110, replace=False))
     records = [(kmer, 900 + i) for i, kmer in enumerate(kmers)]
     sim = Type1BankSim(layout, records)
-    stored = {kmer for kmer, _ in records}
     rows_list, batches_list, hits = [], [], 0
     for _ in range(queries):
         q = int(rng.integers(0, 4**k))

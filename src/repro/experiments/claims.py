@@ -198,9 +198,9 @@ def _per_kmer_ratio(c: "_Context", slow_name: str, fast_name: str) -> float:
     """Per-k-mer Type-2 time ratio between two benchmarks."""
     slow = next(w for w in c.workloads if w.name == slow_name)
     fast = next(w for w in c.workloads if w.name == fast_name)
-    slow_ns = c.t2.run(slow).time_s / slow.num_kmers
-    fast_ns = c.t2.run(fast).time_s / fast.num_kmers
-    return slow_ns / fast_ns
+    slow_s = c.t2.run(slow).time_s / slow.num_kmers
+    fast_s = c.t2.run(fast).time_s / fast.num_kmers
+    return slow_s / fast_s
 
 
 def _plateau_point(c: "_Context") -> float:

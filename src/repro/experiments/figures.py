@@ -241,8 +241,10 @@ def sensitivity_etm_off() -> FigureResult:
     cpu = CpuBaselineModel()
     gpu = GpuBaselineModel()
     designs = [
-        (f"T2.{T2_COMPUTE_BUFFERS}CB", Type2Model(cfg, T2_COMPUTE_BUFFERS, etm_enabled=False)),
-        (f"T3.{T3_CONCURRENT_SUBARRAYS}SA", Type3Model(cfg, T3_CONCURRENT_SUBARRAYS, etm_enabled=False)),
+        (f"T2.{T2_COMPUTE_BUFFERS}CB",
+         Type2Model(cfg, T2_COMPUTE_BUFFERS, etm_enabled=False)),
+        (f"T3.{T3_CONCURRENT_SUBARRAYS}SA",
+         Type3Model(cfg, T3_CONCURRENT_SUBARRAYS, etm_enabled=False)),
     ]
     result = FigureResult(
         figure="Section VI-C (ETM)",

@@ -16,7 +16,6 @@ provides both counting structures those tools use:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Tuple
 
 import numpy as np

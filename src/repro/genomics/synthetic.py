@@ -96,7 +96,9 @@ def mutate(
     """
     if not 0.0 <= rate <= 1.0:
         raise GenerationError(f"error rate must be in [0, 1], got {rate}")
-    if rate == 0.0:
+    # "No errors requested" short-circuit; <= keeps it robust to future
+    # callers passing tiny-negative rates past a relaxed guard.
+    if rate <= 0.0:
         return seq
     chars = list(seq.bases)
     hits = np.flatnonzero(rng.random(len(chars)) < rate)

@@ -65,7 +65,9 @@ def per_stream_matching_power_w(
 
     One matcher-enhanced activation every row cycle.
     """
-    return energy.sieve_activation_energy_nj(timing) / timing.row_cycle
+    act_nj = energy.sieve_activation_energy_nj(timing)
+    row_cycle_ns = timing.row_cycle
+    return act_nj / row_cycle_ns  # nJ / ns = W
 
 
 def device_background_power_w(

@@ -75,7 +75,11 @@ class PcieModelParams:
 class PcieModel:
     """Overhead and queue arithmetic for a Sieve-on-PCIe deployment."""
 
-    def __init__(self, link: PcieLink = PCIE4_X16, params: PcieModelParams = PcieModelParams()) -> None:
+    def __init__(
+        self,
+        link: PcieLink = PCIE4_X16,
+        params: PcieModelParams = PcieModelParams(),
+    ) -> None:
         self.link = link
         self.params = params
 

@@ -340,12 +340,12 @@ class SieveModel:
         time_s = total_ns * 1e-9
         # Energy: per-query device energy + device background + host share.
         dynamic_j = cost.energy_nj * workload.dispatched_kmers * 1e-9
-        background_j = (
+        background_w = (
             cfg.energy.background_power_mw()
             * 1e-3
             * (cfg.geometry.capacity_bytes / 2**29)  # per 4Gb (x16) chip
-            * time_s
         )
+        background_j = background_w * time_s
         qps_g = workload.num_kmers / time_s / 1e9
         host_power_w = cfg.host_base_power_w + cfg.host_power_per_gqps_w * qps_g
         host_j = host_power_w * time_s

@@ -21,7 +21,6 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..dram.subarray import Subarray
 from .column_finder import ColumnFinder
 from .etm import EtmPipeline
 from .functional import MatchOutcome, SieveSubarraySim, _bits_to_int

@@ -7,13 +7,30 @@ parameters (groups, regions, layers) are still exercised.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.analysiskit import enable_sanitizer, sanitize_requested
 from repro.genomics import KmerDatabase, build_dataset
 from repro.sieve import SieveDevice, SubarrayLayout
 
 SMALL_K = 9
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _protocol_sanitizer():
+    """Run the whole suite with the DRAM protocol sanitizer active.
+
+    The tier-1 suite is the reference workload, so it executes sanitized
+    by default (equivalent to SIEVE_SANITIZE=1); any protocol or
+    accounting violation in the models fails the offending test with a
+    SanitizerError carrying the command history.  Setting
+    SIEVE_SANITIZE=0 explicitly opts out (overhead measurements only).
+    """
+    env = {"SIEVE_SANITIZE": os.environ.get("SIEVE_SANITIZE", "1")}
+    yield enable_sanitizer() if sanitize_requested(env) else None
 
 
 @pytest.fixture(scope="session")

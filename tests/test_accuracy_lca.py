@@ -6,7 +6,6 @@ from repro.baselines import (
     classify_read,
     classify_read_lca,
     kraken_lca_vote,
-    summarize,
 )
 from repro.experiments.accuracy import accuracy_study, hit_rate_by_profile
 from repro.genomics import DnaSequence, KmerDatabase, Taxonomy, encode_kmer

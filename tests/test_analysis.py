@@ -1,6 +1,5 @@
 """Tests for the ESP characterization and the Figure-1 breakdown."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

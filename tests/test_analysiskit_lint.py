@@ -1,0 +1,398 @@
+"""Tests for the simulator-aware lint pass (rules SV001-SV005).
+
+Each rule is exercised three ways: a seeded violation fixture (must be
+detected), the same fixture with a suppression comment (must be clean),
+and an idiomatically-correct fixture (must be clean).
+"""
+
+import json
+import textwrap
+
+from repro.analysiskit import lint_file, rules_by_id
+from repro.analysiskit.cli import main as lint_main
+from repro.analysiskit.rules import (
+    ALL_RULES,
+    infer_unit,
+    unit_of_identifier,
+)
+
+
+def run_rule(rule_id, code):
+    """Lint a code string with one rule; returns the findings."""
+    return lint_file(
+        "fixture.py", rules_by_id([rule_id]), text=textwrap.dedent(code)
+    )
+
+
+def run_all(code):
+    return lint_file("fixture.py", list(ALL_RULES), text=textwrap.dedent(code))
+
+
+# --------------------------------------------------------------------------
+# SV001 — unit-suffix discipline
+# --------------------------------------------------------------------------
+
+
+class TestUnitSuffixRule:
+    def test_identifier_suffix_extraction(self):
+        assert unit_of_identifier("serial_time_ns") == "ns"
+        assert unit_of_identifier("energy_nj") == "nj"
+        assert unit_of_identifier("budget_w") == "w"
+        assert unit_of_identifier("s") is None  # bare name, no suffix
+        assert unit_of_identifier("num_reads") is None
+        assert unit_of_identifier("queries_per_group") is None
+
+    def test_addition_across_dimensions_detected(self):
+        findings = run_rule("SV001", "total = serial_time_ns + energy_nj\n")
+        assert len(findings) == 1
+        assert "`_ns` and `_nj`" in findings[0].message
+
+    def test_same_dimension_scale_mix_detected(self):
+        findings = run_rule("SV001", "total = wait_ns + wait_us\n")
+        assert len(findings) == 1
+        assert "different scales" in findings[0].message
+
+    def test_assignment_across_units_detected(self):
+        findings = run_rule("SV001", "lookup_ns = transfer.total_s\n")
+        assert len(findings) == 1
+        assert "assignment" in findings[0].message
+
+    def test_augmented_assignment_detected(self):
+        findings = run_rule("SV001", "energy_nj += stall_ns\n")
+        assert len(findings) == 1
+
+    def test_comparison_across_units_detected(self):
+        findings = run_rule("SV001", "ok = busy_ns < energy_nj\n")
+        assert len(findings) == 1
+        assert "comparison" in findings[0].message
+
+    def test_keyword_argument_detected(self):
+        findings = run_rule("SV001", "ledger = make(hop_ns=relay_nj)\n")
+        assert len(findings) == 1
+        assert "argument" in findings[0].message
+
+    def test_return_value_detected(self):
+        code = """
+        def total_ns(self):
+            return self.energy_nj
+        """
+        findings = run_rule("SV001", code)
+        assert len(findings) == 1
+        assert "return value" in findings[0].message
+
+    def test_conversion_by_literal_is_clean(self):
+        assert run_rule("SV001", "time_s = total_ns / 1e9\n") == []
+        assert run_rule("SV001", "energy_j = total_nj * 1e-9\n") == []
+
+    def test_count_scaling_is_clean(self):
+        code = "serial_time_ns = serial_time_ns + count * hop_ns\n"
+        assert run_rule("SV001", code) == []
+
+    def test_ratio_and_derived_are_clean(self):
+        assert run_rule("SV001", "speedup = cpu_ns / sieve_ns\n") == []
+        assert run_rule("SV001", "host_j = host_power_w * time_s\n") == []
+        assert run_rule("SV001", "power_w = act_nj / cycle_ns\n") == []
+
+    def test_per_count_average_keeps_unit(self):
+        findings = run_rule("SV001", "mean_nj = total_ns / accesses\n")
+        assert len(findings) == 1
+
+
+# --------------------------------------------------------------------------
+# SV002 — float equality
+# --------------------------------------------------------------------------
+
+
+class TestFloatEqualityRule:
+    def test_equality_against_float_literal_detected(self):
+        findings = run_rule("SV002", "if rate == 0.0:\n    pass\n")
+        assert len(findings) == 1
+        assert "float literal" in findings[0].message
+
+    def test_inequality_against_float_literal_detected(self):
+        findings = run_rule("SV002", "flag = 1.0 != scale\n")
+        assert len(findings) == 1
+
+    def test_negative_literal_detected(self):
+        findings = run_rule("SV002", "if x == -1.0:\n    pass\n")
+        assert len(findings) == 1
+
+    def test_integer_equality_is_clean(self):
+        assert run_rule("SV002", "if n == 0:\n    pass\n") == []
+
+    def test_inequality_guards_are_clean(self):
+        assert run_rule("SV002", "if rate <= 0.0:\n    pass\n") == []
+        assert run_rule("SV002", "ok = 0.0 <= rate <= 1.0\n") == []
+
+    def test_assert_statements_are_exempt(self):
+        assert run_rule("SV002", "assert ledger.time_ns == 100.0\n") == []
+
+
+# --------------------------------------------------------------------------
+# SV003 — Command-enum exhaustiveness
+# --------------------------------------------------------------------------
+
+ALL_VARIANTS = (
+    "ACTIVATE", "MULTI_ACTIVATE", "READ_BURST", "WRITE_BURST",
+    "HOP", "LOGIC_CYCLE", "ROW_CLONE",
+)
+
+
+class TestCommandExhaustivenessRule:
+    def test_partial_dict_dispatch_detected(self):
+        findings = run_rule(
+            "SV003", "COSTS = {Command.ACTIVATE: 1, Command.HOP: 2}\n"
+        )
+        assert len(findings) == 1
+        assert "READ_BURST" in findings[0].message
+
+    def test_complete_dict_dispatch_is_clean(self):
+        entries = ", ".join(f"Command.{v}: 0" for v in ALL_VARIANTS)
+        assert run_rule("SV003", f"COSTS = {{{entries}}}\n") == []
+
+    def test_dict_with_unpacked_defaults_is_clean(self):
+        code = "COSTS = {Command.ACTIVATE: 1, **DEFAULT_COSTS}\n"
+        assert run_rule("SV003", code) == []
+
+    def test_partial_if_chain_detected(self):
+        code = """
+        if cmd is Command.ACTIVATE:
+            t = 1
+        elif cmd is Command.READ_BURST:
+            t = 2
+        """
+        findings = run_rule("SV003", code)
+        assert len(findings) == 1
+        assert "no default arm" in findings[0].message
+
+    def test_if_chain_with_else_is_clean(self):
+        code = """
+        if cmd is Command.ACTIVATE:
+            t = 1
+        elif cmd is Command.READ_BURST:
+            t = 2
+        else:
+            raise ValueError(cmd)
+        """
+        assert run_rule("SV003", code) == []
+
+    def test_complete_if_chain_is_clean(self):
+        branches = "\n".join(
+            ("if" if i == 0 else "elif")
+            + f" cmd is Command.{v}:\n    t = {i}"
+            for i, v in enumerate(ALL_VARIANTS)
+        )
+        assert run_rule("SV003", branches + "\n") == []
+
+    def test_membership_dispatch_counts_coverage(self):
+        code = """
+        if cmd in (Command.ACTIVATE, Command.MULTI_ACTIVATE, Command.ROW_CLONE):
+            t = 1
+        elif cmd in (Command.READ_BURST, Command.WRITE_BURST):
+            t = 2
+        """
+        findings = run_rule("SV003", code)
+        assert len(findings) == 1
+        assert "HOP" in findings[0].message
+        assert "LOGIC_CYCLE" in findings[0].message
+
+    def test_single_if_is_not_a_dispatch(self):
+        code = """
+        if cmd is Command.ACTIVATE:
+            t = 1
+        """
+        assert run_rule("SV003", code) == []
+
+    def test_non_command_dict_is_ignored(self):
+        assert run_rule("SV003", "D = {'a': 1, 'b': 2}\n") == []
+
+
+# --------------------------------------------------------------------------
+# SV004 — nondeterministic randomness
+# --------------------------------------------------------------------------
+
+
+class TestNondeterminismRule:
+    def test_global_random_call_detected(self):
+        findings = run_rule("SV004", "x = random.random()\n")
+        assert len(findings) == 1
+        assert "random.random()" in findings[0].message
+
+    def test_legacy_numpy_global_detected(self):
+        findings = run_rule("SV004", "x = np.random.rand(3)\n")
+        assert len(findings) == 1
+        assert "default_rng" in findings[0].message
+
+    def test_numpy_seed_call_detected(self):
+        findings = run_rule("SV004", "np.random.seed(0)\n")
+        assert len(findings) == 1
+
+    def test_global_import_detected(self):
+        findings = run_rule("SV004", "from random import choice\n")
+        assert len(findings) == 1
+
+    def test_seeded_generators_are_clean(self):
+        assert run_rule("SV004", "rng = np.random.default_rng(42)\n") == []
+        assert run_rule("SV004", "rng = random.Random(7)\n") == []
+        assert run_rule("SV004", "x = rng.random()\n") == []
+
+
+# --------------------------------------------------------------------------
+# SV005 — mutable default arguments
+# --------------------------------------------------------------------------
+
+
+class TestMutableDefaultRule:
+    def test_list_default_detected(self):
+        findings = run_rule("SV005", "def f(counts=[]):\n    return counts\n")
+        assert len(findings) == 1
+        assert "`f`" in findings[0].message
+
+    def test_dict_call_default_detected(self):
+        findings = run_rule("SV005", "def f(opts=dict()):\n    return opts\n")
+        assert len(findings) == 1
+
+    def test_kwonly_default_detected(self):
+        findings = run_rule("SV005", "def f(*, tags={'a'}):\n    return tags\n")
+        assert len(findings) == 1
+
+    def test_none_default_is_clean(self):
+        assert run_rule("SV005", "def f(counts=None):\n    return counts\n") == []
+
+    def test_immutable_defaults_are_clean(self):
+        assert run_rule("SV005", "def f(k=31, name='x', dims=()):\n    pass\n") == []
+
+
+# --------------------------------------------------------------------------
+# Suppression directives
+# --------------------------------------------------------------------------
+
+
+class TestSuppression:
+    def test_file_level_disable(self):
+        code = """
+        # lint: disable=SV001
+        total = serial_time_ns + energy_nj
+        other = busy_ns + spent_nj
+        """
+        assert run_rule("SV001", code) == []
+
+    def test_line_level_disable_is_scoped(self):
+        code = (
+            "a = busy_ns + spent_nj  # lint: disable=SV001\n"
+            "b = busy_ns + spent_nj\n"
+        )
+        findings = run_rule("SV001", code)
+        assert len(findings) == 1
+        assert findings[0].line == 2
+
+    def test_disable_only_names_that_rule(self):
+        code = """
+        # lint: disable=SV005
+        total = serial_time_ns + energy_nj
+        """
+        assert len(run_rule("SV001", code)) == 1
+
+    def test_multiple_ids_in_one_directive(self):
+        code = """
+        # lint: disable=SV001, SV002
+        total = serial_time_ns + energy_nj
+        flag = x == 0.5
+        """
+        assert run_all(code) == []
+
+
+# --------------------------------------------------------------------------
+# CLI (python -m repro.lint)
+# --------------------------------------------------------------------------
+
+
+class TestLintCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text("x_ns = 1.5\n")
+        assert lint_main([str(tmp_path)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_exit_one_with_findings(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("total_ns = a_ns + b_nj\n")
+        assert lint_main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "SV001" in out and "bad.py" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def f(xs=[]):\n    return xs\n")
+        assert lint_main([str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "SV005"
+        assert payload["findings"][0]["line"] == 1
+
+    def test_select_restricts_rules(self, tmp_path):
+        (tmp_path / "bad.py").write_text("total_ns = a_ns + b_nj\n")
+        assert lint_main([str(tmp_path), "--select", "SV002"]) == 0
+
+    def test_unknown_rule_id_is_usage_error(self, tmp_path):
+        assert lint_main([str(tmp_path), "--select", "SV999"]) == 2
+
+    def test_list_rules_catalog(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.rule_id in out
+
+    def test_module_entry_point(self):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "--list-rules"],
+            capture_output=True,
+            text=True,
+            cwd=repo,
+            env=env,
+        )
+        assert proc.returncode == 0
+        assert "SV001" in proc.stdout
+
+
+# --------------------------------------------------------------------------
+# Unit inference internals
+# --------------------------------------------------------------------------
+
+
+class TestInferUnit:
+    def parse_expr(self, code):
+        import ast
+
+        return ast.parse(code, mode="eval").body
+
+    def test_name_and_attribute(self):
+        assert infer_unit(self.parse_expr("serial_time_ns")) == "ns"
+        assert infer_unit(self.parse_expr("self.stats.energy_nj")) == "nj"
+
+    def test_call_carries_function_suffix(self):
+        node = self.parse_expr("energy.activation_energy_nj(timing)")
+        assert infer_unit(node) == "nj"
+
+    def test_subscript_and_unary(self):
+        assert infer_unit(self.parse_expr("latencies_ns[0]")) == "ns"
+        assert infer_unit(self.parse_expr("-delay_ns")) == "ns"
+
+    def test_literal_factor_erases(self):
+        assert infer_unit(self.parse_expr("total_ns / 1e9")) is None
+        assert infer_unit(self.parse_expr("total_ns * 2.5")) is None
+
+    def test_count_scaling_keeps(self):
+        assert infer_unit(self.parse_expr("count * hop_ns")) == "ns"
+        assert infer_unit(self.parse_expr("total_ns / accesses")) == "ns"
+
+    def test_united_pair_erases(self):
+        assert infer_unit(self.parse_expr("a_ns / b_ns")) is None
+        assert infer_unit(self.parse_expr("power_w * time_s")) is None

@@ -2,7 +2,7 @@
 CPU/GPU models, and the MLP analysis."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.baselines import (
     CacheHierarchy,

@@ -7,7 +7,6 @@ reference, and require identical answers everywhere.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.genomics import KmerDatabase, encode_kmer

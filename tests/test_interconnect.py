@@ -3,7 +3,6 @@
 import pytest
 
 from repro.interconnect import (
-    BANK_REQUEST_BUFFER,
     DIMM_BANDWIDTH_GBS,
     DIMM_POWER_W_PER_GB,
     PCIE3_X8,

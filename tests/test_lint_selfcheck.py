@@ -1,0 +1,57 @@
+"""Self-hosting check: the repo must satisfy its own lint rules.
+
+Running the SV001-SV005 pass over ``src/`` and ``tests/`` inside the
+suite means a change that regresses unit discipline, determinism, or
+dispatch exhaustiveness fails CI even if nobody ran ``python -m
+repro.lint`` by hand.  Also runs ``ruff``/``mypy`` when they are
+installed (CI installs them; local environments may not have them).
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysiskit import ALL_RULES, lint_paths
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+TESTS = REPO / "tests"
+
+
+def test_repo_satisfies_own_lint_rules():
+    findings = lint_paths([str(SRC), str(TESTS)], list(ALL_RULES))
+    details = "\n".join(finding.format() for finding in findings)
+    assert not findings, f"repo violates its own lint rules:\n{details}"
+
+
+def test_rule_catalog_is_stable():
+    """The documented rule IDs exist exactly once each."""
+    ids = [rule.rule_id for rule in ALL_RULES]
+    assert ids == ["SV001", "SV002", "SV003", "SV004", "SV005"]
+    for rule in ALL_RULES:
+        assert rule.title and rule.rationale
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    proc = subprocess.run(
+        ["ruff", "check", str(SRC), str(TESTS)],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "src/repro"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -5,7 +5,7 @@ relies on, across randomly drawn workloads and configurations.
 """
 
 import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.baselines import CpuBaselineModel, GpuBaselineModel
 from repro.sieve import (

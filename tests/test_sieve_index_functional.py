@@ -1,6 +1,5 @@
 """Tests for the subarray index and the bit-accurate functional simulator."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
