@@ -239,14 +239,53 @@ def _is_float_constant(node: ast.AST) -> bool:
     return isinstance(node, ast.Constant) and isinstance(node.value, float)
 
 
+def _is_int_constant(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_int_constant(node.operand)
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+    )
+
+
+def _isinstance_float_names(test: ast.AST) -> Set[str]:
+    """Names a guard asserts to be float: ``isinstance(x, float)``,
+    including ``and``-conjunctions of such calls."""
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        names: Set[str] = set()
+        for value in test.values:
+            names |= _isinstance_float_names(value)
+        return names
+    if (
+        isinstance(test, ast.Call)
+        and isinstance(test.func, ast.Name)
+        and test.func.id == "isinstance"
+        and len(test.args) == 2
+        and isinstance(test.args[0], ast.Name)
+        and isinstance(test.args[1], ast.Name)
+        and test.args[1].id == "float"
+    ):
+        return {test.args[0].id}
+    return set()
+
+
+def _is_float_annotation(annotation: Optional[ast.AST]) -> bool:
+    return isinstance(annotation, ast.Name) and annotation.id == "float"
+
+
 class FloatEqualityRule(Rule):
     rule_id = "SV002"
     title = "float equality"
     rationale = (
         "`==`/`!=` against a float literal in control flow silently "
         "misfires under rounding; write the guard you mean (`<= 0.0`, "
-        "`math.isclose`). `assert` statements are exempt: exact-value "
-        "assertions on deterministic arithmetic fail loudly by design."
+        "`math.isclose`). The same applies to integer literals compared "
+        "against values the code knows are floats (an `isinstance(x, "
+        "float)` guard or a `: float` annotation): `x == 0` on a float "
+        "is still a rounding-sensitive equality. `assert` statements "
+        "are exempt: exact-value assertions on deterministic arithmetic "
+        "fail loudly by design."
     )
 
     def check(self, source: FileSource) -> Iterator[Finding]:
@@ -255,6 +294,7 @@ class FloatEqualityRule(Rule):
             if isinstance(node, ast.Assert):
                 for child in ast.walk(node):
                     exempt.add(id(child))
+        float_names = self._float_typed_names(source.tree)
         for node in ast.walk(source.tree):
             if id(node) in exempt or not isinstance(node, ast.Compare):
                 continue
@@ -262,8 +302,8 @@ class FloatEqualityRule(Rule):
             for op, first, second in zip(node.ops, operands, operands[1:]):
                 if not isinstance(op, (ast.Eq, ast.NotEq)):
                     continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
                 if _is_float_constant(first) or _is_float_constant(second):
-                    symbol = "==" if isinstance(op, ast.Eq) else "!="
                     yield self.finding(
                         source,
                         node,
@@ -271,6 +311,80 @@ class FloatEqualityRule(Rule):
                         "inequality guard or `math.isclose`",
                     )
                     break
+                if self._float_name_vs_int(first, second, float_names.get(id(node))):
+                    yield self.finding(
+                        source,
+                        node,
+                        f"`{symbol}` against an integer literal on a "
+                        "float-typed value; use an exact-integer check "
+                        "(`x.is_integer()`) or an inequality guard",
+                    )
+                    break
+
+    @staticmethod
+    def _float_name_vs_int(
+        first: ast.AST, second: ast.AST, names: Optional[Set[str]]
+    ) -> bool:
+        if not names:
+            return False
+        for name, other in ((first, second), (second, first)):
+            if (
+                isinstance(name, ast.Name)
+                and name.id in names
+                and _is_int_constant(other)
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _float_typed_names(tree: ast.AST) -> Dict[int, Set[str]]:
+        """Map Compare-node id -> names known float-typed at that compare.
+
+        Two sources of type knowledge, both purely syntactic: the body of
+        an ``if isinstance(x, float):`` guard, and ``: float``
+        annotations on arguments / assignments within the enclosing
+        function (valid for the whole function body — close enough for a
+        lint heuristic, since re-binding a ``: float`` name to an int is
+        its own kind of bug).
+        """
+        scopes: Dict[int, Set[str]] = {}
+
+        def visit(node: ast.AST, known: Set[str]) -> None:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                known = set()  # new scope: annotations do not leak in
+                if not isinstance(node, ast.Lambda):
+                    args = node.args
+                    for arg in (
+                        list(args.posonlyargs)
+                        + list(args.args)
+                        + list(args.kwonlyargs)
+                    ):
+                        if _is_float_annotation(arg.annotation):
+                            known.add(arg.arg)
+                    for stmt in ast.walk(node):
+                        if (
+                            isinstance(stmt, ast.AnnAssign)
+                            and isinstance(stmt.target, ast.Name)
+                            and _is_float_annotation(stmt.annotation)
+                        ):
+                            known.add(stmt.target.id)
+            if isinstance(node, ast.If):
+                guarded = known | _isinstance_float_names(node.test)
+                visit(node.test, known)
+                for stmt in node.body:
+                    visit(stmt, guarded)
+                for stmt in node.orelse:
+                    visit(stmt, known)
+                return
+            if isinstance(node, ast.Compare):
+                scopes[id(node)] = set(known)
+            for child in ast.iter_child_nodes(node):
+                visit(child, known)
+
+        visit(tree, set())
+        return scopes
 
 
 # --------------------------------------------------------------------------

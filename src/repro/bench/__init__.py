@@ -1,0 +1,322 @@
+"""Benchmark-regression harness for the functional Sieve toolkit.
+
+The functional simulator is the repository's ground truth: every
+analytic model is calibrated against counters it produces, so a silent
+slowdown there quietly caps how large a configuration the tests and
+examples can afford to exercise.  This package pins the hot paths the
+batched query engine optimized — database construction, device lookup
+(batched and scalar), end-to-end classification, and analytic figure
+regeneration — behind small, seeded workloads and records both wall
+time and the functional counters each run produces.
+
+Usage::
+
+    python -m repro.bench                 # full workloads
+    python -m repro.bench --quick         # CI smoke scale
+    python -m repro.bench --baseline benchmarks/BENCH_baseline.json
+
+Each run writes ``BENCH_<rev>.json`` (``<rev>`` is the short git
+revision, or ``local`` outside a checkout).  With ``--baseline`` the run
+compares itself against a committed reference: any benchmark whose wall
+time regresses by more than ``--threshold`` (default 1.5x), or whose
+functional counters differ at all, fails the run.  Counters are fully
+deterministic (seeded generators end to end), so counter drift is a
+functional regression, never noise; wall-time gets the 1.5x band to
+absorb machine variation.  See ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: JSON schema version for ``BENCH_*.json`` payloads.
+SCHEMA_VERSION = 1
+
+#: Default wall-time regression threshold (current / baseline ratio).
+DEFAULT_THRESHOLD = 1.5
+
+#: Absolute slack added to the wall-time bound.  Benchmarks that finish
+#: in milliseconds would otherwise fail on scheduler jitter alone; a
+#: regression must exceed the ratio threshold *and* this many seconds.
+WALL_GRACE_S = 0.05
+
+
+class BenchError(ValueError):
+    """Raised on unknown benchmark names or malformed baseline files."""
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark run: measured wall time + functional counters."""
+
+    name: str
+    wall_s: float
+    counters: Dict[str, int]
+
+
+#: A benchmark callable: ``fn(quick) -> (measured_wall_s, counters)``.
+#: Setup (dataset/device construction that is not the measured path) is
+#: excluded from the returned wall time by timing inside the callable.
+BenchFn = Callable[[bool], Tuple[float, Dict[str, int]]]
+
+
+def _dataset(quick: bool, seed: int = 11):
+    from ..genomics import build_dataset
+
+    return build_dataset(
+        k=13,
+        num_species=4 if quick else 6,
+        genome_length=400 if quick else 700,
+        num_reads=20 if quick else 40,
+        read_length=70,
+        error_rate=0.005,
+        novel_fraction=0.25,
+        seed=seed,
+    )
+
+
+def bench_database_build(quick: bool) -> Tuple[float, Dict[str, int]]:
+    """Vectorized genome indexing: pack_kmers + canonical + LCA-merge."""
+    import numpy as np
+
+    from ..genomics import (
+        KmerDatabase,
+        balanced_taxonomy,
+        phylogenetic_genomes,
+    )
+
+    rng = np.random.default_rng(101)
+    num_species = 6 if quick else 12
+    taxonomy = balanced_taxonomy(num_species)
+    genomes = phylogenetic_genomes(
+        taxonomy, 1_000 if quick else 5_000, rng
+    )
+    start = time.perf_counter()
+    db = KmerDatabase.from_genomes(
+        ((g, g.taxon_id) for g in genomes),
+        k=13,
+        canonical=True,
+        taxonomy=taxonomy,
+    )
+    wall_s = time.perf_counter() - start
+    return wall_s, {
+        "genomes": len(genomes),
+        "kmers_indexed": len(db),
+        "taxa": db.stats().num_taxa,
+    }
+
+
+def bench_host_lookup(quick: bool) -> Tuple[float, Dict[str, int]]:
+    """Host-side bulk lookup: sorted arrays + ``np.searchsorted``."""
+    dataset = _dataset(quick)
+    queries = sorted(
+        {kmer for read in dataset.reads for kmer in read.kmers(dataset.k)}
+    )
+    start = time.perf_counter()
+    payloads = dataset.database.lookup_many(queries)
+    wall_s = time.perf_counter() - start
+    hits = sum(1 for p in payloads if p is not None)
+    return wall_s, {"queries": len(queries), "hits": hits}
+
+
+def _device_lookup(quick: bool, batched: bool) -> Tuple[float, Dict[str, int]]:
+    from ..sieve import SieveDevice, SubarrayLayout
+
+    dataset = _dataset(quick)
+    layout = SubarrayLayout(
+        k=dataset.k, row_bits=1152, rows_per_subarray=256, layers=3
+    )
+    device = SieveDevice.from_database(dataset.database, layout=layout)
+    queries = sorted(
+        {kmer for read in dataset.reads for kmer in read.kmers(dataset.k)}
+    )
+    start = time.perf_counter()
+    responses = device.lookup_many(queries, batched=batched)
+    wall_s = time.perf_counter() - start
+    return wall_s, {
+        "queries": device.stats.queries,
+        "hits": device.stats.hits,
+        "index_filtered": device.stats.index_filtered,
+        "row_activations": device.stats.row_activations,
+        "write_commands": device.stats.write_commands,
+        "batches": device.stats.batches,
+        "responses": len(responses),
+    }
+
+
+def bench_device_lookup_batched(quick: bool) -> Tuple[float, Dict[str, int]]:
+    """Bit-accurate device lookups through the vectorized batch engine."""
+    return _device_lookup(quick, batched=True)
+
+
+def bench_device_lookup_scalar(quick: bool) -> Tuple[float, Dict[str, int]]:
+    """Same lookups through the scalar command-by-command path.
+
+    Tracked so the scalar reference does not rot: its counters must stay
+    identical to the batched run's, and its wall time bounds how long
+    the equivalence tests can afford to be.
+    """
+    return _device_lookup(quick, batched=False)
+
+
+def bench_classifier_e2e(quick: bool) -> Tuple[float, Dict[str, int]]:
+    """End-to-end read classification against the Sieve device."""
+    from ..baselines import classify_reads, summarize
+    from ..sieve import SieveDevice, SubarrayLayout
+
+    dataset = _dataset(quick)
+    layout = SubarrayLayout(
+        k=dataset.k, row_bits=1152, rows_per_subarray=256, layers=3
+    )
+    device = SieveDevice.from_database(dataset.database, layout=layout)
+    start = time.perf_counter()
+    unique = sorted(
+        {kmer for read in dataset.reads for kmer in read.kmers(dataset.k)}
+    )
+    answers = {r.query: r.payload for r in device.lookup_many(unique)}
+    results = classify_reads(dataset.reads, dataset.k, answers.get)
+    wall_s = time.perf_counter() - start
+    summary = summarize(results)
+    return wall_s, {
+        "reads": summary.reads,
+        "classified": summary.classified,
+        "kmers_total": summary.kmers_total,
+        "kmers_hit": summary.kmers_hit,
+        "row_activations": device.stats.row_activations,
+    }
+
+
+def bench_figure_regen(quick: bool) -> Tuple[float, Dict[str, int]]:
+    """Analytic figure regeneration (perf-model evaluation loop)."""
+    from ..experiments.figures import fig13_row_vs_col, fig16_salp_sweep
+
+    start = time.perf_counter()
+    fig13 = fig13_row_vs_col()
+    rows = len(fig13.rows)
+    if not quick:
+        rows += len(fig16_salp_sweep().rows)
+    wall_s = time.perf_counter() - start
+    return wall_s, {"table_rows": rows}
+
+
+#: Registry of tracked benchmarks, in report order.
+BENCHMARKS: Dict[str, BenchFn] = {
+    "database_build": bench_database_build,
+    "host_lookup": bench_host_lookup,
+    "device_lookup_batched": bench_device_lookup_batched,
+    "device_lookup_scalar": bench_device_lookup_scalar,
+    "classifier_e2e": bench_classifier_e2e,
+    "figure_regen": bench_figure_regen,
+}
+
+
+def git_revision() -> str:
+    """Short git revision of the working tree, or ``local``."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "local"
+    rev = proc.stdout.strip()
+    return rev if rev else "local"
+
+
+def run_benchmarks(
+    quick: bool = False, only: Optional[Sequence[str]] = None
+) -> List[BenchResult]:
+    """Run (a subset of) the registry; returns results in registry order."""
+    names = list(BENCHMARKS) if only is None else list(only)
+    unknown = [name for name in names if name not in BENCHMARKS]
+    if unknown:
+        raise BenchError(
+            f"unknown benchmark(s) {unknown}; tracked: {list(BENCHMARKS)}"
+        )
+    results = []
+    for name in names:
+        wall_s, counters = BENCHMARKS[name](quick)
+        results.append(BenchResult(name=name, wall_s=wall_s, counters=counters))
+    return results
+
+
+def to_payload(results: Sequence[BenchResult], quick: bool) -> Dict[str, object]:
+    """Serialize results into the ``BENCH_*.json`` schema."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "rev": git_revision(),
+        "quick": quick,
+        "benchmarks": {
+            r.name: {"wall_s": r.wall_s, "counters": dict(r.counters)}
+            for r in results
+        },
+    }
+
+
+def load_baseline(path: Path) -> Dict[str, object]:
+    """Load and structurally validate a baseline JSON payload."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchError(f"cannot read baseline {path}: {exc}") from None
+    if not isinstance(payload, dict) or "benchmarks" not in payload:
+        raise BenchError(f"baseline {path} is not a bench payload")
+    return payload
+
+
+def compare_to_baseline(
+    results: Sequence[BenchResult],
+    baseline: Dict[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[str]:
+    """Regression check; returns failure descriptions (empty = pass).
+
+    Wall time fails above ``threshold`` x the baseline plus
+    :data:`WALL_GRACE_S`; counters fail on any difference (they are
+    seeded-deterministic).  Benchmarks absent
+    from the baseline are reported so the baseline gets refreshed when
+    the registry grows.
+    """
+    if threshold <= 1.0:
+        raise BenchError(f"threshold must be > 1.0, got {threshold}")
+    failures = []
+    recorded = baseline["benchmarks"]
+    for result in results:
+        entry = recorded.get(result.name) if isinstance(recorded, dict) else None
+        if not isinstance(entry, dict):
+            failures.append(
+                f"{result.name}: missing from baseline (refresh the baseline)"
+            )
+            continue
+        base_wall_s = float(entry.get("wall_s", 0.0))
+        bound_s = threshold * base_wall_s + WALL_GRACE_S
+        if base_wall_s > 0.0 and result.wall_s > bound_s:
+            ratio = result.wall_s / base_wall_s
+            failures.append(
+                f"{result.name}: wall {result.wall_s:.3f}s is "
+                f"{ratio:.2f}x baseline {base_wall_s:.3f}s "
+                f"(threshold {threshold:.2f}x)"
+            )
+        base_counters = entry.get("counters")
+        if base_counters != result.counters:
+            failures.append(
+                f"{result.name}: counters changed: baseline "
+                f"{base_counters!r} != current {result.counters!r}"
+            )
+    return failures
+
+
+def format_results(results: Sequence[BenchResult]) -> str:
+    """Aligned text report of a run."""
+    lines = [f"{'benchmark':<24} {'wall_s':>9}  counters"]
+    for r in results:
+        counters = ", ".join(f"{k}={v}" for k, v in r.counters.items())
+        lines.append(f"{r.name:<24} {r.wall_s:>9.4f}  {counters}")
+    return "\n".join(lines)

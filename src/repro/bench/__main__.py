@@ -1,0 +1,99 @@
+"""CLI entry point: ``python -m repro.bench``.
+
+Runs the tracked benchmarks, writes ``BENCH_<rev>.json``, and (with
+``--baseline``) fails with exit status 1 when any benchmark regresses
+past the threshold or its functional counters drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from . import (
+    BENCHMARKS,
+    DEFAULT_THRESHOLD,
+    BenchError,
+    compare_to_baseline,
+    format_results,
+    git_revision,
+    load_baseline,
+    run_benchmarks,
+    to_payload,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the tracked simulator benchmarks and check for "
+        "wall-time or counter regressions.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke scale (small workloads, skips the slow figure sweep)",
+    )
+    parser.add_argument(
+        "--only",
+        help="comma-separated benchmark names to run "
+        f"(tracked: {', '.join(BENCHMARKS)})",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        help="output JSON path (default: BENCH_<rev>.json in the cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        help="baseline BENCH_*.json to regression-check against",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="wall-time regression ratio that fails the run "
+        "(default: %(default)s)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    only = args.only.split(",") if args.only else None
+    try:
+        results = run_benchmarks(quick=args.quick, only=only)
+    except BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_results(results))
+
+    payload = to_payload(results, quick=args.quick)
+    output = args.output or Path(f"BENCH_{git_revision()}.json")
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+            failures = compare_to_baseline(
+                results, baseline, threshold=args.threshold
+            )
+        except BenchError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if failures:
+            print(f"REGRESSION vs {args.baseline}:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.baseline} (threshold {args.threshold}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,6 +124,34 @@ class Subarray:
             raise IndexError(f"col {col} out of range [0, {self.cols})")
         return int(self._cells[row, col])
 
+    def peek_rows(self, start: int, stop: int) -> np.ndarray:
+        """Read-only view of rows ``[start, stop)`` without timing effect.
+
+        This is the bulk analogue of :meth:`peek` for vectorized model
+        paths that account activations analytically; it never touches the
+        row buffer or the open-row state.
+        """
+        self._check_row(start)
+        if not start < stop <= self.rows:
+            raise IndexError(
+                f"rows [{start}, {stop}) out of range [0, {self.rows})"
+            )
+        view = self._cells[start:stop].view()
+        view.flags.writeable = False
+        return view
+
+    def charge_untimed_accesses(self, activations: int) -> None:
+        """Account ``activations`` ACT/PRE pairs executed analytically.
+
+        The batched match path computes its row activations in one
+        vectorized pass instead of replaying them; this keeps the
+        subarray's counters identical to a command-by-command replay.
+        """
+        if activations < 0:
+            raise ValueError(f"activations must be >= 0, got {activations}")
+        self.stats.activations += activations
+        self.stats.precharges += activations
+
 
 @dataclass
 class Bank:

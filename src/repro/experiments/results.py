@@ -20,7 +20,7 @@ class FigureResult:
         """Render as an aligned text table (what the benches print)."""
         def fmt(cell: object) -> str:
             if isinstance(cell, float):
-                if cell == 0:
+                if cell.is_integer() and int(cell) == 0:
                     return "0"
                 if abs(cell) >= 1000 or abs(cell) < 0.01:
                     return f"{cell:.3g}"

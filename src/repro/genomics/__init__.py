@@ -20,16 +20,20 @@ from .database import KMER_RECORD_BYTES, DatabaseStats, KmerDatabase
 from .encoding import (
     BASES,
     BITS_PER_BASE,
+    MAX_PACKED_K,
     EncodingError,
     canonical_kmer,
+    canonical_kmers,
     decode_kmer,
     encode_kmer,
     first_diff_base,
     first_diff_bit,
     iter_kmers,
     kmer_bits,
+    pack_kmers,
     reverse_complement,
     revcomp_value,
+    revcomp_values,
     transpose_kmers,
 )
 from .fasta import read_fasta, read_fastq, write_fasta, write_fastq
@@ -62,15 +66,19 @@ __all__ = [
     "Taxonomy",
     "TaxonomyError",
     "balanced_taxonomy",
+    "MAX_PACKED_K",
     "canonical_kmer",
+    "canonical_kmers",
     "decode_kmer",
     "encode_kmer",
     "first_diff_base",
     "first_diff_bit",
     "iter_kmers",
     "kmer_bits",
+    "pack_kmers",
     "reverse_complement",
     "revcomp_value",
+    "revcomp_values",
     "transpose_kmers",
     "read_fasta",
     "read_fastq",

@@ -20,7 +20,7 @@ from typing import Dict, Iterable, Iterator, List, Tuple
 
 import numpy as np
 
-from .encoding import iter_kmers
+from .encoding import MAX_PACKED_K, iter_kmers, pack_kmers
 from .sequence import DnaSequence
 
 
@@ -45,12 +45,31 @@ class ExactKmerCounter:
         self.total += count
 
     def add_sequence(self, seq: DnaSequence) -> int:
-        """Count every window of a sequence; returns k-mers added."""
-        n = 0
-        for kmer in iter_kmers(seq.bases, self.k):
-            self.add(kmer)
-            n += 1
-        return n
+        """Count every window of a sequence; returns k-mers added.
+
+        Windows are packed and deduplicated in one vectorized pass; the
+        counter dictionary is touched once per *distinct* k-mer, in
+        first-occurrence order (identical to sequential insertion).
+        """
+        if self.k > MAX_PACKED_K:
+            n = 0
+            for kmer in iter_kmers(seq.bases, self.k):
+                self.add(kmer)
+                n += 1
+            return n
+        values = pack_kmers(seq.bases, self.k)
+        if values.size == 0:
+            return 0
+        distinct, first_pos, counts = np.unique(
+            values, return_index=True, return_counts=True
+        )
+        order = np.argsort(first_pos)
+        for kmer, count in zip(
+            distinct[order].tolist(), counts[order].tolist()
+        ):
+            self._counts[kmer] = self._counts.get(kmer, 0) + count
+        self.total += int(values.size)
+        return int(values.size)
 
     def count(self, kmer: int) -> int:
         return self._counts.get(kmer, 0)
@@ -111,6 +130,8 @@ class CountMinSketch:
         self.total += count
 
     def add_sequence(self, seq: DnaSequence, k: int) -> int:
+        # Packing is vectorized inside iter_kmers; the per-k-mer hashed
+        # sketch update is inherently sequential.
         n = 0
         for kmer in iter_kmers(seq.bases, k):
             self.add(kmer)

@@ -53,7 +53,9 @@ class DnaSequence:
         return encoding.iter_kmers(self.bases, k)
 
     def kmer_list(self, k: int) -> List[int]:
-        """Materialized :meth:`kmers`."""
+        """Materialized :meth:`kmers` (vectorized for packable k)."""
+        if 0 < k <= encoding.MAX_PACKED_K:
+            return encoding.pack_kmers(self.bases, k).tolist()
         return list(self.kmers(k))
 
     def kmer_count(self, k: int) -> int:

@@ -141,13 +141,21 @@ class SieveDevice:
         outcome = sim.match_slot(0)
         return self._record(outcome, sid)
 
-    def lookup_many(self, kmers: Sequence[int]) -> List[DeviceResponse]:
+    def lookup_many(
+        self, kmers: Sequence[int], batched: bool = True
+    ) -> List[DeviceResponse]:
         """Batch path: group per destination subarray, batches of <= 64.
 
         Responses are returned in request order even though requests to
         different subarrays complete out of order (Section IV-E: the host
         accumulates payloads per sequence, no reordering needed — we
         reorder only for API convenience).
+
+        ``batched=True`` (the default) matches each loaded batch through
+        the vectorized :meth:`~repro.sieve.functional.SieveSubarraySim.
+        match_batch` fast path; ``batched=False`` replays the scalar
+        command-by-command path.  Both produce identical responses and
+        functional counters (the equivalence is test-enforced).
         """
         responses: List[Optional[DeviceResponse]] = [None] * len(kmers)
         per_dest: Dict[Tuple[int, int], List[Tuple[int, int]]] = defaultdict(list)
@@ -171,8 +179,11 @@ class SieveDevice:
                     [kmer for _, kmer in batch], layer
                 )
                 self.stats.batches += 1
-                for slot, (pos, _) in enumerate(batch):
-                    outcome = sim.match_slot(slot)
+                if batched:
+                    outcomes = sim.match_batch()
+                else:
+                    outcomes = [sim.match_slot(slot) for slot in range(len(batch))]
+                for (pos, _), outcome in zip(batch, outcomes):
                     responses[pos] = self._record(outcome, sid)
         return [r for r in responses if r is not None]
 

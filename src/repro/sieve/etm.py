@@ -93,6 +93,30 @@ class EtmPipeline:
         self._bsr = seg_or.copy()
         self.cycles += 1
 
+    def load_state(
+        self, segment_or: np.ndarray, sr: np.ndarray, cycles: int
+    ) -> None:
+        """Install pipeline state computed by the batched fast path.
+
+        ``segment_or`` is the per-segment OR after the final step (the
+        BSRs mirror it); ``sr`` is the SR chain contents.  Restores the
+        exact state a step-by-step replay would have left behind.
+        """
+        segment_or = np.asarray(segment_or, dtype=np.uint8)
+        sr = np.asarray(sr, dtype=np.uint8)
+        if segment_or.shape != (self.num_segments,) or sr.shape != (
+            self.num_segments,
+        ):
+            raise EtmError(
+                f"state arrays must have shape ({self.num_segments},)"
+            )
+        if cycles < 0:
+            raise EtmError(f"cycles must be >= 0, got {cycles}")
+        self._segment_or = segment_or.copy()
+        self._bsr = segment_or.copy()
+        self._sr = sr.copy()
+        self.cycles = cycles
+
     @property
     def terminated(self) -> bool:
         """Detector output: no segment saw a live candidate this cycle.

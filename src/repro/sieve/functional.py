@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -102,6 +102,9 @@ class SieveSubarraySim:
         self._batch_layer = 0
         self.batch_loads = 0
         self.write_commands = 0
+        #: Match-Enable masks keyed by (layer, record count); rebuilt when
+        #: references are (re)loaded.
+        self._enable_cache: Dict[Tuple[int, int], np.ndarray] = {}
         # Layer occupancy and first-kmer table (subarray controller state).
         per_layer = layout.refs_per_layer
         self._layer_records: List[List[Tuple[int, int]]] = [
@@ -119,6 +122,7 @@ class SieveSubarraySim:
 
     def _load_references(self) -> None:
         layout = self.layout
+        self._enable_cache.clear()
         for layer, chunk in enumerate(self._layer_records):
             kmers = [k for k, _ in chunk]
             ref_matrix = layout.ref_bit_matrix(kmers)
@@ -167,11 +171,18 @@ class SieveSubarraySim:
         return commands
 
     def _layer_enable(self, layer: int) -> np.ndarray:
-        """Match-Enable mask: only occupied reference columns of a layer."""
-        enable = np.zeros(self.layout.row_bits, dtype=np.uint8)
-        for slot in range(len(self._layer_records[layer])):
-            enable[self.layout.ref_slot_to_column(slot)] = 1
-        return enable
+        """Match-Enable mask: only occupied reference columns of a layer.
+
+        The mask is a pure function of (layer, record count), so it is
+        cached and only rebuilt when the layer's references change
+        (:meth:`_load_references` invalidates the cache).
+        """
+        key = (layer, len(self._layer_records[layer]))
+        mask = self._enable_cache.get(key)
+        if mask is None:
+            mask = self.layout.match_enable_mask(key[1])
+            self._enable_cache[key] = mask
+        return mask
 
     # -- matching ------------------------------------------------------------
 
@@ -241,9 +252,24 @@ class SieveSubarraySim:
 
     def _retrieve(self, query: int, layer: int, rows_activated: int) -> MatchOutcome:
         """Hit path: ETM flush, Column Finder, offset + payload fetch."""
-        layout = self.layout
         flush = self.etm.flush_cycles_after_last_row()
         cf = self.finder.find(np.asarray(self.matchers.latches))
+        payload = self._fetch_record(layer, cf)
+        return MatchOutcome(
+            query=query,
+            hit=True,
+            payload=payload,
+            column=cf.column,
+            layer=layer,
+            rows_activated=rows_activated + 2,
+            etm_flush_cycles=flush,
+            cf=cf,
+            etm_terminated_early=False,
+        )
+
+    def _fetch_record(self, layer: int, cf: ColumnFindResult) -> int:
+        """Region-2/3 fetch for a located hit column; returns the payload."""
+        layout = self.layout
         slot = layout.column_to_ref_slot(cf.column)
         # Region 2: fetch the payload offset.
         orow, ocol = layout.offset_location(layer, slot)
@@ -255,14 +281,162 @@ class SieveSubarraySim:
         bits = self.array.activate(prow)
         payload = _bits_to_int(bits[pcol : pcol + PAYLOAD_BITS])
         self.array.precharge()
+        return payload
+
+    # -- batched matching -----------------------------------------------------
+
+    def match_batch(
+        self, slots: Optional[Sequence[int]] = None
+    ) -> List[MatchOutcome]:
+        """Match loaded batch slots in one vectorized pass per query.
+
+        Fast path equivalent to ``[self.match_slot(s) for s in slots]``:
+        instead of replaying row activations one Python-level DRAM command
+        at a time, it reads the layer's Region-1 bit matrix once and
+        computes every query's per-column *first-divergence* row with a
+        single vectorized comparison.  Everything observable is
+        synthesized to match the scalar path bit for bit:
+
+        * :class:`MatchOutcome` fields, including ``rows_activated``
+          under the ETM's one-row-late interrupt semantics and the SR
+          drain (``etm_flush_cycles``) from the closed-form SR recurrence;
+        * :class:`~repro.dram.subarray.SubarrayStats` counters (the
+          matching loop's ACT/PRE pairs are charged analytically; the
+          Region-2/3 fetches still execute through the array);
+        * matcher / ETM pipeline state after the final query.
+
+        The scalar path is retained both as documentation of the
+        command-level protocol and as the reference the equivalence tests
+        check this path against.
+        """
+        if slots is None:
+            slots = range(len(self._batch))
+        layout = self.layout
+        layer = self._batch_layer
+        records = self._layer_records[layer]
+        enable = self._layer_enable(layer)
+        num_refs = len(records)
+        total_rows = layout.kmer_rows
+        base = layout.layer_base_row(layer)
+        region1 = self.array.peek_rows(base, base + total_rows)
+        enable_cols = layout.ref_slot_columns[:num_refs]
+        group_of_slot = layout.column_group_index[:num_refs]
+        segment_of_slot = enable_cols // self.etm.segment_size
+        ref_bits = region1[:, enable_cols]
+        self.matchers.set_enable(enable)
+        outcomes: List[MatchOutcome] = []
+        for batch_slot in slots:
+            if not 0 <= batch_slot < len(self._batch):
+                raise FunctionalError(
+                    f"batch slot {batch_slot} out of range "
+                    f"[0, {len(self._batch)})"
+                )
+            query = self._batch[batch_slot]
+            # Per-group query replicas, broadcast to each slot's group.
+            replicas = region1[:, layout.query_column_matrix[:, batch_slot]]
+            query_bits = replicas[:, group_of_slot]
+            diverged = ref_bits != query_bits
+            has_diff = diverged.any(axis=0)
+            first_div = np.where(
+                has_diff, diverged.argmax(axis=0), total_rows
+            ).astype(np.int64)
+            # Per-segment survival horizon: segment g's OR is live after
+            # row cycle t iff seg_max[g] >= t.
+            seg_max = np.full(self.etm.num_segments, -1, dtype=np.int64)
+            np.maximum.at(seg_max, segment_of_slot, first_div)
+            hit_mask = ~has_diff
+            if hit_mask.any():
+                outcomes.append(
+                    self._batch_hit(
+                        query, layer, enable_cols[hit_mask], seg_max, total_rows
+                    )
+                )
+            else:
+                outcomes.append(
+                    self._batch_miss(query, layer, int(first_div.max()), seg_max)
+                )
+        return outcomes
+
+    def _sr_after(self, seg_max: np.ndarray, steps: int) -> np.ndarray:
+        """SR chain contents after ``steps`` pipeline steps (closed form).
+
+        Unrolling ``SR[i](t) = seg_or[i](t) | SR[i-1](t-1)`` with
+        ``SR[*](0) = 1`` and ``seg_or[g](t) = (seg_max[g] >= t)`` gives
+        ``SR[i](t) = 1`` iff ``i >= t`` (the preset 1 has not drained) or
+        some ``d <= i`` had segment ``i-d`` still live at step ``t-d``.
+        """
+        num_segments = seg_max.size
+        sr = np.zeros(num_segments, dtype=np.uint8)
+        for i in range(num_segments):
+            if i >= steps:
+                sr[i] = 1
+            else:
+                lags = np.arange(i + 1)
+                sr[i] = 1 if np.any(seg_max[i - lags] >= steps - lags) else 0
+        return sr
+
+    def _sync_pipeline_state(self, seg_max: np.ndarray, steps: int,
+                             latches: np.ndarray) -> None:
+        """Leave matcher/ETM state exactly as a scalar replay would."""
+        self.matchers.load_state(latches, steps)
+        segment_or = (seg_max >= steps).astype(np.uint8)
+        self.etm.load_state(segment_or, self._sr_after(seg_max, steps), steps)
+
+    def _batch_hit(
+        self,
+        query: int,
+        layer: int,
+        hit_columns: np.ndarray,
+        seg_max: np.ndarray,
+        total_rows: int,
+    ) -> MatchOutcome:
+        """Synthesize the scalar hit path: all rows activate, SR drain,
+        Column Finder, then real Region-2/3 fetches."""
+        latches = np.zeros(self.layout.row_bits, dtype=np.uint8)
+        latches[hit_columns] = 1
+        self.array.charge_untimed_accesses(total_rows)
+        self._sync_pipeline_state(seg_max, total_rows, latches)
+        flush = self.etm.flush_cycles_after_last_row()
+        cf = self.finder.find(latches)
+        payload = self._fetch_record(layer, cf)
         return MatchOutcome(
             query=query,
             hit=True,
             payload=payload,
             column=cf.column,
             layer=layer,
-            rows_activated=rows_activated + 2,
+            rows_activated=total_rows + 2,
             etm_flush_cycles=flush,
             cf=cf,
             etm_terminated_early=False,
+        )
+
+    def _batch_miss(
+        self, query: int, layer: int, last_divergence: int, seg_max: np.ndarray
+    ) -> MatchOutcome:
+        """Synthesize the scalar miss path under ETM one-row-late
+        semantics: the interrupt races the already-issued next ACT."""
+        total_rows = self.layout.kmer_rows
+        if self.etm_enabled and last_divergence <= total_rows - 2:
+            compares = last_divergence + 1
+            rows_activated = last_divergence + 2
+            terminated_early = True
+        else:
+            compares = total_rows
+            rows_activated = total_rows
+            terminated_early = False
+        self.array.charge_untimed_accesses(rows_activated)
+        self._sync_pipeline_state(
+            seg_max, compares, np.zeros(self.layout.row_bits, dtype=np.uint8)
+        )
+        return MatchOutcome(
+            query=query,
+            hit=False,
+            payload=None,
+            column=None,
+            layer=layer,
+            rows_activated=rows_activated,
+            etm_flush_cycles=0,
+            cf=None,
+            etm_terminated_early=terminated_early,
         )

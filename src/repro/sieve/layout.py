@@ -27,6 +27,7 @@ contention (Section IV-A).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -208,15 +209,72 @@ class SubarrayLayout:
         base = self.group_base(group) + self.query_col_offset
         return range(base, base + self.queries_per_group)
 
+    # -- cached column maps ---------------------------------------------------
+    #
+    # The maps below are pure functions of the (frozen) layout, but the
+    # matching loops consult them per query slot: computed on the fly they
+    # dominate the functional simulator's profile.  They are built once on
+    # first use; ``cached_property`` stores into ``__dict__`` directly, which
+    # the frozen dataclass permits and which ``__eq__``/``__hash__`` (field
+    # based) never see.
+
+    @cached_property
+    def ref_slot_columns(self) -> np.ndarray:
+        """Column of every layer-wide reference slot, as an int array.
+
+        ``ref_slot_columns[slot]`` is the bitline holding reference slot
+        ``slot``; slot order is ascending column order skipping the query
+        block, so slot order equals sorted order.
+        """
+        within = np.arange(self.group_width)
+        qstart = self.query_col_offset
+        ref_within = within[
+            (within < qstart) | (within >= qstart + self.queries_per_group)
+        ]
+        group_bases = np.arange(self.num_groups) * self.group_width
+        cols = (group_bases[:, None] + ref_within[None, :]).ravel()
+        cols.flags.writeable = False
+        return cols
+
+    @cached_property
+    def query_column_matrix(self) -> np.ndarray:
+        """``(num_groups, queries_per_group)`` matrix of query columns.
+
+        Row ``g`` lists the columns of group ``g``'s replicated query
+        batch, in batch-slot order.
+        """
+        group_bases = np.arange(self.num_groups) * self.group_width
+        slots = self.query_col_offset + np.arange(self.queries_per_group)
+        cols = group_bases[:, None] + slots[None, :]
+        cols.flags.writeable = False
+        return cols
+
+    @cached_property
+    def column_group_index(self) -> np.ndarray:
+        """Pattern group of every reference slot's column (by slot index)."""
+        groups = self.ref_slot_columns // self.group_width
+        groups.flags.writeable = False
+        return groups
+
+    def match_enable_mask(self, count: int) -> np.ndarray:
+        """Match-Enable mask for the first ``count`` occupied ref slots."""
+        if not 0 <= count <= self.refs_per_layer:
+            raise LayoutError(
+                f"slot count {count} out of range [0, {self.refs_per_layer}]"
+            )
+        enable = np.zeros(self.row_bits, dtype=np.uint8)
+        enable[self.ref_slot_columns[:count]] = 1
+        return enable
+
     def ref_columns(self, group: int) -> List[int]:
         """Columns holding reference k-mers in ``group``, in slot order.
 
         Slot order is ascending column order skipping the query block —
         references are loaded sorted, so slot order equals sorted order.
         """
-        base = self.group_base(group)
-        qcols = set(self.query_columns(group))
-        return [c for c in range(base, base + self.group_width) if c not in qcols]
+        self._check_group(group)
+        start = group * self.refs_per_group
+        return self.ref_slot_columns[start : start + self.refs_per_group].tolist()
 
     def ref_slot_to_column(self, slot: int) -> int:
         """Map a layer-wide reference slot index to its column."""
@@ -224,9 +282,7 @@ class SubarrayLayout:
             raise LayoutError(
                 f"ref slot {slot} out of range [0, {self.refs_per_layer})"
             )
-        group, local = divmod(slot, self.refs_per_group)
-        cols = self.ref_columns(group)
-        return cols[local]
+        return int(self.ref_slot_columns[slot])
 
     def column_to_ref_slot(self, column: int) -> int:
         """Map a hit column back to its layer-wide reference slot.
@@ -260,9 +316,9 @@ class SubarrayLayout:
                 f"{len(kmers)} k-mers exceed layer capacity {self.refs_per_layer}"
             )
         matrix = np.zeros((self.kmer_rows, self.row_bits), dtype=np.uint8)
-        bits = transpose_kmers(kmers, self.k)
-        for slot in range(len(kmers)):
-            matrix[:, self.ref_slot_to_column(slot)] = bits[:, slot]
+        if len(kmers):
+            bits = transpose_kmers(kmers, self.k)
+            matrix[:, self.ref_slot_columns[: len(kmers)]] = bits
         return matrix
 
     def query_bit_matrix(self, queries: Sequence[int]) -> np.ndarray:
@@ -278,11 +334,10 @@ class SubarrayLayout:
                 f"queries per group"
             )
         matrix = np.zeros((self.kmer_rows, self.row_bits), dtype=np.uint8)
-        bits = transpose_kmers(queries, self.k)
-        for group in range(self.num_groups):
-            cols = list(self.query_columns(group))[: len(queries)]
-            for j, col in enumerate(cols):
-                matrix[:, col] = bits[:, j]
+        if len(queries):
+            bits = transpose_kmers(queries, self.k)
+            cols = self.query_column_matrix[:, : len(queries)]
+            matrix[:, cols.ravel()] = np.tile(bits, (1, self.num_groups))
         return matrix
 
     # -- regions 2 and 3 -----------------------------------------------------------

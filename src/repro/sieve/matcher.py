@@ -85,6 +85,23 @@ class MatcherArray:
         self._latches &= xnor & self._enable
         self.compare_count += 1
 
+    def load_state(self, latches: np.ndarray, compare_count: int) -> None:
+        """Install latch contents computed by the batched fast path.
+
+        The vectorized matcher evaluates all row cycles of a query in one
+        pass; this restores the exact state a cycle-by-cycle replay would
+        have left behind.
+        """
+        latches = np.asarray(latches, dtype=np.uint8)
+        if latches.shape != (self.width,):
+            raise MatcherError(
+                f"latch row must have shape ({self.width},), got {latches.shape}"
+            )
+        if compare_count < 0:
+            raise MatcherError(f"compare_count must be >= 0, got {compare_count}")
+        self._latches = latches.copy()
+        self.compare_count = compare_count
+
     def any_match(self) -> bool:
         """True while at least one candidate is still alive."""
         return bool(self._latches.any())

@@ -127,6 +127,110 @@ class TestFloatEqualityRule:
     def test_assert_statements_are_exempt(self):
         assert run_rule("SV002", "assert ledger.time_ns == 100.0\n") == []
 
+    def test_int_literal_inside_isinstance_float_guard_detected(self):
+        # The FigureResult.format bug shape: `cell` is established float
+        # by the guard, then compared `== 0` with an int literal.
+        findings = run_rule(
+            "SV002",
+            """\
+            if isinstance(cell, float):
+                if cell == 0:
+                    pass
+            """,
+        )
+        assert len(findings) == 1
+        assert "float-typed value" in findings[0].message
+
+    def test_int_literal_against_float_annotated_arg_detected(self):
+        findings = run_rule(
+            "SV002",
+            """\
+            def fmt(cell: float) -> str:
+                if cell == 0:
+                    return "0"
+                return str(cell)
+            """,
+        )
+        assert len(findings) == 1
+        assert "float-typed value" in findings[0].message
+
+    def test_int_literal_against_float_ann_assign_detected(self):
+        findings = run_rule(
+            "SV002",
+            """\
+            def f():
+                total: float = compute()
+                return total != 0
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_exact_integer_rewrite_is_clean(self):
+        # The fixed shape: is_integer() + int() round-trip.
+        assert (
+            run_rule(
+                "SV002",
+                """\
+                if isinstance(cell, float):
+                    if cell.is_integer() and int(cell) == 0:
+                        pass
+                """,
+            )
+            == []
+        )
+
+    def test_isinstance_guard_does_not_leak_to_else_or_siblings(self):
+        assert (
+            run_rule(
+                "SV002",
+                """\
+                if isinstance(cell, float):
+                    pass
+                else:
+                    ok = cell == 0
+                later = cell == 0
+                """,
+            )
+            == []
+        )
+
+    def test_float_annotation_does_not_leak_across_functions(self):
+        assert (
+            run_rule(
+                "SV002",
+                """\
+                def g(cell: float) -> float:
+                    return cell * 2.0
+
+                def h(cell):
+                    return cell == 0
+                """,
+            )
+            == []
+        )
+
+    def test_isinstance_guard_in_conjunction_detected(self):
+        findings = run_rule(
+            "SV002",
+            """\
+            if isinstance(x, float) and enabled:
+                flag = x != 1
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_guarded_int_equality_in_assert_is_exempt(self):
+        assert (
+            run_rule(
+                "SV002",
+                """\
+                if isinstance(x, float):
+                    assert x == 0
+                """,
+            )
+            == []
+        )
+
 
 # --------------------------------------------------------------------------
 # SV003 — Command-enum exhaustiveness
