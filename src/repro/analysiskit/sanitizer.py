@@ -45,8 +45,9 @@ class SanitizerError(RuntimeError):
     """
 
     def __init__(self, message: str, unit: str, history: List[HistoryEvent]):
+        self.raw_message = message
         self.unit = unit
-        self.history = list(history)
+        self.history = [tuple(event) for event in history]
         trace = "\n".join(
             f"  #{seq} [{hist_unit}] {event}: {detail}"
             for seq, hist_unit, event, detail in self.history
@@ -54,6 +55,12 @@ class SanitizerError(RuntimeError):
         super().__init__(
             f"{message} (unit {unit})\ncommand history (oldest first):\n{trace}"
         )
+
+    def __reduce__(self):
+        # Exceptions with multi-argument constructors do not pickle by
+        # default; fleet workers must ship violations (with their
+        # command history) across the process boundary intact.
+        return (type(self), (self.raw_message, self.unit, self.history))
 
 
 class ProtocolSanitizer:

@@ -231,20 +231,37 @@ def git_revision() -> str:
 
 
 def run_benchmarks(
-    quick: bool = False, only: Optional[Sequence[str]] = None
+    quick: bool = False,
+    only: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
 ) -> List[BenchResult]:
-    """Run (a subset of) the registry; returns results in registry order."""
+    """Run (a subset of) the registry; returns results in registry order.
+
+    ``jobs`` fans the benchmarks out over fleet worker processes
+    (``None`` uses the fleet default: ``--jobs``/``SIEVE_JOBS``, else
+    1).  Counters are unaffected by the worker count (they are
+    seeded-deterministic); wall times are each measured inside their
+    own process.
+    """
+    from ..fleet.core import run_jobs
+    from ..fleet.jobs import BenchJob
+
     names = list(BENCHMARKS) if only is None else list(only)
     unknown = [name for name in names if name not in BENCHMARKS]
     if unknown:
         raise BenchError(
             f"unknown benchmark(s) {unknown}; tracked: {list(BENCHMARKS)}"
         )
-    results = []
-    for name in names:
-        wall_s, counters = BENCHMARKS[name](quick)
-        results.append(BenchResult(name=name, wall_s=wall_s, counters=counters))
-    return results
+    payloads = run_jobs(
+        [BenchJob(name=name, quick=quick) for name in names],
+        max_workers=jobs,
+    )
+    return [
+        BenchResult(
+            name=p["name"], wall_s=p["wall_s"], counters=dict(p["counters"])
+        )
+        for p in payloads
+    ]
 
 
 def to_payload(results: Sequence[BenchResult], quick: bool) -> Dict[str, object]:

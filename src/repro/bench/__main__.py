@@ -59,6 +59,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-time regression ratio that fails the run "
         "(default: %(default)s)",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for the benchmark fan-out "
+        "(default: $SIEVE_JOBS or 1)",
+    )
     return parser
 
 
@@ -66,7 +74,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     only = args.only.split(",") if args.only else None
     try:
-        results = run_benchmarks(quick=args.quick, only=only)
+        results = run_benchmarks(quick=args.quick, only=only, jobs=args.jobs)
     except BenchError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

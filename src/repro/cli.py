@@ -13,71 +13,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
 
-from .experiments import (
-    accuracy_study,
-    claims_ledger,
-    intro_claims,
-    ablation_device_sim,
-    ablation_esp_model,
-    ablation_segment_size,
-    ablation_power_envelope,
-    ablation_steady_state,
-    ablation_technology,
-    ablation_type1_functional,
-    area_overheads,
-    benchmark_by_name,
-    sensitivity_capacity,
-    sensitivity_hit_rate,
-    sensitivity_k,
-    fig01_breakdown,
-    fig06_esp,
-    fig13_row_vs_col,
-    fig14_vs_cpu,
-    fig15_vs_gpu,
-    fig16_salp_sweep,
-    fig17_cb_sweep,
-    paper_benchmarks,
-    perf_results_for,
-    sensitivity_bandwidth,
-    sensitivity_etm_off,
-    sensitivity_pcie,
-    tab01_machines,
-    tab02_queries,
-    tab03_components,
-)
+from .experiments import benchmark_by_name, paper_benchmarks, perf_results_for
+#: Name -> runner mapping, shared with ``python -m repro.fleet`` and the
+#: golden suite (kept importable here for backward compatibility).
+from .experiments.registry import EXPERIMENTS
 from .hardware import all_feasibility_reports
-
-EXPERIMENTS: Dict[str, Callable] = {
-    "fig1": fig01_breakdown,
-    "fig6": fig06_esp,
-    "tab1": tab01_machines,
-    "tab2": tab02_queries,
-    "tab3": tab03_components,
-    "area": area_overheads,
-    "fig13": fig13_row_vs_col,
-    "fig14": fig14_vs_cpu,
-    "fig15": fig15_vs_gpu,
-    "fig16": fig16_salp_sweep,
-    "fig17": fig17_cb_sweep,
-    "etm": sensitivity_etm_off,
-    "pcie": sensitivity_pcie,
-    "bandwidth": sensitivity_bandwidth,
-    "accuracy": accuracy_study,
-    "intro": intro_claims,
-    "claims": claims_ledger,
-    "k-sweep": sensitivity_k,
-    "hit-sweep": sensitivity_hit_rate,
-    "capacity": sensitivity_capacity,
-    "abl-steady": ablation_steady_state,
-    "abl-esp": ablation_esp_model,
-    "abl-power": ablation_power_envelope,
-    "abl-tech": ablation_technology,
-    "abl-type1": ablation_type1_functional,
-    "abl-device": ablation_device_sim,
-    "abl-segment": ablation_segment_size,
-}
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -166,6 +107,14 @@ def main(argv=None) -> int:
         help="enable the runtime DRAM protocol sanitizer "
         "(also enabled by SIEVE_SANITIZE=1; see docs/CORRECTNESS.md)",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for experiment fan-out (default: "
+        "$SIEVE_JOBS or 1; output is byte-identical at any count)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiments and benchmarks").set_defaults(
         func=_cmd_list
@@ -199,6 +148,10 @@ def main(argv=None) -> int:
         enable_sanitizer()
     else:
         enable_from_env()
+    if args.jobs is not None:
+        from .fleet import configure
+
+        configure(jobs=args.jobs)
     return args.func(args)
 
 

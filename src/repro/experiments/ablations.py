@@ -12,29 +12,30 @@ modelling decisions this reproduction makes:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
-import numpy as np
-
+from ..fleet.core import Job, run_jobs
+from ..fleet.jobs import (
+    DeviceSimJob,
+    EspAblationJob,
+    PerfPointJob,
+    SteadyStateJob,
+    Type1FunctionalJob,
+)
 from ..hardware.thermal import (
     DRAM_TEMP_LIMIT_C,
     max_concurrent_per_bank,
     power_budget_report,
 )
 from ..interconnect.dimm import DimmEnvelope
-from ..sieve.controller import validate_steady_state
 from ..sieve.extensions import technology_comparison
-from ..sieve.layout import SubarrayLayout
-from ..sieve.perfmodel import EspModel, Type3Model, WorkloadStats
-from ..sieve.type1 import Type1BankSim, Type1Layout
+from ..sieve.perfmodel import EspModel
 from .results import FigureResult
 from .workloads import PAPER_K, paper_benchmarks
 
 
 def ablation_steady_state() -> FigureResult:
     """Event-driven bank pipeline vs. the analytic closed form."""
-    layout = SubarrayLayout(k=PAPER_K)
-    workload = paper_benchmarks()[-1].workload()
     result = FigureResult(
         figure="Ablation A1",
         title="Event-driven pipeline vs. analytic steady state (per-bank)",
@@ -47,10 +48,9 @@ def ablation_steady_state() -> FigureResult:
             "stream_utilization",
         ],
     )
-    for streams in (1, 2, 4, 8, 16, 32):
-        report = validate_steady_state(
-            workload, layout, streams=streams, num_requests=4000
-        )
+    stream_counts = (1, 2, 4, 8, 16, 32)
+    payloads = run_jobs([SteadyStateJob(streams=s) for s in stream_counts])
+    for streams, report in zip(stream_counts, payloads):
         result.rows.append(
             [
                 streams,
@@ -71,7 +71,6 @@ def ablation_steady_state() -> FigureResult:
 
 def ablation_esp_model(measured: Optional[EspModel] = None) -> FigureResult:
     """How the ETM termination-distribution choice moves the headline."""
-    base = paper_benchmarks()[-1].workload()
     candidates = [
         ("paper Fig-6 calibration", EspModel.paper_fig6(PAPER_K)),
         ("max over 32 random candidates", EspModel.uniform_random(PAPER_K, 32)),
@@ -89,15 +88,26 @@ def ablation_esp_model(measured: Optional[EspModel] = None) -> FigureResult:
             "etm_gain_vs_noETM",
         ],
     )
-    no_etm = Type3Model(concurrent_subarrays=8, etm_enabled=False).run(base)
-    for name, esp in candidates:
-        wl = WorkloadStats(
-            name=base.name, k=base.k, num_kmers=base.num_kmers,
-            hit_rate=base.hit_rate, esp=esp,
+    jobs: List[Job] = [
+        PerfPointJob(
+            design="T3", benchmark=paper_benchmarks()[-1].name, units=8,
+            etm_enabled=False,
         )
-        res = Type3Model(concurrent_subarrays=8).run(wl)
+    ]
+    jobs += [
+        EspAblationJob(label=name, probabilities=tuple(esp.probabilities))
+        for name, esp in candidates
+    ]
+    payloads = run_jobs(jobs)
+    no_etm_time_s = payloads[0]["time_s"]
+    for (name, esp), payload in zip(candidates, payloads[1:]):
         result.rows.append(
-            [name, esp.mean_rows(), res.time_s * 1e3, no_etm.time_s / res.time_s]
+            [
+                name,
+                payload["mean_rows"],
+                payload["time_s"] * 1e3,
+                no_etm_time_s / payload["time_s"],
+            ]
         )
     result.notes = (
         "the paper's 5.2-7.2x ETM benefit requires the Fig-6-calibrated "
@@ -234,9 +244,6 @@ def ablation_segment_size() -> FigureResult:
 
 def ablation_device_sim(num_requests: int = 20_000) -> FigureResult:
     """Whole-device event simulation: PCIe packets -> banks -> RRQ."""
-    from ..sieve.device_sim import DeviceSimConfig, simulate_device
-
-    workload = paper_benchmarks()[-1].workload()
     result = FigureResult(
         figure="Ablation A6",
         title="Device-level event simulation (packets, queues, banks)",
@@ -248,19 +255,18 @@ def ablation_device_sim(num_requests: int = 20_000) -> FigureResult:
             "makespan_us",
         ],
     )
-    for banks in (4, 8, 16):
-        sim = simulate_device(
-            workload,
-            num_requests=num_requests,
-            config=DeviceSimConfig(banks=banks, subarrays_per_bank=16),
-        )
+    bank_counts = (4, 8, 16)
+    payloads = run_jobs(
+        [DeviceSimJob(banks=b, num_requests=num_requests) for b in bank_counts]
+    )
+    for banks, sim in zip(bank_counts, payloads):
         result.rows.append(
             [
                 banks,
-                sim.overhead_fraction * 100.0,
-                sim.load_imbalance,
-                sim.packets,
-                sim.makespan_ns / 1e3,
+                sim["overhead_fraction"] * 100.0,
+                sim["load_imbalance"],
+                sim["packets"],
+                sim["makespan_ns"] / 1e3,
             ]
         )
     result.notes = (
@@ -275,34 +281,21 @@ def ablation_device_sim(num_requests: int = 20_000) -> FigureResult:
 def ablation_type1_functional(queries: int = 120) -> FigureResult:
     """Cross-check the analytic Type-1 model's batch-pruning behaviour
     against the bit-accurate Type-1 bank simulator."""
-    rng = np.random.default_rng(23)
-    k = 8
-    layout = Type1Layout(k=k, row_bits=128, rows=128)
-    kmers = sorted(int(x) for x in rng.choice(4**k, size=110, replace=False))
-    records = [(kmer, 900 + i) for i, kmer in enumerate(kmers)]
-    sim = Type1BankSim(layout, records)
-    rows_list, batches_list, hits = [], [], 0
-    for _ in range(queries):
-        q = int(rng.integers(0, 4**k))
-        outcome = sim.match(q)
-        rows_list.append(outcome.rows_activated)
-        batches_list.append(outcome.batch_reads)
-        hits += outcome.hit
-    full_batches = layout.kmer_rows * layout.num_batches
+    sim = run_jobs([Type1FunctionalJob(queries=queries)])[0]
     result = FigureResult(
         figure="Ablation A5",
         title="Type-1 functional counters (SkBR/StBR pruning)",
         headers=["quantity", "value"],
         rows=[
-            ["queries", queries],
-            ["hit rate", hits / queries],
-            ["mean rows activated", float(np.mean(rows_list))],
-            ["max rows (2k + payload)", layout.kmer_rows + 2],
-            ["mean batch reads", float(np.mean(batches_list))],
-            ["batch reads without SkBR", full_batches],
+            ["queries", sim["queries"]],
+            ["hit rate", sim["hit_rate"]],
+            ["mean rows activated", sim["mean_rows"]],
+            ["max rows (2k + payload)", sim["max_rows"]],
+            ["mean batch reads", sim["mean_batch_reads"]],
+            ["batch reads without SkBR", sim["full_batches"]],
             [
                 "SkBR pruning factor",
-                full_batches / float(np.mean(batches_list)),
+                sim["full_batches"] / sim["mean_batch_reads"],
             ],
         ],
     )

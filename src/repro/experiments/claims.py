@@ -5,27 +5,26 @@ Each entry states the claim as the paper makes it, the band we accept
 value from this repository's models, and a verdict.  The benchmark
 suite asserts the ledger is all-green; the CLI prints it
 (``sieve-repro claims``).
+
+All model evaluations the ledger needs are dispatched as one
+:class:`~repro.fleet.jobs.PerfPointJob` batch through the fleet
+(:mod:`repro.fleet`), so the ledger parallelizes across worker
+processes; the claim formulas then read from the result table in the
+same order the sequential implementation used.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, Dict, List
 
-from ..baselines.cpu_model import CpuBaselineModel
-from ..baselines.gpu_model import GpuBaselineModel
 from ..baselines.mlp import ideal_machine_analysis
+from ..fleet.core import run_jobs
+from ..fleet.jobs import PerfPointJob
 from ..hardware.area import DEFAULT_AREA_MODEL
 from ..hardware.circuits import all_feasibility_reports
 from ..hardware.thermal import max_concurrent_per_bank
-from ..insitu.rowmajor import ComputeDramModel, RowMajorModel
 from ..interconnect.pcie import PCIE4_X16, PcieModel
-from ..sieve.perfmodel import (
-    SieveModelConfig,
-    Type1Model,
-    Type2Model,
-    Type3Model,
-)
 from .results import FigureResult, geomean
 from .workloads import paper_benchmarks
 
@@ -42,31 +41,65 @@ class Claim:
     measure: Callable[["_Context"], float]
 
 
+#: SALP degrees the plateau search (C10) probes beyond the T3.1/T3.8
+#: evaluations the ledger already has on every benchmark.
+_PLATEAU_DEGREES = (2, 4, 8, 16, 32, 64, 128)
+
+#: Ledger-wide design points, evaluated on every paper benchmark.
+_DESIGN_SPECS: List[tuple] = [
+    ("CPU", {"design": "CPU"}),
+    ("T1", {"design": "T1"}),
+    ("T2.1", {"design": "T2", "units": 1}),
+    ("T2.16", {"design": "T2", "units": 16}),
+    ("T2.128", {"design": "T2", "units": 128}),
+    ("T3.1", {"design": "T3", "units": 1}),
+    ("T3.8", {"design": "T3", "units": 8}),
+    ("T3.8.noetm", {"design": "T3", "units": 8, "etm_enabled": False}),
+    ("ROW.8", {"design": "ROW_MAJOR", "units": 8}),
+    ("CD.8", {"design": "COMPUTE_DRAM", "units": 8}),
+]
+
+
 class _Context:
-    """Shared expensive computations for the ledger."""
+    """Shared expensive computations for the ledger (fleet-dispatched)."""
 
     def __init__(self) -> None:
-        cfg = SieveModelConfig()
-        self.cfg = cfg
-        self.workloads = [b.workload() for b in paper_benchmarks()]
-        self.cpu = CpuBaselineModel()
-        self.gpu = GpuBaselineModel()
-        self.t1 = Type1Model(cfg)
-        self.t2 = Type2Model(cfg, 16)
-        self.t3 = Type3Model(cfg, 8)
-        self.t3_noetm = Type3Model(cfg, 8, etm_enabled=False)
-        self.cpu_times = {w.name: self.cpu.run(w) for w in self.workloads}
-        self.t3_results = {w.name: self.t3.run(w) for w in self.workloads}
+        benches = paper_benchmarks()
+        self.workloads = [b.workload() for b in benches]
+        jobs: List[PerfPointJob] = []
+        index: List[tuple] = []
+        for key, spec in _DESIGN_SPECS:
+            for bench in benches:
+                jobs.append(PerfPointJob(benchmark=bench.name, **spec))
+                index.append((key, bench.name))
+        for bench in benches:
+            if bench.name.startswith("C."):
+                jobs.append(PerfPointJob(design="GPU", benchmark=bench.name))
+                index.append(("GPU", bench.name))
+        last = benches[-1]
+        for sa in _PLATEAU_DEGREES:
+            jobs.append(PerfPointJob(design="T3", benchmark=last.name, units=sa))
+            index.append((f"T3.sa{sa}", last.name))
+        payloads = run_jobs(jobs)
+        self.results: Dict[str, Dict[str, dict]] = {}
+        for (key, name), payload in zip(index, payloads):
+            self.results.setdefault(key, {})[name] = payload
 
-    def speedups(self, model) -> List[float]:
+    def time_s(self, design: str, name: str) -> float:
+        return self.results[design][name]["time_s"]
+
+    def energy_j(self, design: str, name: str) -> float:
+        return self.results[design][name]["energy_j"]
+
+    def speedups(self, design: str) -> List[float]:
         return [
-            self.cpu_times[w.name].time_s / model.run(w).time_s
+            self.time_s("CPU", w.name) / self.time_s(design, w.name)
             for w in self.workloads
         ]
 
-    def energy_savings(self, model) -> List[float]:
+    def energy_savings(self, design: str) -> List[float]:
         return [
-            self.cpu_times[w.name].energy_j / model.run(w).energy_j
+            self.energy_j("CPU", w.name) / self.energy_j(design, w.name)
             for w in self.workloads
         ]
 
@@ -76,29 +109,29 @@ def _claims() -> List[Claim]:
         Claim(
             "C1", "Type-1 speedup over CPU", "1.01x-3.8x",
             1.0, 4.2,
-            lambda c: geomean(c.speedups(c.t1)),
+            lambda c: geomean(c.speedups("T1")),
         ),
         Claim(
             "C2", "Type-2 family speedup over CPU (16 CB midpoint)",
             "3.74x-76.6x", 3.74, 76.6,
-            lambda c: geomean(c.speedups(c.t2)),
+            lambda c: geomean(c.speedups("T2.16")),
         ),
         Claim(
             "C3", "Type-3 average speedup over CPU",
             "210x (intro) / 326x (abstract)", 150.0, 400.0,
-            lambda c: geomean(c.speedups(c.t3)),
+            lambda c: geomean(c.speedups("T3.8")),
         ),
         Claim(
             "C4", "Type-3 energy saving over CPU",
             "35x-94x across the paper's figures", 35.0, 120.0,
-            lambda c: geomean(c.energy_savings(c.t3)),
+            lambda c: geomean(c.energy_savings("T3.8")),
         ),
         Claim(
             "C5", "Type-1 vs GPU (slower but wins energy)",
             "3x-5x slower", 0.15, 0.7,
             lambda c: geomean(
                 [
-                    c.gpu.run(w).time_s / c.t1.run(w).time_s
+                    c.time_s("GPU", w.name) / c.time_s("T1", w.name)
                     for w in c.workloads
                     if w.name.startswith("C.")
                 ]
@@ -108,7 +141,7 @@ def _claims() -> List[Claim]:
             "C6", "Type-3 vs GPU speedup", "33x-55x", 15.0, 60.0,
             lambda c: geomean(
                 [
-                    c.gpu.run(w).time_s / c.t3_results[w.name].time_s
+                    c.time_s("GPU", w.name) / c.time_s("T3.8", w.name)
                     for w in c.workloads
                     if w.name.startswith("C.")
                 ]
@@ -119,21 +152,21 @@ def _claims() -> List[Claim]:
             "5.2x-7.2x", 4.0, 8.0,
             lambda c: geomean(
                 [
-                    c.t3_noetm.run(w).time_s / c.t3_results[w.name].time_s
+                    c.time_s("T3.8.noetm", w.name) / c.time_s("T3.8", w.name)
                     for w in c.workloads
                 ]
             ),
         ),
         Claim(
             "C8", "T2.1CB faster than T1", "1.39x-1.94x", 1.3, 2.1,
-            lambda c: geomean(c.speedups(Type2Model(c.cfg, 1)))
-            / geomean(c.speedups(c.t1)),
+            lambda c: geomean(c.speedups("T2.1"))
+            / geomean(c.speedups("T1")),
         ),
         Claim(
             "C9", "T3.1SA over T2.128CB (slight)", "~1x (slight trail)",
             1.0, 1.3,
-            lambda c: geomean(c.speedups(Type3Model(c.cfg, 1)))
-            / geomean(c.speedups(Type2Model(c.cfg, 128))),
+            lambda c: geomean(c.speedups("T3.1"))
+            / geomean(c.speedups("T2.128")),
         ),
         Claim(
             "C10", "SALP plateau point", "plateaus after 8 subarrays",
@@ -153,7 +186,7 @@ def _claims() -> List[Claim]:
             0.045, 0.068,
             lambda c: PcieModel(PCIE4_X16).overhead_fraction(
                 c.workloads[-1].num_kmers
-                / c.t3_results[c.workloads[-1].name].time_s
+                / c.time_s("T3.8", c.workloads[-1].name)
             ),
         ),
         Claim(
@@ -161,7 +194,7 @@ def _claims() -> List[Claim]:
             215.0, float("inf"),
             lambda c: ideal_machine_analysis(
                 c.workloads[-1].num_kmers
-                / c.t3_results[c.workloads[-1].name].time_s
+                / c.time_s("T3.8", c.workloads[-1].name)
             ).cores_needed_to_match,
         ),
         Claim(
@@ -177,14 +210,14 @@ def _claims() -> List[Claim]:
         Claim(
             "C17", "Row-major vs col-major (no ETM)",
             "similar, slightly worse", 1.0, 2.5,
-            lambda c: geomean(c.speedups(c.t3_noetm))
-            / geomean(c.speedups(RowMajorModel(c.cfg, 8))),
+            lambda c: geomean(c.speedups("T3.8.noetm"))
+            / geomean(c.speedups("ROW.8")),
         ),
         Claim(
             "C18", "ComputeDRAM above row- and col-major",
             "outperforms both", 1.01, 10.0,
-            lambda c: geomean(c.speedups(ComputeDramModel(c.cfg, 8)))
-            / geomean(c.speedups(c.t3_noetm)),
+            lambda c: geomean(c.speedups("CD.8"))
+            / geomean(c.speedups("T3.8.noetm")),
         ),
         Claim(
             "C19", "C.MT.BG slower per k-mer than C.ST.BG (3.28x matches)",
@@ -198,17 +231,17 @@ def _per_kmer_ratio(c: "_Context", slow_name: str, fast_name: str) -> float:
     """Per-k-mer Type-2 time ratio between two benchmarks."""
     slow = next(w for w in c.workloads if w.name == slow_name)
     fast = next(w for w in c.workloads if w.name == fast_name)
-    slow_s = c.t2.run(slow).time_s / slow.num_kmers
-    fast_s = c.t2.run(fast).time_s / fast.num_kmers
+    slow_s = c.time_s("T2.16", slow.name) / slow.num_kmers
+    fast_s = c.time_s("T2.16", fast.name) / fast.num_kmers
     return slow_s / fast_s
 
 
 def _plateau_point(c: "_Context") -> float:
     """First SALP degree whose doubling gains < 5 %."""
     wl = c.workloads[-1]
-    prev = Type3Model(c.cfg, 1).run(wl).time_s
-    for sa in (2, 4, 8, 16, 32, 64, 128):
-        cur = Type3Model(c.cfg, sa).run(wl).time_s
+    prev = c.time_s("T3.1", wl.name)
+    for sa in _PLATEAU_DEGREES:
+        cur = c.time_s(f"T3.sa{sa}", wl.name)
         if prev / cur < 1.05:
             return float(sa // 2)
         prev = cur

@@ -5,18 +5,26 @@ Each function regenerates one evaluation figure as a
 paper plots, produced by the analytic Sieve models against the CPU/GPU
 baselines.  The pytest-benchmark files under ``benchmarks/`` are thin
 wrappers that call these runners and print the tables.
+
+Every (design x workload x sweep point) evaluation is a
+:class:`~repro.fleet.jobs.PerfPointJob` dispatched through
+:func:`repro.fleet.core.run_jobs`, so figures parallelize across worker
+processes (``--jobs``/``SIEVE_JOBS``) with byte-identical output at any
+worker count; ratios and geomeans are folded in the parent in the same
+order the sequential loops always used.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..baselines.cpu_model import CpuBaselineModel
 from ..baselines.gpu_model import GpuBaselineModel
 from ..baselines.mlp import ideal_machine_analysis
 from ..dram.geometry import SIEVE_4GB, SIEVE_8GB, SIEVE_16GB, SIEVE_32GB, DramGeometry
+from ..fleet.core import run_jobs
+from ..fleet.jobs import PerfPointJob
 from ..hardware.area import DEFAULT_AREA_MODEL
-from ..insitu.rowmajor import ComputeDramModel, RowMajorModel
 from ..interconnect.dimm import DeploymentRequirement, recommend_interface
 from ..interconnect.pcie import PCIE4_X16, PcieModel
 from ..sieve.perfmodel import (
@@ -40,33 +48,62 @@ def _config(geometry: DramGeometry = SIEVE_32GB) -> SieveModelConfig:
     return SieveModelConfig(geometry=geometry)
 
 
-def _workloads(benchmarks: Optional[List[Benchmark]] = None) -> List[WorkloadStats]:
-    return [b.workload() for b in (benchmarks or paper_benchmarks())]
+def _grouped(
+    benches: List[Benchmark],
+    baseline: str,
+    design_specs: List[tuple],
+    hit_rate: float = -1.0,
+) -> List[tuple]:
+    """Run (baseline + designs) x benchmarks through the fleet.
+
+    Returns one ``(bench, baseline_payload, [design_payload, ...])``
+    tuple per benchmark, in benchmark order.
+    """
+    jobs: List[PerfPointJob] = []
+    for bench in benches:
+        jobs.append(
+            PerfPointJob(design=baseline, benchmark=bench.name, hit_rate=hit_rate)
+        )
+        for _, spec in design_specs:
+            jobs.append(
+                PerfPointJob(benchmark=bench.name, hit_rate=hit_rate, **spec)
+            )
+    payloads = run_jobs(jobs)
+    stride = 1 + len(design_specs)
+    groups = []
+    for i, bench in enumerate(benches):
+        chunk = payloads[i * stride:(i + 1) * stride]
+        groups.append((bench, chunk[0], chunk[1:]))
+    return groups
 
 
 def fig13_row_vs_col() -> FigureResult:
     """Figure 13: row-major vs ComputeDRAM vs col-major (no ETM) vs Sieve,
     speedup over the CPU baseline, all nine benchmarks."""
-    cfg = _config()
-    cpu = CpuBaselineModel()
-    designs = [
-        ("Row_Major", RowMajorModel(cfg, T3_CONCURRENT_SUBARRAYS)),
-        ("Col_Major", Type3Model(cfg, T3_CONCURRENT_SUBARRAYS, etm_enabled=False)),
-        ("ComputeDRAM", ComputeDramModel(cfg, T3_CONCURRENT_SUBARRAYS)),
-        ("Sieve", Type3Model(cfg, T3_CONCURRENT_SUBARRAYS, etm_enabled=True)),
+    design_specs = [
+        ("Row_Major",
+         dict(design="ROW_MAJOR", units=T3_CONCURRENT_SUBARRAYS)),
+        ("Col_Major",
+         dict(design="T3", units=T3_CONCURRENT_SUBARRAYS, etm_enabled=False)),
+        ("ComputeDRAM",
+         dict(design="COMPUTE_DRAM", units=T3_CONCURRENT_SUBARRAYS)),
+        ("Sieve",
+         dict(design="T3", units=T3_CONCURRENT_SUBARRAYS)),
     ]
     result = FigureResult(
         figure="Figure 13",
         title="Row-major in-situ vs. Sieve (speedup over CPU)",
-        headers=["benchmark"] + [name for name, _ in designs],
+        headers=["benchmark"] + [name for name, _ in design_specs],
     )
     etm_gains = []
-    for wl in _workloads():
-        cpu_time = cpu.run(wl).time_s
-        row = [wl.name]
+    for bench, cpu_res, design_res in _grouped(
+        paper_benchmarks(), "CPU", design_specs
+    ):
+        cpu_time = cpu_res["time_s"]
+        row: List[object] = [bench.name]
         per_design = {}
-        for name, model in designs:
-            speedup = cpu_time / model.run(wl).time_s
+        for (name, _), payload in zip(design_specs, design_res):
+            speedup = cpu_time / payload["time_s"]
             per_design[name] = speedup
             row.append(speedup)
         etm_gains.append(per_design["Sieve"] / per_design["Col_Major"])
@@ -79,32 +116,37 @@ def fig13_row_vs_col() -> FigureResult:
     return result
 
 
+#: The paper's three headline designs (Figures 14, 15).
+_HEADLINE_DESIGNS = [
+    ("T1", {"design": "T1"}),
+    (f"T2.{T2_COMPUTE_BUFFERS}CB",
+     {"design": "T2", "units": T2_COMPUTE_BUFFERS}),
+    (f"T3.{T3_CONCURRENT_SUBARRAYS}SA",
+     {"design": "T3", "units": T3_CONCURRENT_SUBARRAYS}),
+]
+
+
 def fig14_vs_cpu() -> FigureResult:
     """Figure 14: T1 / T2.16CB / T3.8SA speedup and energy saving over
     the CPU baseline, all nine benchmarks."""
-    cfg = _config()
-    cpu = CpuBaselineModel()
-    designs = [
-        ("T1", Type1Model(cfg)),
-        (f"T2.{T2_COMPUTE_BUFFERS}CB", Type2Model(cfg, T2_COMPUTE_BUFFERS)),
-        (f"T3.{T3_CONCURRENT_SUBARRAYS}SA", Type3Model(cfg, T3_CONCURRENT_SUBARRAYS)),
-    ]
     headers = ["benchmark"]
-    for name, _ in designs:
+    for name, _ in _HEADLINE_DESIGNS:
         headers += [f"{name} speedup", f"{name} energy_saving"]
     result = FigureResult(
         figure="Figure 14",
         title="Sieve designs vs. CPU baseline",
         headers=headers,
     )
-    per_design_speedups: Dict[str, List[float]] = {name: [] for name, _ in designs}
-    for wl in _workloads():
-        base = cpu.run(wl)
-        row: List[object] = [wl.name]
-        for name, model in designs:
-            res = model.run(wl)
-            speedup = base.time_s / res.time_s
-            saving = base.energy_j / res.energy_j
+    per_design_speedups: Dict[str, List[float]] = {
+        name: [] for name, _ in _HEADLINE_DESIGNS
+    }
+    for bench, base, design_res in _grouped(
+        paper_benchmarks(), "CPU", _HEADLINE_DESIGNS
+    ):
+        row: List[object] = [bench.name]
+        for (name, _), res in zip(_HEADLINE_DESIGNS, design_res):
+            speedup = base["time_s"] / res["time_s"]
+            saving = base["energy_j"] / res["energy_j"]
             per_design_speedups[name].append(speedup)
             row += [speedup, saving]
         result.rows.append(row)
@@ -120,27 +162,21 @@ def fig14_vs_cpu() -> FigureResult:
 def fig15_vs_gpu() -> FigureResult:
     """Figure 15: Sieve designs vs. the (idealized) GPU baseline on the
     three CLARK timing benchmarks."""
-    cfg = _config()
-    gpu = GpuBaselineModel()
-    designs = [
-        ("T1", Type1Model(cfg)),
-        (f"T2.{T2_COMPUTE_BUFFERS}CB", Type2Model(cfg, T2_COMPUTE_BUFFERS)),
-        (f"T3.{T3_CONCURRENT_SUBARRAYS}SA", Type3Model(cfg, T3_CONCURRENT_SUBARRAYS)),
-    ]
     headers = ["benchmark"]
-    for name, _ in designs:
+    for name, _ in _HEADLINE_DESIGNS:
         headers += [f"{name} speedup", f"{name} energy_saving"]
     result = FigureResult(
         figure="Figure 15",
         title="Sieve designs vs. GPU baseline (CLARK benchmarks)",
         headers=headers,
     )
-    for wl in _workloads(gpu_benchmarks()):
-        base = gpu.run(wl)
-        row: List[object] = [wl.name]
-        for _, model in designs:
-            res = model.run(wl)
-            row += [base.time_s / res.time_s, base.energy_j / res.energy_j]
+    for bench, base, design_res in _grouped(
+        gpu_benchmarks(), "GPU", _HEADLINE_DESIGNS
+    ):
+        row: List[object] = [bench.name]
+        for res in design_res:
+            row += [base["time_s"] / res["time_s"],
+                    base["energy_j"] / res["energy_j"]]
         result.rows.append(row)
     result.notes = (
         "T1 speedup < 1 reproduces the paper's 'Type-1 is 3x-5x slower "
@@ -169,19 +205,27 @@ def fig16_salp_sweep() -> FigureResult:
     benchmarks, whose query counts match the paper's axis scale.
     """
     k2 = [b for b in paper_benchmarks() if b.kernel == "K2"]
-    workloads = [b.workload() for b in k2]
     result = FigureResult(
         figure="Figure 16",
         title="Type-3 cycles vs. subarray-level parallelism",
         headers=["subarrays"] + [label for label, _ in FIG16_CAPACITIES],
     )
+    jobs = [
+        PerfPointJob(
+            design="T3", benchmark=bench.name, units=sa,
+            capacity_gib=geometry.capacity_gib,
+        )
+        for sa in FIG16_SUBARRAYS
+        for _, geometry in FIG16_CAPACITIES
+        for bench in k2
+    ]
+    payloads = iter(run_jobs(jobs))
     for sa in FIG16_SUBARRAYS:
         row: List[object] = [f"{sa}SA"]
         for _, geometry in FIG16_CAPACITIES:
             cfg = _config(geometry)
-            model = Type3Model(cfg, sa)
             cycles = [
-                model.run(wl).time_s / (cfg.timing.tCK * 1e-9) for wl in workloads
+                next(payloads)["time_s"] / (cfg.timing.tCK * 1e-9) for _ in k2
             ]
             row.append(sum(cycles) / len(cycles) / 1e6)
         result.rows.append(row)
@@ -201,27 +245,39 @@ def fig17_cb_sweep() -> FigureResult:
     """Figure 17: Type-2 compute-buffer sweep, bracketed by Type-1 and
     Type-3 with one concurrent subarray: speedup, energy saving (both
     over CPU), and area overhead."""
-    cfg = _config()
-    cpu = CpuBaselineModel()
     area = DEFAULT_AREA_MODEL
-    entries: List[tuple] = [("T1", Type1Model(cfg), area.type1_overhead())]
+    benches = paper_benchmarks()
+    entries: List[tuple] = [("T1", {"design": "T1"}, area.type1_overhead())]
     for cb in FIG17_CBS:
-        entries.append((f"T2.{cb}CB", Type2Model(cfg, cb), area.type2_overhead(cb)))
-    entries.append(("T3.1SA", Type3Model(cfg, 1), area.type3_overhead()))
+        entries.append(
+            (f"T2.{cb}CB", {"design": "T2", "units": cb},
+             area.type2_overhead(cb))
+        )
+    entries.append(
+        ("T3.1SA", {"design": "T3", "units": 1}, area.type3_overhead())
+    )
     result = FigureResult(
         figure="Figure 17",
         title="Type-2 compute-buffer design space",
         headers=["design", "speedup_vs_cpu", "energy_saving_vs_cpu", "area_overhead_pct"],
     )
+    jobs = [PerfPointJob(design="CPU", benchmark=b.name) for b in benches]
+    jobs += [
+        PerfPointJob(benchmark=bench.name, **spec)
+        for _, spec, _ in entries
+        for bench in benches
+    ]
+    payloads = run_jobs(jobs)
+    cpu_res = payloads[:len(benches)]
+    design_res = iter(payloads[len(benches):])
     speedups = {}
-    for name, model, overhead in entries:
+    for name, _, overhead in entries:
         ratios_t = []
         ratios_e = []
-        for wl in _workloads():
-            base = cpu.run(wl)
-            res = model.run(wl)
-            ratios_t.append(base.time_s / res.time_s)
-            ratios_e.append(base.energy_j / res.energy_j)
+        for base in cpu_res:
+            res = next(design_res)
+            ratios_t.append(base["time_s"] / res["time_s"])
+            ratios_e.append(base["energy_j"] / res["energy_j"])
         speedups[name] = geomean(ratios_t)
         result.rows.append(
             [name, geomean(ratios_t), geomean(ratios_e), overhead * 100.0]
@@ -237,14 +293,11 @@ def fig17_cb_sweep() -> FigureResult:
 def sensitivity_etm_off() -> FigureResult:
     """Section VI-C ETM sensitivity: adversarial all-hit workloads with
     ETM disabled, Type-2/3 vs CPU and GPU."""
-    cfg = _config()
-    cpu = CpuBaselineModel()
-    gpu = GpuBaselineModel()
-    designs = [
+    design_specs = [
         (f"T2.{T2_COMPUTE_BUFFERS}CB",
-         Type2Model(cfg, T2_COMPUTE_BUFFERS, etm_enabled=False)),
+         dict(design="T2", units=T2_COMPUTE_BUFFERS, etm_enabled=False)),
         (f"T3.{T3_CONCURRENT_SUBARRAYS}SA",
-         Type3Model(cfg, T3_CONCURRENT_SUBARRAYS, etm_enabled=False)),
+         dict(design="T3", units=T3_CONCURRENT_SUBARRAYS, etm_enabled=False)),
     ]
     result = FigureResult(
         figure="Section VI-C (ETM)",
@@ -258,20 +311,27 @@ def sensitivity_etm_off() -> FigureResult:
             "energy_saving_vs_gpu",
         ],
     )
-    for wl in _workloads():
-        adversarial = wl.with_hit_rate(1.0)
-        cpu_res = cpu.run(adversarial)
-        gpu_res = gpu.run(adversarial)
-        for name, model in designs:
-            res = model.run(adversarial)
+    benches = paper_benchmarks()
+    jobs: List[PerfPointJob] = []
+    for bench in benches:
+        jobs.append(PerfPointJob(design="CPU", benchmark=bench.name, hit_rate=1.0))
+        jobs.append(PerfPointJob(design="GPU", benchmark=bench.name, hit_rate=1.0))
+        for _, spec in design_specs:
+            jobs.append(PerfPointJob(benchmark=bench.name, hit_rate=1.0, **spec))
+    payloads = iter(run_jobs(jobs))
+    for bench in benches:
+        cpu_res = next(payloads)
+        gpu_res = next(payloads)
+        for name, _ in design_specs:
+            res = next(payloads)
             result.rows.append(
                 [
-                    wl.name,
+                    bench.name,
                     name,
-                    cpu_res.time_s / res.time_s,
-                    cpu_res.energy_j / res.energy_j,
-                    gpu_res.time_s / res.time_s,
-                    gpu_res.energy_j / res.energy_j,
+                    cpu_res["time_s"] / res["time_s"],
+                    cpu_res["energy_j"] / res["energy_j"],
+                    gpu_res["time_s"] / res["time_s"],
+                    gpu_res["energy_j"] / res["energy_j"],
                 ]
             )
     result.notes = (
@@ -285,11 +345,6 @@ def sensitivity_pcie() -> FigureResult:
     """Section VI-C PCIe overhead: fraction added to ideal dispatch."""
     cfg = _config()
     model = PcieModel(PCIE4_X16)
-    designs = [
-        ("T1", Type1Model(cfg)),
-        (f"T2.{T2_COMPUTE_BUFFERS}CB", Type2Model(cfg, T2_COMPUTE_BUFFERS)),
-        (f"T3.{T3_CONCURRENT_SUBARRAYS}SA", Type3Model(cfg, T3_CONCURRENT_SUBARRAYS)),
-    ]
     result = FigureResult(
         figure="Section VI-C (PCIe)",
         title="PCIe 4.0 x16 communication overhead",
@@ -301,15 +356,18 @@ def sensitivity_pcie() -> FigureResult:
             "recommended_interface",
         ],
     )
-    wl = paper_benchmarks()[-1].workload()
-    for name, design in designs:
-        res = design.run(wl)
-        qps = wl.num_kmers / res.time_s
+    bench = paper_benchmarks()[-1]
+    wl = bench.workload()
+    payloads = run_jobs(
+        [PerfPointJob(benchmark=bench.name, **spec) for _, spec in _HEADLINE_DESIGNS]
+    )
+    for (name, _), res in zip(_HEADLINE_DESIGNS, payloads):
+        qps = wl.num_kmers / res["time_s"]
         summary = model.summary(qps)
         # Device power: dynamic + background + ~3 W interface controller.
         device_power_w = (
-            res.breakdown["dynamic_j"] / res.time_s
-            + res.breakdown["background_j"] / res.time_s
+            res["breakdown"]["dynamic_j"] / res["time_s"]
+            + res["breakdown"]["background_j"] / res["time_s"]
             + 3.0
         )
         req = DeploymentRequirement(
@@ -332,10 +390,13 @@ def sensitivity_pcie() -> FigureResult:
 
 def sensitivity_bandwidth() -> FigureResult:
     """Section VI-B: added bandwidth does not rescue the CPU baseline."""
-    cfg = _config()
-    wl = paper_benchmarks()[-1].workload()
-    t3 = Type3Model(cfg, T3_CONCURRENT_SUBARRAYS)
-    qps = wl.num_kmers / t3.run(wl).time_s
+    bench = paper_benchmarks()[-1]
+    wl = bench.workload()
+    payload = run_jobs(
+        [PerfPointJob(design="T3", benchmark=bench.name,
+                      units=T3_CONCURRENT_SUBARRAYS)]
+    )[0]
+    qps = wl.num_kmers / payload["time_s"]
     analysis = ideal_machine_analysis(target_qps=qps)
     result = FigureResult(
         figure="Section VI-B",

@@ -1,0 +1,97 @@
+"""Name -> runner registry of every experiment entry point.
+
+Single source of truth consumed by three frontends:
+
+* ``sieve-repro run <name>`` (:mod:`repro.cli`),
+* the process-parallel fleet (``python -m repro.fleet``), whose
+  golden-result suite pins each runner's serialized output
+  (``tests/golden/<name>.json``, see docs/TESTING.md),
+* the benchmark harness's figure-regeneration benchmarks.
+
+Every runner is a zero-argument callable returning a
+:class:`~repro.experiments.results.FigureResult`, and must be
+deterministic: the golden suite replays each one at ``--jobs 1`` and
+``--jobs 4`` and requires byte-identical serialized output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .accuracy import accuracy_study
+from .claims import claims_ledger
+from .intro_claims import intro_claims
+from .ablations import (
+    ablation_device_sim,
+    ablation_esp_model,
+    ablation_segment_size,
+    ablation_power_envelope,
+    ablation_steady_state,
+    ablation_technology,
+    ablation_type1_functional,
+)
+from .figures import (
+    fig13_row_vs_col,
+    fig14_vs_cpu,
+    fig15_vs_gpu,
+    fig16_salp_sweep,
+    fig17_cb_sweep,
+    sensitivity_bandwidth,
+    sensitivity_etm_off,
+    sensitivity_pcie,
+)
+from .motivation import (
+    area_overheads,
+    fig01_breakdown,
+    fig06_esp,
+    tab01_machines,
+    tab02_queries,
+    tab03_components,
+)
+from .results import FigureResult
+from .sensitivity import (
+    sensitivity_capacity,
+    sensitivity_hit_rate,
+    sensitivity_k,
+)
+
+EXPERIMENTS: Dict[str, Callable[[], FigureResult]] = {
+    "fig1": fig01_breakdown,
+    "fig6": fig06_esp,
+    "tab1": tab01_machines,
+    "tab2": tab02_queries,
+    "tab3": tab03_components,
+    "area": area_overheads,
+    "fig13": fig13_row_vs_col,
+    "fig14": fig14_vs_cpu,
+    "fig15": fig15_vs_gpu,
+    "fig16": fig16_salp_sweep,
+    "fig17": fig17_cb_sweep,
+    "etm": sensitivity_etm_off,
+    "pcie": sensitivity_pcie,
+    "bandwidth": sensitivity_bandwidth,
+    "accuracy": accuracy_study,
+    "intro": intro_claims,
+    "claims": claims_ledger,
+    "k-sweep": sensitivity_k,
+    "hit-sweep": sensitivity_hit_rate,
+    "capacity": sensitivity_capacity,
+    "abl-steady": ablation_steady_state,
+    "abl-esp": ablation_esp_model,
+    "abl-power": ablation_power_envelope,
+    "abl-tech": ablation_technology,
+    "abl-type1": ablation_type1_functional,
+    "abl-device": ablation_device_sim,
+    "abl-segment": ablation_segment_size,
+}
+
+
+def run_experiment(name: str) -> FigureResult:
+    """Run one registered experiment by name."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return runner()

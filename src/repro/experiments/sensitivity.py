@@ -5,20 +5,20 @@ robust to the k-mer length, that hit-heavy workloads degrade gracefully
 (the C.MT.BG discussion), and that "the processing power of Sieve scales
 linearly with respect to its storage capacity" all the way to 500 GB
 devices with a sub-2 MB index.  These runners quantify each claim.
+
+Every sweep point dispatches through the fleet
+(:class:`~repro.fleet.jobs.PerfPointJob`), so sweeps parallelize across
+worker processes with byte-identical output at any ``--jobs`` count.
 """
 
 from __future__ import annotations
 
-from ..baselines.cpu_model import CpuBaselineModel
+from typing import List
+
 from ..dram.geometry import DramGeometry
+from ..fleet.core import run_jobs
+from ..fleet.jobs import PerfPointJob
 from ..sieve.index import INDEX_ENTRY_BYTES
-from ..sieve.perfmodel import (
-    EspModel,
-    SieveModelConfig,
-    Type2Model,
-    Type3Model,
-    WorkloadStats,
-)
 from .results import FigureResult
 from .workloads import paper_benchmarks
 
@@ -27,29 +27,28 @@ def sensitivity_k(kmer_lengths=(21, 25, 31)) -> FigureResult:
     """Speedup vs. k: longer k-mers mean more pattern rows per query for
     Sieve but also more work per lookup for the CPU."""
     base = paper_benchmarks()[-1]
-    cpu = CpuBaselineModel()
     result = FigureResult(
         figure="Sensitivity S1",
         title="k-mer length sweep (Type-3, 8 SA vs. CPU)",
         headers=["k", "pattern_rows", "t3_ns_per_kmer", "speedup_vs_cpu"],
     )
+    jobs: List[PerfPointJob] = []
     for k in kmer_lengths:
-        wl = WorkloadStats(
-            name=f"{base.name}.k{k}",
-            k=k,
-            num_kmers=base.profile.kmer_count(k),
-            hit_rate=base.hit_rate,
-            esp=EspModel.paper_fig6(k),
+        jobs.append(
+            PerfPointJob(design="T3", benchmark=base.name, units=8, k=k)
         )
-        model = Type3Model(concurrent_subarrays=8)
-        res = model.run(wl)
-        cpu_res = cpu.run(wl)
+        jobs.append(PerfPointJob(design="CPU", benchmark=base.name, k=k))
+    payloads = iter(run_jobs(jobs))
+    for k in kmer_lengths:
+        res = next(payloads)
+        cpu_res = next(payloads)
+        num_kmers = base.profile.kmer_count(k)
         result.rows.append(
             [
                 k,
                 2 * k,
-                res.time_s * 1e9 / wl.num_kmers,
-                cpu_res.time_s / res.time_s,
+                res["time_s"] * 1e9 / num_kmers,
+                cpu_res["time_s"] / res["time_s"],
             ]
         )
     result.notes = (
@@ -64,23 +63,35 @@ def sensitivity_hit_rate(
     hit_rates=(0.001, 0.01, 0.0328, 0.1, 0.3, 1.0)
 ) -> FigureResult:
     """Hit-rate sweep: the generalized C.MT.BG effect."""
-    base = paper_benchmarks()[-1].workload()
-    cpu = CpuBaselineModel()
+    base = paper_benchmarks()[-1]
     result = FigureResult(
         figure="Sensitivity S2",
         title="k-mer hit-rate sweep (32 GB devices vs. CPU)",
         headers=["hit_rate", "t2_16cb_speedup", "t3_8sa_speedup"],
     )
-    t2 = Type2Model(compute_buffers_per_bank=16)
-    t3 = Type3Model(concurrent_subarrays=8)
+    jobs: List[PerfPointJob] = []
     for rate in hit_rates:
-        wl = base.with_hit_rate(rate)
-        cpu_time = cpu.run(wl).time_s
+        jobs.append(
+            PerfPointJob(design="CPU", benchmark=base.name, hit_rate=rate)
+        )
+        jobs.append(
+            PerfPointJob(design="T2", benchmark=base.name, units=16,
+                         hit_rate=rate)
+        )
+        jobs.append(
+            PerfPointJob(design="T3", benchmark=base.name, units=8,
+                         hit_rate=rate)
+        )
+    payloads = iter(run_jobs(jobs))
+    for rate in hit_rates:
+        cpu_time = next(payloads)["time_s"]
+        t2_res = next(payloads)
+        t3_res = next(payloads)
         result.rows.append(
             [
                 rate,
-                cpu_time / t2.run(wl).time_s,
-                cpu_time / t3.run(wl).time_s,
+                cpu_time / t2_res["time_s"],
+                cpu_time / t3_res["time_s"],
             ]
         )
     result.notes = (
@@ -94,7 +105,8 @@ def sensitivity_capacity(
     capacities_gib=(32, 64, 128, 256, 512)
 ) -> FigureResult:
     """Capacity scaling to the paper's 500 GB point, with index size."""
-    base = paper_benchmarks()[-1].workload()
+    base = paper_benchmarks()[-1]
+    base_wl = base.workload()
     result = FigureResult(
         figure="Sensitivity S3",
         title="Storage-capacity scaling (Type-3, 8 SA)",
@@ -106,18 +118,25 @@ def sensitivity_capacity(
             "index_mb",
         ],
     )
-    for gib in capacities_gib:
-        ranks = max(1, gib // 2)  # 2 GiB per rank at the paper's organization
+    jobs = [
+        PerfPointJob(
+            design="T3", benchmark=base.name, units=8,
+            capacity_gib=float(gib),
+            ranks=max(1, gib // 2),  # 2 GiB/rank at the paper's organization
+        )
+        for gib in capacities_gib
+    ]
+    payloads = run_jobs(jobs)
+    for gib, res in zip(capacities_gib, payloads):
+        ranks = max(1, gib // 2)
         geometry = DramGeometry.for_capacity(float(gib), ranks=ranks)
-        model = Type3Model(SieveModelConfig(geometry=geometry), 8)
-        res = model.run(base)
         index_mb = geometry.total_subarrays * INDEX_ENTRY_BYTES / 2**20
         result.rows.append(
             [
                 gib,
                 geometry.total_banks,
-                res.time_s * 1e3,
-                base.num_kmers / res.time_s / 1e9,
+                res["time_s"] * 1e3,
+                base_wl.num_kmers / res["time_s"] / 1e9,
                 index_mb,
             ]
         )

@@ -1,0 +1,305 @@
+"""Concrete fleet job types: the pure units experiments decompose into.
+
+Each job is a frozen dataclass of scalars (picklable, reprable), and
+``run`` imports what it needs lazily so job objects ship to workers
+without dragging the whole simulator through pickle.  Payloads are
+JSON-serializable dicts — the merge layer (and the on-disk cache, and
+the golden differ) never sees a live model object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Tuple
+
+from .core import FleetError, Job
+
+#: Ranks of the preset capacity-sweep geometries
+#: (``repro.dram.geometry.SIEVE_{4,8,16,32}GB``).
+PRESET_RANKS: Dict[float, int] = {4.0: 2, 8.0: 4, 16.0: 8, 32.0: 16}
+
+#: Designs accepted by :class:`PerfPointJob`.  ``units`` is compute
+#: buffers per bank for T2 and concurrent subarrays for T3 /
+#: ROW_MAJOR / COMPUTE_DRAM; CPU / GPU / T1 take none.
+PERF_DESIGNS = ("CPU", "GPU", "T1", "T2", "T3", "ROW_MAJOR", "COMPUTE_DRAM")
+
+
+@dataclass(frozen=True)
+class PerfPointJob(Job):
+    """One (design x workload x sweep point) analytic model evaluation.
+
+    Covers every point of Figures 13-17, the Section VI-C
+    sensitivities, the claims ledger, and the k / hit-rate / capacity
+    sweeps: the job owns model construction end to end, so two jobs
+    with equal fields produce bit-identical payloads in any process.
+    """
+
+    design: str
+    benchmark: str
+    units: int = 0
+    etm_enabled: bool = True
+    capacity_gib: float = 32.0
+    ranks: int = 0
+    #: Workload hit-rate override; negative means the benchmark default.
+    hit_rate: float = -1.0
+    #: k-mer length override (0 = the paper's k); builds the
+    #: ``sensitivity_k``-style workload with the default-head ESP.
+    k: int = 0
+
+    def __post_init__(self) -> None:
+        if self.design not in PERF_DESIGNS:
+            raise FleetError(
+                f"unknown design {self.design!r}; known: {PERF_DESIGNS}"
+            )
+
+    def _geometry(self) -> Any:
+        from ..dram.geometry import DramGeometry
+
+        ranks = self.ranks or PRESET_RANKS.get(self.capacity_gib, 0)
+        if ranks <= 0:
+            raise FleetError(
+                f"capacity {self.capacity_gib} GiB has no preset rank "
+                "count; set ranks explicitly"
+            )
+        return DramGeometry.for_capacity(self.capacity_gib, ranks=ranks)
+
+    def _workload(self) -> Any:
+        from ..experiments.workloads import benchmark_by_name
+        from ..sieve.perfmodel import EspModel, WorkloadStats
+
+        bench = benchmark_by_name(self.benchmark)
+        if self.k:
+            workload = WorkloadStats(
+                name=f"{bench.name}.k{self.k}",
+                k=self.k,
+                num_kmers=bench.profile.kmer_count(self.k),
+                hit_rate=bench.hit_rate,
+                esp=EspModel.paper_fig6(self.k),
+            )
+        else:
+            workload = bench.workload()
+        if self.hit_rate >= 0.0:
+            workload = workload.with_hit_rate(self.hit_rate)
+        return workload
+
+    def _model(self) -> Any:
+        from ..baselines.cpu_model import CpuBaselineModel
+        from ..baselines.gpu_model import GpuBaselineModel
+        from ..insitu.rowmajor import ComputeDramModel, RowMajorModel
+        from ..sieve.perfmodel import (
+            SieveModelConfig,
+            Type1Model,
+            Type2Model,
+            Type3Model,
+        )
+
+        if self.design == "CPU":
+            return CpuBaselineModel()
+        if self.design == "GPU":
+            return GpuBaselineModel()
+        cfg = SieveModelConfig(geometry=self._geometry())
+        if self.design == "T1":
+            return Type1Model(cfg, etm_enabled=self.etm_enabled)
+        if self.design == "T2":
+            return Type2Model(cfg, self.units, etm_enabled=self.etm_enabled)
+        if self.design == "T3":
+            return Type3Model(cfg, self.units, etm_enabled=self.etm_enabled)
+        if self.design == "ROW_MAJOR":
+            return RowMajorModel(cfg, self.units)
+        return ComputeDramModel(cfg, self.units)
+
+    def run(self, seed: int) -> Dict[str, Any]:
+        result = self._model().run(self._workload())
+        return {
+            "design": result.design,
+            "workload": result.workload,
+            "time_s": result.time_s,
+            "energy_j": result.energy_j,
+            "breakdown": dict(result.breakdown),
+        }
+
+
+@dataclass(frozen=True)
+class SteadyStateJob(Job):
+    """One row of Ablation A1: event-driven pipeline vs. closed form."""
+
+    streams: int
+    num_requests: int = 4000
+
+    def run(self, seed: int) -> Dict[str, Any]:
+        from ..experiments.workloads import PAPER_K, paper_benchmarks
+        from ..sieve.controller import validate_steady_state
+        from ..sieve.layout import SubarrayLayout
+
+        workload = paper_benchmarks()[-1].workload()
+        layout = SubarrayLayout(k=PAPER_K)
+        report = validate_steady_state(
+            workload, layout, streams=self.streams,
+            num_requests=self.num_requests,
+        )
+        return {key: float(value) for key, value in report.items()}
+
+
+@dataclass(frozen=True)
+class EspAblationJob(Job):
+    """One candidate ETM termination distribution (Ablation A2)."""
+
+    label: str
+    probabilities: Tuple[float, ...]
+
+    def run(self, seed: int) -> Dict[str, Any]:
+        from ..experiments.workloads import paper_benchmarks
+        from ..sieve.perfmodel import EspModel, Type3Model, WorkloadStats
+
+        base = paper_benchmarks()[-1].workload()
+        esp = EspModel(tuple(self.probabilities))
+        workload = WorkloadStats(
+            name=base.name, k=base.k, num_kmers=base.num_kmers,
+            hit_rate=base.hit_rate, esp=esp,
+        )
+        result = Type3Model(concurrent_subarrays=8).run(workload)
+        return {
+            "label": self.label,
+            "mean_rows": esp.mean_rows(),
+            "time_s": result.time_s,
+        }
+
+
+@dataclass(frozen=True)
+class DeviceSimJob(Job):
+    """One bank count of Ablation A6: whole-device event simulation."""
+
+    banks: int
+    subarrays_per_bank: int = 16
+    num_requests: int = 20_000
+
+    def run(self, seed: int) -> Dict[str, Any]:
+        from ..experiments.workloads import paper_benchmarks
+        from ..sieve.device_sim import DeviceSimConfig, simulate_device
+
+        workload = paper_benchmarks()[-1].workload()
+        sim = simulate_device(
+            workload,
+            num_requests=self.num_requests,
+            config=DeviceSimConfig(
+                banks=self.banks, subarrays_per_bank=self.subarrays_per_bank
+            ),
+        )
+        return {
+            "overhead_fraction": sim.overhead_fraction,
+            "load_imbalance": sim.load_imbalance,
+            "packets": sim.packets,
+            "makespan_ns": sim.makespan_ns,
+        }
+
+
+@dataclass(frozen=True)
+class Type1FunctionalJob(Job):
+    """Ablation A5: bit-accurate Type-1 bank-simulator counters.
+
+    The internal seed (23) is part of the published golden numbers, so
+    it stays fixed rather than deriving from the fleet seed.
+    """
+
+    queries: int = 120
+
+    def run(self, seed: int) -> Dict[str, Any]:
+        import numpy as np
+
+        from ..sieve.type1 import Type1BankSim, Type1Layout
+
+        rng = np.random.default_rng(23)
+        k = 8
+        layout = Type1Layout(k=k, row_bits=128, rows=128)
+        kmers = sorted(
+            int(x) for x in rng.choice(4**k, size=110, replace=False)
+        )
+        records = [(kmer, 900 + i) for i, kmer in enumerate(kmers)]
+        sim = Type1BankSim(layout, records)
+        rows_list, batches_list, hits = [], [], 0
+        for _ in range(self.queries):
+            q = int(rng.integers(0, 4**k))
+            outcome = sim.match(q)
+            rows_list.append(outcome.rows_activated)
+            batches_list.append(outcome.batch_reads)
+            hits += outcome.hit
+        return {
+            "queries": self.queries,
+            "hit_rate": hits / self.queries,
+            "mean_rows": float(np.mean(rows_list)),
+            "max_rows": layout.kmer_rows + 2,
+            "mean_batch_reads": float(np.mean(batches_list)),
+            "full_batches": layout.kmer_rows * layout.num_batches,
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentJob(Job):
+    """One whole registry experiment, serialized to its golden payload.
+
+    Used by the fleet CLI to parallelize *across* experiments; the
+    experiment's own inner fan-out runs inline inside the worker (no
+    nested pools).  Never cached: the golden updater relies on fresh
+    double-runs to prove determinism.
+    """
+
+    cacheable: ClassVar[bool] = False
+
+    name: str
+
+    def run(self, seed: int) -> Dict[str, Any]:
+        from ..experiments.registry import run_experiment
+        from .golden import figure_payload
+
+        return figure_payload(run_experiment(self.name))
+
+
+@dataclass(frozen=True)
+class BenchJob(Job):
+    """One tracked benchmark of :mod:`repro.bench` (wall time + counters).
+
+    Uncacheable by construction — a cached wall time is a lie.
+    """
+
+    cacheable: ClassVar[bool] = False
+
+    name: str
+    quick: bool = False
+
+    def run(self, seed: int) -> Dict[str, Any]:
+        from ..bench import BENCHMARKS, BenchError
+
+        try:
+            fn = BENCHMARKS[self.name]
+        except KeyError:
+            raise BenchError(
+                f"unknown benchmark {self.name!r}; tracked: {list(BENCHMARKS)}"
+            ) from None
+        wall_s, counters = fn(self.quick)
+        return {"name": self.name, "wall_s": wall_s, "counters": counters}
+
+
+@dataclass(frozen=True)
+class SanitizerProbeJob(Job):
+    """Self-check that the DRAM protocol sanitizer reached a worker.
+
+    With ``violate=True`` and a sanitizer installed, issues a READ
+    before any ACTIVATE on a probe unit — the sanitizer must raise
+    :class:`~repro.analysiskit.SanitizerError` (which then propagates
+    across the process boundary with its command history).  Without a
+    sanitizer the violation goes unobserved and the payload reports so.
+    """
+
+    cacheable: ClassVar[bool] = False
+
+    violate: bool = True
+
+    def run(self, seed: int) -> Dict[str, Any]:
+        from ..analysiskit import active_sanitizer
+
+        sanitizer = active_sanitizer()
+        if sanitizer is None:
+            return {"sanitizer_active": False, "violated": False}
+        if self.violate:
+            sanitizer.observe_command("fleet-probe", "RD", 3)
+        return {"sanitizer_active": True, "violated": False}

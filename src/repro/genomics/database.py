@@ -135,12 +135,17 @@ class KmerDatabase:
                     self._table.values(), dtype=np.int64, count=len(self._table)
                 )
                 order = np.argsort(keys)
-                self._lookup_cache = (keys[order], payloads[order])
+                sorted_keys = keys[order]
+                sorted_payloads = payloads[order]
             else:
-                self._lookup_cache = (
-                    np.empty(0, dtype=np.uint64),
-                    np.empty(0, dtype=np.int64),
-                )
+                sorted_keys = np.empty(0, dtype=np.uint64)
+                sorted_payloads = np.empty(0, dtype=np.int64)
+            # Frozen: the cached arrays are handed to every caller (and
+            # shared by forked fleet workers), so in-place mutation
+            # would corrupt all later lookups.
+            sorted_keys.setflags(write=False)
+            sorted_payloads.setflags(write=False)
+            self._lookup_cache = (sorted_keys, sorted_payloads)
         return self._lookup_cache
 
     def lookup_many(self, kmers: Sequence[int]) -> List[Optional[int]]:

@@ -181,6 +181,10 @@ class SieveSubarraySim:
         mask = self._enable_cache.get(key)
         if mask is None:
             mask = self.layout.match_enable_mask(key[1])
+            # Frozen on entry: the cached mask is shared by every later
+            # match (and by forked fleet workers), so no caller may
+            # mutate it in place.
+            mask.setflags(write=False)
             self._enable_cache[key] = mask
         return mask
 

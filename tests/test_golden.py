@@ -1,0 +1,98 @@
+"""Golden-result regression suite.
+
+Every registry experiment's serialized payload is pinned byte-for-byte
+against ``tests/golden/<name>.json``, replayed at ``--jobs 1`` (inline)
+and ``--jobs 4`` (process pool): parallelism — or any refactor — can
+never silently change a reproduced number.  Regenerate intentionally
+changed goldens with ``python -m repro.fleet --update-goldens`` (see
+docs/TESTING.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.fleet import configure, golden_names
+from repro.fleet.golden import (
+    GoldenError,
+    canonical_json,
+    diff_payloads,
+    figure_payload,
+    load_golden,
+    payload_to_figure,
+    update_goldens,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+NAMES = golden_names(GOLDEN_DIR)
+
+
+def test_every_experiment_has_a_golden():
+    assert NAMES == sorted(EXPERIMENTS), (
+        "tests/golden/ must contain exactly one golden per registry "
+        "experiment; run python -m repro.fleet --update-goldens"
+    )
+
+
+@pytest.fixture(params=[1, 4], ids=["jobs1", "jobs4"])
+def worker_count(request):
+    configure(jobs=request.param)
+    yield request.param
+    configure()
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_golden_byte_identical(name, worker_count):
+    payload = figure_payload(run_experiment(name))
+    stored = load_golden(name, GOLDEN_DIR)
+    assert canonical_json(payload) == canonical_json(stored), (
+        f"experiment {name!r} drifted from its golden at "
+        f"--jobs {worker_count}; if the change is intentional run "
+        "python -m repro.fleet --update-goldens and review the diff"
+    )
+
+
+def test_payload_round_trip():
+    stored = load_golden(NAMES[0], GOLDEN_DIR)
+    rebuilt = figure_payload(payload_to_figure(stored))
+    assert canonical_json(rebuilt) == canonical_json(stored)
+
+
+class TestGoldenTooling:
+    def test_diff_reports_cell_changes(self):
+        old = {"figure": "f", "title": "t", "headers": ["a"], "notes": "",
+               "rows": [[1.0], [2.0]]}
+        new = {"figure": "f", "title": "t", "headers": ["a"], "notes": "",
+               "rows": [[1.0], [2.5]]}
+        diff = diff_payloads("x", old, new)
+        assert diff.status == "changed"
+        assert diff.cell_diffs == 1
+        assert diff_payloads("x", old, dict(old)).status == "unchanged"
+        assert diff_payloads("x", None, new).status == "new"
+
+    def test_update_rejects_nondeterministic_payloads(self, tmp_path):
+        payload = {"figure": "f", "title": "t", "headers": [], "notes": "",
+                   "rows": [[1.0]]}
+        replay = {"figure": "f", "title": "t", "headers": [], "notes": "",
+                  "rows": [[2.0]]}
+        with pytest.raises(GoldenError, match="nondeterministic"):
+            update_goldens(
+                {"x": payload}, tmp_path, stability_payloads={"x": replay}
+            )
+        assert not (tmp_path / "x.json").exists()
+
+    def test_update_writes_only_changes(self, tmp_path):
+        payload = {"figure": "f", "title": "t", "headers": [], "notes": "",
+                   "rows": [[1.0]]}
+        report = update_goldens(
+            {"x": payload}, tmp_path, stability_payloads={"x": dict(payload)}
+        )
+        assert report.written == ["x"]
+        report = update_goldens(
+            {"x": payload}, tmp_path, stability_payloads={"x": dict(payload)}
+        )
+        assert report.written == []
+        assert "1 unchanged" in report.summary()
