@@ -40,7 +40,7 @@ def main() -> None:
     db = dataset.database
 
     # -- 1. taxonomic abundance from classification -------------------------
-    results = classify_reads(dataset.reads, K, db.lookup)
+    results = classify_reads(dataset.reads, K, db.get)
     summary = summarize(results)
     total = sum(summary.taxon_counts.values())
     print(f"sample: {len(dataset.reads)} reads, "

@@ -59,7 +59,7 @@ def main() -> None:
     )
     db = dataset.database
     print(f"sample: {len(dataset.reads)} reads; reference: {len(db)} "
-          f"{K}-mers across {db.stats().num_taxa} taxa")
+          f"{K}-mers across {db.size_stats().num_taxa} taxa")
 
     # Three engines, one classification loop.
     clark = ClarkClassifier(db)
@@ -74,11 +74,11 @@ def main() -> None:
         kmer for read in dataset.reads for kmer in read.kmers(K)
     })
     sieve_answers = {
-        resp.query: resp.payload for resp in device.lookup_many(unique_kmers)
+        resp.query: resp.payload for resp in device.query(unique_kmers)
     }
     engines = {
-        "CLARK (hash table)": clark.lookup,
-        "Kraken (signature index)": kraken.lookup,
+        "CLARK (hash table)": clark.get,
+        "Kraken (signature index)": kraken.get,
         "Sieve (in-DRAM)": sieve_answers.get,
     }
 

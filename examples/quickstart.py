@@ -52,7 +52,7 @@ def main() -> None:
 
     # -- 3. match some k-mers ------------------------------------------------
     queries = [kmer for read in dataset.reads[:5] for kmer in read.kmers(k)]
-    responses = device.lookup_many(queries)
+    responses = device.query(queries)
     hits = [r for r in responses if r.hit]
     print(f"\nmatched {len(queries)} query k-mers: {len(hits)} hits")
     for response in hits[:3]:

@@ -35,10 +35,22 @@ Quick start
 ...                    num_reads=20, read_length=60, seed=1)
 >>> device = SieveDevice.from_database(ds.database)
 >>> kmer = next(ds.reads[0].kmers(ds.k))
->>> device.lookup(kmer).payload == ds.database.lookup(kmer)
+>>> device.query([kmer])[0].payload == ds.database.get(kmer)
 True
+
+Every engine (device, software baselines, plain database) answers
+through the same :class:`repro.api.QueryBackend` protocol —
+``query()``/``classify()``/``capabilities()``/``stats()`` — and
+``repro.service`` serves that protocol behind an asyncio micro-batching
+dispatcher (``python -m repro.service --demo``).
 """
 
+from .api import (
+    BackendCapabilities,
+    BackendResult,
+    BackendStats,
+    QueryBackend,
+)
 from .baselines import (
     ClarkClassifier,
     CpuBaselineModel,
@@ -77,6 +89,10 @@ from .sieve import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BackendCapabilities",
+    "BackendResult",
+    "BackendStats",
+    "QueryBackend",
     "ClarkClassifier",
     "CpuBaselineModel",
     "GpuBaselineModel",

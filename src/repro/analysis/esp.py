@@ -162,7 +162,7 @@ def termination_from_device(device, queries: Sequence[int], k: int) -> EspSummar
         raise EspAnalysisError("queries must be non-empty")
     total_bits = 2 * k
     samples = []
-    for response in device.lookup_many(list(queries)):
+    for response in device.query(list(queries)):
         if response.subarray_id is None:
             continue  # index-filtered: zero device work
         if response.hit:

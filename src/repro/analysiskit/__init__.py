@@ -3,7 +3,7 @@
 Two halves (see ``docs/CORRECTNESS.md``):
 
 * **static**: a simulator-aware AST lint pass (``python -m repro.lint``)
-  with rules SV001-SV005 over unit suffixes, float equality, Command
+  with rules SV001-SV006 over unit suffixes, float equality, Command
   exhaustiveness, nondeterminism, and mutable defaults;
 * **dynamic**: a runtime DRAM protocol sanitizer installed into the
   :mod:`repro.dram.hooks` seam, toggled by ``SIEVE_SANITIZE=1`` or the

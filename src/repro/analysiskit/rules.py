@@ -1,4 +1,4 @@
-"""Simulator-specific lint rules (SV001-SV005).
+"""Simulator-specific lint rules (SV001-SV006).
 
 These encode the invariants the trace-driven model's numbers rest on —
 unit-suffix discipline, deterministic randomness, exhaustive command
@@ -653,12 +653,55 @@ class MutableDefaultRule(Rule):
                     )
 
 
+# --------------------------------------------------------------------------
+# SV006 — deprecated query-surface names
+# --------------------------------------------------------------------------
+
+#: Deprecated attribute name -> replacement, per the PR-4 API redesign
+#: (docs/PERFORMANCE.md migration notes).  Exact-name matching on
+#: attribute *access*: shim definitions (`def lookup`) stay legal, any
+#: in-repo call/reference to them does not.
+DEPRECATED_QUERY_ATTRS: Dict[str, str] = {
+    "lookup": "query() (or get() on index structures)",
+    "lookup_many": "query()",
+    "match_batch": "match_all()",
+}
+
+
+class DeprecatedQueryApiRule(Rule):
+    rule_id = "SV006"
+    title = "deprecated query API"
+    rationale = (
+        "The `lookup`/`lookup_many`/`match_batch` split was collapsed "
+        "into the unified `QueryBackend.query()` surface (repro.api). "
+        "The old names survive only as DeprecationWarning shims for "
+        "external callers; in-repo call sites must use `query()` / "
+        "`get()` / `match_all()` so hit-rate accounting stays on the "
+        "one shared path."
+    )
+
+    def check(self, source: FileSource) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in DEPRECATED_QUERY_ATTRS
+            ):
+                replacement = DEPRECATED_QUERY_ATTRS[node.attr]
+                yield self.finding(
+                    source,
+                    node,
+                    f"`.{node.attr}` is a deprecated query surface; "
+                    f"use {replacement}",
+                )
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     UnitSuffixRule(),
     FloatEqualityRule(),
     CommandExhaustivenessRule(),
     NondeterminismRule(),
     MutableDefaultRule(),
+    DeprecatedQueryApiRule(),
 )
 
 

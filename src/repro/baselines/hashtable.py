@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
+from ..api import BackendCapabilities, ScalarQueryBackendBase, warn_deprecated
+
 #: Memory-image field sizes (12-byte records, Section II).
 BUCKET_SLOT_BYTES = 8
 ENTRY_BYTES = 16  # 8 B key + 4 B taxon + 4 B next
@@ -87,7 +89,7 @@ class ChainedHashTable:
         self._next.append(self._buckets[bucket])
         self._buckets[bucket] = len(self._keys) - 1
 
-    def lookup(self, key: int) -> Optional[int]:
+    def get(self, key: int) -> Optional[int]:
         """Plain lookup: taxon or None."""
         idx = self._buckets[self._bucket_of(key)]
         while idx != -1:
@@ -95,6 +97,11 @@ class ChainedHashTable:
                 return self._values[idx]
             idx = self._next[idx]
         return None
+
+    def lookup(self, key: int) -> Optional[int]:
+        """Deprecated name for :meth:`get` (PR-4 API unification)."""
+        warn_deprecated("ChainedHashTable.lookup()", "ChainedHashTable.get()")
+        return self.get(key)
 
     def traced_lookup(self, key: int) -> LookupTrace:
         """Lookup that records every byte address it touches."""
@@ -133,18 +140,37 @@ class ChainedHashTable:
         return sum(lengths) / len(lengths) if lengths else 0.0
 
 
-class ClarkClassifier:
-    """CLARK-style classifier: hash-table engine + majority voting."""
+class ClarkClassifier(ScalarQueryBackendBase):
+    """CLARK-style classifier: hash-table engine + majority voting.
+
+    Implements the :class:`repro.api.QueryBackend` protocol over the
+    chained hash table's scalar probe.
+    """
 
     def __init__(self, database) -> None:
+        super().__init__()
         records = list(database.items())
         self.k = database.k
         self.canonical = database.canonical
         self.table = ChainedHashTable(records)
 
-    def lookup(self, kmer: int) -> Optional[int]:
+    def get(self, kmer: int) -> Optional[int]:
         if self.canonical:
             from ..genomics.encoding import canonical_kmer
 
             kmer = canonical_kmer(kmer, self.k)
-        return self.table.lookup(kmer)
+        return self.table.get(kmer)
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="clark-classifier",
+            kind="host-hash-table",
+            k=self.k,
+            canonical=self.canonical,
+            batched=False,
+        )
+
+    def lookup(self, kmer: int) -> Optional[int]:
+        """Deprecated name for :meth:`get` (PR-4 API unification)."""
+        warn_deprecated("ClarkClassifier.lookup()", "ClarkClassifier.get()")
+        return self.get(kmer)

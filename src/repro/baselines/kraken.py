@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..api import BackendCapabilities, ScalarQueryBackendBase, warn_deprecated
 from ..genomics.encoding import BITS_PER_BASE
 from ..genomics.sequence import DnaSequence
 
@@ -103,9 +104,16 @@ class SignatureSortedIndex:
     def num_buckets(self) -> int:
         return len(self._signatures)
 
-    def lookup(self, kmer: int) -> Optional[int]:
+    def get(self, kmer: int) -> Optional[int]:
         """Plain lookup: taxon or None."""
         return self.traced_lookup(kmer).taxon
+
+    def lookup(self, kmer: int) -> Optional[int]:
+        """Deprecated name for :meth:`get` (PR-4 API unification)."""
+        warn_deprecated(
+            "SignatureSortedIndex.lookup()", "SignatureSortedIndex.get()"
+        )
+        return self.get(kmer)
 
     def traced_lookup(self, kmer: int) -> BucketLookup:
         """Binary-search lookup recording the addresses it touches."""
@@ -170,17 +178,37 @@ class SignatureSortedIndex:
         return same / total
 
 
-class KrakenClassifier:
-    """Kraken-style classifier: signature index + majority voting."""
+class KrakenClassifier(ScalarQueryBackendBase):
+    """Kraken-style classifier: signature index + majority voting.
+
+    Implements the :class:`repro.api.QueryBackend` protocol; ``query``
+    probes the signature-bucketed index per k-mer (software engines
+    have no batched command protocol, so ``batched`` is a no-op).
+    """
 
     def __init__(self, database, m: int = 8) -> None:
+        super().__init__()
         self.k = database.k
         self.canonical = database.canonical
         self.index = SignatureSortedIndex(list(database.items()), database.k, m)
 
-    def lookup(self, kmer: int) -> Optional[int]:
+    def get(self, kmer: int) -> Optional[int]:
         if self.canonical:
             from ..genomics.encoding import canonical_kmer
 
             kmer = canonical_kmer(kmer, self.k)
-        return self.index.lookup(kmer)
+        return self.index.get(kmer)
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="kraken-classifier",
+            kind="host-signature-index",
+            k=self.k,
+            canonical=self.canonical,
+            batched=False,
+        )
+
+    def lookup(self, kmer: int) -> Optional[int]:
+        """Deprecated name for :meth:`get` (PR-4 API unification)."""
+        warn_deprecated("KrakenClassifier.lookup()", "KrakenClassifier.get()")
+        return self.get(kmer)

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
+from ..api import BackendCapabilities, ScalarQueryBackendBase, warn_deprecated
+
 #: Record size: 8-byte k-mer + 4-byte taxon (Section II).
 RECORD_BYTES = 12
 
@@ -52,8 +54,13 @@ class SortedKmerList:
     def memory_bytes(self) -> int:
         return len(self._keys) * RECORD_BYTES
 
-    def lookup(self, kmer: int) -> Optional[int]:
+    def get(self, kmer: int) -> Optional[int]:
         return self.traced_lookup(kmer).taxon
+
+    def lookup(self, kmer: int) -> Optional[int]:
+        """Deprecated name for :meth:`get` (PR-4 API unification)."""
+        warn_deprecated("SortedKmerList.lookup()", "SortedKmerList.get()")
+        return self.get(kmer)
 
     def traced_lookup(self, kmer: int) -> SortedLookup:
         """Binary search recording every record address touched."""
@@ -81,17 +88,38 @@ class SortedKmerList:
         return math.log2(max(len(self._keys), 2))
 
 
-class SortedListClassifier:
-    """Classifier over the flat sorted list (LMAT-class tooling)."""
+class SortedListClassifier(ScalarQueryBackendBase):
+    """Classifier over the flat sorted list (LMAT-class tooling).
+
+    Implements the :class:`repro.api.QueryBackend` protocol over the
+    flat list's scalar binary search.
+    """
 
     def __init__(self, database) -> None:
+        super().__init__()
         self.k = database.k
         self.canonical = database.canonical
         self.index = SortedKmerList(list(database.items()))
 
-    def lookup(self, kmer: int) -> Optional[int]:
+    def get(self, kmer: int) -> Optional[int]:
         if self.canonical:
             from ..genomics.encoding import canonical_kmer
 
             kmer = canonical_kmer(kmer, self.k)
-        return self.index.lookup(kmer)
+        return self.index.get(kmer)
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="sortedlist-classifier",
+            kind="host-sorted-list",
+            k=self.k,
+            canonical=self.canonical,
+            batched=False,
+        )
+
+    def lookup(self, kmer: int) -> Optional[int]:
+        """Deprecated name for :meth:`get` (PR-4 API unification)."""
+        warn_deprecated(
+            "SortedListClassifier.lookup()", "SortedListClassifier.get()"
+        )
+        return self.get(kmer)

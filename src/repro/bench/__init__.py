@@ -107,7 +107,7 @@ def bench_database_build(quick: bool) -> Tuple[float, Dict[str, int]]:
     return wall_s, {
         "genomes": len(genomes),
         "kmers_indexed": len(db),
-        "taxa": db.stats().num_taxa,
+        "taxa": db.size_stats().num_taxa,
     }
 
 
@@ -118,9 +118,9 @@ def bench_host_lookup(quick: bool) -> Tuple[float, Dict[str, int]]:
         {kmer for read in dataset.reads for kmer in read.kmers(dataset.k)}
     )
     start = time.perf_counter()
-    payloads = dataset.database.lookup_many(queries)
+    results = dataset.database.query(queries)
     wall_s = time.perf_counter() - start
-    hits = sum(1 for p in payloads if p is not None)
+    hits = sum(1 for r in results if r.hit)
     return wall_s, {"queries": len(queries), "hits": hits}
 
 
@@ -136,7 +136,7 @@ def _device_lookup(quick: bool, batched: bool) -> Tuple[float, Dict[str, int]]:
         {kmer for read in dataset.reads for kmer in read.kmers(dataset.k)}
     )
     start = time.perf_counter()
-    responses = device.lookup_many(queries, batched=batched)
+    responses = device.query(queries, batched=batched)
     wall_s = time.perf_counter() - start
     return wall_s, {
         "queries": device.stats.queries,
@@ -178,7 +178,7 @@ def bench_classifier_e2e(quick: bool) -> Tuple[float, Dict[str, int]]:
     unique = sorted(
         {kmer for read in dataset.reads for kmer in read.kmers(dataset.k)}
     )
-    answers = {r.query: r.payload for r in device.lookup_many(unique)}
+    answers = {r.query: r.payload for r in device.query(unique)}
     results = classify_reads(dataset.reads, dataset.k, answers.get)
     wall_s = time.perf_counter() - start
     summary = summarize(results)
@@ -204,6 +204,65 @@ def bench_figure_regen(quick: bool) -> Tuple[float, Dict[str, int]]:
     return wall_s, {"table_rows": rows}
 
 
+def bench_service_load(quick: bool) -> Tuple[float, Dict[str, int]]:
+    """Async classification service end-to-end (``repro.service``).
+
+    Runs in the service's deterministic mode — zero linger, every
+    request pre-enqueued before the workers start, single-threaded
+    event loop — so batch composition, and with it every counter, is a
+    pure function of the seeded dataset.  Wall time covers the full
+    serve: dispatch, coalesced device batches, response slicing.
+    """
+    import asyncio
+
+    from ..service import ClassificationService, ServiceConfig
+    from ..sieve import SieveDevice, SubarrayLayout
+
+    dataset = _dataset(quick)
+    layout = SubarrayLayout(
+        k=dataset.k, row_bits=1152, rows_per_subarray=256, layers=3
+    )
+    config = ServiceConfig(
+        num_shards=2,
+        max_batch_kmers=128,
+        max_linger_s=0.0,
+        queue_depth=len(dataset.reads),
+    )
+    backends = [
+        SieveDevice.from_database(dataset.database, layout=layout)
+        for _ in range(config.num_shards)
+    ]
+    service = ClassificationService(backends, config)
+
+    async def serve():
+        futures = [service.submit(read) for read in dataset.reads]
+        await service.start()
+        responses = await asyncio.gather(*futures)
+        await service.stop(drain=True)
+        return responses
+
+    start = time.perf_counter()
+    responses = asyncio.run(serve())
+    wall_s = time.perf_counter() - start
+    counters = service.metrics.snapshot()["counters"]
+    return wall_s, {
+        "requests": len(responses),
+        "batches": counters["batches_total"],
+        "kmers": counters["kmers_total"],
+        "hits": counters["hits_total"],
+        "rejected": counters.get("rejected_total", 0),
+        "classified": sum(
+            1 for r in responses if r.classification.taxon is not None
+        ),
+        "row_activations": sum(
+            w.backend.stats.row_activations for w in service.shards
+        ),
+        "write_commands": sum(
+            w.backend.stats.write_commands for w in service.shards
+        ),
+    }
+
+
 #: Registry of tracked benchmarks, in report order.
 BENCHMARKS: Dict[str, BenchFn] = {
     "database_build": bench_database_build,
@@ -212,6 +271,7 @@ BENCHMARKS: Dict[str, BenchFn] = {
     "device_lookup_scalar": bench_device_lookup_scalar,
     "classifier_e2e": bench_classifier_e2e,
     "figure_regen": bench_figure_regen,
+    "service_load": bench_service_load,
 }
 
 

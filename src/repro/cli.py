@@ -87,6 +87,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_service(args: argparse.Namespace) -> int:
+    """Forward to the ``repro.service`` demo CLI (same flags)."""
+    from .service.__main__ import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_feasibility(_: argparse.Namespace) -> int:
     ok = True
     for report in all_feasibility_reports():
@@ -141,6 +148,15 @@ def main(argv=None) -> int:
     sub.add_parser("feasibility", help="circuit feasibility checks").set_defaults(
         func=_cmd_feasibility
     )
+    from .service.__main__ import build_parser as service_parser
+
+    service = sub.add_parser(
+        "service",
+        help="async sharded classification server "
+        "(same flags as 'python -m repro.service')",
+        parents=[service_parser(add_help=False)],
+    )
+    service.set_defaults(func=_cmd_service)
     args = parser.parse_args(argv)
     from .analysiskit import enable_from_env, enable_sanitizer
 

@@ -64,7 +64,7 @@ def accuracy_study(
             seed=seed,
             profile=profile,
         )
-        lookup = dataset.database.lookup
+        lookup = dataset.database.get
         majority = summarize(
             classify_read(read, k, lookup) for read in dataset.reads
         )

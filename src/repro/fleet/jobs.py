@@ -303,3 +303,72 @@ class SanitizerProbeJob(Job):
         if self.violate:
             sanitizer.observe_command("fleet-probe", "RD", 3)
         return {"sanitizer_active": True, "violated": False}
+
+
+@dataclass(frozen=True)
+class ServiceLoadJob(Job):
+    """One deterministic async-service load run (:mod:`repro.service`).
+
+    Runs the classification service in its reproducible mode — every
+    request pre-enqueued, zero linger, single-threaded event loop — so
+    batch composition and every counter in the payload are a pure
+    function of the fields and the derived seed.  Uncacheable because
+    the payload also carries a measured wall time.
+    """
+
+    cacheable: ClassVar[bool] = False
+
+    num_shards: int = 2
+    max_batch_kmers: int = 128
+    num_reads: int = 20
+    read_length: int = 70
+
+    def run(self, seed: int) -> Dict[str, Any]:
+        import asyncio
+        import time
+
+        from ..genomics import build_dataset
+        from ..service import ClassificationService, ServiceConfig
+        from ..sieve import SieveDevice
+
+        dataset = build_dataset(
+            k=13,
+            num_species=4,
+            genome_length=400,
+            num_reads=self.num_reads,
+            read_length=self.read_length,
+            seed=seed % 2**31,
+        )
+        config = ServiceConfig(
+            num_shards=self.num_shards,
+            max_batch_kmers=self.max_batch_kmers,
+            max_linger_s=0.0,
+            queue_depth=self.num_reads,
+        )
+        backends = [
+            SieveDevice.from_database(dataset.database)
+            for _ in range(self.num_shards)
+        ]
+        service = ClassificationService(backends, config)
+
+        async def serve():
+            futures = [service.submit(read) for read in dataset.reads]
+            await service.start()
+            responses = await asyncio.gather(*futures)
+            await service.stop(drain=True)
+            return responses
+
+        start = time.perf_counter()
+        responses = asyncio.run(serve())
+        wall_s = time.perf_counter() - start
+        counters = service.metrics.snapshot()["counters"]
+        return {
+            "requests": len(responses),
+            "batches": counters["batches_total"],
+            "kmers": counters["kmers_total"],
+            "hits": counters["hits_total"],
+            "classified": sum(
+                1 for r in responses if r.classification.taxon is not None
+            ),
+            "wall_s": wall_s,
+        }

@@ -16,6 +16,13 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api import (
+    BackendCapabilities,
+    BackendResult,
+    BackendStats,
+    classification_from_results,
+    warn_deprecated,
+)
 from .encoding import canonical_kmer, canonical_kmers, decode_kmer, pack_kmers
 from .sequence import DnaSequence
 from .taxonomy import Taxonomy
@@ -77,6 +84,8 @@ class KmerDatabase:
         self._table: Dict[int, int] = {}
         # Sorted key/payload arrays for bulk lookup, rebuilt on demand.
         self._lookup_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # Protocol-level query/hit accounting (repro.api.BackendStats).
+        self._backend_stats = BackendStats()
 
     def __len__(self) -> int:
         return len(self._table)
@@ -120,9 +129,18 @@ class KmerDatabase:
             self._insert(key, taxon_id)
         return len(keys)
 
-    def lookup(self, kmer: int) -> Optional[int]:
-        """Return the taxon payload for a query k-mer, or ``None`` (miss)."""
+    def get(self, kmer: int) -> Optional[int]:
+        """Return the taxon payload for a query k-mer, or ``None`` (miss).
+
+        Dict-like accessor: does not touch the protocol query counters
+        (use :meth:`query` for tracked traffic).
+        """
         return self._table.get(self._normalize(kmer))
+
+    def lookup(self, kmer: int) -> Optional[int]:
+        """Deprecated name for :meth:`get` (PR-4 API unification)."""
+        warn_deprecated("KmerDatabase.lookup()", "KmerDatabase.get()")
+        return self.get(kmer)
 
     def _lookup_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """Sorted key array + aligned payload array (cached)."""
@@ -148,8 +166,8 @@ class KmerDatabase:
             self._lookup_cache = (sorted_keys, sorted_payloads)
         return self._lookup_cache
 
-    def lookup_many(self, kmers: Sequence[int]) -> List[Optional[int]]:
-        """Bulk :meth:`lookup`: sorted-array binary search in one pass.
+    def _bulk_payloads(self, kmers: Sequence[int]) -> List[Optional[int]]:
+        """Bulk :meth:`get`: sorted-array binary search in one pass.
 
         Queries are canonicalized vectorized, then resolved against the
         cached sorted key array with ``np.searchsorted`` — the software
@@ -179,6 +197,57 @@ class KmerDatabase:
             for pos, hit in zip(positions.tolist(), found.tolist())
         ]
 
+    def query(
+        self, kmers: Sequence[int], *, batched: bool = True
+    ) -> List[BackendResult]:
+        """Unified batch query (:class:`repro.api.QueryBackend` surface).
+
+        ``batched`` selects between the vectorized searchsorted pass and
+        a scalar per-k-mer dict probe; both produce identical payloads
+        (the host has no command-level protocol to replay).
+        """
+        if batched:
+            payloads = self._bulk_payloads(kmers)
+        else:
+            payloads = [self.get(kmer) for kmer in kmers]
+        results = [
+            BackendResult(query=kmer, hit=payload is not None, payload=payload)
+            for kmer, payload in zip(kmers, payloads)
+        ]
+        self._backend_stats.record(results)
+        return results
+
+    def lookup_many(self, kmers: Sequence[int]) -> List[Optional[int]]:
+        """Deprecated payload-list shim over :meth:`query`."""
+        warn_deprecated("KmerDatabase.lookup_many()", "KmerDatabase.query()")
+        return self._bulk_payloads(kmers)
+
+    def classify(self, read: DnaSequence):
+        """Classify one read through the shared vote-counting path."""
+        results = self.query(list(read.kmers(self.k)))
+        return classification_from_results(
+            read.seq_id, results, true_taxon=read.taxon_id
+        )
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="kmer-database",
+            kind="host-sorted-array",
+            k=self.k,
+            canonical=self.canonical,
+            batched=True,
+        )
+
+    def stats(self) -> BackendStats:
+        """Uniform query/hit accounting (:class:`repro.api.QueryBackend`).
+
+        Point-in-time snapshot, like every other backend's ``stats()``.
+        """
+        return BackendStats(
+            queries=self._backend_stats.queries,
+            hits=self._backend_stats.hits,
+        )
+
     def items(self) -> Iterator[Tuple[int, int]]:
         """Iterate over (packed k-mer, taxon id) records, unordered."""
         return iter(self._table.items())
@@ -196,8 +265,12 @@ class KmerDatabase:
         """Sorted (k-mer, taxon) pairs — the Sieve load image."""
         return sorted(self._table.items())
 
-    def stats(self) -> DatabaseStats:
-        """Size summary (used for capacity planning and Table II style rows)."""
+    def size_stats(self) -> DatabaseStats:
+        """Size summary (used for capacity planning and Table II style rows).
+
+        Named ``stats()`` before the PR-4 unification; that name now
+        carries the protocol-wide query/hit accounting.
+        """
         return DatabaseStats(
             k=self.k,
             num_kmers=len(self._table),

@@ -226,7 +226,7 @@ class SyntheticDataset:
         total = 0
         for _, kmer in self.query_kmers():
             total += 1
-            if self.database.lookup(kmer) is not None:
+            if kmer in self.database:
                 hits += 1
         return hits / total if total else 0.0
 

@@ -26,6 +26,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api import BackendCapabilities, BackendResult, QueryBackendBase
 from ..genomics.encoding import BITS_PER_BASE, kmer_bits
 from ..sieve.perfmodel import (
     QueryCost,
@@ -58,10 +59,17 @@ class RowMajorOutcome:
     query_writes: int
 
 
-class RowMajorMatcher:
-    """Functional row-major matcher over an Ambit array."""
+class RowMajorMatcher(QueryBackendBase):
+    """Functional row-major matcher over an Ambit array.
+
+    Implements the :class:`repro.api.QueryBackend` protocol so the
+    prior-art in-situ design plugs into the same dispatch/experiment
+    harness as Sieve (``query`` scans per k-mer; row-major has no
+    batched load protocol).
+    """
 
     def __init__(self, k: int, records: Sequence[Tuple[int, int]], row_bits: int = 8192) -> None:
+        super().__init__()
         self.k = k
         self.kmer_bits = BITS_PER_BASE * k
         self.refs_per_row = row_bits // self.kmer_bits
@@ -143,6 +151,34 @@ class RowMajorMatcher:
             triple_activations=self.array.stats.triple_activations - before_tra,
             row_clones=self.array.stats.row_clones - before_clone,
             query_writes=self.query_writes - before_writes,
+        )
+
+    # -- protocol surface ------------------------------------------------------
+
+    def query(
+        self, kmers: Sequence[int], *, batched: bool = True
+    ) -> list:
+        results = []
+        for kmer in kmers:
+            outcome = self.match(kmer)
+            results.append(
+                BackendResult(
+                    query=kmer,
+                    hit=outcome.hit,
+                    payload=outcome.payload,
+                    rows_activated=outcome.rows_compared,
+                )
+            )
+        self._backend_stats.record(results)
+        return results
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="rowmajor-matcher",
+            kind="insitu-row-major",
+            k=self.k,
+            canonical=False,
+            batched=False,
         )
 
 

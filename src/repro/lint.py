@@ -1,7 +1,7 @@
 """``python -m repro.lint src tests`` — the repo's custom lint pass.
 
 Thin entry point; the implementation lives in
-:mod:`repro.analysiskit` (engine, rules SV001-SV005, reporters).
+:mod:`repro.analysiskit` (engine, rules SV001-SV006, reporters).
 """
 
 from __future__ import annotations

@@ -69,14 +69,22 @@ class PipelineReport:
         return self.bottleneck == "matching"
 
 
-def analyze_pipeline(
-    matching: PerfResult,
-    workload: WorkloadStats,
+def analyze_observed_pipeline(
+    matching_qps: float,
     host: Optional[HostStageModel] = None,
 ) -> PipelineReport:
-    """Bottleneck analysis for one matching engine on one workload."""
+    """Bottleneck analysis from an *observed* matching rate.
+
+    The analytic path derives the matching rate from a model's
+    :class:`PerfResult`; this entry point takes a measured one instead
+    — e.g. the simulated-time throughput ``repro.service`` reports for
+    the traffic it actually served — and runs the identical stage
+    comparison, so deployment measurements and model projections are
+    judged by one bottleneck rule.
+    """
+    if matching_qps <= 0:
+        raise PipelineError("matching_qps must be positive")
     host = host or HostStageModel()
-    matching_qps = workload.num_kmers / matching.time_s
     stage_qps = {
         "preprocess": host.preprocess_qps(),
         "matching": matching_qps,
@@ -89,6 +97,17 @@ def analyze_pipeline(
         bottleneck=bottleneck,
         sustained_qps=sustained,
         matching_utilization=min(1.0, sustained / matching_qps),
+    )
+
+
+def analyze_pipeline(
+    matching: PerfResult,
+    workload: WorkloadStats,
+    host: Optional[HostStageModel] = None,
+) -> PipelineReport:
+    """Bottleneck analysis for one matching engine on one workload."""
+    return analyze_observed_pipeline(
+        workload.num_kmers / matching.time_s, host
     )
 
 

@@ -1,0 +1,208 @@
+"""``python -m repro.service`` — self-checking service load demo.
+
+Boots an in-process :class:`ClassificationService` over a synthetic
+dataset, drives it with concurrent client coroutines (default 1000
+requests through bounded queues with retry-on-429), then replays every
+read through the *sequential scalar* path on a fresh backend and
+verifies the coalesced classifications are bit-identical.  Exits
+non-zero on any mismatch, so CI can run it as a smoke test.
+
+``--metrics-json PATH`` dumps the full ``stats()`` payload (counters,
+p50/p95/p99 latency, batch occupancy, deployment projections); ``-``
+writes it to stdout.
+"""
+
+from __future__ import annotations
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import List
+
+from ..api import QueryBackend, classification_from_results
+from .client import ServiceClient
+from .config import ServiceConfig
+from .server import ClassificationService
+
+#: Backends the demo can serve (all speak :class:`repro.api.QueryBackend`).
+BACKENDS = ("sieve", "database", "kraken", "clark", "sortedlist")
+
+
+def make_backend(name: str, database) -> QueryBackend:
+    """Fresh backend replica of ``database`` (one per shard)."""
+    if name == "sieve":
+        from ..sieve.device import SieveDevice
+
+        return SieveDevice.from_database(database)
+    if name == "database":
+        return database
+    if name == "kraken":
+        from ..baselines.kraken import KrakenClassifier
+
+        return KrakenClassifier(database)
+    if name == "clark":
+        from ..baselines.hashtable import ClarkClassifier
+
+        return ClarkClassifier(database)
+    if name == "sortedlist":
+        from ..baselines.sortedlist import SortedListClassifier
+
+        return SortedListClassifier(database)
+    raise ValueError(f"unknown backend {name!r}; known: {BACKENDS}")
+
+
+def build_parser(add_help: bool = True) -> argparse.ArgumentParser:
+    """Demo argument surface (``add_help=False`` lets the ``sieve-repro
+    service`` subcommand mount it via ``parents=``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Sieve-as-a-service demo: async sharded "
+        "classification with micro-batching.",
+        add_help=add_help,
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="run the self-checking concurrent load demo",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=1000, help="concurrent requests"
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="sieve", help="engine to serve"
+    )
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument(
+        "--max-batch", type=int, default=64, help="coalescing target (k-mers)"
+    )
+    parser.add_argument(
+        "--linger-ms",
+        type=float,
+        default=0.5,
+        help="max time a non-full batch waits for stragglers",
+    )
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline (default: none)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--k", type=int, default=15)
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="dump the stats() payload as JSON ('-' for stdout)",
+    )
+    return parser
+
+
+async def run_demo(args: argparse.Namespace) -> int:
+    from ..genomics.synthetic import build_dataset
+
+    dataset = build_dataset(
+        k=args.k,
+        num_species=4,
+        genome_length=600,
+        num_reads=250,
+        read_length=60,
+        seed=args.seed,
+    )
+    config = ServiceConfig(
+        num_shards=args.shards,
+        max_batch_kmers=args.max_batch,
+        max_linger_s=args.linger_ms / 1e3,
+        queue_depth=args.queue_depth,
+        default_deadline_s=(
+            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+        ),
+    )
+    backends = [
+        make_backend(args.backend, dataset.database)
+        for _ in range(args.shards)
+    ]
+    service = ClassificationService(backends, config)
+    client = ServiceClient(service)
+
+    reads = [
+        dataset.reads[i % len(dataset.reads)] for i in range(args.requests)
+    ]
+    await service.start()
+    responses = await client.classify_many(reads)
+    await service.stop(drain=True)
+
+    # Sequential scalar reference on an untouched replica.
+    reference = make_backend(args.backend, dataset.database)
+    mismatches = 0
+    for read, response in zip(reads, responses):
+        kmers = list(read.kmers(dataset.k))
+        expected = classification_from_results(
+            read.seq_id,
+            reference.query(kmers, batched=False),
+            true_taxon=read.taxon_id,
+        )
+        if response.classification != expected:
+            mismatches += 1
+
+    stats = service.stats()
+    counters = stats["metrics"]["counters"]
+    latency = stats["metrics"]["histograms"]["request_latency_ms"]
+    occupancy = stats["metrics"]["histograms"]["batch_occupancy"]
+    print(
+        f"served {len(responses)} requests on {args.shards} "
+        f"{args.backend} shard(s): {counters['batches_total']} batches, "
+        f"mean occupancy {occupancy['mean']:.2f} reads/batch, "
+        f"{counters.get('rejected_total', 0)} rejections"
+    )
+    print(
+        f"latency ms p50={latency['p50']:.3f} p95={latency['p95']:.3f} "
+        f"p99={latency['p99']:.3f}; simulated device time "
+        f"{stats['sim_time_ns'] / 1e3:.1f} us"
+    )
+    if "deployment" in stats:
+        for design, row in stats["deployment"]["projections"].items():
+            print(
+                f"projected {design}: {row['throughput_qps'] / 1e9:.3f} "
+                f"Gqueries/s for this trace"
+            )
+    if args.metrics_json:
+        payload = json.dumps(stats, indent=2, sort_keys=True)
+        if args.metrics_json == "-":
+            print(payload)
+        else:
+            with open(args.metrics_json, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote metrics to {args.metrics_json}")
+    if mismatches:
+        print(
+            f"FAIL: {mismatches}/{len(reads)} coalesced classifications "
+            "differ from the sequential scalar path"
+        )
+        return 1
+    print(
+        f"OK: all {len(reads)} coalesced classifications are bit-identical "
+        "to the sequential scalar path"
+    )
+    return 0
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Entry point shared with the ``sieve-repro service`` subcommand."""
+    if not args.demo:
+        build_parser().print_help()
+        print("\n(only --demo mode is implemented; pass --demo)")
+        return 2
+    return asyncio.run(run_demo(args))
+
+
+def main(argv: List[str] | None = None) -> int:
+    return run_from_args(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

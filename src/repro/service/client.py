@@ -1,0 +1,58 @@
+"""In-process client with the retry discipline the server expects.
+
+:meth:`ServiceClient.classify` submits a read and, on a 429-style
+:class:`RejectedError`, sleeps for the server's ``retry_after_s`` hint
+and resubmits — the cooperative backoff that lets thousands of
+concurrent coroutines share bounded shard queues without dropping
+work.  ``classify_many`` fans a read list out concurrently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Sequence
+
+from .dispatcher import RejectedError, ServiceResponse
+from .server import ClassificationService
+
+
+class ServiceClient:
+    """Thin async facade over an in-process :class:`ClassificationService`."""
+
+    def __init__(
+        self,
+        service: ClassificationService,
+        max_retries: Optional[int] = None,
+    ) -> None:
+        self.service = service
+        #: None = retry rejections forever (bounded by request deadlines).
+        self.max_retries = max_retries
+
+    async def classify(
+        self, read, deadline_s: Optional[float] = None
+    ) -> ServiceResponse:
+        """Classify one read, backing off on backpressure rejections."""
+        attempts = 0
+        while True:
+            try:
+                future = self.service.submit(read, deadline_s=deadline_s)
+            except RejectedError as exc:
+                attempts += 1
+                if (
+                    self.max_retries is not None
+                    and attempts > self.max_retries
+                ):
+                    raise
+                await asyncio.sleep(exc.retry_after_s)
+                continue
+            return await future
+
+    async def classify_many(
+        self, reads: Sequence, deadline_s: Optional[float] = None
+    ) -> List[ServiceResponse]:
+        """Classify a read list concurrently, preserving input order."""
+        return list(
+            await asyncio.gather(
+                *(self.classify(read, deadline_s=deadline_s) for read in reads)
+            )
+        )

@@ -1,0 +1,54 @@
+"""Service tuning knobs, validated once at construction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class ServiceConfigError(ValueError):
+    """Raised on invalid service configuration."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Policy for the sharded micro-batching dispatcher.
+
+    ``max_batch_kmers`` is the coalescing target: a dispatch closes as
+    soon as the k-mers gathered reach it (the device's natural width is
+    ``SubarrayLayout.queries_per_group`` = 64).  A single request larger
+    than the target still dispatches alone — requests are never split
+    across batches, so per-request response slicing stays trivial.
+
+    ``max_linger_s = 0`` means *no waiting*: a dispatch takes whatever
+    is already queued and goes.  With requests pre-enqueued on a
+    single-threaded loop this makes batch composition fully
+    deterministic — the mode the bench/fleet regression jobs run in.
+    """
+
+    #: Backend replicas / worker tasks.
+    num_shards: int = 2
+    #: Coalescing target in k-mers per dispatched batch.
+    max_batch_kmers: int = 64
+    #: How long a non-full batch waits for more requests (seconds).
+    max_linger_s: float = 0.0
+    #: Bounded per-shard queue; a full queue rejects (backpressure).
+    queue_depth: int = 64
+    #: Default per-request deadline (None = no deadline).
+    default_deadline_s: Optional[float] = None
+    #: Hint returned with 429-style rejections.
+    retry_after_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ServiceConfigError("num_shards must be positive")
+        if self.max_batch_kmers <= 0:
+            raise ServiceConfigError("max_batch_kmers must be positive")
+        if self.max_linger_s < 0:
+            raise ServiceConfigError("max_linger_s must be >= 0")
+        if self.queue_depth <= 0:
+            raise ServiceConfigError("queue_depth must be positive")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ServiceConfigError("default_deadline_s must be positive")
+        if self.retry_after_s <= 0:
+            raise ServiceConfigError("retry_after_s must be positive")

@@ -1,0 +1,236 @@
+"""Shard worker: bounded queue + micro-batching dispatch loop.
+
+One :class:`ShardWorker` owns one :class:`repro.api.QueryBackend`
+replica.  Its loop blocks on the queue, then coalesces whatever else is
+waiting — up to ``max_batch_kmers`` k-mers, lingering at most
+``max_linger_s`` for stragglers — into a single batched ``query()``
+call, and slices the flat response list back into per-request
+classifications through the same vote-counting helper every sequential
+path uses (:func:`repro.api.classification_from_results`).  That shared
+slicing is why coalescing is bit-identical to sequential execution.
+
+Each batch is priced on two clocks: host wall time around the
+``query()`` call, and *simulated device time* from the backend's
+functional counter delta run through the command ledger
+(``perf_counters()`` / ``batch_cost()``; zero for backends that don't
+simulate a device).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..api import QueryBackend, classification_from_results
+from .config import ServiceConfig
+from .metrics import MetricsRegistry
+
+
+class ServiceError(RuntimeError):
+    """Base class for service-level failures."""
+
+
+class RejectedError(ServiceError):
+    """429-style backpressure: the shard's queue is full.
+
+    Carries ``retry_after_s``, the server's hint for when to retry.
+    """
+
+    def __init__(self, shard_id: int, retry_after_s: float) -> None:
+        super().__init__(
+            f"shard {shard_id} queue full; retry after {retry_after_s}s"
+        )
+        self.shard_id = shard_id
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline passed before its batch dispatched."""
+
+
+@dataclass
+class Request:
+    """One enqueued read, resolved through ``future``."""
+
+    read: Any
+    kmers: List[int]
+    future: "asyncio.Future[ServiceResponse]"
+    enqueued_at: float
+    deadline: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """What a completed request resolves to."""
+
+    classification: Any
+    #: k-mers this request contributed to its batch.
+    num_kmers: int
+    #: How many of them hit.
+    hits: int
+    #: Requests coalesced into the batch this one rode in.
+    coalesced_requests: int
+    #: Total k-mers in that batch.
+    batch_kmers: int
+    #: Simulated device time / energy for the whole batch.
+    sim_batch_ns: float
+    sim_batch_energy_nj: float
+    #: Wall-clock latency of this request, enqueue to completion.
+    wall_ms: float
+
+
+class ShardWorker:
+    """One backend replica behind a bounded queue and a dispatch loop."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        backend: QueryBackend,
+        config: ServiceConfig,
+        metrics: MetricsRegistry,
+    ) -> None:
+        self.shard_id = shard_id
+        self.backend = backend
+        self.config = config
+        self.metrics = metrics
+        self.queue: "asyncio.Queue[Request]" = asyncio.Queue(
+            maxsize=config.queue_depth
+        )
+        #: Accumulated simulated device cost across this shard's batches.
+        self.sim_time_ns = 0.0
+        self.sim_energy_nj = 0.0
+
+    # -- intake ---------------------------------------------------------------
+
+    def try_submit(self, request: Request) -> None:
+        """Enqueue or reject; never blocks (backpressure surface)."""
+        self.metrics.histogram("queue_depth").observe(self.queue.qsize())
+        try:
+            self.queue.put_nowait(request)
+        except asyncio.QueueFull:
+            self.metrics.counter("rejected_total").inc()
+            raise RejectedError(
+                self.shard_id, self.config.retry_after_s
+            ) from None
+        self.metrics.counter("submitted_total").inc()
+
+    # -- dispatch loop --------------------------------------------------------
+
+    async def run(self) -> None:
+        """Serve until cancelled.  Each iteration dispatches one batch."""
+        while True:
+            first = await self.queue.get()
+            batch = [first]
+            try:
+                await self._coalesce(batch)
+                self._execute(batch)
+            finally:
+                for _ in batch:
+                    self.queue.task_done()
+
+    async def _coalesce(self, batch: List[Request]) -> None:
+        """Grow ``batch`` until the k-mer target or the linger expires."""
+        target = self.config.max_batch_kmers
+        gathered = sum(len(r.kmers) for r in batch)
+        if self.config.max_linger_s <= 0:
+            while gathered < target:
+                try:
+                    nxt = self.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                batch.append(nxt)
+                gathered += len(nxt.kmers)
+            return
+        loop = asyncio.get_running_loop()
+        close_at = loop.time() + self.config.max_linger_s
+        while gathered < target:
+            remaining = close_at - loop.time()
+            if remaining <= 0:
+                return
+            try:
+                nxt = await asyncio.wait_for(self.queue.get(), remaining)
+            except asyncio.TimeoutError:
+                return
+            batch.append(nxt)
+            gathered += len(nxt.kmers)
+
+    def _execute(self, batch: List[Request]) -> None:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        live: List[Request] = []
+        for req in batch:
+            if req.deadline is not None and now > req.deadline:
+                self.metrics.counter("deadline_expired_total").inc()
+                if not req.future.done():
+                    req.future.set_exception(
+                        DeadlineExceededError(
+                            f"deadline passed {now - req.deadline:.4f}s "
+                            f"before dispatch on shard {self.shard_id}"
+                        )
+                    )
+            else:
+                live.append(req)
+        if not live:
+            return
+        flat: List[int] = []
+        for req in live:
+            flat.extend(req.kmers)
+        wall_start = time.perf_counter()
+        before = self._perf_counters()
+        results = self.backend.query(flat) if flat else []
+        wall_batch_ms = (time.perf_counter() - wall_start) * 1e3
+        after = self._perf_counters()
+        delta = {key: after[key] - before.get(key, 0) for key in after}
+        sim_ns, sim_nj = self._batch_cost(delta)
+        self.sim_time_ns += sim_ns
+        self.sim_energy_nj += sim_nj
+
+        m = self.metrics
+        m.counter("batches_total").inc()
+        m.counter("kmers_total").inc(len(flat))
+        m.counter("hits_total").inc(sum(1 for r in results if r.hit))
+        m.histogram("batch_occupancy").observe(len(live))
+        m.histogram("batch_kmers").observe(len(flat))
+        m.histogram("batch_wall_ms").observe(wall_batch_ms)
+        m.histogram("batch_sim_ns").observe(sim_ns)
+
+        pos = 0
+        done_at = loop.time()
+        for req in live:
+            chunk = results[pos : pos + len(req.kmers)]
+            pos += len(req.kmers)
+            classification = classification_from_results(
+                req.read.seq_id,
+                chunk,
+                true_taxon=getattr(req.read, "taxon_id", None),
+            )
+            wall_ms = (done_at - req.enqueued_at) * 1e3
+            m.histogram("request_latency_ms").observe(wall_ms)
+            m.counter("completed_total").inc()
+            if not req.future.done():
+                req.future.set_result(
+                    ServiceResponse(
+                        classification=classification,
+                        num_kmers=len(req.kmers),
+                        hits=sum(1 for r in chunk if r.hit),
+                        coalesced_requests=len(live),
+                        batch_kmers=len(flat),
+                        sim_batch_ns=sim_ns,
+                        sim_batch_energy_nj=sim_nj,
+                        wall_ms=wall_ms,
+                    )
+                )
+
+    # -- backend cost hooks (optional on the protocol) ------------------------
+
+    def _perf_counters(self) -> Dict[str, int]:
+        fn = getattr(self.backend, "perf_counters", None)
+        return dict(fn()) if fn is not None else {}
+
+    def _batch_cost(self, delta: Dict[str, int]) -> Tuple[float, float]:
+        fn = getattr(self.backend, "batch_cost", None)
+        if fn is None or not delta:
+            return (0.0, 0.0)
+        return fn(delta)

@@ -1,0 +1,115 @@
+"""Service metrics: counters and bounded histograms, no RNG anywhere.
+
+The histogram keeps a *deterministic stride decimation* of its stream
+instead of reservoir sampling: once the retained sample set reaches its
+cap, every other retained sample is dropped and the stride doubles, so
+from then on only every 2nd (4th, 8th, ...) observation is recorded.
+Memory stays bounded, percentiles stay representative, and — unlike a
+reservoir — identical observation streams always produce identical
+snapshots (the repo's SV004 rule bans global-state RNG for exactly this
+reproducibility reason).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Counter:
+    """Monotonic named counter."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+@dataclass
+class Histogram:
+    """Streaming histogram with a deterministic bounded sample set."""
+
+    name: str
+    max_samples: int = 4096
+    count: int = 0
+    total: float = 0.0
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+    _samples: List[float] = field(default_factory=list)
+    _stride: int = 1
+
+    def observe(self, value: float) -> None:
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        if self.count % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) >= self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained samples."""
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = math.ceil(p / 100.0 * len(ordered))
+        return ordered[min(len(ordered), max(1, rank)) - 1]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min_value if self.min_value is not None else 0.0,
+            "max": self.max_value if self.max_value is not None else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms with a JSON-ready snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name in self._histograms:
+            raise ValueError(f"{name!r} is already a histogram")
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str, max_samples: int = 4096) -> Histogram:
+        if name in self._counters:
+            raise ValueError(f"{name!r} is already a counter")
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, max_samples=max_samples)
+        return self._histograms[name]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Point-in-time JSON-serializable view of every metric."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: h.summary() for name, h in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,245 @@
+"""The classification service: shard pool, routing, lifecycle, stats.
+
+A :class:`ClassificationService` owns N :class:`ShardWorker` tasks,
+each wrapping its own :class:`repro.api.QueryBackend` replica (the
+paper's per-rank database replication, Section V-A).  Requests are
+routed round-robin; because every shard holds the full reference set,
+any shard can answer any read and the router needs no content
+awareness.
+
+``stats()`` is the service's observability surface (the ``/stats``
+payload of the demo server and the ``--metrics-json`` dump): config,
+per-shard functional counters, the metrics snapshot with
+p50/p95/p99 latency and batch occupancy, and — when the backends are
+functional Sieve devices — a Fig. 15/16-style *deployment* section
+that merges the shards' :class:`DeviceStats`, summarizes them as a
+:class:`~repro.sieve.perfmodel.WorkloadStats`, and projects Type-1 /
+Type-3 device throughput for the exact traffic the service just
+served, alongside the observed simulated matching rate fed through
+the host pipeline model (:func:`repro.pipeline.analyze_observed_pipeline`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..api import QueryBackend
+from .config import ServiceConfig
+from .dispatcher import Request, ServiceError, ServiceResponse, ShardWorker
+from .metrics import MetricsRegistry
+
+
+class ClassificationService:
+    """Async sharded k-mer classification server (in-process)."""
+
+    def __init__(
+        self,
+        backends: Sequence[QueryBackend],
+        config: Optional[ServiceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not backends:
+            raise ServiceError("need at least one backend")
+        config = config or ServiceConfig(num_shards=len(backends))
+        if config.num_shards != len(backends):
+            raise ServiceError(
+                f"config.num_shards={config.num_shards} but "
+                f"{len(backends)} backends supplied"
+            )
+        ks = {b.capabilities().k for b in backends}
+        if len(ks) != 1:
+            raise ServiceError(f"shards disagree on k: {sorted(ks)}")
+        self.k = ks.pop()
+        self.config = config
+        self.metrics = metrics or MetricsRegistry()
+        self.shards: List[ShardWorker] = [
+            ShardWorker(i, backend, config, self.metrics)
+            for i, backend in enumerate(backends)
+        ]
+        self._tasks: List["asyncio.Task[None]"] = []
+        self._next_shard = 0
+        self._draining = False
+
+    @classmethod
+    def from_database(
+        cls,
+        database,
+        config: Optional[ServiceConfig] = None,
+        etm_enabled: bool = True,
+    ) -> "ClassificationService":
+        """Replicate ``database`` onto one functional Sieve device per
+        shard (the deployment the paper evaluates)."""
+        from ..sieve.device import SieveDevice
+
+        config = config or ServiceConfig()
+        backends = [
+            SieveDevice.from_database(database, etm_enabled=etm_enabled)
+            for _ in range(config.num_shards)
+        ]
+        return cls(backends, config)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._tasks:
+            raise ServiceError("service already started")
+        self._draining = False
+        self._tasks = [
+            asyncio.ensure_future(shard.run()) for shard in self.shards
+        ]
+
+    async def drain(self) -> None:
+        """Wait until every queued request has been dispatched."""
+        self._draining = True
+        try:
+            await asyncio.gather(*(s.queue.join() for s in self.shards))
+        finally:
+            self._draining = False
+
+    async def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: optionally drain, then cancel the workers."""
+        if drain and self._tasks:
+            await self.drain()
+        for task in self._tasks:
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+
+    @property
+    def running(self) -> bool:
+        return bool(self._tasks)
+
+    # -- request path ---------------------------------------------------------
+
+    def submit(
+        self, read, deadline_s: Optional[float] = None
+    ) -> "asyncio.Future[ServiceResponse]":
+        """Enqueue one read; returns the future it resolves through.
+
+        Raises :class:`RejectedError` immediately when the routed
+        shard's queue is full (retry via :class:`ServiceClient`).
+        """
+        if self._draining:
+            raise ServiceError("service is draining; no new requests")
+        loop = asyncio.get_running_loop()
+        shard = self.shards[self._next_shard]
+        self._next_shard = (self._next_shard + 1) % len(self.shards)
+        deadline_s = (
+            deadline_s
+            if deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        now = loop.time()
+        request = Request(
+            read=read,
+            kmers=list(read.kmers(self.k)),
+            future=loop.create_future(),
+            enqueued_at=now,
+            deadline=now + deadline_s if deadline_s is not None else None,
+        )
+        shard.try_submit(request)
+        return request.future
+
+    async def classify(
+        self, read, deadline_s: Optional[float] = None
+    ) -> ServiceResponse:
+        """Submit and await one read (no retry on rejection)."""
+        return await self.submit(read, deadline_s=deadline_s)
+
+    # -- observability --------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-serializable service state (the ``/stats`` payload)."""
+        from ..sieve.device import DeviceStats
+
+        shard_rows = []
+        merged: Optional[DeviceStats] = None
+        for worker in self.shards:
+            backend_stats = worker.backend.stats()
+            shard_rows.append(
+                {
+                    "shard": worker.shard_id,
+                    "backend": worker.backend.capabilities().name,
+                    "queries": backend_stats.queries,
+                    "hits": backend_stats.hits,
+                    "hit_rate": backend_stats.hit_rate,
+                    "queue_depth": worker.queue.qsize(),
+                    "sim_time_ns": worker.sim_time_ns,
+                    "sim_energy_nj": worker.sim_energy_nj,
+                }
+            )
+            device_stats = getattr(worker.backend, "stats", None)
+            if isinstance(device_stats, DeviceStats):
+                if merged is None:
+                    merged = DeviceStats()
+                merged.absorb(device_stats)
+        sim_time_ns = sum(w.sim_time_ns for w in self.shards)
+        out: Dict[str, Any] = {
+            "config": asdict(self.config),
+            "k": self.k,
+            "shards": shard_rows,
+            "metrics": self.metrics.snapshot(),
+            "sim_time_ns": sim_time_ns,
+            "sim_energy_nj": sum(w.sim_energy_nj for w in self.shards),
+        }
+        kmers_served = self.metrics.counter("kmers_total").value
+        if sim_time_ns > 0 and kmers_served:
+            out["observed"] = self._observed(kmers_served, sim_time_ns)
+        if merged is not None and merged.queries:
+            deployment = self._deployment(merged)
+            if deployment is not None:
+                out["deployment"] = deployment
+        return out
+
+    def _observed(
+        self, kmers_served: int, sim_time_ns: float
+    ) -> Dict[str, Any]:
+        """Observed simulated matching rate -> pipeline bottleneck."""
+        from ..pipeline import analyze_observed_pipeline
+
+        qps = kmers_served / (sim_time_ns * 1e-9)
+        report = analyze_observed_pipeline(qps)
+        return {
+            "simulated_matching_qps": qps,
+            "pipeline": {
+                "stage_qps": dict(report.stage_qps),
+                "bottleneck": report.bottleneck,
+                "sustained_qps": report.sustained_qps,
+                "matching_utilization": report.matching_utilization,
+            },
+        }
+
+    def _deployment(self, merged) -> Optional[Dict[str, Any]]:
+        """Project paper-model throughput for the served traffic."""
+        from ..sieve.perfmodel import (
+            ModelError,
+            Type1Model,
+            Type3Model,
+            WorkloadStats,
+        )
+
+        try:
+            workload = WorkloadStats.from_functional(
+                "service", self.k, merged
+            )
+        except ModelError:
+            return None
+        projections = {}
+        for model in (Type1Model(), Type3Model()):
+            result = model.run(workload)
+            projections[model.design] = {
+                "time_s": result.time_s,
+                "energy_j": result.energy_j,
+                "throughput_qps": result.throughput_qps,
+            }
+        return {
+            "workload": {
+                "num_kmers": workload.num_kmers,
+                "hit_rate": workload.hit_rate,
+                "index_filtered_fraction": workload.index_filtered_fraction,
+            },
+            "projections": projections,
+        }

@@ -19,6 +19,13 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..api import (
+    BackendCapabilities,
+    BackendResult,
+    BackendStats,
+    classification_from_results,
+    warn_deprecated,
+)
 from ..dram.geometry import DramGeometry
 from ..genomics.database import KmerDatabase
 from .functional import MatchOutcome, SieveSubarraySim
@@ -30,21 +37,21 @@ class DeviceError(ValueError):
     """Raised on capacity or protocol errors."""
 
 
-@dataclass(frozen=True)
-class DeviceResponse:
-    """Answer to one k-mer request."""
-
-    query: int
-    hit: bool
-    payload: Optional[int]
-    subarray_id: Optional[int]  # None = index-filtered host-side miss
-    rows_activated: int
-    etm_flush_cycles: int
+#: Answer to one k-mer request.  Since the PR-4 API unification this is
+#: the shared :class:`repro.api.BackendResult` under its historical
+#: name; ``subarray_id is None`` marks an index-filtered host-side miss.
+DeviceResponse = BackendResult
 
 
 @dataclass
 class DeviceStats:
-    """Aggregate functional counters across a device's lifetime."""
+    """Aggregate functional counters across a device's lifetime.
+
+    Calling a stats object (``device.stats()``) projects it down to the
+    protocol-wide :class:`repro.api.BackendStats`, so the device
+    satisfies :class:`repro.api.QueryBackend` while existing callers
+    keep reading the rich attribute counters directly.
+    """
 
     queries: int = 0
     hits: int = 0
@@ -63,9 +70,29 @@ class DeviceStats:
         """Queries that actually reached a subarray."""
         return self.queries - self.index_filtered
 
+    def __call__(self) -> BackendStats:
+        """Protocol projection: uniform query/hit accounting."""
+        return BackendStats(queries=self.queries, hits=self.hits)
+
+    def absorb(self, other: "DeviceStats") -> None:
+        """Fold another device's counters into this one (shard merge)."""
+        self.queries += other.queries
+        self.hits += other.hits
+        self.index_filtered += other.index_filtered
+        self.row_activations += other.row_activations
+        self.write_commands += other.write_commands
+        self.batches += other.batches
+        self.rows_per_query.extend(other.rows_per_query)
+
 
 class SieveDevice:
-    """A functional Sieve accelerator loaded with a reference database."""
+    """A functional Sieve accelerator loaded with a reference database.
+
+    Implements the :class:`repro.api.QueryBackend` protocol
+    structurally: ``stats`` is the rich :class:`DeviceStats` attribute,
+    and *calling* it (``device.stats()``) yields the protocol-wide
+    :class:`repro.api.BackendStats` projection.
+    """
 
     def __init__(
         self,
@@ -125,26 +152,11 @@ class SieveDevice:
 
     # -- query paths ----------------------------------------------------------
 
-    def lookup(self, kmer: int) -> DeviceResponse:
-        """Route and match a single k-mer (its own batch of one)."""
-        kmer = self._normalize(kmer)
-        sid = self.index.route(kmer)
-        if sid is None:
-            self.stats.queries += 1
-            self.stats.index_filtered += 1
-            self.stats.rows_per_query.append(0)
-            return DeviceResponse(kmer, False, None, None, 0, 0)
-        sim = self.subarrays[sid]
-        layer = sim.route_layer(kmer)
-        self.stats.write_commands += sim.load_query_batch([kmer], layer)
-        self.stats.batches += 1
-        outcome = sim.match_slot(0)
-        return self._record(outcome, sid)
-
-    def lookup_many(
-        self, kmers: Sequence[int], batched: bool = True
+    def query(
+        self, kmers: Sequence[int], *, batched: bool = True
     ) -> List[DeviceResponse]:
-        """Batch path: group per destination subarray, batches of <= 64.
+        """The unified batch path: group per destination subarray,
+        batches of <= 64 (:class:`repro.api.QueryBackend` surface).
 
         Responses are returned in request order even though requests to
         different subarrays complete out of order (Section IV-E: the host
@@ -153,7 +165,7 @@ class SieveDevice:
 
         ``batched=True`` (the default) matches each loaded batch through
         the vectorized :meth:`~repro.sieve.functional.SieveSubarraySim.
-        match_batch` fast path; ``batched=False`` replays the scalar
+        match_all` fast path; ``batched=False`` replays the scalar
         command-by-command path.  Both produce identical responses and
         functional counters (the equivalence is test-enforced).
         """
@@ -180,12 +192,72 @@ class SieveDevice:
                 )
                 self.stats.batches += 1
                 if batched:
-                    outcomes = sim.match_batch()
+                    outcomes = sim.match_all()
                 else:
                     outcomes = [sim.match_slot(slot) for slot in range(len(batch))]
                 for (pos, _), outcome in zip(batch, outcomes):
                     responses[pos] = self._record(outcome, sid)
         return [r for r in responses if r is not None]
+
+    def lookup(self, kmer: int) -> DeviceResponse:
+        """Deprecated single-query shim over :meth:`query`.
+
+        Equivalent to the historical scalar path: one k-mer routed,
+        loaded as its own batch of one, and matched command by command
+        (identical responses and functional counters).
+        """
+        warn_deprecated("SieveDevice.lookup()", "SieveDevice.query()")
+        return self.query([kmer], batched=False)[0]
+
+    def lookup_many(
+        self, kmers: Sequence[int], batched: bool = True
+    ) -> List[DeviceResponse]:
+        """Deprecated batch shim over :meth:`query`."""
+        warn_deprecated("SieveDevice.lookup_many()", "SieveDevice.query()")
+        return self.query(kmers, batched=batched)
+
+    # -- protocol surface ------------------------------------------------------
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="sieve-device",
+            kind="sieve",
+            k=self.layout.k,
+            canonical=self.canonical,
+            batched=True,
+            max_batch=self.layout.queries_per_group,
+            simulated_latency=True,
+        )
+
+    def perf_counters(self) -> Dict[str, int]:
+        """Monotonic micro-event counters for per-batch cost deltas."""
+        return {
+            "row_activations": self.stats.row_activations,
+            "write_commands": self.stats.write_commands,
+        }
+
+    def batch_cost(self, delta: Dict[str, int]) -> Tuple[float, float]:
+        """Price a counter delta in simulated (ns, nJ) via the same
+        command-ledger rates :meth:`to_ledger` charges."""
+        from ..dram.commands import Command, CommandLedger
+        from ..dram.energy import DDR4_ENERGY, SIEVE_ACTIVATION_OVERHEAD
+        from ..dram.timing import SIEVE_TIMING
+
+        ledger = CommandLedger(
+            timing=SIEVE_TIMING,
+            energy=DDR4_ENERGY,
+            activation_energy_factor=1.0 + SIEVE_ACTIVATION_OVERHEAD,
+        )
+        ledger.record(Command.ACTIVATE, delta.get("row_activations", 0))
+        ledger.record(Command.WRITE_BURST, delta.get("write_commands", 0))
+        return (ledger.serial_time_ns, ledger.energy_nj)
+
+    def classify(self, read):
+        """Classify one read through the shared vote-counting path."""
+        results = self.query(list(read.kmers(self.layout.k)))
+        return classification_from_results(
+            read.seq_id, results, true_taxon=read.taxon_id
+        )
 
     def _record(self, outcome: MatchOutcome, sid: int) -> DeviceResponse:
         self.stats.queries += 1

@@ -64,8 +64,8 @@ class TestClassifyReadLca:
         db.add(encode_kmer("AACTG"), 2)
         db.add(encode_kmer("CCCCC"), 3)
         read = DnaSequence("r", "AACTGAACTG", taxon_id=2)
-        simple = classify_read(read, 5, db.lookup)
-        lca = classify_read_lca(read, 5, db.lookup, tax)
+        simple = classify_read(read, 5, db.get)
+        lca = classify_read_lca(read, 5, db.get, tax)
         assert simple.taxon == lca.taxon == 2
         assert simple.votes == lca.votes
 
@@ -78,9 +78,9 @@ class TestClassifyReadLca:
         db.add(shared, 6)  # LCA-merges to genus 3
         unique = encode_kmer("GGGGG")
         db.add(unique, 5)
-        assert db.lookup(shared) == 3
+        assert db.get(shared) == 3
         read = DnaSequence("r", "AACTGGGGG", taxon_id=5)
-        lca = classify_read_lca(read, 5, db.lookup, small_tax)
+        lca = classify_read_lca(read, 5, db.get, small_tax)
         assert lca.taxon == 5
 
 

@@ -1,4 +1,4 @@
-"""Tests for the simulator-aware lint pass (rules SV001-SV005).
+"""Tests for the simulator-aware lint pass (rules SV001-SV006).
 
 Each rule is exercised three ways: a seeded violation fixture (must be
 detected), the same fixture with a suppression comment (must be clean),

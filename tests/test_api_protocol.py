@@ -1,0 +1,231 @@
+"""QueryBackend protocol conformance across every engine (PR-4).
+
+One shared suite drives the functional Sieve device, the plain
+database, both software classifiers, the flat sorted list, and the
+row-major in-situ baseline through the unified ``query()`` /
+``classify()`` / ``capabilities()`` / ``stats()`` surface, and checks
+they agree with each other.  The session fixture keeps the DRAM
+protocol sanitizer active throughout, so conformance runs double as a
+protocol audit of the device-backed engines.
+
+The deprecated-shim tests intentionally call the old names; those call
+sites carry ``lint: disable=SV006`` so the repo's own lint self-check
+stays clean.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import (
+    BackendCapabilities,
+    BackendResult,
+    BackendStats,
+    QueryBackend,
+    classification_from_results,
+)
+from repro.baselines import ClarkClassifier, KrakenClassifier
+from repro.baselines.classifier import classify_read
+from repro.baselines.sortedlist import SortedListClassifier
+from repro.insitu.rowmajor import RowMajorMatcher
+from repro.sieve import SieveDevice
+
+BACKEND_NAMES = (
+    "sieve",
+    "database",
+    "kraken",
+    "clark",
+    "sortedlist",
+    "rowmajor",
+)
+
+
+def make_backend(name: str, dataset, layout):
+    db = dataset.database
+    if name == "sieve":
+        return SieveDevice.from_database(db, layout=layout)
+    if name == "database":
+        return db
+    if name == "kraken":
+        return KrakenClassifier(db, m=4)
+    if name == "clark":
+        return ClarkClassifier(db)
+    if name == "sortedlist":
+        return SortedListClassifier(db)
+    if name == "rowmajor":
+        return RowMajorMatcher(db.k, list(db.items()), row_bits=512)
+    raise AssertionError(name)
+
+
+@pytest.fixture(params=BACKEND_NAMES)
+def backend(request, small_dataset, small_layout):
+    return make_backend(request.param, small_dataset, small_layout)
+
+
+@pytest.fixture()
+def query_set(small_dataset):
+    """Mixed present/absent k-mers, order-sensitive."""
+    present = [kmer for kmer, _ in small_dataset.database.items()][:12]
+    absent = [
+        kmer
+        for kmer in range(4**small_dataset.k - 40, 4**small_dataset.k)
+        if small_dataset.database.get(kmer) is None
+    ][:8]
+    mixed = []
+    for a, b in zip(present, absent):
+        mixed.extend((a, b))
+    return mixed + present[len(absent) :]
+
+
+class TestConformance:
+    def test_isinstance_protocol(self, backend):
+        assert isinstance(backend, QueryBackend)
+
+    def test_query_shape_and_order(self, backend, query_set):
+        results = backend.query(query_set)
+        assert len(results) == len(query_set)
+        for kmer, result in zip(query_set, results):
+            assert isinstance(result, BackendResult)
+            assert result.hit == (result.payload is not None)
+
+    def test_payloads_match_database(
+        self, backend, query_set, small_dataset
+    ):
+        db = small_dataset.database
+        for kmer, result in zip(query_set, backend.query(query_set)):
+            assert result.payload == db.get(kmer)
+
+    def test_stats_accounting_is_uniform(self, backend, query_set):
+        before = backend.stats()
+        assert isinstance(before, BackendStats)
+        results = backend.query(query_set)
+        after = backend.stats()
+        assert after.queries - before.queries == len(query_set)
+        assert after.hits - before.hits == sum(1 for r in results if r.hit)
+        if after.queries:
+            assert after.hit_rate == after.hits / after.queries
+
+    def test_capabilities(self, backend, small_dataset):
+        caps = backend.capabilities()
+        assert isinstance(caps, BackendCapabilities)
+        assert caps.name
+        assert caps.kind
+        assert caps.k == small_dataset.k
+
+    def test_scalar_flag_is_equivalent(self, backend, query_set):
+        batched = backend.query(query_set, batched=True)
+        scalar = backend.query(query_set, batched=False)
+        assert [(r.query, r.hit, r.payload) for r in batched] == [
+            (r.query, r.hit, r.payload) for r in scalar
+        ]
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in BACKEND_NAMES if n != "rowmajor"]
+)
+def test_classify_matches_shared_vote_path(
+    name, small_dataset, small_layout
+):
+    """Every engine's ``classify`` equals the classic lookup-fn loop.
+
+    (The row-major matcher is excluded: it indexes raw records, not the
+    canonicalized view ``db.get`` serves.)
+    """
+    backend = make_backend(name, small_dataset, small_layout)
+    db = small_dataset.database
+    for read in small_dataset.reads[:5]:
+        assert backend.classify(read) == classify_read(
+            read, small_dataset.k, db.get
+        )
+
+
+def test_classification_from_results_votes(small_dataset):
+    results = [
+        BackendResult(query=1, hit=True, payload=7),
+        BackendResult(query=2, hit=True, payload=7),
+        BackendResult(query=3, hit=True, payload=3),
+        BackendResult(query=4, hit=False, payload=None),
+    ]
+    cls = classification_from_results("r1", results, true_taxon=7)
+    assert cls.taxon == 7
+    assert cls.votes == {7: 2, 3: 1}
+    assert cls.kmers_total == 4
+    assert cls.kmers_hit == 3
+    assert cls.correct is True
+
+
+# ---------------------------------------------------------------------------
+# Deprecated-shim behavior (SV006 suppressed on purpose)
+# ---------------------------------------------------------------------------
+
+
+class TestDeprecationShims:
+    def test_device_lookup_warns_and_matches_query(
+        self, small_dataset, small_layout
+    ):
+        device = SieveDevice.from_database(
+            small_dataset.database, layout=small_layout
+        )
+        kmer = next(iter(small_dataset.database.items()))[0]
+        with pytest.warns(DeprecationWarning, match="SieveDevice.lookup"):
+            old = device.lookup(kmer)  # lint: disable=SV006
+        new = device.query([kmer], batched=False)[0]
+        assert (old.query, old.hit, old.payload) == (
+            new.query,
+            new.hit,
+            new.payload,
+        )
+
+    def test_device_lookup_many_warns(self, small_dataset, small_layout):
+        device = SieveDevice.from_database(
+            small_dataset.database, layout=small_layout
+        )
+        kmers = [kmer for kmer, _ in small_dataset.database.items()][:4]
+        with pytest.warns(DeprecationWarning, match="lookup_many"):
+            old = device.lookup_many(kmers)  # lint: disable=SV006
+        assert [r.payload for r in old] == [
+            r.payload for r in device.query(kmers)
+        ]
+
+    def test_database_lookup_warns(self, small_dataset):
+        db = small_dataset.database
+        kmer = next(iter(db.items()))[0]
+        with pytest.warns(DeprecationWarning, match="KmerDatabase.lookup"):
+            assert db.lookup(kmer) == db.get(kmer)  # lint: disable=SV006
+
+    @pytest.mark.parametrize("name", ["kraken", "clark", "sortedlist"])
+    def test_classifier_lookup_warns(
+        self, name, small_dataset, small_layout
+    ):
+        backend = make_backend(name, small_dataset, small_layout)
+        kmer = next(iter(small_dataset.database.items()))[0]
+        with pytest.warns(DeprecationWarning, match="lookup"):
+            assert backend.lookup(kmer) == backend.get(  # lint: disable=SV006
+                kmer
+            )
+
+    def test_match_batch_shim_warns(self, small_dataset, small_layout):
+        device = SieveDevice.from_database(
+            small_dataset.database, layout=small_layout
+        )
+        kmer = next(iter(small_dataset.database.items()))[0]
+        sid = device.index.route(kmer)
+        sim = device.subarrays[sid]
+        sim.load_query_batch([kmer], sim.route_layer(kmer))
+        with pytest.warns(DeprecationWarning, match="match_batch"):
+            old = sim.match_batch()  # lint: disable=SV006
+        assert old[0].hit
+
+    def test_new_surface_is_warning_free(self, small_dataset, small_layout):
+        device = SieveDevice.from_database(
+            small_dataset.database, layout=small_layout
+        )
+        kmers = [kmer for kmer, _ in small_dataset.database.items()][:4]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            device.query(kmers)
+            device.stats()
+            device.capabilities()
+            small_dataset.database.query(kmers)

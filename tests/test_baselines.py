@@ -132,7 +132,7 @@ class TestChainedHashTable:
         records = _records()
         table = ChainedHashTable(records)
         for kmer, taxon in records:
-            assert table.lookup(kmer) == taxon
+            assert table.get(kmer) == taxon
         assert len(table) == len(records)
 
     def test_misses(self):
@@ -140,12 +140,12 @@ class TestChainedHashTable:
         stored = {k for k, _ in records}
         table = ChainedHashTable(records)
         miss = next(x for x in range(4**8) if x not in stored)
-        assert table.lookup(miss) is None
+        assert table.get(miss) is None
 
     def test_update_in_place(self):
         table = ChainedHashTable([(5, 1)])
         table._insert(5, 9)
-        assert table.lookup(5) == 9
+        assert table.get(5) == 9
         assert len(table) == 1
 
     def test_traced_lookup_addresses(self):
@@ -184,7 +184,7 @@ class TestChainedHashTable:
         table = ChainedHashTable(records)
         reference = dict(records)
         for k in sorted(kmers):
-            assert table.lookup(k) == reference[k]
+            assert table.get(k) == reference[k]
 
 
 class TestSignatureIndex:
@@ -203,14 +203,14 @@ class TestSignatureIndex:
         records = _records()
         index = SignatureSortedIndex(records, k=8, m=4)
         for kmer, taxon in records:
-            assert index.lookup(kmer) == taxon
+            assert index.get(kmer) == taxon
 
     def test_misses(self):
         records = _records()
         stored = {k for k, _ in records}
         index = SignatureSortedIndex(records, k=8, m=4)
         for miss in (x for x in range(200) if x not in stored):
-            assert index.lookup(miss) is None
+            assert index.get(miss) is None
             break
 
     def test_traced_lookup_probes(self):
@@ -266,7 +266,7 @@ class TestSignatureIndex:
         index = SignatureSortedIndex(records, k=8, m=4)
         reference = dict(records)
         for k in sorted(kmers):
-            assert index.lookup(k) == reference[k]
+            assert index.get(k) == reference[k]
 
 
 class TestClassification:
@@ -278,7 +278,7 @@ class TestClassification:
     def test_classify_read_counts(self, small_dataset):
         read = small_dataset.reads[0]
         db = small_dataset.database
-        result = classify_read(read, small_dataset.k, db.lookup)
+        result = classify_read(read, small_dataset.k, db.get)
         assert result.kmers_total == read.kmer_count(small_dataset.k)
         assert 0 <= result.kmers_hit <= result.kmers_total
         assert result.read_id == read.seq_id
@@ -289,9 +289,9 @@ class TestClassification:
         kraken = KrakenClassifier(db, m=4)
         for read in small_dataset.reads[:10]:
             for kmer in read.kmers(small_dataset.k):
-                expected = db.lookup(kmer)
-                assert clark.lookup(kmer) == expected
-                assert kraken.lookup(kmer) == expected
+                expected = db.get(kmer)
+                assert clark.get(kmer) == expected
+                assert kraken.get(kmer) == expected
 
     def test_error_free_reads_classified_correctly(self):
         from repro.genomics import build_dataset
@@ -301,7 +301,7 @@ class TestClassification:
             read_length=60, error_rate=0.0, novel_fraction=0.0, seed=8,
         )
         clark = ClarkClassifier(ds.database)
-        results = classify_reads(ds.reads, ds.k, clark.lookup)
+        results = classify_reads(ds.reads, ds.k, clark.get)
         summary = summarize(results)
         assert summary.accuracy is not None
         assert summary.accuracy > 0.9
@@ -309,7 +309,7 @@ class TestClassification:
 
     def test_summary_counts(self, small_dataset):
         db = small_dataset.database
-        results = classify_reads(small_dataset.reads, small_dataset.k, db.lookup)
+        results = classify_reads(small_dataset.reads, small_dataset.k, db.get)
         summary = summarize(results)
         assert summary.reads == len(small_dataset.reads)
         assert summary.classified <= summary.reads

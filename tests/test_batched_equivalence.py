@@ -1,7 +1,7 @@
 """Property test: the batched query engine is bit-identical to the
 scalar command-by-command path.
 
-``SieveSubarraySim.match_batch`` computes outcomes analytically (one
+``SieveSubarraySim.match_all`` computes outcomes analytically (one
 vectorized pass over the layer's Region-1 bit matrix) instead of
 replaying every row activation, so its correctness rests entirely on
 equivalence with the scalar reference.  These tests drive randomized —
@@ -87,7 +87,7 @@ def run_both(layout, records, queries, etm_enabled):
     scalar.load_query_batch(queries, layer)
     batched.load_query_batch(queries, layer)
     scalar_outcomes = [scalar.match_slot(slot) for slot in range(len(queries))]
-    batched_outcomes = batched.match_batch()
+    batched_outcomes = batched.match_all()
     return scalar, batched, scalar_outcomes, batched_outcomes
 
 
@@ -152,14 +152,14 @@ def test_batch_then_scalar_interleaving(small_layout):
     twin = SieveSubarraySim(small_layout, records)
     mixed.load_query_batch(queries, 0)
     twin.load_query_batch(queries, 0)
-    mixed.match_batch()
+    mixed.match_all()
     [twin.match_slot(slot) for slot in range(len(queries))]
     assert mixed.match_slot(0) == twin.match_slot(0)
     assert mixed.array.stats == twin.array.stats
 
 
-def test_match_batch_slot_subset(small_layout):
-    """``match_batch(slots=...)`` matches only the requested slots, in
+def test_match_all_slot_subset(small_layout):
+    """``match_all(slots=...)`` matches only the requested slots, in
     the requested order, identical to the scalar slots."""
     space = 1 << (2 * small_layout.k)
     records = [(key, key % 5) for key in range(1, space, 12345)][
@@ -173,7 +173,7 @@ def test_match_batch_slot_subset(small_layout):
     reference.load_query_batch(queries, 0)
     subset.load_query_batch(queries, 0)
     want = reference.match_slot(len(queries) - 1)
-    got = subset.match_batch(slots=[len(queries) - 1])
+    got = subset.match_all(slots=[len(queries) - 1])
     assert got == [want]
 
 
@@ -191,8 +191,8 @@ def test_device_level_batched_equals_scalar(small_layout, small_dataset):
     )
     fast = SieveDevice.from_database(small_dataset.database, layout=small_layout)
     slow = SieveDevice.from_database(small_dataset.database, layout=small_layout)
-    fast_responses = fast.lookup_many(queries, batched=True)
-    slow_responses = slow.lookup_many(queries, batched=False)
+    fast_responses = fast.query(queries, batched=True)
+    slow_responses = slow.query(queries, batched=False)
     assert fast_responses == slow_responses
     assert fast.stats == slow.stats
     for sid in fast.subarrays:

@@ -80,7 +80,7 @@ class MutateSharedJob(Job):
                 blocked += 1
         return {
             "blocked_writes": blocked,
-            "lookup": db.lookup(self.kmer),
+            "lookup": db.get(self.kmer),
         }
 
 
@@ -320,7 +320,7 @@ class TestForkSafety:
             _SHARED_DB = None
         assert [r["blocked_writes"] for r in results] == [2, 2]
         assert [r["lookup"] for r in results] == [
-            tiny_database.lookup(kmers[0]), tiny_database.lookup(kmers[1])
+            tiny_database.get(kmers[0]), tiny_database.get(kmers[1])
         ]
         after = tiny_database._lookup_arrays()
         assert np.array_equal(after[0], before[0])

@@ -51,10 +51,12 @@ class TestClassifierEquivalence:
     def test_all_engines_agree(self, pipeline_dataset, pipeline_device):
         ds = pipeline_dataset
         engines = {
-            "dict": ds.database.lookup,
-            "clark": ClarkClassifier(ds.database).lookup,
-            "kraken": KrakenClassifier(ds.database, m=4).lookup,
-            "sieve": lambda kmer: pipeline_device.lookup(kmer).payload,
+            "dict": ds.database.get,
+            "clark": ClarkClassifier(ds.database).get,
+            "kraken": KrakenClassifier(ds.database, m=4).get,
+            "sieve": lambda kmer: pipeline_device.query(
+                [kmer], batched=False
+            )[0].payload,
         }
         baseline = classify_reads(ds.reads, ds.k, engines["dict"])
         for name, lookup in engines.items():
@@ -66,7 +68,8 @@ class TestClassifierEquivalence:
     def test_classification_quality(self, pipeline_dataset, pipeline_device):
         ds = pipeline_dataset
         results = classify_reads(
-            ds.reads, ds.k, lambda kmer: pipeline_device.lookup(kmer).payload
+            ds.reads, ds.k,
+            lambda kmer: pipeline_device.query([kmer], batched=False)[0].payload,
         )
         summary = summarize(results)
         # Reads sourced from reference genomes should mostly classify
@@ -84,7 +87,7 @@ class TestFunctionalToAnalyticBridge:
     def test_measured_workload_drives_model(self, pipeline_dataset, pipeline_device):
         ds = pipeline_dataset
         queries = [k for r in ds.reads for k in r.kmers(ds.k)]
-        pipeline_device.lookup_many(queries)
+        pipeline_device.query(queries)
         workload = WorkloadStats.from_functional("measured", ds.k, pipeline_device.stats)
         model = Type3Model(concurrent_subarrays=8)
         result = model.run(workload)
@@ -99,7 +102,7 @@ class TestFunctionalToAnalyticBridge:
             1
             for r in ds.reads
             for kmer in r.kmers(ds.k)
-            if ds.database.lookup(kmer) is not None
+            if ds.database.get(kmer) is not None
         ) / sum(r.kmer_count(ds.k) for r in ds.reads)
         assert device_rate == pytest.approx(db_rate, abs=1e-9)
 
@@ -115,9 +118,9 @@ class TestCanonicalPipeline:
             canonical=True, seed=31,
         )
         clark = ClarkClassifier(ds.database)
-        forward = classify_reads(ds.reads, ds.k, clark.lookup)
+        forward = classify_reads(ds.reads, ds.k, clark.get)
         reverse = classify_reads(
-            [r.reverse_complement() for r in ds.reads], ds.k, clark.lookup
+            [r.reverse_complement() for r in ds.reads], ds.k, clark.get
         )
         for f, r in zip(forward, reverse):
             assert f.taxon == r.taxon

@@ -1,6 +1,6 @@
 """Self-hosting check: the repo must satisfy its own lint rules.
 
-Running the SV001-SV005 pass over ``src/`` and ``tests/`` inside the
+Running the SV001-SV006 pass over ``src/`` and ``tests/`` inside the
 suite means a change that regresses unit discipline, determinism, or
 dispatch exhaustiveness fails CI even if nobody ran ``python -m
 repro.lint`` by hand.  Also runs ``ruff``/``mypy`` when they are
@@ -30,7 +30,7 @@ def test_repo_satisfies_own_lint_rules():
 def test_rule_catalog_is_stable():
     """The documented rule IDs exist exactly once each."""
     ids = [rule.rule_id for rule in ALL_RULES]
-    assert ids == ["SV001", "SV002", "SV003", "SV004", "SV005"]
+    assert ids == ["SV001", "SV002", "SV003", "SV004", "SV005", "SV006"]
     for rule in ALL_RULES:
         assert rule.title and rule.rationale
 

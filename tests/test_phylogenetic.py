@@ -102,7 +102,7 @@ class TestPhylogeneticGenomes:
             read_length=60, error_rate=0.0, novel_fraction=0.0,
             seed=21, phylogenetic=True, mutation_rate_per_level=0.05,
         )
-        results = classify_reads(ds.reads, ds.k, ds.database.lookup)
+        results = classify_reads(ds.reads, ds.k, ds.database.get)
         summary = summarize(results)
         # Shared k-mers map to interior taxa, so plain majority may pick
         # an ancestor; classification rate must still be high.

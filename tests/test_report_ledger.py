@@ -62,7 +62,7 @@ class TestDeviceLedger:
         queries = [
             k for r in small_dataset.reads for k in r.kmers(small_dataset.k)
         ][:100]
-        small_device.lookup_many(queries)
+        small_device.query(queries)
         ledger = small_device.to_ledger()
         assert ledger.count(Command.ACTIVATE) == small_device.stats.row_activations
         assert ledger.count(Command.WRITE_BURST) == small_device.stats.write_commands
@@ -85,7 +85,7 @@ class TestDeviceLedger:
         queries = [
             k for r in small_dataset.reads for k in r.kmers(small_dataset.k)
         ][:100]
-        device.lookup_many(queries)
+        device.query(queries)
         per_bank = device.per_bank_activations()
         assert sum(per_bank.values()) >= device.stats.row_activations
         for sid in device.subarrays:

@@ -34,7 +34,7 @@ class TestDatabaseRoundtrip:
         save_database(db, path)
         loaded = load_database(path)
         assert loaded.canonical
-        assert loaded.lookup(encode_kmer("CAGTT")) == 7
+        assert loaded.get(encode_kmer("CAGTT")) == 7
 
     def test_empty_rejected(self, tmp_path):
         with pytest.raises(SerializationError):

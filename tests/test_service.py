@@ -1,0 +1,329 @@
+"""Integration tests for the async classification service (PR-4).
+
+Covers the acceptance properties of ``repro.service``: coalesced
+micro-batches classify bit-identically to the sequential scalar path,
+bounded queues reject with retry hints, deadlines expire in the queue,
+drain completes every accepted request, and the metrics snapshot
+carries the promised percentile schema.  Everything runs on small
+fixtures with ``max_linger_s=0`` and pre-enqueued requests, so batch
+composition is deterministic on the single-threaded test loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import classification_from_results
+from repro.service import (
+    ClassificationService,
+    DeadlineExceededError,
+    RejectedError,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+)
+from repro.service.config import ServiceConfigError
+from repro.service.metrics import Histogram, MetricsRegistry
+from repro.sieve import SieveDevice
+
+
+def make_service(dataset, layout, **overrides) -> ClassificationService:
+    defaults = dict(
+        num_shards=2,
+        max_batch_kmers=96,
+        max_linger_s=0.0,
+        queue_depth=256,
+    )
+    defaults.update(overrides)
+    config = ServiceConfig(**defaults)
+    backends = [
+        SieveDevice.from_database(dataset.database, layout=layout)
+        for _ in range(config.num_shards)
+    ]
+    return ClassificationService(backends, config)
+
+
+async def serve_all(service, reads, deadline_s=None):
+    """Pre-enqueue, start, gather, stop — the deterministic drive."""
+    futures = [service.submit(r, deadline_s=deadline_s) for r in reads]
+    await service.start()
+    responses = await asyncio.gather(*futures)
+    await service.stop(drain=True)
+    return responses
+
+
+class TestCoalescingIdentity:
+    def test_bit_identical_to_sequential_scalar(
+        self, small_dataset, small_layout
+    ):
+        service = make_service(small_dataset, small_layout)
+        reads = small_dataset.reads * 2
+        responses = asyncio.run(serve_all(service, reads))
+
+        reference = SieveDevice.from_database(
+            small_dataset.database, layout=small_layout
+        )
+        for read, response in zip(reads, responses):
+            kmers = list(read.kmers(small_dataset.k))
+            expected = classification_from_results(
+                read.seq_id,
+                reference.query(kmers, batched=False),
+                true_taxon=read.taxon_id,
+            )
+            assert response.classification == expected
+            assert response.num_kmers == len(kmers)
+
+    def test_batches_actually_coalesce(self, small_dataset, small_layout):
+        service = make_service(small_dataset, small_layout)
+        responses = asyncio.run(serve_all(service, small_dataset.reads))
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["batches_total"] < len(small_dataset.reads)
+        assert any(r.coalesced_requests > 1 for r in responses)
+        occupancy = service.metrics.snapshot()["histograms"][
+            "batch_occupancy"
+        ]
+        assert occupancy["mean"] > 1.0
+
+    def test_deterministic_counters_across_runs(
+        self, small_dataset, small_layout
+    ):
+        def one_run():
+            service = make_service(small_dataset, small_layout)
+            asyncio.run(serve_all(service, small_dataset.reads))
+            return service.metrics.snapshot()["counters"]
+
+        assert one_run() == one_run()
+
+    def test_simulated_batch_cost_reported(
+        self, small_dataset, small_layout
+    ):
+        service = make_service(small_dataset, small_layout)
+        responses = asyncio.run(serve_all(service, small_dataset.reads))
+        assert all(r.sim_batch_ns > 0 for r in responses)
+        stats = service.stats()
+        assert stats["sim_time_ns"] == pytest.approx(
+            sum(w.sim_time_ns for w in service.shards)
+        )
+        # The simulated clock prices the same events the device counted.
+        total_activations = sum(
+            w.backend.stats.row_activations for w in service.shards
+        )
+        assert total_activations > 0
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_retry_hint(
+        self, small_dataset, small_layout
+    ):
+        service = make_service(
+            small_dataset, small_layout, num_shards=1, queue_depth=2
+        )
+
+        async def overfill():
+            for read in small_dataset.reads[:2]:
+                service.submit(read)
+            with pytest.raises(RejectedError) as exc_info:
+                service.submit(small_dataset.reads[2])
+            assert (
+                exc_info.value.retry_after_s
+                == service.config.retry_after_s
+            )
+
+        asyncio.run(overfill())
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["rejected_total"] == 1
+
+    def test_client_retries_through_backpressure(
+        self, small_dataset, small_layout
+    ):
+        service = make_service(
+            small_dataset,
+            small_layout,
+            num_shards=1,
+            queue_depth=2,
+            retry_after_s=0.001,
+        )
+
+        async def drive():
+            await service.start()
+            client = ServiceClient(service)
+            responses = await client.classify_many(small_dataset.reads)
+            await service.stop(drain=True)
+            return responses
+
+        responses = asyncio.run(drive())
+        assert len(responses) == len(small_dataset.reads)
+        assert all(r.classification is not None for r in responses)
+
+
+class TestLifecycle:
+    def test_drain_completes_every_accepted_request(
+        self, small_dataset, small_layout
+    ):
+        service = make_service(small_dataset, small_layout)
+
+        async def drive():
+            futures = [service.submit(r) for r in small_dataset.reads]
+            await service.start()
+            await service.drain()
+            assert all(f.done() for f in futures)
+            await service.stop(drain=False)
+
+        asyncio.run(drive())
+
+    def test_submit_while_draining_is_refused(
+        self, small_dataset, small_layout
+    ):
+        service = make_service(small_dataset, small_layout)
+
+        async def drive():
+            service.submit(small_dataset.reads[0])
+            await service.start()
+            drain = asyncio.ensure_future(service.drain())
+            await asyncio.sleep(0)
+            if not drain.done():
+                with pytest.raises(ServiceError):
+                    service.submit(small_dataset.reads[1])
+            await drain
+            await service.stop(drain=False)
+
+        asyncio.run(drive())
+
+    def test_double_start_is_an_error(self, small_dataset, small_layout):
+        service = make_service(small_dataset, small_layout)
+
+        async def drive():
+            await service.start()
+            with pytest.raises(ServiceError):
+                await service.start()
+            await service.stop()
+
+        asyncio.run(drive())
+
+    def test_deadline_expires_in_queue(self, small_dataset, small_layout):
+        service = make_service(small_dataset, small_layout, num_shards=1)
+
+        async def drive():
+            future = service.submit(
+                small_dataset.reads[0], deadline_s=1e-9
+            )
+            await asyncio.sleep(0.01)
+            await service.start()
+            with pytest.raises(DeadlineExceededError):
+                await future
+            await service.stop(drain=True)
+
+        asyncio.run(drive())
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["deadline_expired_total"] == 1
+
+
+class TestObservability:
+    def test_stats_schema_and_json_round_trip(
+        self, small_dataset, small_layout
+    ):
+        service = make_service(small_dataset, small_layout)
+        asyncio.run(serve_all(service, small_dataset.reads))
+        stats = service.stats()
+        assert stats["k"] == small_dataset.k
+        assert len(stats["shards"]) == 2
+        for required in ("batches_total", "kmers_total", "hits_total"):
+            assert required in stats["metrics"]["counters"]
+        latency = stats["metrics"]["histograms"]["request_latency_ms"]
+        for pct in ("p50", "p95", "p99"):
+            assert latency[pct] >= 0.0
+        assert latency["p50"] <= latency["p95"] <= latency["p99"]
+        # Sieve shards -> deployment projection for the served trace.
+        assert "deployment" in stats
+        assert stats["deployment"]["workload"]["num_kmers"] > 0
+        assert stats["deployment"]["projections"]
+        assert "observed" in stats
+        assert stats["observed"]["pipeline"]["bottleneck"]
+        json.dumps(stats)  # the /stats payload must serialize
+
+    def test_shard_stats_merge_matches_totals(
+        self, small_dataset, small_layout
+    ):
+        service = make_service(small_dataset, small_layout)
+        asyncio.run(serve_all(service, small_dataset.reads))
+        stats = service.stats()
+        total_queries = sum(row["queries"] for row in stats["shards"])
+        counters = stats["metrics"]["counters"]
+        assert total_queries == counters["kmers_total"]
+        total_hits = sum(row["hits"] for row in stats["shards"])
+        assert total_hits == counters["hits_total"]
+
+
+class TestConfigAndMetrics:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"num_shards": 0},
+            {"max_batch_kmers": 0},
+            {"max_linger_s": -1.0},
+            {"queue_depth": 0},
+            {"default_deadline_s": 0.0},
+            {"retry_after_s": 0.0},
+        ],
+    )
+    def test_config_validation(self, overrides):
+        with pytest.raises(ServiceConfigError):
+            ServiceConfig(**overrides)
+
+    def test_shard_count_must_match_backends(
+        self, small_dataset, small_layout
+    ):
+        backends = [
+            SieveDevice.from_database(
+                small_dataset.database, layout=small_layout
+            )
+        ]
+        with pytest.raises(ServiceError):
+            ClassificationService(
+                backends, ServiceConfig(num_shards=2)
+            )
+
+    def test_histogram_decimation_is_deterministic(self):
+        def fill():
+            h = Histogram("x", max_samples=16)
+            for i in range(1000):
+                h.observe(float(i % 97))
+            return h.summary()
+
+        a, b = fill(), fill()
+        assert a == b
+        assert a["count"] == 1000.0
+        assert 0.0 <= a["p50"] <= a["p95"] <= a["p99"] <= 96.0
+
+    def test_histogram_percentile_small_sample(self):
+        h = Histogram("y")
+        for v in (5.0, 1.0, 9.0):
+            h.observe(v)
+        assert h.percentile(50) == 5.0
+        assert h.percentile(99) == 9.0
+        assert h.summary()["min"] == 1.0
+
+    def test_registry_rejects_kind_confusion(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError):
+            registry.histogram("a")
+
+
+def test_service_load_job_counters_are_deterministic():
+    from repro.fleet.core import run_jobs
+    from repro.fleet.jobs import ServiceLoadJob
+
+    payloads = [
+        run_jobs([ServiceLoadJob(num_reads=10)], max_workers=1)[0]
+        for _ in range(2)
+    ]
+    strip = [
+        {k: v for k, v in p.items() if k != "wall_s"} for p in payloads
+    ]
+    assert strip[0] == strip[1]
+    assert strip[0]["requests"] == 10
+    assert strip[0]["batches"] >= 1

@@ -45,7 +45,7 @@ class TestFromDatabase:
 class TestLookup:
     def test_every_database_kmer_resolves(self, small_device, small_dataset):
         for kmer, taxon in small_dataset.database.sorted_records():
-            response = small_device.lookup(kmer)
+            response = small_device.query([kmer], batched=False)[0]
             assert response.hit
             assert response.payload == taxon
             assert response.subarray_id is not None
@@ -56,7 +56,7 @@ class TestLookup:
             q = int(rng.integers(0, 4**small_dataset.k))
             if q in stored:
                 continue
-            response = small_device.lookup(q)
+            response = small_device.query([q], batched=False)[0]
             assert not response.hit
             assert response.payload is None
 
@@ -66,7 +66,9 @@ class TestLookup:
         if top == 4**small_dataset.k - 1:
             pytest.skip("keyspace saturated")
         before = small_device.stats.row_activations
-        response = small_device.lookup(4**small_dataset.k - 1)
+        response = small_device.query(
+            [4**small_dataset.k - 1], batched=False
+        )[0]
         assert response.subarray_id is None
         assert response.rows_activated == 0
         assert small_device.stats.row_activations == before
@@ -77,7 +79,7 @@ class TestLookup:
         )
         kmers = small_dataset.database.sorted_kmers()[:5]
         for kmer in kmers:
-            device.lookup(kmer)
+            device.query([kmer], batched=False)
         assert device.stats.queries == 5
         assert device.stats.hits == 5
         assert device.stats.hit_rate == 1.0
@@ -92,7 +94,7 @@ class TestLookupMany:
         )
         stored = small_dataset.database.sorted_kmers()
         queries = [stored[0], int(rng.integers(0, 4**small_dataset.k)), stored[-1]]
-        responses = device.lookup_many(queries)
+        responses = device.query(queries)
         assert [r.query for r in responses] == queries
 
     def test_matches_single_lookups(self, small_dataset, small_layout):
@@ -103,8 +105,8 @@ class TestLookupMany:
             small_dataset.database, layout=small_layout
         )
         queries = [k for r in small_dataset.reads[:5] for k in r.kmers(small_dataset.k)]
-        batch = device_a.lookup_many(queries)
-        single = [device_b.lookup(q) for q in queries]
+        batch = device_a.query(queries)
+        single = [device_b.query([q], batched=False)[0] for q in queries]
         assert [(r.hit, r.payload) for r in batch] == [
             (r.hit, r.payload) for r in single
         ]
@@ -120,9 +122,9 @@ class TestLookupMany:
         )
         # Many queries landing in the same subarray and layer.
         queries = small_dataset.database.sorted_kmers()[: small_layout.queries_per_group]
-        device_a.lookup_many(queries)
+        device_a.query(queries)
         for q in queries:
-            device_b.lookup(q)
+            device_b.query([q], batched=False)
         assert device_a.stats.write_commands < device_b.stats.write_commands
         assert device_a.stats.batches < device_b.stats.batches
 
@@ -130,8 +132,8 @@ class TestLookupMany:
         queries = [
             kmer for read in small_dataset.reads for kmer in read.kmers(small_dataset.k)
         ][:300]
-        for response in small_device.lookup_many(queries):
-            expected = small_dataset.database.lookup(response.query)
+        for response in small_device.query(queries):
+            expected = small_dataset.database.get(response.query)
             assert response.hit == (expected is not None)
             assert response.payload == expected
 
@@ -151,10 +153,10 @@ class TestLookupMany:
         device = SieveDevice.from_database(ds.database, layout=layout)
         assert device.canonical
         for kmer in list(ds.reads[0].kmers(9))[:10]:
-            forward = device.lookup(kmer)
-            reverse = device.lookup(revcomp_value(kmer, 9))
+            forward = device.query([kmer], batched=False)[0]
+            reverse = device.query([revcomp_value(kmer, 9)], batched=False)[0]
             assert forward.hit and reverse.hit
-            assert forward.payload == reverse.payload == ds.database.lookup(kmer)
+            assert forward.payload == reverse.payload == ds.database.get(kmer)
 
     @settings(deadline=None, max_examples=10)
     @given(seed=st.integers(0, 2**16))
@@ -169,5 +171,5 @@ class TestLookupMany:
         )
         device = SieveDevice.from_database(ds.database, layout=layout)
         queries = [k for r in ds.reads for k in r.kmers(7)]
-        for response in device.lookup_many(queries):
-            assert response.payload == ds.database.lookup(response.query)
+        for response in device.query(queries):
+            assert response.payload == ds.database.get(response.query)

@@ -113,7 +113,7 @@ class TestWorkloadStats:
         queries = [
             k for r in small_dataset.reads for k in r.kmers(small_dataset.k)
         ][:200]
-        small_device.lookup_many(queries)
+        small_device.query(queries)
         wl = WorkloadStats.from_functional(
             "measured", small_dataset.k, small_device.stats
         )

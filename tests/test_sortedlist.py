@@ -25,14 +25,14 @@ class TestSortedKmerList:
         records = _records()
         index = SortedKmerList(records)
         for kmer, taxon in records:
-            assert index.lookup(kmer) == taxon
+            assert index.get(kmer) == taxon
 
     def test_miss(self):
         records = _records()
         stored = {k for k, _ in records}
         index = SortedKmerList(records)
         miss = next(x for x in range(4**8) if x not in stored)
-        assert index.lookup(miss) is None
+        assert index.get(miss) is None
 
     def test_probe_count_logarithmic(self):
         records = _records(1000, k=8, seed=9)
@@ -72,7 +72,7 @@ class TestSortedKmerList:
         index = SortedKmerList(records)
         reference = dict(records)
         for k in sorted(kmers):
-            assert index.lookup(k) == reference[k]
+            assert index.get(k) == reference[k]
 
 
 class TestSortedListClassifier:
@@ -80,7 +80,7 @@ class TestSortedListClassifier:
         classifier = SortedListClassifier(small_dataset.database)
         for read in small_dataset.reads[:8]:
             for kmer in read.kmers(small_dataset.k):
-                assert classifier.lookup(kmer) == small_dataset.database.lookup(kmer)
+                assert classifier.get(kmer) == small_dataset.database.get(kmer)
 
     def test_canonical_mode(self):
         from repro.genomics import KmerDatabase, encode_kmer
@@ -88,4 +88,4 @@ class TestSortedListClassifier:
         db = KmerDatabase(k=5, canonical=True)
         db.add(encode_kmer("AACTG"), 7)
         classifier = SortedListClassifier(db)
-        assert classifier.lookup(encode_kmer("CAGTT")) == 7
+        assert classifier.get(encode_kmer("CAGTT")) == 7

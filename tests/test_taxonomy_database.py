@@ -113,8 +113,8 @@ class TestBalancedTaxonomy:
 
 class TestKmerDatabase:
     def test_add_lookup(self, tiny_database):
-        assert tiny_database.lookup(encode_kmer("AACTG")) == 7
-        assert tiny_database.lookup(encode_kmer("AAAAA")) is None
+        assert tiny_database.get(encode_kmer("AACTG")) == 7
+        assert tiny_database.get(encode_kmer("AAAAA")) is None
         assert encode_kmer("CCCCC") in tiny_database
         assert len(tiny_database) == 5
 
@@ -126,7 +126,7 @@ class TestKmerDatabase:
 
     def test_kmer_out_of_range(self, tiny_database):
         with pytest.raises(DatabaseError):
-            tiny_database.lookup(4**5)
+            tiny_database.get(4**5)
 
     def test_conflict_without_taxonomy_raises(self):
         db = KmerDatabase(k=5)
@@ -149,13 +149,13 @@ class TestKmerDatabase:
         km = encode_kmer("AACTG")
         db.add(km, 3)
         db.add(km, 4)
-        assert db.lookup(km) == 2
+        assert db.get(km) == 2
 
     def test_canonical_mode(self):
         db = KmerDatabase(k=5, canonical=True)
         db.add(encode_kmer("AACTG"), 7)
         # reverse complement of AACTG is CAGTT
-        assert db.lookup(encode_kmer("CAGTT")) == 7
+        assert db.get(encode_kmer("CAGTT")) == 7
 
     def test_add_genome_counts(self):
         db = KmerDatabase(k=3)
@@ -170,10 +170,10 @@ class TestKmerDatabase:
     def test_sorted_records_consistent(self, small_dataset):
         db = small_dataset.database
         for kmer, taxon in db.sorted_records():
-            assert db.lookup(kmer) == taxon
+            assert db.get(kmer) == taxon
 
     def test_stats(self, tiny_database):
-        stats = tiny_database.stats()
+        stats = tiny_database.size_stats()
         assert stats.num_kmers == 5
         assert stats.num_taxa == 5
         assert stats.record_bytes == KMER_RECORD_BYTES
@@ -186,8 +186,8 @@ class TestKmerDatabase:
             (DnaSequence("b", "TTTTTTT"), 3),
         ]
         db = KmerDatabase.from_genomes(genomes, k=4)
-        assert db.lookup(encode_kmer("ACGT")) == 2
-        assert db.lookup(encode_kmer("TTTT")) == 3
+        assert db.get(encode_kmer("ACGT")) == 2
+        assert db.get(encode_kmer("TTTT")) == 3
 
     @given(st.sets(st.integers(0, 4**6 - 1), min_size=1, max_size=50))
     def test_lookup_matches_insertion(self, kmers):
@@ -195,4 +195,4 @@ class TestKmerDatabase:
         for i, kmer in enumerate(sorted(kmers)):
             db.add(kmer, 100 + i)
         for i, kmer in enumerate(sorted(kmers)):
-            assert db.lookup(kmer) == 100 + i
+            assert db.get(kmer) == 100 + i
