@@ -113,7 +113,10 @@ class BackendCapabilities:
     Sieve device's queries-per-group); 0 means the engine has no
     preferred size.  ``simulated_latency`` marks engines whose
     :meth:`QueryBackendBase.batch_cost` prices batches in simulated
-    device time rather than returning zero.
+    device time rather than returning zero.  ``degraded`` marks an
+    engine built (or rebuilt) under an active fault model
+    (:mod:`repro.faults`): its answers may be corrupted, and a
+    dispatcher should surface that in health reporting.
     """
 
     name: str
@@ -123,6 +126,7 @@ class BackendCapabilities:
     batched: bool = True
     max_batch: int = 0
     simulated_latency: bool = False
+    degraded: bool = False
 
 
 # ---------------------------------------------------------------------------

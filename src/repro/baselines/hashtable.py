@@ -152,6 +152,7 @@ class ClarkClassifier(ScalarQueryBackendBase):
         records = list(database.items())
         self.k = database.k
         self.canonical = database.canonical
+        self.degraded = database.capabilities().degraded
         self.table = ChainedHashTable(records)
 
     def get(self, kmer: int) -> Optional[int]:
@@ -168,6 +169,7 @@ class ClarkClassifier(ScalarQueryBackendBase):
             k=self.k,
             canonical=self.canonical,
             batched=False,
+            degraded=self.degraded,
         )
 
     def lookup(self, kmer: int) -> Optional[int]:

@@ -190,6 +190,7 @@ class KrakenClassifier(ScalarQueryBackendBase):
         super().__init__()
         self.k = database.k
         self.canonical = database.canonical
+        self.degraded = database.capabilities().degraded
         self.index = SignatureSortedIndex(list(database.items()), database.k, m)
 
     def get(self, kmer: int) -> Optional[int]:
@@ -206,6 +207,7 @@ class KrakenClassifier(ScalarQueryBackendBase):
             k=self.k,
             canonical=self.canonical,
             batched=False,
+            degraded=self.degraded,
         )
 
     def lookup(self, kmer: int) -> Optional[int]:

@@ -99,6 +99,7 @@ class SortedListClassifier(ScalarQueryBackendBase):
         super().__init__()
         self.k = database.k
         self.canonical = database.canonical
+        self.degraded = database.capabilities().degraded
         self.index = SortedKmerList(list(database.items()))
 
     def get(self, kmer: int) -> Optional[int]:
@@ -115,6 +116,7 @@ class SortedListClassifier(ScalarQueryBackendBase):
             k=self.k,
             canonical=self.canonical,
             batched=False,
+            degraded=self.degraded,
         )
 
     def lookup(self, kmer: int) -> Optional[int]:

@@ -263,6 +263,52 @@ def bench_service_load(quick: bool) -> Tuple[float, Dict[str, int]]:
     }
 
 
+def bench_fault_injection(quick: bool) -> Tuple[float, Dict[str, int]]:
+    """Device lookups under an active seeded fault model (``repro.faults``).
+
+    Builds one clean and one fault-injected Sieve device from the same
+    dataset, replays the same batched query stream through both, and
+    counts answer divergence.  Every counter is a pure function of the
+    content-hashed fault seed, so counter drift here means the fault
+    schedule (or the device's behavior under it) changed.  Wall time
+    covers the faulted device's query pass — the hot-path cost of
+    having the injector seam threaded through the DRAM model.
+    """
+    from ..faults import FaultInjector, FaultModel, fault_injection
+    from ..sieve import SieveDevice, SubarrayLayout
+
+    dataset = _dataset(quick)
+    layout = SubarrayLayout(
+        k=dataset.k, row_bits=1152, rows_per_subarray=256, layers=3
+    )
+    clean = SieveDevice.from_database(dataset.database, layout=layout)
+    injector = FaultInjector(
+        FaultModel.seeded("bench-fault", bit_flip_rate=2e-4)
+    )
+    with fault_injection(injector):
+        faulted = SieveDevice.from_database(dataset.database, layout=layout)
+    queries = sorted(
+        {kmer for read in dataset.reads for kmer in read.kmers(dataset.k)}
+    )
+    baseline = clean.query(queries)
+    start = time.perf_counter()
+    responses = faulted.query(queries)
+    wall_s = time.perf_counter() - start
+    diverged = sum(
+        1
+        for a, b in zip(baseline, responses)
+        if (a.hit, a.payload) != (b.hit, b.payload)
+    )
+    return wall_s, {
+        "queries": len(queries),
+        "loads": injector.stats.loads,
+        "bits_flipped": injector.stats.bits_flipped,
+        "diverged": diverged,
+        "degraded": int(faulted.capabilities().degraded),
+        "hits": faulted.stats.hits,
+    }
+
+
 #: Registry of tracked benchmarks, in report order.
 BENCHMARKS: Dict[str, BenchFn] = {
     "database_build": bench_database_build,
@@ -272,6 +318,7 @@ BENCHMARKS: Dict[str, BenchFn] = {
     "classifier_e2e": bench_classifier_e2e,
     "figure_regen": bench_figure_regen,
     "service_load": bench_service_load,
+    "fault_injection": bench_fault_injection,
 }
 
 

@@ -17,6 +17,9 @@ from typing import Any, Optional
 #: The installed observer, or ``None`` (the default: no instrumentation).
 OBSERVER: Optional[Any] = None
 
+#: The installed fault injector, or ``None`` (the default: pristine DRAM).
+INJECTOR: Optional[Any] = None
+
 
 def install(observer: Any) -> None:
     """Install ``observer`` as the single active DRAM-event observer.
@@ -45,3 +48,37 @@ def uninstall() -> None:
 def get_observer() -> Optional[Any]:
     """Return the active observer, or ``None``."""
     return OBSERVER
+
+
+def install_injector(injector: Any) -> None:
+    """Install ``injector`` as the single active DRAM fault injector.
+
+    Like the observer, the injector is duck-typed; it may implement any
+    subset of:
+
+    * ``on_subarray_load(subarray, row, col_start, bits) -> bits`` —
+      called on the untimed data-install path
+      (:meth:`~repro.dram.subarray.Subarray.load_row` /
+      :meth:`~repro.dram.subarray.Subarray.load_bits`); returns the bit
+      vector actually stored (weak-cell flips, stuck-at cells),
+    * ``on_memsys_access(system, bank, row, kind, latency_ns) -> float``
+      — called per :class:`~repro.dram.memsys.MemorySystem` access;
+      returns *extra* latency (ns) injected for this access (command
+      drop retries, delays).  The observer always sees the base latency.
+
+    Unlike the observer, the injector changes behavior — installing one
+    with a zero-rate model is test-enforced to be a no-op.
+    """
+    global INJECTOR
+    INJECTOR = injector
+
+
+def uninstall_injector() -> None:
+    """Remove the active fault injector (pristine DRAM again)."""
+    global INJECTOR
+    INJECTOR = None
+
+
+def get_injector() -> Optional[Any]:
+    """Return the active fault injector, or ``None``."""
+    return INJECTOR

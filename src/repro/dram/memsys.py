@@ -62,6 +62,11 @@ class MemSysStats:
     row_conflicts: int = 0
     total_latency_ns: float = 0.0
     energy_nj: float = 0.0
+    #: Latency injected by an installed fault model (command drops
+    #: retried, delays); included in ``total_latency_ns``.
+    fault_delay_ns: float = 0.0
+    #: Commands reissued because a fault injector dropped them.
+    faulted_commands: int = 0
 
     @property
     def row_hit_rate(self) -> float:
@@ -146,7 +151,17 @@ class MemorySystem:
         self.stats.total_latency_ns += latency
         observer = hooks.OBSERVER
         if observer is not None:
+            # The observer (protocol sanitizer) always sees the base
+            # latency; injected fault extras are accounted separately.
             observer.on_memsys_access(self, bank, row, kind, latency)
+        injector = hooks.INJECTOR
+        if injector is not None:
+            extra = injector.on_memsys_access(self, bank, row, kind, latency)
+            if extra:
+                self.stats.total_latency_ns += extra
+                self.stats.fault_delay_ns += extra
+                self.stats.faulted_commands += 1
+                latency += extra
         return latency
 
     def replay(self, addresses: Iterable[int]) -> MemSysStats:

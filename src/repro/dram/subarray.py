@@ -19,6 +19,8 @@ from typing import Optional
 
 import numpy as np
 
+from . import hooks
+
 
 class DramStateError(RuntimeError):
     """Raised on protocol violations (e.g. reading a closed row)."""
@@ -101,10 +103,18 @@ class Subarray:
         self.stats.row_writes += 1
 
     def load_row(self, row: int, bits: np.ndarray) -> None:
-        """Directly install row contents (database load path, not timed)."""
+        """Directly install row contents (database load path, not timed).
+
+        When a fault injector is installed it may corrupt the stored
+        bits (weak cells invert writes, stuck-at cells pin them) — the
+        persistent-cell-fault seam of :mod:`repro.faults`.
+        """
         self._check_row(row)
         if bits.shape != (self.cols,):
             raise ValueError(f"expected {self.cols} bits, got shape {bits.shape}")
+        injector = hooks.INJECTOR
+        if injector is not None:
+            bits = injector.on_subarray_load(self, row, 0, bits)
         self._cells[row] = bits % 2
 
     def load_bits(self, row: int, col_start: int, bits: np.ndarray) -> None:
@@ -115,6 +125,9 @@ class Subarray:
                 f"bits [{col_start}, {col_start + len(bits)}) out of range "
                 f"[0, {self.cols})"
             )
+        injector = hooks.INJECTOR
+        if injector is not None:
+            bits = injector.on_subarray_load(self, row, col_start, bits)
         self._cells[row, col_start : col_start + len(bits)] = bits % 2
 
     def peek(self, row: int, col: int) -> int:

@@ -20,6 +20,7 @@ from typing import Callable, Dict
 
 from .accuracy import accuracy_study
 from .claims import claims_ledger
+from .faults import fault_sweep
 from .intro_claims import intro_claims
 from .ablations import (
     ablation_device_sim,
@@ -83,6 +84,7 @@ EXPERIMENTS: Dict[str, Callable[[], FigureResult]] = {
     "abl-type1": ablation_type1_functional,
     "abl-device": ablation_device_sim,
     "abl-segment": ablation_segment_size,
+    "fault_sweep": fault_sweep,
 }
 
 

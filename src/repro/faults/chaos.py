@@ -1,0 +1,173 @@
+"""Deterministic shard-level chaos for the classification service (Layer 2).
+
+Where :mod:`repro.faults.model` corrupts bits, this module breaks
+*replicas*: a :class:`ChaosPlan` schedules shard crashes, stalls, and
+slow-replica delays at explicit ``(shard, batch)`` coordinates, and a
+:class:`ChaosInjector` hands the dispatcher one
+:class:`ChaosAction` per batch.  The service side
+(:mod:`repro.service.dispatcher`) provides the survival machinery the
+plan exercises — health tracking, failover re-dispatch of orphaned
+micro-batches, crash-aware routing.
+
+Plans are explicit schedules, not rates: either written out by a test,
+or drawn once from a content-hashed tag (:meth:`ChaosPlan.seeded`,
+SV004-clean).  Either way the campaign replays identically — the
+injector's ``log`` records what fired, in order, for byte-identity
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .model import FaultError, hash_fraction, hash_seed
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A deterministic chaos campaign against a shard pool."""
+
+    #: Kill shard S just before it executes batch B: (S, B) pairs.
+    crashes: Tuple[Tuple[int, int], ...] = ()
+    #: Stall shard S for T seconds before batch B: (S, B, T) triples.
+    stalls: Tuple[Tuple[int, int, float], ...] = ()
+    #: Slow replica S by T seconds on *every* batch: (S, T) pairs.
+    slow_shards: Tuple[Tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for shard, batch in self.crashes:
+            if shard < 0 or batch < 0:
+                raise FaultError(f"crash ({shard}, {batch}) is negative")
+        for shard, batch, seconds in self.stalls:
+            if shard < 0 or batch < 0 or seconds < 0:
+                raise FaultError(
+                    f"stall ({shard}, {batch}, {seconds}) is malformed"
+                )
+        for shard, seconds in self.slow_shards:
+            if shard < 0 or seconds < 0:
+                raise FaultError(f"slow shard ({shard}, {seconds}) is malformed")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.crashes or self.stalls or self.slow_shards)
+
+    @classmethod
+    def seeded(
+        cls,
+        tag: str,
+        num_shards: int,
+        crashes: int = 1,
+        stalls: int = 1,
+        stall_s: float = 0.01,
+        slow_shards: int = 0,
+        slow_s: float = 0.001,
+        max_batch: int = 3,
+    ) -> "ChaosPlan":
+        """Draw a campaign from a content-hashed tag (replayable).
+
+        At most ``num_shards - 1`` crashes are scheduled (on distinct
+        shards), so at least one replica always survives to absorb the
+        failover re-dispatch.
+        """
+        if num_shards <= 0:
+            raise FaultError(f"num_shards must be positive, got {num_shards}")
+        if max_batch <= 0:
+            raise FaultError(f"max_batch must be positive, got {max_batch}")
+        seed = hash_seed("chaos-plan", tag)
+        crash_events: List[Tuple[int, int]] = []
+        crashed: Set[int] = set()
+        for i in range(min(crashes, num_shards - 1)):
+            shard = int(hash_fraction(seed, "crash-shard", i) * num_shards)
+            while shard in crashed:
+                shard = (shard + 1) % num_shards
+            crashed.add(shard)
+            batch = int(hash_fraction(seed, "crash-batch", i) * max_batch)
+            crash_events.append((shard, batch))
+        stall_events: List[Tuple[int, int, float]] = []
+        healthy = [s for s in range(num_shards) if s not in crashed]
+        for i in range(stalls):
+            pool = healthy or list(range(num_shards))
+            shard = pool[int(hash_fraction(seed, "stall-shard", i) * len(pool))]
+            batch = int(hash_fraction(seed, "stall-batch", i) * max_batch)
+            stall_events.append((shard, batch, stall_s))
+        slow_events: List[Tuple[int, float]] = []
+        for i in range(min(slow_shards, num_shards)):
+            pool = healthy or list(range(num_shards))
+            shard = pool[int(hash_fraction(seed, "slow-shard", i) * len(pool))]
+            if all(s != shard for s, _ in slow_events):
+                slow_events.append((shard, slow_s))
+        return cls(
+            crashes=tuple(crash_events),
+            stalls=tuple(stall_events),
+            slow_shards=tuple(slow_events),
+        )
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """What the dispatcher must suffer before executing one batch."""
+
+    crash: bool = False
+    stall_s: float = 0.0
+
+
+@dataclass
+class ChaosStats:
+    """Counters for one injector's fired events."""
+
+    crashes: int = 0
+    stalls: int = 0
+    slow_batches: int = 0
+    stall_s_total: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "crashes": self.crashes,
+            "stalls": self.stalls,
+            "slow_batches": self.slow_batches,
+            "stall_s_total": self.stall_s_total,
+        }
+
+
+class ChaosInjector:
+    """Per-batch chaos oracle the :class:`ShardWorker` consults."""
+
+    def __init__(self, plan: ChaosPlan) -> None:
+        self.plan = plan
+        self.stats = ChaosStats()
+        #: Ordered log of fired events: (kind, shard, batch[, seconds]).
+        self.log: List[Tuple] = []
+        self._crashes: Set[Tuple[int, int]] = set(plan.crashes)
+        self._stalls: Dict[Tuple[int, int], float] = {
+            (shard, batch): seconds for shard, batch, seconds in plan.stalls
+        }
+        self._slow: Dict[int, float] = dict(plan.slow_shards)
+
+    def before_batch(
+        self, shard_id: int, batch_index: int
+    ) -> Optional[ChaosAction]:
+        """Chaos scheduled for this (shard, batch), or ``None``.
+
+        Scheduled crashes and stalls fire at most once (they are
+        consumed); per-shard slowness applies to every batch.
+        """
+        crash = (shard_id, batch_index) in self._crashes
+        if crash:
+            self._crashes.remove((shard_id, batch_index))
+        stall_s = self._stalls.pop((shard_id, batch_index), 0.0)
+        slow_s = self._slow.get(shard_id, 0.0)
+        if not crash and stall_s <= 0 and slow_s <= 0:
+            return None
+        if stall_s > 0:
+            self.stats.stalls += 1
+            self.stats.stall_s_total += stall_s
+            self.log.append(("stall", shard_id, batch_index, stall_s))
+        if slow_s > 0:
+            self.stats.slow_batches += 1
+            self.stats.stall_s_total += slow_s
+            self.log.append(("slow", shard_id, batch_index, slow_s))
+        if crash:
+            self.stats.crashes += 1
+            self.log.append(("crash", shard_id, batch_index))
+        return ChaosAction(crash=crash, stall_s=stall_s + slow_s)

@@ -54,6 +54,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="experiment names (default: all registered experiments)",
     )
     parser.add_argument(
+        "--only", action="append", default=None, metavar="EXPERIMENT",
+        help="run only this experiment (repeatable; merged with the "
+        "positional list)",
+    )
+    parser.add_argument(
         "--jobs", "-j", type=int, default=None,
         help=f"worker processes (default: ${core.JOBS_ENV_VAR} or 1)",
     )
@@ -95,7 +100,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         core.configure(jobs=args.jobs, cache_dir=args.cache)
         args.jobs = None  # configured; run_jobs picks it up
 
-    names = _select(args.experiments)
+    names = _select(args.experiments + (args.only or []))
 
     if args.update_goldens:
         first = _payloads(names, args.jobs)

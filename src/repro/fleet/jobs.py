@@ -233,6 +233,117 @@ class Type1FunctionalJob(Job):
         }
 
 
+#: Functional designs accepted by :class:`FaultSweepJob`.
+FAULT_DESIGNS = ("database", "sieve", "type1", "rowmajor")
+
+
+@dataclass(frozen=True)
+class FaultSweepJob(Job):
+    """One (design x bit-flip rate) point of the fault-injection sweep.
+
+    Builds a shared synthetic dataset, derives a :class:`repro.faults.
+    FaultModel` whose seed depends only on ``(seed_tag, bit_flip_rate)``
+    — *not* on the design — so every design at a given rate runs under
+    the identically-seeded fault schedule, then measures per-query
+    answer accuracy against the fault-free database truth.
+    """
+
+    design: str
+    bit_flip_rate: float = 0.0
+    num_species: int = 4
+    genome_length: int = 400
+    num_reads: int = 16
+    kmers_per_read: int = 30
+    k: int = 10
+    seed_tag: str = "fault-sweep"
+
+    def __post_init__(self) -> None:
+        if self.design not in FAULT_DESIGNS:
+            raise FleetError(
+                f"unknown design {self.design!r}; known: {FAULT_DESIGNS}"
+            )
+
+    def _dataset(self) -> Any:
+        from ..faults import hash_seed
+        from ..genomics import build_dataset
+
+        # Dataset seed depends on the tag only: every (design, rate)
+        # point of one sweep sees the same references and reads.
+        return build_dataset(
+            k=self.k,
+            num_species=self.num_species,
+            genome_length=self.genome_length,
+            num_reads=self.num_reads,
+            seed=hash_seed(self.seed_tag, "dataset") % 2**31,
+        )
+
+    def _backend(self, database: Any, injector: Any) -> Any:
+        from ..faults import fault_injection, faulted_database
+        from ..insitu.rowmajor import RowMajorMatcher
+        from ..sieve.device import SieveDevice
+        from ..sieve.type1 import Type1BankSim, Type1Layout
+
+        if self.design == "database":
+            if not injector.model.active:
+                return database
+            return faulted_database(database, injector)
+        with fault_injection(injector):
+            if self.design == "sieve":
+                return SieveDevice.from_database(database)
+            if self.design == "type1":
+                return Type1BankSim(
+                    Type1Layout(k=self.k), database.sorted_records()
+                )
+            return RowMajorMatcher(self.k, database.sorted_records())
+
+    def run(self, seed: int) -> Dict[str, Any]:
+        from ..faults import FaultInjector, FaultModel, hash_seed
+
+        dataset = self._dataset()
+        database = dataset.database
+        queries = [
+            kmer
+            for read in dataset.reads
+            for kmer in list(read.kmers(self.k))[: self.kmers_per_read]
+        ]
+        truth = [database.get(q) for q in queries]
+        model = FaultModel(
+            bit_flip_rate=self.bit_flip_rate,
+            seed=hash_seed(self.seed_tag, "rate", self.bit_flip_rate),
+        )
+        injector = FaultInjector(model)
+        backend = self._backend(database, injector)
+        if self.design == "type1":
+            outcomes = [backend.match(q) for q in queries]
+            answers = [(o.hit, o.payload) for o in outcomes]
+        else:
+            answers = [
+                (r.hit, r.payload) for r in backend.query(queries)
+            ]
+        false_miss = false_hit = wrong_payload = 0
+        for (hit, payload), expected in zip(answers, truth):
+            if expected is None:
+                false_hit += hit
+            elif not hit:
+                false_miss += 1
+            elif payload != expected:
+                wrong_payload += 1
+        correct = len(queries) - false_miss - false_hit - wrong_payload
+        stats = injector.stats
+        return {
+            "design": self.design,
+            "bit_flip_rate": self.bit_flip_rate,
+            "queries": len(queries),
+            "accuracy": correct / len(queries),
+            "false_miss": false_miss,
+            "false_hit": false_hit,
+            "wrong_payload": wrong_payload,
+            "bits_flipped": stats.bits_flipped,
+            "records_corrupted": stats.records_corrupted,
+            "schedule_digest": injector.schedule_digest()[:16],
+        }
+
+
 @dataclass(frozen=True)
 class ExperimentJob(Job):
     """One whole registry experiment, serialized to its golden payload.

@@ -86,6 +86,8 @@ class KmerDatabase:
         self._lookup_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
         # Protocol-level query/hit accounting (repro.api.BackendStats).
         self._backend_stats = BackendStats()
+        # Set by repro.faults.faulted_database: records were corrupted.
+        self._degraded = False
 
     def __len__(self) -> int:
         return len(self._table)
@@ -229,6 +231,11 @@ class KmerDatabase:
             read.seq_id, results, true_taxon=read.taxon_id
         )
 
+    def mark_degraded(self) -> None:
+        """Flag this database as built from fault-corrupted records
+        (surfaced through ``capabilities().degraded``)."""
+        self._degraded = True
+
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
             name="kmer-database",
@@ -236,6 +243,7 @@ class KmerDatabase:
             k=self.k,
             canonical=self.canonical,
             batched=True,
+            degraded=self._degraded,
         )
 
     def stats(self) -> BackendStats:

@@ -86,6 +86,10 @@ class RowMajorMatcher(QueryBackendBase):
         self.r_scratch = self.num_ref_rows + 2
         self.query_writes = 0
         self._load()
+        # Loaded cells stay corrupted after the injector goes away.
+        from ..faults import degraded_mode
+
+        self.degraded = degraded_mode()
 
     def _load(self) -> None:
         for row_idx in range(self.num_ref_rows):
@@ -179,6 +183,7 @@ class RowMajorMatcher(QueryBackendBase):
             k=self.k,
             canonical=False,
             batched=False,
+            degraded=self.degraded,
         )
 
 

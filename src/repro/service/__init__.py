@@ -35,6 +35,8 @@ from .dispatcher import (
     RejectedError,
     ServiceError,
     ServiceResponse,
+    ShardCrashError,
+    ShardHealth,
 )
 from .metrics import Counter, Histogram, MetricsRegistry
 from .client import ServiceClient
@@ -51,4 +53,6 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceResponse",
+    "ShardCrashError",
+    "ShardHealth",
 ]

@@ -14,8 +14,6 @@ writes it to stdout.
 
 from __future__ import annotations
 
-from __future__ import annotations
-
 import argparse
 import asyncio
 import json
@@ -99,6 +97,38 @@ def build_parser(add_help: bool = True) -> argparse.ArgumentParser:
         default=None,
         help="dump the stats() payload as JSON ('-' for stdout)",
     )
+    fault = parser.add_argument_group(
+        "fault injection (repro.faults; docs/TESTING.md)"
+    )
+    fault.add_argument(
+        "--bit-flip-rate",
+        type=float,
+        default=0.0,
+        help="per-bit load-time flip probability (0 disables)",
+    )
+    fault.add_argument(
+        "--fault-tag",
+        default="service-demo",
+        help="content-hash tag seeding the fault schedule",
+    )
+    fault.add_argument(
+        "--chaos-crashes",
+        type=int,
+        default=0,
+        help="shard crashes to schedule (capped at shards - 1)",
+    )
+    fault.add_argument(
+        "--chaos-stalls",
+        type=int,
+        default=0,
+        help="shard stalls to schedule",
+    )
+    fault.add_argument(
+        "--chaos-stall-ms",
+        type=float,
+        default=5.0,
+        help="duration of each scheduled stall",
+    )
     return parser
 
 
@@ -122,11 +152,48 @@ async def run_demo(args: argparse.Namespace) -> int:
             args.deadline_ms / 1e3 if args.deadline_ms is not None else None
         ),
     )
-    backends = [
-        make_backend(args.backend, dataset.database)
-        for _ in range(args.shards)
-    ]
-    service = ClassificationService(backends, config)
+    from ..faults import (
+        ChaosInjector,
+        ChaosPlan,
+        FaultInjector,
+        FaultModel,
+        fault_injection,
+        faulted_database,
+    )
+
+    # Optional DRAM/record fault model.  Replicas and the scalar
+    # reference corrupt identically (reset_units between builds), so the
+    # bit-identity self-check below still holds under injected faults.
+    injector = None
+    database = dataset.database
+    if args.bit_flip_rate > 0:
+        model = FaultModel.seeded(
+            args.fault_tag, bit_flip_rate=args.bit_flip_rate
+        )
+        injector = FaultInjector(model)
+        if args.backend != "sieve":
+            database = faulted_database(dataset.database, injector)
+
+    def build_replica():
+        if injector is not None and args.backend == "sieve":
+            injector.reset_units()
+            with fault_injection(injector):
+                return make_backend(args.backend, database)
+        return make_backend(args.backend, database)
+
+    chaos = None
+    if args.chaos_crashes or args.chaos_stalls:
+        plan = ChaosPlan.seeded(
+            args.fault_tag,
+            num_shards=args.shards,
+            crashes=args.chaos_crashes,
+            stalls=args.chaos_stalls,
+            stall_s=args.chaos_stall_ms / 1e3,
+        )
+        chaos = ChaosInjector(plan)
+
+    backends = [build_replica() for _ in range(args.shards)]
+    service = ClassificationService(backends, config, chaos=chaos)
     client = ServiceClient(service)
 
     reads = [
@@ -136,8 +203,8 @@ async def run_demo(args: argparse.Namespace) -> int:
     responses = await client.classify_many(reads)
     await service.stop(drain=True)
 
-    # Sequential scalar reference on an untouched replica.
-    reference = make_backend(args.backend, dataset.database)
+    # Sequential scalar reference on a fresh (identically faulted) replica.
+    reference = build_replica()
     mismatches = 0
     for read, response in zip(reads, responses):
         kmers = list(read.kmers(dataset.k))
@@ -164,6 +231,20 @@ async def run_demo(args: argparse.Namespace) -> int:
         f"p99={latency['p99']:.3f}; simulated device time "
         f"{stats['sim_time_ns'] / 1e3:.1f} us"
     )
+    if injector is not None:
+        print(
+            f"faults: bit_flip_rate={args.bit_flip_rate:g} "
+            f"({injector.stats.bits_flipped} bits flipped, "
+            f"{injector.stats.records_corrupted} records corrupted); "
+            f"degraded={stats['degraded']}"
+        )
+    if chaos is not None:
+        print(
+            f"chaos: {chaos.stats.crashes} crash(es), "
+            f"{chaos.stats.stalls} stall(s), "
+            f"{counters.get('redispatched_total', 0)} redispatched; "
+            f"healthy shards {stats['healthy_shards']}/{args.shards}"
+        )
     if "deployment" in stats:
         for design, row in stats["deployment"]["projections"].items():
             print(

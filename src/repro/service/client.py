@@ -1,10 +1,18 @@
 """In-process client with the retry discipline the server expects.
 
 :meth:`ServiceClient.classify` submits a read and, on a 429-style
-:class:`RejectedError`, sleeps for the server's ``retry_after_s`` hint
-and resubmits — the cooperative backoff that lets thousands of
-concurrent coroutines share bounded shard queues without dropping
-work.  ``classify_many`` fans a read list out concurrently.
+:class:`RejectedError`, backs off and resubmits — the cooperative
+backoff that lets thousands of concurrent coroutines share bounded
+shard queues without dropping work.  ``classify_many`` fans a read
+list out concurrently.
+
+The backoff is *jittered capped exponential*, not the server hint
+verbatim: replaying the hint puts every rejected coroutine back on the
+same tick and the whole cohort collides again (a retry storm).  Each
+sleep is ``min(hint * multiplier**(attempt-1), cap)`` scaled by a
+deterministic per-(request, attempt) jitter factor, so concurrent
+clients decorrelate while any single run replays byte-identically
+(the jitter is a content hash, never a global RNG — lint rule SV004).
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from __future__ import annotations
 import asyncio
 from typing import List, Optional, Sequence
 
+from ..faults import hash_fraction
 from .dispatcher import RejectedError, ServiceResponse
 from .server import ClassificationService
 
@@ -23,16 +32,40 @@ class ServiceClient:
         self,
         service: ClassificationService,
         max_retries: Optional[int] = None,
+        seed: int = 0,
     ) -> None:
         self.service = service
         #: None = retry rejections forever (bounded by request deadlines).
         self.max_retries = max_retries
+        #: Jitter seed: distinct clients decorrelate even on identical
+        #: request keys; the same seed replays identical backoffs.
+        self.seed = seed
+
+    def backoff_delay_s(
+        self, request_key: str, attempt: int, hint_s: float
+    ) -> float:
+        """Sleep before retry ``attempt`` (1-based) of ``request_key``.
+
+        Pure function of (client seed, request key, attempt): capped
+        exponential growth from the server's hint, scaled into
+        ``[1 - jitter, 1]`` by a content-hash draw.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        cfg = self.service.config
+        raw = min(
+            hint_s * cfg.retry_backoff_multiplier ** (attempt - 1),
+            cfg.retry_backoff_cap_s,
+        )
+        u = hash_fraction(self.seed, "backoff", request_key, attempt)
+        return raw * (1.0 - cfg.retry_jitter * u)
 
     async def classify(
         self, read, deadline_s: Optional[float] = None
     ) -> ServiceResponse:
         """Classify one read, backing off on backpressure rejections."""
         attempts = 0
+        request_key = str(getattr(read, "seq_id", ""))
         while True:
             try:
                 future = self.service.submit(read, deadline_s=deadline_s)
@@ -43,7 +76,11 @@ class ServiceClient:
                     and attempts > self.max_retries
                 ):
                     raise
-                await asyncio.sleep(exc.retry_after_s)
+                await asyncio.sleep(
+                    self.backoff_delay_s(
+                        request_key, attempts, exc.retry_after_s
+                    )
+                )
                 continue
             return await future
 

@@ -38,6 +38,14 @@ class ServiceConfig:
     default_deadline_s: Optional[float] = None
     #: Hint returned with 429-style rejections.
     retry_after_s: float = 0.005
+    #: Client backoff: multiplier applied to the retry hint per attempt.
+    retry_backoff_multiplier: float = 2.0
+    #: Client backoff: hard cap on any single backoff sleep (seconds).
+    retry_backoff_cap_s: float = 0.1
+    #: Client backoff: jitter fraction in [0, 1] — each sleep is scaled
+    #: by a deterministic per-(request, attempt) factor drawn from
+    #: ``[1 - jitter, 1]`` so synchronized rejections decorrelate.
+    retry_jitter: float = 0.5
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -52,3 +60,9 @@ class ServiceConfig:
             raise ServiceConfigError("default_deadline_s must be positive")
         if self.retry_after_s <= 0:
             raise ServiceConfigError("retry_after_s must be positive")
+        if self.retry_backoff_multiplier < 1.0:
+            raise ServiceConfigError("retry_backoff_multiplier must be >= 1")
+        if self.retry_backoff_cap_s <= 0:
+            raise ServiceConfigError("retry_backoff_cap_s must be positive")
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ServiceConfigError("retry_jitter must be in [0, 1]")

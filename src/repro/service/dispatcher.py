@@ -21,7 +21,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 
 from ..api import QueryBackend, classification_from_results
 from .config import ServiceConfig
@@ -30,6 +30,10 @@ from .metrics import MetricsRegistry
 
 class ServiceError(RuntimeError):
     """Base class for service-level failures."""
+
+
+class ShardCrashError(ServiceError):
+    """A shard worker died (chaos-injected or real crash)."""
 
 
 class RejectedError(ServiceError):
@@ -48,6 +52,31 @@ class RejectedError(ServiceError):
 
 class DeadlineExceededError(ServiceError):
     """The request's deadline passed before its batch dispatched."""
+
+
+@dataclass
+class ShardHealth:
+    """Per-replica health: lifecycle state plus fault counters.
+
+    ``state`` is one of ``"healthy"``, ``"stalled"`` (temporarily
+    paused mid-dispatch), or ``"crashed"`` (worker loop exited; the
+    router stops sending it traffic).
+    """
+
+    state: str = "healthy"
+    batches: int = 0
+    crashes: int = 0
+    stalls: int = 0
+    redispatched: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "batches": self.batches,
+            "crashes": self.crashes,
+            "stalls": self.stalls,
+            "redispatched": self.redispatched,
+        }
 
 
 @dataclass
@@ -90,14 +119,26 @@ class ShardWorker:
         backend: QueryBackend,
         config: ServiceConfig,
         metrics: MetricsRegistry,
+        chaos: Optional[Any] = None,
+        on_crash: Optional[
+            Callable[[int, List["Request"]], Awaitable[None]]
+        ] = None,
     ) -> None:
         self.shard_id = shard_id
         self.backend = backend
         self.config = config
         self.metrics = metrics
+        #: Optional :class:`repro.faults.ChaosInjector` consulted before
+        #: every batch (crash / stall / slow scheduling).
+        self.chaos = chaos
+        #: Failover callback: ``await on_crash(shard_id, orphans)``
+        #: re-dispatches requests this shard can no longer serve.
+        self._on_crash = on_crash
+        self.health = ShardHealth()
         self.queue: "asyncio.Queue[Request]" = asyncio.Queue(
             maxsize=config.queue_depth
         )
+        self._batch_index = 0
         #: Accumulated simulated device cost across this shard's batches.
         self.sim_time_ns = 0.0
         self.sim_energy_nj = 0.0
@@ -119,16 +160,73 @@ class ShardWorker:
     # -- dispatch loop --------------------------------------------------------
 
     async def run(self) -> None:
-        """Serve until cancelled.  Each iteration dispatches one batch."""
+        """Serve until cancelled (or chaos-crashed).
+
+        Each iteration dispatches one batch.  When a chaos plan
+        schedules a crash, the loop fails *before* executing the batch
+        (requests are never half-answered), hands every orphaned
+        request to the failover callback, and exits.
+        """
         while True:
             first = await self.queue.get()
             batch = [first]
             try:
                 await self._coalesce(batch)
+                index = self._batch_index
+                self._batch_index += 1
+                action = (
+                    self.chaos.before_batch(self.shard_id, index)
+                    if self.chaos is not None
+                    else None
+                )
+                if action is not None and action.stall_s > 0:
+                    self.health.state = "stalled"
+                    self.health.stalls += 1
+                    self.metrics.counter("shard_stalls_total").inc()
+                    await asyncio.sleep(action.stall_s)
+                    self.health.state = "healthy"
+                if action is not None and action.crash:
+                    raise ShardCrashError(
+                        f"shard {self.shard_id} crashed before batch {index}"
+                    )
                 self._execute(batch)
+                self.health.batches += 1
+            except ShardCrashError:
+                await self._fail(batch)
+                return
             finally:
                 for _ in batch:
                     self.queue.task_done()
+
+    async def _fail(self, batch: List[Request]) -> None:
+        """Crash path: mark the shard dead, orphan in-flight + queued
+        requests, and either fail them or hand them to failover."""
+        self.health.state = "crashed"
+        self.health.crashes += 1
+        self.metrics.counter("shard_crashes_total").inc()
+        orphans = [req for req in batch if not req.future.done()]
+        # Drain whatever was still queued behind the crashing batch
+        # (task_done for each so drain() can still complete).
+        while True:
+            try:
+                orphans.append(self.queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+            self.queue.task_done()
+        if not orphans:
+            return
+        self.health.redispatched += len(orphans)
+        self.metrics.counter("redispatched_total").inc(len(orphans))
+        if self._on_crash is not None:
+            await self._on_crash(self.shard_id, orphans)
+        else:
+            for req in orphans:
+                if not req.future.done():
+                    req.future.set_exception(
+                        ShardCrashError(
+                            f"shard {self.shard_id} crashed; no failover"
+                        )
+                    )
 
     async def _coalesce(self, batch: List[Request]) -> None:
         """Grow ``batch`` until the k-mer target or the linger expires."""

@@ -39,6 +39,7 @@ class ClassificationService:
         backends: Sequence[QueryBackend],
         config: Optional[ServiceConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        chaos: Optional[Any] = None,
     ) -> None:
         if not backends:
             raise ServiceError("need at least one backend")
@@ -54,8 +55,18 @@ class ClassificationService:
         self.k = ks.pop()
         self.config = config
         self.metrics = metrics or MetricsRegistry()
+        #: Optional :class:`repro.faults.ChaosInjector` shared by every
+        #: shard (the plan addresses shards by id).
+        self.chaos = chaos
         self.shards: List[ShardWorker] = [
-            ShardWorker(i, backend, config, self.metrics)
+            ShardWorker(
+                i,
+                backend,
+                config,
+                self.metrics,
+                chaos=chaos,
+                on_crash=self._redispatch,
+            )
             for i, backend in enumerate(backends)
         ]
         self._tasks: List["asyncio.Task[None]"] = []
@@ -125,8 +136,9 @@ class ClassificationService:
         if self._draining:
             raise ServiceError("service is draining; no new requests")
         loop = asyncio.get_running_loop()
-        shard = self.shards[self._next_shard]
-        self._next_shard = (self._next_shard + 1) % len(self.shards)
+        shard = self._healthy_shard()
+        if shard is None:
+            raise ServiceError("no healthy shards available")
         deadline_s = (
             deadline_s
             if deadline_s is not None
@@ -149,6 +161,45 @@ class ClassificationService:
         """Submit and await one read (no retry on rejection)."""
         return await self.submit(read, deadline_s=deadline_s)
 
+    # -- failover -------------------------------------------------------------
+
+    def _healthy_shard(
+        self, exclude: Optional[int] = None
+    ) -> Optional[ShardWorker]:
+        """Next round-robin shard that is not crashed (nor ``exclude``)."""
+        n = len(self.shards)
+        for offset in range(n):
+            candidate = self.shards[(self._next_shard + offset) % n]
+            if candidate.health.state == "crashed":
+                continue
+            if exclude is not None and candidate.shard_id == exclude:
+                continue
+            self._next_shard = (candidate.shard_id + 1) % n
+            return candidate
+        return None
+
+    async def _redispatch(
+        self, from_shard: int, orphans: List[Request]
+    ) -> None:
+        """Failover: re-route a crashed shard's orphaned requests.
+
+        Uses a *blocking* queue put — accepted work is never re-rejected
+        for backpressure, it just waits for room on a surviving shard.
+        Requests keep their original futures, so callers observe an
+        ordinary (if slower) completion; exactly-once semantics hold
+        because the crashing shard failed before executing the batch.
+        """
+        for req in orphans:
+            target = self._healthy_shard(exclude=from_shard)
+            if target is None:
+                if not req.future.done():
+                    req.future.set_exception(
+                        ServiceError("all shards crashed; request lost")
+                    )
+                continue
+            await target.queue.put(req)
+            self.metrics.counter("submitted_total").inc()
+
     # -- observability --------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
@@ -157,18 +208,24 @@ class ClassificationService:
 
         shard_rows = []
         merged: Optional[DeviceStats] = None
+        degraded = False
         for worker in self.shards:
             backend_stats = worker.backend.stats()
+            capabilities = worker.backend.capabilities()
+            degraded = degraded or capabilities.degraded
+            degraded = degraded or worker.health.state == "crashed"
             shard_rows.append(
                 {
                     "shard": worker.shard_id,
-                    "backend": worker.backend.capabilities().name,
+                    "backend": capabilities.name,
                     "queries": backend_stats.queries,
                     "hits": backend_stats.hits,
                     "hit_rate": backend_stats.hit_rate,
                     "queue_depth": worker.queue.qsize(),
                     "sim_time_ns": worker.sim_time_ns,
                     "sim_energy_nj": worker.sim_energy_nj,
+                    "health": worker.health.as_dict(),
+                    "degraded": capabilities.degraded,
                 }
             )
             device_stats = getattr(worker.backend, "stats", None)
@@ -181,6 +238,10 @@ class ClassificationService:
             "config": asdict(self.config),
             "k": self.k,
             "shards": shard_rows,
+            "healthy_shards": sum(
+                1 for w in self.shards if w.health.state != "crashed"
+            ),
+            "degraded": degraded,
             "metrics": self.metrics.snapshot(),
             "sim_time_ns": sim_time_ns,
             "sim_energy_nj": sum(w.sim_energy_nj for w in self.shards),

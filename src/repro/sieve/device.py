@@ -111,6 +111,12 @@ class SieveDevice:
         #: as the software classifiers do.
         self.canonical = canonical
         self.stats = DeviceStats()
+        # Snapshot fault state at construction: a device loaded while an
+        # active fault model was installed holds corrupted cells for its
+        # whole lifetime, even after the injector is uninstalled.
+        from ..faults import degraded_mode
+
+        self.degraded = degraded_mode()
 
     def _normalize(self, kmer: int) -> int:
         if not self.canonical:
@@ -227,6 +233,7 @@ class SieveDevice:
             batched=True,
             max_batch=self.layout.queries_per_group,
             simulated_latency=True,
+            degraded=self.degraded,
         )
 
     def perf_counters(self) -> Dict[str, int]:

@@ -257,7 +257,9 @@ class SieveSubarraySim:
     def _retrieve(self, query: int, layer: int, rows_activated: int) -> MatchOutcome:
         """Hit path: ETM flush, Column Finder, offset + payload fetch."""
         flush = self.etm.flush_cycles_after_last_row()
-        cf = self.finder.find(np.asarray(self.matchers.latches))
+        # strict=False: the shifter takes the first live latch; duplicate
+        # latches only arise under fault injection.
+        cf = self.finder.find(np.asarray(self.matchers.latches), strict=False)
         payload = self._fetch_record(layer, cf)
         return MatchOutcome(
             query=query,
@@ -280,6 +282,10 @@ class SieveSubarraySim:
         bits = self.array.activate(orow)
         offset = _bits_to_int(bits[ocol : ocol + OFFSET_BITS])
         self.array.precharge()
+        # The payload decoder wraps: with pristine cells the offset is
+        # always in range, but a fault-corrupted Region-2 word must still
+        # address *some* Region-3 slot rather than fall off the layer.
+        offset %= layout.refs_per_layer
         # Region 3: fetch the payload at that offset.
         prow, pcol = layout.payload_location(layer, offset)
         bits = self.array.activate(prow)
@@ -412,7 +418,7 @@ class SieveSubarraySim:
         self.array.charge_untimed_accesses(total_rows)
         self._sync_pipeline_state(seg_max, total_rows, latches)
         flush = self.etm.flush_cycles_after_last_row()
-        cf = self.finder.find(latches)
+        cf = self.finder.find(latches, strict=False)
         payload = self._fetch_record(layer, cf)
         return MatchOutcome(
             query=query,

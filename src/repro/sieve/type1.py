@@ -223,12 +223,12 @@ class Type1BankSim:
     ) -> Type1Outcome:
         """Column finder + payload fetch (Figure 12's control logic)."""
         live = np.flatnonzero(self._sram)
-        if live.size != 1:
-            raise Type1Error(
-                f"expected exactly one live result bit, found {live.size}"
-            )
+        if live.size == 0:
+            raise Type1Error("expected at least one live result bit, found 0")
         # batch index via skip bits, then a small shifter inside it:
-        # column = batch_index * batch_size + in-batch index.
+        # column = batch_index * batch_size + in-batch index.  Like the
+        # Type-2/3 Column Finder, the shifter stops at the first live
+        # bit; duplicates only arise under fault injection.
         column = int(live[0])
         batch_index, in_batch = divmod(column, BATCH_BITS)
         assert batch_index * BATCH_BITS + in_batch == column
@@ -237,6 +237,8 @@ class Type1BankSim:
         bits = self.array.activate(orow)
         offset = _bits_to_int(bits[ocol : ocol + OFFSET_BITS])
         self.array.precharge()
+        # Decoder wrap for fault-corrupted offsets (see functional.py).
+        offset %= layout.refs_per_row
         prow, pcol = layout.payload_location(offset)
         bits = self.array.activate(prow)
         payload = _bits_to_int(bits[pcol : pcol + PAYLOAD_BITS])

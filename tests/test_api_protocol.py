@@ -157,6 +157,106 @@ def test_classification_from_results_votes(small_dataset):
 
 
 # ---------------------------------------------------------------------------
+# Conformance under an active fault model (repro.faults)
+# ---------------------------------------------------------------------------
+
+
+FAULT_RATE = 2e-4
+
+
+def make_faulted_backend(name: str, dataset, layout, injector):
+    """Build ``name`` with the fault injector active during load.
+
+    Device-backed engines corrupt at DRAM-load time (the injector seam
+    in :mod:`repro.dram`); host engines are built over a
+    record-corrupted copy of the database.
+    """
+    from repro.faults import fault_injection, faulted_database
+
+    if name in ("sieve", "rowmajor"):
+        with fault_injection(injector):
+            return make_backend(name, dataset, layout)
+    db = faulted_database(dataset.database, injector)
+    if name == "database":
+        return db
+    if name == "kraken":
+        return KrakenClassifier(db, m=4)
+    if name == "clark":
+        return ClarkClassifier(db)
+    if name == "sortedlist":
+        return SortedListClassifier(db)
+    raise AssertionError(name)
+
+
+class TestFaultedConformance:
+    """Every backend once under a nonzero seeded fault model.
+
+    Protocol invariants must survive corruption: shapes, ordering,
+    stats accounting, and the hit/payload coupling all hold even when
+    the *answers* are wrong.  The session-scoped DRAM sanitizer stays
+    active, so the injector must not break protocol or latency
+    accounting either.
+    """
+
+    @pytest.fixture(params=BACKEND_NAMES)
+    def faulted_backend(self, request, small_dataset, small_layout):
+        from repro.faults import FaultInjector, FaultModel
+
+        model = FaultModel.seeded(
+            f"api-protocol-{request.param}", bit_flip_rate=FAULT_RATE
+        )
+        return make_faulted_backend(
+            request.param, small_dataset, small_layout, FaultInjector(model)
+        )
+
+    def test_protocol_shape_under_faults(self, faulted_backend, query_set):
+        results = faulted_backend.query(query_set)
+        assert len(results) == len(query_set)
+        for kmer, result in zip(query_set, results):
+            assert isinstance(result, BackendResult)
+            assert result.query == kmer
+            assert result.hit == (result.payload is not None)
+
+    def test_stats_accounting_under_faults(self, faulted_backend, query_set):
+        before = faulted_backend.stats()
+        results = faulted_backend.query(query_set)
+        after = faulted_backend.stats()
+        assert after.queries - before.queries == len(query_set)
+        assert after.hits - before.hits == sum(1 for r in results if r.hit)
+
+    def test_capabilities_report_degraded(
+        self, faulted_backend, small_dataset
+    ):
+        caps = faulted_backend.capabilities()
+        assert isinstance(caps, BackendCapabilities)
+        assert caps.k == small_dataset.k
+        assert caps.degraded is True
+
+    def test_faulted_build_is_deterministic(
+        self, small_dataset, small_layout, query_set
+    ):
+        from repro.faults import FaultInjector, FaultModel
+
+        def answers():
+            model = FaultModel.seeded("api-replay", bit_flip_rate=FAULT_RATE)
+            backend = make_faulted_backend(
+                "sieve", small_dataset, small_layout, FaultInjector(model)
+            )
+            return [
+                (r.hit, r.payload) for r in backend.query(query_set)
+            ]
+
+        assert answers() == answers()
+
+    def test_clean_backends_not_degraded(
+        self, small_dataset, small_layout
+    ):
+        for name in BACKEND_NAMES:
+            backend = make_backend(name, small_dataset, small_layout)
+            assert backend.capabilities().degraded is False, name
+
+
+# ---------------------------------------------------------------------------
 # Deprecated-shim behavior (SV006 suppressed on purpose)
 # ---------------------------------------------------------------------------
 

@@ -46,7 +46,8 @@ class TestCli:
                 "bandwidth", "abl-steady", "abl-esp", "abl-power",
                 "abl-tech", "abl-type1", "k-sweep", "hit-sweep",
                 "capacity", "accuracy", "abl-device",
-                "abl-segment", "intro", "claims"} == set(EXPERIMENTS)
+                "abl-segment", "intro", "claims",
+                "fault_sweep"} == set(EXPERIMENTS)
 
     def test_run_ablation(self, capsys):
         assert main(["run", "abl-power"]) == 0
