@@ -1,0 +1,90 @@
+"""Findings baseline: gate CI on *new* findings only.
+
+``python -m repro.lint --write-baseline PATH`` snapshots the current
+findings; ``--baseline PATH`` then reports only findings not covered by
+the snapshot.  Baseline entries are keyed by ``(path, rule, message)``
+with a count — deliberately **not** by line number, so unrelated edits
+that shift code do not resurrect baselined findings, while a *new*
+instance of a baselined (path, rule, message) in the same file still
+trips the gate once the count is exceeded.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .engine import Finding
+
+#: Baseline schema version (bump on incompatible format changes).
+BASELINE_VERSION = 1
+
+BaselineKey = Tuple[str, str, str]
+
+
+def baseline_key(finding: Finding) -> BaselineKey:
+    """The line-insensitive identity of a finding."""
+    return (
+        finding.path.replace("\\", "/"),
+        finding.rule_id,
+        finding.message,
+    )
+
+
+def write_baseline(findings: Sequence[Finding], path: str) -> int:
+    """Snapshot ``findings`` to ``path``; returns the entry count."""
+    counts: "Counter[BaselineKey]" = Counter(
+        baseline_key(finding) for finding in findings
+    )
+    entries = [
+        {"path": key[0], "rule": key[1], "message": key[2], "count": count}
+        for key, count in sorted(counts.items())
+    ]
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": entries,
+        "total": len(findings),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def load_baseline(path: str) -> Dict[BaselineKey, int]:
+    """Load a baseline written by :func:`write_baseline`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    return {
+        (entry["path"], entry["rule"], entry["message"]): int(
+            entry.get("count", 1)
+        )
+        for entry in payload.get("findings", [])
+    }
+
+
+def new_findings(
+    findings: Sequence[Finding], baseline: Dict[BaselineKey, int]
+) -> List[Finding]:
+    """Findings not covered by ``baseline`` (stable input order).
+
+    Each baseline entry absorbs up to ``count`` findings with its key;
+    anything beyond that — or with an unknown key — is new.
+    """
+    budget = dict(baseline)
+    fresh: List[Finding] = []
+    for finding in findings:
+        key = baseline_key(finding)
+        remaining = budget.get(key, 0)
+        if remaining > 0:
+            budget[key] = remaining - 1
+        else:
+            fresh.append(finding)
+    return fresh

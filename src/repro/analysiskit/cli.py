@@ -10,8 +10,14 @@ import os
 import sys
 from typing import List, Optional
 
+from .baseline import load_baseline, new_findings, write_baseline
 from .engine import lint_paths
-from .reporting import render_json, render_rule_catalog, render_text
+from .reporting import (
+    render_json,
+    render_rule_catalog,
+    render_sarif,
+    render_text,
+)
 from .rules import rules_by_id
 
 
@@ -34,7 +40,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         description=(
             "Simulator-aware static analysis: unit-suffix discipline, "
             "float equality, Command exhaustiveness, nondeterminism, "
-            "mutable defaults. See docs/CORRECTNESS.md."
+            "mutable defaults, plus concurrency/determinism rules "
+            "(SV007-SV012). See docs/CORRECTNESS.md."
         ),
     )
     parser.add_argument(
@@ -42,12 +49,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="files or directories to lint (default: src tests)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH",
+        help="write the report to PATH instead of stdout",
     )
     parser.add_argument(
         "--select", metavar="IDS",
         help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help="suppress findings recorded in this baseline; exit 1 only "
+        "on new findings",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="PATH",
+        help="snapshot current findings to PATH and exit 0",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -75,8 +95,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"lint failed: {exc}", file=sys.stderr)
         return 2
 
-    renderer = render_json if args.format == "json" else render_text
-    _emit(renderer(findings))
+    if args.write_baseline:
+        entries = write_baseline(findings, args.write_baseline)
+        _emit(
+            f"wrote baseline {args.write_baseline}: {entries} entry(ies) "
+            f"covering {len(findings)} finding(s)"
+        )
+        return 0
+
+    suppressed = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"baseline failed: {exc}", file=sys.stderr)
+            return 2
+        fresh = new_findings(findings, baseline)
+        suppressed = len(findings) - len(fresh)
+        findings = fresh
+
+    renderers = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "text": render_text,
+    }
+    report = renderers[args.format](findings)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        _emit(f"wrote {args.format} report to {args.output}")
+    else:
+        _emit(report)
+    if args.baseline and suppressed:
+        _emit(f"({suppressed} baselined finding(s) suppressed)")
     return 1 if findings else 0
 
 

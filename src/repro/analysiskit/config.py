@@ -1,0 +1,114 @@
+"""Per-rule lint configuration loaded from ``pyproject.toml``.
+
+Rules read their knobs from the ``[tool.sieve-lint]`` table::
+
+    [tool.sieve-lint.SV012]
+    allow = ["src/repro/bench", "src/repro/service/dispatcher.py"]
+
+Configuration is optional at every level: a missing ``pyproject.toml``,
+a missing table, or an interpreter without a TOML parser (Python < 3.11
+without ``tomli``) all degrade to the rules' built-in defaults, so the
+lint pass never hard-depends on packaging metadata.
+
+Path-valued options (``paths`` / ``allow``) are repo-relative prefixes
+or fnmatch globs; :func:`path_matches` normalizes separators and
+matches them against any suffix of the linted file's path, so absolute
+and relative invocations agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+#: The pyproject table holding per-rule options.
+CONFIG_TABLE = "sieve-lint"
+
+
+def _parse_toml(path: Path) -> Optional[Dict[str, Any]]:
+    """Parse a TOML file, or ``None`` when no parser is available."""
+    try:
+        import tomllib as toml_parser  # Python >= 3.11
+    except ImportError:  # pragma: no cover - 3.9/3.10 fallback
+        try:
+            import tomli as toml_parser  # type: ignore[no-redef]
+        except ImportError:
+            return None
+    try:
+        with open(path, "rb") as fh:
+            return toml_parser.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Immutable per-rule option mapping (rule id -> option dict)."""
+
+    rule_options: Mapping[str, Mapping[str, Any]] = field(
+        default_factory=dict
+    )
+    #: Where the options came from (diagnostics only).
+    source: Optional[str] = None
+
+    @classmethod
+    def empty(cls) -> "LintConfig":
+        return cls()
+
+    def options(self, rule_id: str) -> Mapping[str, Any]:
+        """The option table for ``rule_id`` (``{}`` when unconfigured)."""
+        return self.rule_options.get(rule_id, {})
+
+
+def load_config(start: Path) -> LintConfig:
+    """Walk up from ``start`` to the nearest ``pyproject.toml``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in (current, *current.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            data = _parse_toml(candidate)
+            if data is None:
+                return LintConfig.empty()
+            table = data.get("tool", {}).get(CONFIG_TABLE, {})
+            options = {
+                str(rule_id): dict(value)
+                for rule_id, value in table.items()
+                if isinstance(value, dict)
+            }
+            return LintConfig(rule_options=options, source=str(candidate))
+    return LintConfig.empty()
+
+
+@lru_cache(maxsize=None)
+def _config_for_directory(directory: str) -> LintConfig:
+    return load_config(Path(directory))
+
+
+def config_for_path(path: str) -> LintConfig:
+    """Cached :func:`load_config` for the directory containing ``path``."""
+    return _config_for_directory(str(Path(path).resolve().parent))
+
+
+def path_matches(path: str, patterns: Sequence[str]) -> bool:
+    """Whether ``path`` falls under any repo-relative pattern.
+
+    A pattern matches the path itself, any path suffix, or (for
+    directory prefixes) anything beneath it — so ``src/repro/bench``
+    covers ``/root/repo/src/repro/bench/__init__.py``.
+    """
+    normalized = str(path).replace("\\", "/")
+    for pattern in patterns:
+        pat = str(pattern).replace("\\", "/").rstrip("/")
+        if (
+            fnmatch(normalized, pat)
+            or fnmatch(normalized, f"*/{pat}")
+            or fnmatch(normalized, f"{pat}/*")
+            or fnmatch(normalized, f"*/{pat}/*")
+        ):
+            return True
+    return False

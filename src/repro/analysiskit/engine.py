@@ -17,7 +17,9 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set
+
+from .config import LintConfig, config_for_path
 
 _DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9_,\s]+)")
 
@@ -54,11 +56,14 @@ class FileSource:
     tree: ast.Module
     file_suppressions: Set[str] = field(default_factory=set)
     line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    config: Optional[LintConfig] = None
 
     @classmethod
-    def parse(cls, path: str, text: str) -> "FileSource":
+    def parse(
+        cls, path: str, text: str, config: Optional[LintConfig] = None
+    ) -> "FileSource":
         tree = ast.parse(text, filename=path)
-        source = cls(path=path, text=text, tree=tree)
+        source = cls(path=path, text=text, tree=tree, config=config)
         for lineno, line in enumerate(text.splitlines(), start=1):
             match = _DISABLE_RE.search(line)
             if not match:
@@ -74,6 +79,12 @@ class FileSource:
         if rule_id in self.file_suppressions:
             return True
         return rule_id in self.line_suppressions.get(line, set())
+
+    def options(self, rule_id: str) -> Mapping[str, Any]:
+        """Per-rule ``pyproject.toml`` options (``{}`` when unconfigured)."""
+        if self.config is None:
+            return {}
+        return self.config.options(rule_id)
 
 
 class Rule:
@@ -123,11 +134,19 @@ def lint_file(
     path: str,
     rules: Sequence[Rule],
     text: Optional[str] = None,
+    config: Optional[LintConfig] = None,
 ) -> List[Finding]:
-    """Run ``rules`` over one file, honouring suppression comments."""
+    """Run ``rules`` over one file, honouring suppression comments.
+
+    ``config`` defaults to the nearest ``pyproject.toml``'s
+    ``[tool.sieve-lint]`` table (see :mod:`repro.analysiskit.config`);
+    pass :meth:`LintConfig.empty` to lint with built-in defaults only.
+    """
     if text is None:
         text = Path(path).read_text(encoding="utf-8")
-    source = FileSource.parse(path, text)
+    if config is None:
+        config = config_for_path(path)
+    source = FileSource.parse(path, text, config=config)
     findings: List[Finding] = []
     for rule in rules:
         for finding in rule.check(source):
@@ -140,9 +159,10 @@ def lint_file(
 def lint_paths(
     paths: Sequence[str],
     rules: Sequence[Rule],
+    config: Optional[LintConfig] = None,
 ) -> List[Finding]:
     """Run ``rules`` over every ``.py`` file reachable from ``paths``."""
     findings: List[Finding] = []
     for path in iter_python_files(paths):
-        findings.extend(lint_file(str(path), rules))
+        findings.extend(lint_file(str(path), rules, config=config))
     return findings

@@ -35,6 +35,65 @@ def render_json(findings: Sequence[Finding]) -> str:
     )
 
 
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """A SARIF 2.1.0 log for code-scanning uploads and CI artifacts.
+
+    One run, one driver (``sieve-lint``), full rule metadata, one
+    ``result`` per finding.  Paths are emitted with forward slashes as
+    SARIF ``artifactLocation`` URIs require.
+    """
+    rules = [
+        {
+            "id": rule.rule_id,
+            "name": rule.title,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in ALL_RULES
+    ]
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "sieve-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)
+
+
 def render_rule_catalog() -> str:
     """The ``--list-rules`` listing: ID, title, and rationale."""
     blocks = []

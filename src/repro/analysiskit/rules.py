@@ -1,15 +1,19 @@
-"""Simulator-specific lint rules (SV001-SV006).
+"""Simulator-specific lint rules (SV001-SV012).
 
 These encode the invariants the trace-driven model's numbers rest on —
 unit-suffix discipline, deterministic randomness, exhaustive command
 dispatch — as machine-checked rules instead of docstring conventions.
-See ``docs/CORRECTNESS.md`` for the full catalog with rationale and
-suppression syntax.
+SV007-SV012 extend the catalog to the concurrency layers: event-loop
+blocking, un-awaited coroutines, fork-unsafe shared state, unbounded
+awaits, order-nondeterministic set iteration, and unsanctioned
+wall-clock reads.  See ``docs/CORRECTNESS.md`` for the full catalog
+with rationale and suppression syntax.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .engine import FileSource, Finding, Rule
@@ -695,6 +699,804 @@ class DeprecatedQueryApiRule(Rule):
                 )
 
 
+# --------------------------------------------------------------------------
+# Shared helpers for the concurrency rules (SV007-SV012)
+# --------------------------------------------------------------------------
+
+
+def _walk_async_context(tree: ast.AST) -> Iterator[Tuple[ast.AST, bool]]:
+    """Yield every node with whether it executes in async context.
+
+    "In async context" means the innermost enclosing function is an
+    ``async def``; a nested synchronous ``def`` (or ``lambda``) resets
+    the flag because its body runs wherever it is *called*, which the
+    intra-module analysis cannot see.
+    """
+
+    def visit(node: ast.AST, in_async: bool) -> Iterator[Tuple[ast.AST, bool]]:
+        yield node, in_async
+        if isinstance(node, ast.AsyncFunctionDef):
+            inner = True
+        elif isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            inner = False
+        else:
+            inner = in_async
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, inner)
+
+    yield from visit(tree, False)
+
+
+def _call_dotted_name(node: ast.Call) -> Optional[str]:
+    """``time.sleep(...)`` -> ``"time.sleep"``; ``open(...)`` -> ``"open"``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return f"{func.value.id}.{func.attr}"
+    return None
+
+
+def _call_method_name(node: ast.Call) -> Optional[str]:
+    """The attribute name of a method call, whatever the receiver."""
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _module_async_def_names(tree: ast.Module) -> Set[str]:
+    """Names of every ``async def`` in the module (incl. methods)."""
+    return {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.AsyncFunctionDef)
+    }
+
+
+def _parent_map(tree: ast.AST) -> Dict[int, ast.AST]:
+    """``id(child) -> parent`` for consumer checks (SV011)."""
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _str_option(source: FileSource, rule_id: str, key: str) -> List[str]:
+    value = source.options(rule_id).get(key, [])
+    if isinstance(value, str):
+        return [value]
+    return [str(item) for item in value]
+
+
+def _path_in_scope(source: FileSource, rule_id: str, key: str) -> Optional[bool]:
+    """Config-scoped path check; ``None`` when the option is unset."""
+    from .config import path_matches
+
+    patterns = _str_option(source, rule_id, key)
+    if not patterns:
+        return None
+    return path_matches(source.path, patterns)
+
+
+# --------------------------------------------------------------------------
+# SV007 — blocking calls inside async def
+# --------------------------------------------------------------------------
+
+#: Dotted call names that block the event loop outright.
+BLOCKING_CALLS: Set[str] = {
+    "time.sleep",
+    "os.system",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "socket.create_connection",
+}
+
+#: Method names that are CPU-heavy or do sync file I/O in this codebase.
+#: ``query``/``classify`` are the QueryBackend surface — in async code
+#: they must go through the dispatcher's executor seam
+#: (``ShardWorker._dispatch``), never be called inline on the loop.
+BLOCKING_METHODS: Set[str] = {
+    "query",
+    "classify",
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+}
+
+
+class AsyncBlockingCallRule(Rule):
+    rule_id = "SV007"
+    title = "blocking call inside async def"
+    rationale = (
+        "A blocking call inside `async def` stalls the entire event "
+        "loop: every shard queue, deadline timer, and failover path "
+        "freezes behind it. Sleep with `asyncio.sleep`, do file I/O "
+        "outside the coroutine, and route CPU-heavy backend calls "
+        "(`query`/`classify`) through the dispatcher's executor seam."
+    )
+
+    def check(self, source: FileSource) -> Iterator[Finding]:
+        extra_calls = set(_str_option(source, self.rule_id, "blocking_calls"))
+        extra_methods = set(
+            _str_option(source, self.rule_id, "blocking_methods")
+        )
+        blocking_calls = BLOCKING_CALLS | extra_calls
+        blocking_methods = BLOCKING_METHODS | extra_methods
+        async_names = _module_async_def_names(source.tree)
+        awaited: Set[int] = {
+            id(node.value)
+            for node in ast.walk(source.tree)
+            if isinstance(node, ast.Await)
+        }
+        for node, in_async in _walk_async_context(source.tree):
+            if not in_async or not isinstance(node, ast.Call):
+                continue
+            dotted = _call_dotted_name(node)
+            if dotted in blocking_calls:
+                yield self.finding(
+                    source,
+                    node,
+                    f"blocking `{dotted}(...)` inside async def; it "
+                    "stalls the event loop (use the asyncio equivalent "
+                    "or move it off the coroutine)",
+                )
+                continue
+            if dotted == "open":
+                yield self.finding(
+                    source,
+                    node,
+                    "sync file I/O (`open`) inside async def; read/write "
+                    "before entering or after leaving the coroutine",
+                )
+                continue
+            method = _call_method_name(node)
+            if (
+                method == "result"
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Call)
+                and _call_method_name(node.func.value) == "submit"
+            ):
+                yield self.finding(
+                    source,
+                    node,
+                    "`.submit(...).result()` blocks the event loop until "
+                    "the executor finishes; await "
+                    "`loop.run_in_executor(...)` instead",
+                )
+                continue
+            if (
+                method in blocking_methods
+                and id(node) not in awaited
+                and method not in async_names
+            ):
+                yield self.finding(
+                    source,
+                    node,
+                    f"CPU-heavy/blocking `.{method}(...)` on the event "
+                    "loop; route it through the dispatcher executor seam "
+                    "(`run_in_executor`) or a sync helper",
+                )
+
+
+# --------------------------------------------------------------------------
+# SV008 — un-awaited coroutines / fire-and-forget tasks
+# --------------------------------------------------------------------------
+
+#: Task-spawning call names whose return value must be kept: a discarded
+#: task can be garbage-collected mid-flight and swallows exceptions.
+TASK_SPAWNERS: Set[str] = {"create_task", "ensure_future"}
+
+
+class UnawaitedCoroutineRule(Rule):
+    rule_id = "SV008"
+    title = "un-awaited coroutine / fire-and-forget task"
+    rationale = (
+        "Calling an `async def` without awaiting it silently does "
+        "nothing (the coroutine object is discarded), and a bare "
+        "`create_task(...)` whose handle is dropped can be "
+        "garbage-collected mid-flight with its exception swallowed. "
+        "Await the coroutine, or keep the task handle and await / "
+        "`add_done_callback` it."
+    )
+
+    def check(self, source: FileSource) -> Iterator[Finding]:
+        async_names = _module_async_def_names(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Expr) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            call = node.value
+            name = _call_method_name(call) or (
+                call.func.id if isinstance(call.func, ast.Name) else None
+            )
+            if name in TASK_SPAWNERS:
+                yield self.finding(
+                    source,
+                    call,
+                    f"fire-and-forget `{name}(...)`: the task handle is "
+                    "discarded, so exceptions vanish and the task may be "
+                    "garbage-collected; keep a reference and await it or "
+                    "attach `add_done_callback`",
+                )
+            elif name in async_names:
+                yield self.finding(
+                    source,
+                    call,
+                    f"`{name}(...)` is an async def in this module but "
+                    "the coroutine is never awaited; it will not run",
+                )
+
+
+# --------------------------------------------------------------------------
+# SV009 — fork-unsafe shared state
+# --------------------------------------------------------------------------
+
+#: Constructors whose result is safely immutable at class/module scope.
+_FROZEN_WRAPPERS: Set[str] = {"MappingProxyType", "frozenset", "tuple"}
+
+#: numpy array constructors (module-level arrays must be frozen).
+_NUMPY_CONSTRUCTORS: Set[str] = {
+    "array", "zeros", "ones", "empty", "full", "arange",
+    "asarray", "frombuffer", "linspace",
+}
+
+#: Mutating method names that mark a module-level container as shared
+#: mutable state when called from function bodies.
+_MUTATOR_METHODS: Set[str] = {
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "appendleft",
+}
+
+_FORK_SAFE_RE = re.compile(r"#\s*fork-safe\b")
+
+
+def _is_mutable_container_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _call_dotted_name(node)
+        if name is None:
+            return False
+        bare = name.rsplit(".", 1)[-1]
+        if bare in _FROZEN_WRAPPERS:
+            return False
+        return bare in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _numpy_array_expr(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+        and func.attr in _NUMPY_CONSTRUCTORS
+    )
+
+
+def _assign_targets(node: ast.AST) -> List[ast.Name]:
+    if isinstance(node, ast.Assign):
+        return [t for t in node.targets if isinstance(t, ast.Name)]
+    if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+        return [node.target] if node.value is not None else []
+    return []
+
+
+def _line_has_fork_safe_annotation(source: FileSource, lineno: int) -> bool:
+    lines = source.text.splitlines()
+    if 1 <= lineno <= len(lines):
+        return bool(_FORK_SAFE_RE.search(lines[lineno - 1]))
+    return False
+
+
+class ForkUnsafeStateRule(Rule):
+    rule_id = "SV009"
+    title = "fork-unsafe shared state"
+    rationale = (
+        "The fleet forks workers, so module/class-level mutable state "
+        "is silently copied per process: mutations diverge between "
+        "parent and children, and shared numpy arrays invite "
+        "copy-on-write surprises. Freeze class-level mappings "
+        "(`MappingProxyType`/`frozenset`/tuple), keep registries "
+        "instance-level, and mark module-level arrays read-only with "
+        "`setflags(write=False)` or a `# fork-safe:` annotation."
+    )
+
+    def check(self, source: FileSource) -> Iterator[Finding]:
+        yield from self._class_level(source)
+        yield from self._module_level(source)
+
+    def _class_level(self, source: FileSource) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                for target in _assign_targets(stmt):
+                    value = getattr(stmt, "value", None)
+                    if value is None:
+                        continue
+                    if _line_has_fork_safe_annotation(source, stmt.lineno):
+                        continue
+                    if _is_mutable_container_expr(value):
+                        yield self.finding(
+                            source,
+                            stmt,
+                            f"class-level mutable container "
+                            f"`{node.name}.{target.id}` is shared across "
+                            "instances and fork boundaries; freeze it "
+                            "(`MappingProxyType`/`frozenset`/tuple) or "
+                            "move it to __init__",
+                        )
+                    elif _numpy_array_expr(value) and not self._frozen_in(
+                        node.body, target.id
+                    ):
+                        yield self.finding(
+                            source,
+                            stmt,
+                            f"class-level numpy array "
+                            f"`{node.name}.{target.id}` without "
+                            "`setflags(write=False)`; forked workers may "
+                            "mutate a silently-shared buffer",
+                        )
+
+    def _module_level(self, source: FileSource) -> Iterator[Finding]:
+        module_mutables: Dict[str, ast.stmt] = {}
+        module_arrays: Dict[str, ast.stmt] = {}
+        for stmt in source.tree.body:
+            for target in _assign_targets(stmt):
+                value = getattr(stmt, "value", None)
+                if value is None:
+                    continue
+                if _line_has_fork_safe_annotation(source, stmt.lineno):
+                    continue
+                if _is_mutable_container_expr(value):
+                    module_mutables[target.id] = stmt
+                elif _numpy_array_expr(value):
+                    module_arrays[target.id] = stmt
+        for name, stmt in module_arrays.items():
+            if not self._frozen_in(source.tree.body, name):
+                yield self.finding(
+                    source,
+                    stmt,
+                    f"module-level numpy array `{name}` without "
+                    "`setflags(write=False)`; freeze it so forked fleet "
+                    "workers cannot mutate a shared buffer",
+                )
+        if not module_mutables:
+            return
+        mutated = self._names_mutated_in_functions(
+            source.tree, set(module_mutables)
+        )
+        for name in sorted(mutated):
+            yield self.finding(
+                source,
+                module_mutables[name],
+                f"module-level mutable `{name}` is mutated from function "
+                "bodies; under fork each worker mutates its own copy "
+                "and the parent never sees it — pass state explicitly "
+                "or return it from the job",
+            )
+
+    @staticmethod
+    def _frozen_in(body: Sequence[ast.stmt], name: str) -> bool:
+        """Whether ``name.setflags(write=False)`` appears in ``body``."""
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and _call_method_name(node) == "setflags"
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == name
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _names_mutated_in_functions(
+        tree: ast.Module, names: Set[str]
+    ) -> Set[str]:
+        mutated: Set[str] = set()
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            local: Set[str] = {
+                arg.arg
+                for arg in (
+                    func.args.args
+                    + func.args.kwonlyargs
+                    + func.args.posonlyargs
+                )
+            }
+            for node in ast.walk(func):
+                for target in _assign_targets(node):
+                    local.add(target.id)
+            for node in ast.walk(func):
+                receiver: Optional[str] = None
+                if (
+                    isinstance(node, ast.Call)
+                    and _call_method_name(node) in _MUTATOR_METHODS
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                ):
+                    receiver = node.func.value.id
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for tgt in targets:
+                        if isinstance(tgt, ast.Subscript) and isinstance(
+                            tgt.value, ast.Name
+                        ):
+                            receiver = tgt.value.id
+                if receiver in names and receiver not in local:
+                    mutated.add(receiver)
+        return mutated
+
+
+# --------------------------------------------------------------------------
+# SV010 — unbounded await on queues/futures
+# --------------------------------------------------------------------------
+
+#: Queue/synchronization methods whose await can hang forever.
+_UNBOUNDED_AWAIT_METHODS: Set[str] = {"get", "join", "wait", "put"}
+
+#: Substrings marking a name as a future-like handle.
+_FUTURE_NAME_HINTS: Tuple[str, ...] = ("future", "fut")
+
+
+class UnboundedAwaitRule(Rule):
+    rule_id = "SV010"
+    title = "unbounded await on queue/future"
+    rationale = (
+        "An `await queue.get()` / `await future` with no timeout or "
+        "deadline guard hangs forever when the producer crashes — the "
+        "request is neither answered nor failed, and drain() never "
+        "returns. Wrap in `asyncio.wait_for(...)`, or justify why the "
+        "wait is bounded by construction (e.g. failover resolves the "
+        "future on every path)."
+    )
+
+    def check(self, source: FileSource) -> Iterator[Finding]:
+        in_scope = _path_in_scope(source, self.rule_id, "paths")
+        if in_scope is False:
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Await):
+                continue
+            yield from self._check_awaited(source, node.value)
+
+    def _check_awaited(
+        self, source: FileSource, value: ast.AST
+    ) -> Iterator[Finding]:
+        if isinstance(value, ast.Call):
+            method = _call_method_name(value)
+            dotted = _call_dotted_name(value)
+            bare = (dotted or "").rsplit(".", 1)[-1]
+            if method in _UNBOUNDED_AWAIT_METHODS:
+                yield self.finding(
+                    source,
+                    value,
+                    f"unbounded `await ....{method}()`; wrap in "
+                    "`asyncio.wait_for(...)` or justify the wait as "
+                    "bounded by construction",
+                )
+            elif bare == "gather":
+                # Unbounded waits hidden inside gather(...) args.
+                for arg in value.args:
+                    for sub in ast.walk(arg):
+                        if (
+                            isinstance(sub, ast.Call)
+                            and _call_method_name(sub)
+                            in _UNBOUNDED_AWAIT_METHODS
+                        ):
+                            yield self.finding(
+                                source,
+                                sub,
+                                f"unbounded `.{_call_method_name(sub)}()` "
+                                "awaited via gather(...); wrap in "
+                                "`asyncio.wait_for(...)` or justify",
+                            )
+        elif isinstance(value, (ast.Name, ast.Attribute)):
+            name = value.id if isinstance(value, ast.Name) else value.attr
+            lowered = name.lower()
+            if any(hint in lowered for hint in _FUTURE_NAME_HINTS):
+                yield self.finding(
+                    source,
+                    value,
+                    f"bare `await {name}` with no timeout; if the "
+                    "resolver dies this hangs forever — wrap in "
+                    "`asyncio.wait_for(...)` or justify",
+                )
+
+
+# --------------------------------------------------------------------------
+# SV011 — order-nondeterministic set iteration flowing into output
+# --------------------------------------------------------------------------
+
+#: Reducers whose result does not depend on iteration order.
+_ORDER_INSENSITIVE_CONSUMERS: Set[str] = {
+    "sum", "min", "max", "len", "any", "all", "set", "frozenset", "sorted",
+}
+
+#: Materializers that preserve (and therefore expose) iteration order.
+_ORDERING_MATERIALIZERS: Set[str] = {"list", "tuple", "enumerate"}
+
+#: Method calls inside a loop body that write order-sensitive output.
+_ORDERED_SINK_METHODS: Set[str] = {
+    "append", "extend", "insert", "write", "writelines",
+}
+
+
+class SetIterationOrderRule(Rule):
+    rule_id = "SV011"
+    title = "set iteration order flows into output"
+    rationale = (
+        "`set` iteration order depends on insertion history and hash "
+        "seeding, so a set-driven loop that appends/writes/prints "
+        "produces run-to-run diffs in golden files, benches, and "
+        "reports. Sort first (`sorted(...)`), or keep set iteration to "
+        "order-insensitive reductions (sum/min/max/len/any/all)."
+    )
+
+    def check(self, source: FileSource) -> Iterator[Finding]:
+        parents = _parent_map(source.tree)
+        for scope_body in self._iter_scopes(source.tree):
+            set_names = self._set_typed_names(scope_body)
+            yield from self._check_scope(source, scope_body, set_names, parents)
+
+    def _check_scope(
+        self,
+        source: FileSource,
+        scope_body: Sequence[ast.stmt],
+        set_names: Set[str],
+        parents: Dict[int, ast.AST],
+    ) -> Iterator[Finding]:
+        for node in self._scope_walk(scope_body):
+            if isinstance(node, ast.For) and self._is_set_expr(
+                node.iter, set_names
+            ):
+                if self._has_ordered_sink(node.body):
+                    yield self.finding(
+                        source,
+                        node.iter,
+                        "loop over an unordered set feeds an ordered "
+                        "sink (append/write/print/yield); iterate "
+                        "`sorted(...)` instead",
+                    )
+            elif isinstance(node, ast.ListComp) and self._comp_over_set(
+                node, set_names
+            ):
+                yield self.finding(
+                    source,
+                    node,
+                    "list comprehension over an unordered set produces "
+                    "a nondeterministically-ordered list; wrap the "
+                    "iterable in `sorted(...)`",
+                )
+            elif isinstance(node, ast.GeneratorExp) and self._comp_over_set(
+                node, set_names
+            ):
+                consumer = self._consumer_name(node, parents)
+                if consumer not in _ORDER_INSENSITIVE_CONSUMERS:
+                    yield self.finding(
+                        source,
+                        node,
+                        "generator over an unordered set feeds an "
+                        "order-sensitive consumer "
+                        f"(`{consumer or 'unknown'}`); sort first or "
+                        "reduce order-insensitively",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_materializer(source, node, set_names)
+
+    # -- set-typed expression tracking ------------------------------------
+
+    @staticmethod
+    def _iter_scopes(tree: ast.Module) -> Iterator[Sequence[ast.stmt]]:
+        """Each name-tracking scope: the module body plus every def body."""
+        yield tree.body
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node.body
+
+    @staticmethod
+    def _scope_walk(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+        """Walk a scope body without descending into nested functions.
+
+        Function nodes are yielded (so a scope "sees" that a def
+        exists) but never expanded — their bodies belong to the nested
+        scope yielded separately by :meth:`_iter_scopes`.
+        """
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            for child in ast.iter_child_nodes(node):
+                stack.append(child)
+
+    @staticmethod
+    def _set_typed_names(scope_body: Sequence[ast.stmt]) -> Set[str]:
+        """Names assigned a set-typed expression within one scope.
+
+        Tracking is per-scope and flow-insensitive: a name bound to a
+        set anywhere in the scope is treated as a set at every use in
+        that scope.  That is the right bias for a determinism lint —
+        false negatives hide run-to-run diffs, false positives get a
+        `sorted(...)` — while per-scope tracking keeps an unrelated
+        `delays = [...]` in one test from inheriting set-ness from a
+        `delays = {...}` in another.
+        """
+        names: Set[str] = set()
+        for node in SetIterationOrderRule._scope_walk(scope_body):
+            if isinstance(node, ast.Assign):
+                if SetIterationOrderRule._is_set_expr(node.value, names):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+        return names
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name) and node.id in set_names:
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _call_dotted_name(node)
+            if dotted in ("set", "frozenset"):
+                return True
+            # dict.keys() views are insertion-ordered in CPython; set
+            # operations on them are not.
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+        ):
+            return SetIterationOrderRule._is_set_expr(
+                node.left, set_names
+            ) or SetIterationOrderRule._is_set_expr(node.right, set_names)
+        return False
+
+    @classmethod
+    def _comp_over_set(
+        cls, node: ast.AST, set_names: Set[str]
+    ) -> bool:
+        generators = getattr(node, "generators", [])
+        return any(
+            cls._is_set_expr(gen.iter, set_names) for gen in generators
+        )
+
+    # -- sink / consumer classification -----------------------------------
+
+    @staticmethod
+    def _has_ordered_sink(body: Sequence[ast.stmt]) -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    return True
+                if isinstance(node, ast.Call):
+                    if _call_method_name(node) in _ORDERED_SINK_METHODS:
+                        return True
+                    if (
+                        isinstance(node.func, ast.Name)
+                        and node.func.id == "print"
+                    ):
+                        return True
+        return False
+
+    @staticmethod
+    def _consumer_name(
+        node: ast.AST, parents: Dict[int, ast.AST]
+    ) -> Optional[str]:
+        parent = parents.get(id(node))
+        if isinstance(parent, ast.Call):
+            dotted = _call_dotted_name(parent)
+            if dotted is not None:
+                return dotted.rsplit(".", 1)[-1]
+            return _call_method_name(parent)
+        return None
+
+    def _check_materializer(
+        self, source: FileSource, node: ast.Call, set_names: Set[str]
+    ) -> Iterator[Finding]:
+        dotted = _call_dotted_name(node)
+        method = _call_method_name(node)
+        if not node.args or not self._is_set_expr(node.args[0], set_names):
+            return
+        if dotted in _ORDERING_MATERIALIZERS:
+            yield self.finding(
+                source,
+                node,
+                f"`{dotted}(...)` over an unordered set freezes a "
+                "nondeterministic order; wrap the set in `sorted(...)`",
+            )
+        elif method == "join":
+            yield self.finding(
+                source,
+                node,
+                "string join over an unordered set produces "
+                "run-to-run diffs; join `sorted(...)` instead",
+            )
+
+
+# --------------------------------------------------------------------------
+# SV012 — wall-clock reads outside sanctioned seams
+# --------------------------------------------------------------------------
+
+#: Wall/monotonic clock reads that make runs non-replayable.
+_WALL_CLOCK_CALLS: Set[str] = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+}
+
+
+class WallClockRule(Rule):
+    rule_id = "SV012"
+    title = "wall-clock read outside sanctioned seams"
+    rationale = (
+        "Simulated results must be a pure function of inputs; a "
+        "`time.time()`/`perf_counter()`/`datetime.now()` sprinkled "
+        "into model or report code leaks host timing into outputs and "
+        "breaks bit-exact replay. Wall-clock reads belong in the bench "
+        "harness and the service metrics seam (configured via "
+        "`[tool.sieve-lint.SV012] allow`)."
+    )
+
+    def check(self, source: FileSource) -> Iterator[Finding]:
+        in_allowed = _path_in_scope(source, self.rule_id, "allow")
+        if in_allowed is True:
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _call_dotted_name(node)
+            if dotted in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    source,
+                    node,
+                    f"wall-clock read `{dotted}()` outside the "
+                    "sanctioned bench/metrics seams; thread time in "
+                    "explicitly or move the read into the harness",
+                )
+                continue
+            # datetime.datetime.now(...) — attribute-of-attribute form.
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("now", "utcnow", "today")
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "datetime"
+            ):
+                yield self.finding(
+                    source,
+                    node,
+                    f"wall-clock read `datetime.datetime.{func.attr}()` "
+                    "outside the sanctioned bench/metrics seams",
+                )
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     UnitSuffixRule(),
     FloatEqualityRule(),
@@ -702,6 +1504,12 @@ ALL_RULES: Tuple[Rule, ...] = (
     NondeterminismRule(),
     MutableDefaultRule(),
     DeprecatedQueryApiRule(),
+    AsyncBlockingCallRule(),
+    UnawaitedCoroutineRule(),
+    ForkUnsafeStateRule(),
+    UnboundedAwaitRule(),
+    SetIterationOrderRule(),
+    WallClockRule(),
 )
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 import os
+import weakref
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
@@ -78,8 +79,14 @@ class ProtocolSanitizer:
         self._histories: Dict[str, Deque[HistoryEvent]] = {}
         #: Open row per unit; absent or None means precharged.
         self._open_rows: Dict[str, Optional[int]] = {}
-        self._memsys_ids: Dict[int, int] = {}
-        self._ledger_ids: Dict[int, int] = {}
+        #: ``id(obj) -> (weakref, index)``.  The weakref detects id reuse:
+        #: CPython recycles addresses after GC, and a plain id-keyed table
+        #: would hand a new MemorySystem/CommandLedger a dead object's
+        #: label — and with it that unit's open-row mirror, producing
+        #: spurious protocol violations.
+        self._memsys_ids: Dict[int, Tuple[weakref.ref, int]] = {}
+        self._ledger_ids: Dict[int, Tuple[weakref.ref, int]] = {}
+        self._label_counts: Dict[str, int] = {}
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -89,6 +96,7 @@ class ProtocolSanitizer:
         self._open_rows.clear()
         self._memsys_ids.clear()
         self._ledger_ids.clear()
+        self._label_counts.clear()
 
     def _note(self, unit: str, event: str, detail: str) -> None:
         self.events_observed += 1
@@ -108,11 +116,20 @@ class ProtocolSanitizer:
         """The recent command history of one unit (oldest first)."""
         return list(self._histories.get(unit, []))
 
-    def _label(self, table: Dict[int, int], obj: Any, prefix: str) -> str:
+    def _label(
+        self, table: Dict[int, Tuple[weakref.ref, int]], obj: Any, prefix: str
+    ) -> str:
         key = id(obj)
-        if key not in table:
-            table[key] = len(table)
-        return f"{prefix}{table[key]}"
+        entry = table.get(key)
+        if entry is None or entry[0]() is not obj:
+            # First sighting — or the id belonged to an object that has
+            # since been collected.  Either way this is a *new* unit and
+            # must get a fresh label, never the dead object's state.
+            index = self._label_counts.get(prefix, 0)
+            self._label_counts[prefix] = index + 1
+            entry = (weakref.ref(obj), index)
+            table[key] = entry
+        return f"{prefix}{entry[1]}"
 
     # -- raw command-stream protocol ---------------------------------------
 
@@ -254,6 +271,421 @@ class ProtocolSanitizer:
 
 
 # --------------------------------------------------------------------------
+# ScheduleSanitizer — scheduling invariants for the sharded service
+# --------------------------------------------------------------------------
+
+
+class ScheduleViolation(SanitizerError):
+    """A service scheduling invariant was violated.
+
+    ``unit`` names the offending service scope and shard; ``history``
+    is the scope's recent schedule-event trace (oldest first), ending
+    with the violating event.
+    """
+
+
+class _RequestTrack:
+    """Per-request lifecycle state inside one scope."""
+
+    __slots__ = ("state", "kmers", "shard", "batch")
+
+    def __init__(self, kmers: int, shard: int) -> None:
+        self.state = "admitted"
+        self.kmers = kmers
+        self.shard = shard
+        #: ``(shard_id, batch_index)`` once coalesced.
+        self.batch: Optional[Tuple[int, int]] = None
+
+
+_TERMINAL_STATES = ("completed", "expired", "failed")
+
+
+class _ScopeState:
+    """Everything the sanitizer tracks for one service scope."""
+
+    __slots__ = ("label", "requests", "coalesced", "executed",
+                 "last_executed", "history")
+
+    def __init__(self, label: str, history_limit: int) -> None:
+        self.label = label
+        self.requests: Dict[int, _RequestTrack] = {}
+        #: ``(shard, index) -> [req_id, ...]`` for every coalesced batch.
+        self.coalesced: Dict[Tuple[int, int], List[int]] = {}
+        self.executed: set = set()
+        self.last_executed: Dict[int, int] = {}
+        self.history: Deque[HistoryEvent] = deque(maxlen=history_limit)
+
+
+class ScheduleSanitizer:
+    """Verifies service scheduling invariants online.
+
+    Implements the :mod:`repro.service.hooks` observer interface and
+    mirrors :class:`ProtocolSanitizer`: every event is appended to a
+    bounded per-scope trace, invariants are checked as events arrive,
+    and a violation raises :class:`ScheduleViolation` carrying the
+    trace.  Invariants:
+
+    * a request is admitted once (re-admission only after a crash
+      orphaned it),
+    * every batch executes **at most once**, with strictly monotone
+      batch ids per shard,
+    * an executed batch's live slice partitions its k-mers exactly
+      (coalescing slices are re-voted before reply, never split),
+    * a request resolves exactly once — completion, deadline expiry, or
+      failure — and completion carries its admitted k-mer count,
+    * at quiesce (drain complete) no admitted request is still pending.
+
+    State is keyed per scope (one :class:`ClassificationService` or
+    standalone :class:`ShardWorker`) through a ``WeakKeyDictionary``,
+    so one installed sanitizer polices any number of services without
+    leaking state between them or outliving them.
+    """
+
+    def __init__(self, history_limit: int = 64) -> None:
+        import weakref
+
+        self.history_limit = history_limit
+        self.violations_raised = 0
+        self.events_observed = 0
+        self._scopes: "weakref.WeakKeyDictionary[Any, _ScopeState]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._scope_count = 0
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all tracked state (between independent services)."""
+        self._scopes.clear()
+
+    def _state(self, scope: Any) -> _ScopeState:
+        state = self._scopes.get(scope)
+        if state is None:
+            state = _ScopeState(
+                f"scope{self._scope_count}", self.history_limit
+            )
+            self._scope_count += 1
+            self._scopes[scope] = state
+        return state
+
+    def _note(
+        self, state: _ScopeState, shard_id: int, event: str, detail: str
+    ) -> None:
+        self.events_observed += 1
+        unit = f"{state.label}:shard{shard_id}"
+        state.history.append((self.events_observed, unit, event, detail))
+
+    def _fail(self, message: str, state: _ScopeState, shard_id: int) -> None:
+        self.violations_raised += 1
+        raise ScheduleViolation(
+            message, f"{state.label}:shard{shard_id}", list(state.history)
+        )
+
+    def history_for(self, scope: Any) -> List[HistoryEvent]:
+        """The recent schedule trace of one scope (oldest first)."""
+        state = self._scopes.get(scope)
+        return list(state.history) if state is not None else []
+
+    def pending_requests(self, scope: Any) -> int:
+        """Requests admitted but not yet terminal (drain debugging)."""
+        state = self._scopes.get(scope)
+        if state is None:
+            return 0
+        return sum(
+            1
+            for track in state.requests.values()
+            if track.state not in _TERMINAL_STATES
+        )
+
+    # -- repro.service.hooks observer interface -----------------------------
+
+    def on_request_admitted(
+        self, scope: Any, shard_id: int, req_id: int, num_kmers: int
+    ) -> None:
+        state = self._state(scope)
+        self._note(
+            state, shard_id, "ADMIT", f"req={req_id} kmers={num_kmers}"
+        )
+        track = state.requests.get(req_id)
+        if track is None:
+            state.requests[req_id] = _RequestTrack(num_kmers, shard_id)
+            return
+        if track.state in _TERMINAL_STATES:
+            self._fail(
+                f"request {req_id} re-admitted after terminal state "
+                f"{track.state!r}",
+                state,
+                shard_id,
+            )
+        if track.state != "orphaned":
+            self._fail(
+                f"request {req_id} admitted twice (state {track.state!r}; "
+                "only crash-orphaned requests may be re-dispatched)",
+                state,
+                shard_id,
+            )
+        if num_kmers != track.kmers:
+            self._fail(
+                f"request {req_id} re-admitted with {num_kmers} k-mers, "
+                f"originally {track.kmers}",
+                state,
+                shard_id,
+            )
+        track.state = "admitted"
+        track.shard = shard_id
+        track.batch = None
+
+    def on_batch_coalesced(
+        self,
+        scope: Any,
+        shard_id: int,
+        batch_index: int,
+        entries: List[Tuple[int, int]],
+    ) -> None:
+        state = self._state(scope)
+        coords = (shard_id, batch_index)
+        self._note(
+            state,
+            shard_id,
+            "COALESCE",
+            f"batch={batch_index} reqs={[rid for rid, _ in entries]}",
+        )
+        if coords in state.coalesced:
+            self._fail(
+                f"batch {batch_index} coalesced twice on shard {shard_id}",
+                state,
+                shard_id,
+            )
+        for req_id, num_kmers in entries:
+            track = state.requests.get(req_id)
+            if track is None:
+                self._fail(
+                    f"batch {batch_index} contains unknown request "
+                    f"{req_id} (never admitted)",
+                    state,
+                    shard_id,
+                )
+                return
+            if track.state != "admitted":
+                self._fail(
+                    f"request {req_id} coalesced in state "
+                    f"{track.state!r} (expected 'admitted')",
+                    state,
+                    shard_id,
+                )
+            if track.shard != shard_id:
+                self._fail(
+                    f"request {req_id} admitted on shard {track.shard} "
+                    f"but coalesced on shard {shard_id}",
+                    state,
+                    shard_id,
+                )
+            if num_kmers != track.kmers:
+                self._fail(
+                    f"request {req_id} coalesced with {num_kmers} "
+                    f"k-mers, admitted with {track.kmers}",
+                    state,
+                    shard_id,
+                )
+            track.state = "batched"
+            track.batch = coords
+        state.coalesced[coords] = [rid for rid, _ in entries]
+
+    def on_batch_executed(
+        self,
+        scope: Any,
+        shard_id: int,
+        batch_index: int,
+        req_ids: List[int],
+        total_kmers: int,
+    ) -> None:
+        state = self._state(scope)
+        coords = (shard_id, batch_index)
+        self._note(
+            state,
+            shard_id,
+            "EXECUTE",
+            f"batch={batch_index} reqs={list(req_ids)} kmers={total_kmers}",
+        )
+        if coords not in state.coalesced:
+            self._fail(
+                f"batch {batch_index} executed on shard {shard_id} "
+                "without being coalesced",
+                state,
+                shard_id,
+            )
+        if coords in state.executed:
+            self._fail(
+                f"batch {batch_index} executed twice on shard {shard_id} "
+                "(exactly-once violated)",
+                state,
+                shard_id,
+            )
+        last = state.last_executed.get(shard_id)
+        if last is not None and batch_index <= last:
+            self._fail(
+                f"batch ids not monotone on shard {shard_id}: "
+                f"{batch_index} after {last}",
+                state,
+                shard_id,
+            )
+        live_kmers = 0
+        members = set(state.coalesced[coords])
+        for req_id in req_ids:
+            track = state.requests.get(req_id)
+            if track is None or req_id not in members:
+                self._fail(
+                    f"executed batch {batch_index} contains request "
+                    f"{req_id} that was not coalesced into it",
+                    state,
+                    shard_id,
+                )
+                return
+            if track.state != "batched" or track.batch != coords:
+                self._fail(
+                    f"request {req_id} executed in state "
+                    f"{track.state!r} (batch {track.batch})",
+                    state,
+                    shard_id,
+                )
+            live_kmers += track.kmers
+        if live_kmers != total_kmers:
+            self._fail(
+                f"batch {batch_index} k-mer partition mismatch: live "
+                f"requests sum to {live_kmers}, executed {total_kmers}",
+                state,
+                shard_id,
+            )
+        for req_id in members - set(req_ids):
+            track = state.requests[req_id]
+            if track.state not in _TERMINAL_STATES:
+                self._fail(
+                    f"request {req_id} dropped from executing batch "
+                    f"{batch_index} while still {track.state!r}",
+                    state,
+                    shard_id,
+                )
+        state.executed.add(coords)
+        state.last_executed[shard_id] = batch_index
+
+    def on_request_completed(
+        self, scope: Any, shard_id: int, req_id: int, num_kmers: int
+    ) -> None:
+        state = self._state(scope)
+        self._note(
+            state, shard_id, "COMPLETE", f"req={req_id} kmers={num_kmers}"
+        )
+        track = state.requests.get(req_id)
+        if track is None:
+            self._fail(
+                f"unknown request {req_id} completed", state, shard_id
+            )
+            return
+        if track.state in _TERMINAL_STATES:
+            self._fail(
+                f"request {req_id} answered twice (already "
+                f"{track.state!r})",
+                state,
+                shard_id,
+            )
+        if (
+            track.state != "batched"
+            or track.batch is None
+            or track.batch not in state.executed
+        ):
+            self._fail(
+                f"request {req_id} completed in state {track.state!r} "
+                "without an executed batch",
+                state,
+                shard_id,
+            )
+        if num_kmers != track.kmers:
+            self._fail(
+                f"request {req_id} completed with {num_kmers} k-mers, "
+                f"admitted with {track.kmers} (slice mis-partition)",
+                state,
+                shard_id,
+            )
+        track.state = "completed"
+
+    def on_request_expired(
+        self, scope: Any, shard_id: int, req_id: int
+    ) -> None:
+        state = self._state(scope)
+        self._note(state, shard_id, "EXPIRE", f"req={req_id}")
+        track = state.requests.get(req_id)
+        if track is None:
+            self._fail(f"unknown request {req_id} expired", state, shard_id)
+            return
+        if track.state in _TERMINAL_STATES:
+            self._fail(
+                f"request {req_id} expired after terminal state "
+                f"{track.state!r}",
+                state,
+                shard_id,
+            )
+        track.state = "expired"
+
+    def on_request_failed(
+        self, scope: Any, shard_id: int, req_id: int
+    ) -> None:
+        state = self._state(scope)
+        self._note(state, shard_id, "FAIL", f"req={req_id}")
+        track = state.requests.get(req_id)
+        if track is None:
+            self._fail(f"unknown request {req_id} failed", state, shard_id)
+            return
+        if track.state in _TERMINAL_STATES:
+            self._fail(
+                f"request {req_id} failed after terminal state "
+                f"{track.state!r} (double answer)",
+                state,
+                shard_id,
+            )
+        track.state = "failed"
+
+    def on_requests_orphaned(
+        self, scope: Any, shard_id: int, req_ids: List[int]
+    ) -> None:
+        state = self._state(scope)
+        self._note(state, shard_id, "ORPHAN", f"reqs={list(req_ids)}")
+        for req_id in req_ids:
+            track = state.requests.get(req_id)
+            if track is None:
+                self._fail(
+                    f"unknown request {req_id} orphaned", state, shard_id
+                )
+                return
+            if track.state in _TERMINAL_STATES:
+                self._fail(
+                    f"request {req_id} orphaned after terminal state "
+                    f"{track.state!r}",
+                    state,
+                    shard_id,
+                )
+            track.state = "orphaned"
+            track.batch = None
+
+    def on_service_quiesce(self, scope: Any) -> None:
+        state = self._state(scope)
+        self._note(state, -1, "QUIESCE", f"requests={len(state.requests)}")
+        for req_id, track in state.requests.items():
+            if track.state not in _TERMINAL_STATES:
+                self._fail(
+                    f"request {req_id} dropped: still {track.state!r} at "
+                    "quiesce (admitted but never answered)",
+                    state,
+                    track.shard,
+                )
+        # The scope finished a full drain cycle; start fresh so a
+        # reused service does not accumulate unbounded request state.
+        try:
+            del self._scopes[scope]
+        except KeyError:
+            pass
+
+
+# --------------------------------------------------------------------------
 # Installation
 # --------------------------------------------------------------------------
 
@@ -294,4 +726,43 @@ def enable_from_env(
     """Enable the sanitizer iff ``SIEVE_SANITIZE`` requests it."""
     if sanitize_requested(environ):
         return enable_sanitizer()
+    return None
+
+
+def enable_schedule_sanitizer(
+    sanitizer: Optional[ScheduleSanitizer] = None,
+) -> ScheduleSanitizer:
+    """Install (and return) the active schedule sanitizer; idempotent."""
+    from repro.service import hooks as service_hooks
+
+    current = service_hooks.get_observer()
+    if sanitizer is None:
+        if isinstance(current, ScheduleSanitizer):
+            return current
+        sanitizer = ScheduleSanitizer()
+    service_hooks.install(sanitizer)
+    return sanitizer
+
+
+def disable_schedule_sanitizer() -> None:
+    """Remove the active schedule sanitizer (no-op when none)."""
+    from repro.service import hooks as service_hooks
+
+    service_hooks.uninstall()
+
+
+def active_schedule_sanitizer() -> Optional[ScheduleSanitizer]:
+    """The installed :class:`ScheduleSanitizer`, or ``None``."""
+    from repro.service import hooks as service_hooks
+
+    observer = service_hooks.get_observer()
+    return observer if isinstance(observer, ScheduleSanitizer) else None
+
+
+def enable_schedule_from_env(
+    environ: Optional[Dict[str, str]] = None,
+) -> Optional[ScheduleSanitizer]:
+    """Enable the schedule sanitizer iff ``SIEVE_SANITIZE`` requests it."""
+    if sanitize_requested(environ):
+        return enable_schedule_sanitizer()
     return None

@@ -22,12 +22,14 @@ Three invariants make ``--jobs 1`` equivalent to ``--jobs N``:
 3. Workers never nest pools: a ``run_jobs`` call inside a worker runs
    inline, so parallelism applies at the outermost fan-out only.
 
-Workers inherit the parent's DRAM protocol sanitizer: when the parent
-has a :class:`~repro.analysiskit.ProtocolSanitizer` installed (or
-``SIEVE_SANITIZE`` requests one), every worker installs its own into
-the :mod:`repro.dram.hooks` seam before running jobs, and a
+Workers inherit the parent's sanitizers: when the parent has a
+:class:`~repro.analysiskit.ProtocolSanitizer` installed (or
+``SIEVE_SANITIZE`` requests one), every worker installs its own DRAM
+protocol sanitizer into the :mod:`repro.dram.hooks` seam — plus a
+:class:`~repro.analysiskit.ScheduleSanitizer` into
+:mod:`repro.service.hooks` — before running jobs, and a
 :class:`~repro.analysiskit.SanitizerError` raised in a worker
-propagates to the parent with the offending command history intact.
+propagates to the parent with the offending history intact.
 
 The optional on-disk result cache keys each payload by a content hash
 of (job key, repro version, payload schema) — see :class:`ResultCache`.
@@ -210,9 +212,10 @@ def _worker_init(sanitize: bool) -> None:
     _in_worker = True
     if sanitize:
         os.environ["SIEVE_SANITIZE"] = "1"
-        from ..analysiskit import enable_sanitizer
+        from ..analysiskit import enable_sanitizer, enable_schedule_sanitizer
 
         enable_sanitizer()
+        enable_schedule_sanitizer()
 
 
 def _execute(job: Job) -> Any:

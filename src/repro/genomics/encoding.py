@@ -43,6 +43,8 @@ _ASCII_TO_CODE = np.full(256, 255, dtype=np.uint8)
 for _base, _code in BASE_TO_CODE.items():
     _ASCII_TO_CODE[ord(_base)] = _code
     _ASCII_TO_CODE[ord(_base.lower())] = _code
+# Shared read-only across forked fleet workers.
+_ASCII_TO_CODE.setflags(write=False)
 
 
 class EncodingError(ValueError):

@@ -16,6 +16,7 @@ deployment recommendation (DIMM vs PCIe generation) in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Dict
 
 #: Paper constants (Section IV-C).
@@ -43,7 +44,8 @@ class PcieLink:
     lanes: int
 
     #: Per-lane effective payload bandwidth by generation, GB/s.
-    _PER_LANE = {3: 0.985, 4: 1.969, 5: 3.938}
+    #: Frozen: class-level state is shared across instances and forks.
+    _PER_LANE = MappingProxyType({3: 0.985, 4: 1.969, 5: 3.938})
 
     def __post_init__(self) -> None:
         if self.generation not in self._PER_LANE:

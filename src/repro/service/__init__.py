@@ -24,11 +24,17 @@ the wide ``query()`` batches the column-major layout is built for:
   in *simulated device time* (functional counter deltas through the
   command ledger), so service stats double as a Fig. 15/16-style
   deployment experiment (``stats()["deployment"]``).
+* **observability** — the scheduler emits its admit / coalesce /
+  execute / complete lifecycle through the :mod:`repro.service.hooks`
+  seam; ``SIEVE_SANITIZE=1`` installs the
+  :class:`repro.analysiskit.ScheduleSanitizer`, which verifies
+  exactly-once execution and no dropped or double-answered requests.
 
 Run ``python -m repro.service --demo`` for a self-checking load run,
 or use :class:`ServiceClient` in-process.  See ``docs/SERVICE.md``.
 """
 
+from . import hooks
 from .config import ServiceConfig
 from .dispatcher import (
     DeadlineExceededError,
@@ -55,4 +61,5 @@ __all__ = [
     "ServiceResponse",
     "ShardCrashError",
     "ShardHealth",
+    "hooks",
 ]

@@ -132,8 +132,31 @@ def build_parser(add_help: bool = True) -> argparse.ArgumentParser:
     return parser
 
 
-async def run_demo(args: argparse.Namespace) -> int:
+async def _serve(
+    service: ClassificationService,
+    client: ServiceClient,
+    reads: List,
+):
+    """The event-loop half of the demo: serve the load, then drain.
+
+    Everything blocking (dataset/backend construction, the sequential
+    reference replay, report printing, metrics-file writes) stays in
+    the synchronous :func:`run_demo` wrapper so nothing stalls the
+    loop while shards are live (lint rule SV007).
+    """
+    await service.start()
+    responses = await client.classify_many(reads)
+    await service.stop(drain=True)
+    return responses
+
+
+def run_demo(args: argparse.Namespace) -> int:
+    from ..analysiskit import enable_schedule_from_env
     from ..genomics.synthetic import build_dataset
+
+    # CI smoke jobs export SIEVE_SANITIZE=1: the demo then runs with the
+    # ScheduleSanitizer verifying exactly-once/coalescing invariants.
+    enable_schedule_from_env()
 
     dataset = build_dataset(
         k=args.k,
@@ -199,9 +222,7 @@ async def run_demo(args: argparse.Namespace) -> int:
     reads = [
         dataset.reads[i % len(dataset.reads)] for i in range(args.requests)
     ]
-    await service.start()
-    responses = await client.classify_many(reads)
-    await service.stop(drain=True)
+    responses = asyncio.run(_serve(service, client, reads))
 
     # Sequential scalar reference on a fresh (identically faulted) replica.
     reference = build_replica()
@@ -278,7 +299,7 @@ def run_from_args(args: argparse.Namespace) -> int:
         build_parser().print_help()
         print("\n(only --demo mode is implemented; pass --demo)")
         return 2
-    return asyncio.run(run_demo(args))
+    return run_demo(args)
 
 
 def main(argv: List[str] | None = None) -> int:

@@ -82,7 +82,10 @@ class ServiceClient:
                     )
                 )
                 continue
-            return await future
+            # Bounded by construction: the dispatcher resolves every
+            # admitted future via completion, deadline expiry, or crash
+            # failover — there is no path that leaves it pending.
+            return await future  # lint: disable=SV010 (future resolves via completion/expiry/failover on every path)
 
     async def classify_many(
         self, reads: Sequence, deadline_s: Optional[float] = None

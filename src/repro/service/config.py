@@ -46,6 +46,13 @@ class ServiceConfig:
     #: by a deterministic per-(request, attempt) factor drawn from
     #: ``[1 - jitter, 1]`` so synchronized rejections decorrelate.
     retry_jitter: float = 0.5
+    #: Executor seam: worker threads for the blocking backend
+    #: ``query()``.  0 (the default) runs the query inline on the event
+    #: loop's thread — fully deterministic, the mode every regression
+    #: job uses.  > 0 moves the CPU-heavy call off the loop via
+    #: ``run_in_executor`` (shards still serialize their own batches,
+    #: but cross-shard completion order may vary run to run).
+    executor_threads: int = 0
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -66,3 +73,5 @@ class ServiceConfig:
             raise ServiceConfigError("retry_backoff_cap_s must be positive")
         if not 0.0 <= self.retry_jitter <= 1.0:
             raise ServiceConfigError("retry_jitter must be in [0, 1]")
+        if self.executor_threads < 0:
+            raise ServiceConfigError("executor_threads must be >= 0")

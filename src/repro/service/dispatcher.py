@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 
 from ..api import QueryBackend, classification_from_results
+from . import hooks
 from .config import ServiceConfig
 from .metrics import MetricsRegistry
 
@@ -88,6 +89,14 @@ class Request:
     future: "asyncio.Future[ServiceResponse]"
     enqueued_at: float
     deadline: Optional[float] = None
+    #: Service-scoped id for schedule tracing; ``None`` (standalone
+    #: worker use) falls back to the object identity.
+    req_id: Optional[int] = None
+
+
+def _rid(request: Request) -> int:
+    """The request's trace id (stable while the request is in flight)."""
+    return request.req_id if request.req_id is not None else id(request)
 
 
 @dataclass(frozen=True)
@@ -123,6 +132,8 @@ class ShardWorker:
         on_crash: Optional[
             Callable[[int, List["Request"]], Awaitable[None]]
         ] = None,
+        scope: Optional[Any] = None,
+        executor: Optional[Any] = None,
     ) -> None:
         self.shard_id = shard_id
         self.backend = backend
@@ -134,6 +145,13 @@ class ShardWorker:
         #: Failover callback: ``await on_crash(shard_id, orphans)``
         #: re-dispatches requests this shard can no longer serve.
         self._on_crash = on_crash
+        #: Schedule-trace scope (the owning service; the worker itself
+        #: when used standalone).  See :mod:`repro.service.hooks`.
+        self.scope = scope if scope is not None else self
+        #: Executor seam: when set, the blocking backend ``query()``
+        #: runs off the event loop via ``run_in_executor``; when None
+        #: (the deterministic default) it runs inline.
+        self._executor = executor
         self.health = ShardHealth()
         self.queue: "asyncio.Queue[Request]" = asyncio.Queue(
             maxsize=config.queue_depth
@@ -156,6 +174,10 @@ class ShardWorker:
                 self.shard_id, self.config.retry_after_s
             ) from None
         self.metrics.counter("submitted_total").inc()
+        if hooks.OBSERVER is not None:
+            hooks.OBSERVER.on_request_admitted(
+                self.scope, self.shard_id, _rid(request), len(request.kmers)
+            )
 
     # -- dispatch loop --------------------------------------------------------
 
@@ -168,12 +190,21 @@ class ShardWorker:
         request to the failover callback, and exits.
         """
         while True:
-            first = await self.queue.get()
+            # Idle accept: blocks until the next request arrives, by
+            # design unbounded (shutdown is via task cancellation).
+            first = await self.queue.get()  # lint: disable=SV010 (idle accept; cancelled on stop)
             batch = [first]
             try:
                 await self._coalesce(batch)
                 index = self._batch_index
                 self._batch_index += 1
+                if hooks.OBSERVER is not None:
+                    hooks.OBSERVER.on_batch_coalesced(
+                        self.scope,
+                        self.shard_id,
+                        index,
+                        [(_rid(req), len(req.kmers)) for req in batch],
+                    )
                 action = (
                     self.chaos.before_batch(self.shard_id, index)
                     if self.chaos is not None
@@ -189,7 +220,7 @@ class ShardWorker:
                     raise ShardCrashError(
                         f"shard {self.shard_id} crashed before batch {index}"
                     )
-                self._execute(batch)
+                await self._dispatch(batch, index)
                 self.health.batches += 1
             except ShardCrashError:
                 await self._fail(batch)
@@ -217,6 +248,10 @@ class ShardWorker:
             return
         self.health.redispatched += len(orphans)
         self.metrics.counter("redispatched_total").inc(len(orphans))
+        if hooks.OBSERVER is not None:
+            hooks.OBSERVER.on_requests_orphaned(
+                self.scope, self.shard_id, [_rid(req) for req in orphans]
+            )
         if self._on_crash is not None:
             await self._on_crash(self.shard_id, orphans)
         else:
@@ -227,6 +262,10 @@ class ShardWorker:
                             f"shard {self.shard_id} crashed; no failover"
                         )
                     )
+                    if hooks.OBSERVER is not None:
+                        hooks.OBSERVER.on_request_failed(
+                            self.scope, self.shard_id, _rid(req)
+                        )
 
     async def _coalesce(self, batch: List[Request]) -> None:
         """Grow ``batch`` until the k-mer target or the linger expires."""
@@ -254,7 +293,15 @@ class ShardWorker:
             batch.append(nxt)
             gathered += len(nxt.kmers)
 
-    def _execute(self, batch: List[Request]) -> None:
+    async def _dispatch(self, batch: List[Request], index: int) -> None:
+        """Execute one batch: filter expired, query, slice, resolve.
+
+        This is the executor seam SV007 polices: the blocking backend
+        ``query()`` (:meth:`_query_blocking`) runs inline when
+        ``executor`` is unset — the deterministic default — or off the
+        loop via ``run_in_executor``.  Deadline filtering and future
+        resolution always stay on the event loop.
+        """
         loop = asyncio.get_running_loop()
         now = loop.time()
         live: List[Request] = []
@@ -268,6 +315,10 @@ class ShardWorker:
                             f"before dispatch on shard {self.shard_id}"
                         )
                     )
+                    if hooks.OBSERVER is not None:
+                        hooks.OBSERVER.on_request_expired(
+                            self.scope, self.shard_id, _rid(req)
+                        )
             else:
                 live.append(req)
         if not live:
@@ -275,12 +326,43 @@ class ShardWorker:
         flat: List[int] = []
         for req in live:
             flat.extend(req.kmers)
+        if hooks.OBSERVER is not None:
+            hooks.OBSERVER.on_batch_executed(
+                self.scope,
+                self.shard_id,
+                index,
+                [_rid(req) for req in live],
+                len(flat),
+            )
+        if self._executor is None:
+            results, wall_batch_ms, delta = self._query_blocking(flat)
+        else:
+            results, wall_batch_ms, delta = await loop.run_in_executor(
+                self._executor, self._query_blocking, flat
+            )
+        self._finish(live, flat, results, wall_batch_ms, delta, loop)
+
+    def _query_blocking(
+        self, flat: List[int]
+    ) -> Tuple[List[Any], float, Dict[str, int]]:
+        """The blocking half of a batch (safe off the event loop)."""
         wall_start = time.perf_counter()
         before = self._perf_counters()
         results = self.backend.query(flat) if flat else []
         wall_batch_ms = (time.perf_counter() - wall_start) * 1e3
         after = self._perf_counters()
         delta = {key: after[key] - before.get(key, 0) for key in after}
+        return results, wall_batch_ms, delta
+
+    def _finish(
+        self,
+        live: List[Request],
+        flat: List[int],
+        results: List[Any],
+        wall_batch_ms: float,
+        delta: Dict[str, int],
+        loop: "asyncio.AbstractEventLoop",
+    ) -> None:
         sim_ns, sim_nj = self._batch_cost(delta)
         self.sim_time_ns += sim_ns
         self.sim_energy_nj += sim_nj
@@ -320,6 +402,10 @@ class ShardWorker:
                         wall_ms=wall_ms,
                     )
                 )
+                if hooks.OBSERVER is not None:
+                    hooks.OBSERVER.on_request_completed(
+                        self.scope, self.shard_id, _rid(req), len(req.kmers)
+                    )
 
     # -- backend cost hooks (optional on the protocol) ------------------------
 

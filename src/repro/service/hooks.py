@@ -1,0 +1,64 @@
+"""Observer seam for runtime instrumentation of the serving layer.
+
+:mod:`repro.analysiskit` installs a :class:`ScheduleSanitizer` here to
+verify scheduling invariants — exactly-once batch execution, no request
+answered twice or dropped, monotone per-shard batch ids — while the
+sharded service runs (see ``docs/CORRECTNESS.md``).  The seam mirrors
+:mod:`repro.dram.hooks` and is kept dependency-free so ``repro.service``
+never imports the tooling that observes it.
+
+Hot paths check a single module-level reference and skip everything
+when no observer is installed (the default), so an idle seam costs one
+attribute load and a ``None`` test per event.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+#: The installed observer, or ``None`` (the default: no instrumentation).
+OBSERVER: Optional[Any] = None
+
+
+def install(observer: Any) -> None:
+    """Install ``observer`` as the single active schedule observer.
+
+    The observer is duck-typed; it may implement any subset of:
+
+    * ``on_request_admitted(scope, shard_id, req_id, num_kmers)`` —
+      after a request lands on a shard queue (first admit *and* each
+      failover re-admit),
+    * ``on_batch_coalesced(scope, shard_id, batch_index, entries)`` —
+      after the dispatch loop closes a batch; ``entries`` is a list of
+      ``(req_id, num_kmers)`` tuples,
+    * ``on_batch_executed(scope, shard_id, batch_index, req_ids,
+      total_kmers)`` — just before the backend ``query()`` for the
+      still-live slice of the batch,
+    * ``on_request_completed(scope, shard_id, req_id, num_kmers)`` —
+      after a request's future resolves with its classification,
+    * ``on_request_expired(scope, shard_id, req_id)`` — deadline passed
+      before dispatch,
+    * ``on_request_failed(scope, shard_id, req_id)`` — resolved with an
+      error (crash without failover, total outage),
+    * ``on_requests_orphaned(scope, shard_id, req_ids)`` — a crashing
+      shard handed these requests to failover,
+    * ``on_service_quiesce(scope)`` — drain completed; every admitted
+      request must be terminal.
+
+    ``scope`` is the owning :class:`ClassificationService` (or the
+    worker itself for standalone :class:`ShardWorker` use), so one
+    observer can police many services concurrently.
+    """
+    global OBSERVER
+    OBSERVER = observer
+
+
+def uninstall() -> None:
+    """Remove the active observer (instrumentation off)."""
+    global OBSERVER
+    OBSERVER = None
+
+
+def get_observer() -> Optional[Any]:
+    """Return the active observer, or ``None``."""
+    return OBSERVER

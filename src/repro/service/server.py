@@ -26,8 +26,9 @@ from dataclasses import asdict
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..api import QueryBackend
+from . import hooks
 from .config import ServiceConfig
-from .dispatcher import Request, ServiceError, ServiceResponse, ShardWorker
+from .dispatcher import Request, ServiceError, ServiceResponse, ShardWorker, _rid
 from .metrics import MetricsRegistry
 
 
@@ -58,6 +59,14 @@ class ClassificationService:
         #: Optional :class:`repro.faults.ChaosInjector` shared by every
         #: shard (the plan addresses shards by id).
         self.chaos = chaos
+        self._executor = None
+        if config.executor_threads > 0:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._executor = ThreadPoolExecutor(
+                max_workers=config.executor_threads,
+                thread_name_prefix="sieve-shard",
+            )
         self.shards: List[ShardWorker] = [
             ShardWorker(
                 i,
@@ -66,12 +75,15 @@ class ClassificationService:
                 self.metrics,
                 chaos=chaos,
                 on_crash=self._redispatch,
+                scope=self,
+                executor=self._executor,
             )
             for i, backend in enumerate(backends)
         ]
         self._tasks: List["asyncio.Task[None]"] = []
         self._next_shard = 0
         self._draining = False
+        self._req_counter = 0
 
     @classmethod
     def from_database(
@@ -102,12 +114,19 @@ class ClassificationService:
         ]
 
     async def drain(self) -> None:
-        """Wait until every queued request has been dispatched."""
+        """Wait until every queued request has been dispatched.
+
+        Draining is unbounded by design: every queued request resolves
+        through dispatch, deadline expiry, or crash failover, so the
+        join always terminates once workers make progress.
+        """
         self._draining = True
         try:
-            await asyncio.gather(*(s.queue.join() for s in self.shards))
+            await asyncio.gather(*(s.queue.join() for s in self.shards))  # lint: disable=SV010 (every queued request terminates via dispatch/expiry/failover)
         finally:
             self._draining = False
+        if hooks.OBSERVER is not None:
+            hooks.OBSERVER.on_service_quiesce(self)
 
     async def stop(self, drain: bool = True) -> None:
         """Graceful shutdown: optionally drain, then cancel the workers."""
@@ -118,6 +137,8 @@ class ClassificationService:
         if self._tasks:
             await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
 
     @property
     def running(self) -> bool:
@@ -145,12 +166,14 @@ class ClassificationService:
             else self.config.default_deadline_s
         )
         now = loop.time()
+        self._req_counter += 1
         request = Request(
             read=read,
             kmers=list(read.kmers(self.k)),
             future=loop.create_future(),
             enqueued_at=now,
             deadline=now + deadline_s if deadline_s is not None else None,
+            req_id=self._req_counter,
         )
         shard.try_submit(request)
         return request.future
@@ -196,8 +219,21 @@ class ClassificationService:
                     req.future.set_exception(
                         ServiceError("all shards crashed; request lost")
                     )
+                    if hooks.OBSERVER is not None:
+                        hooks.OBSERVER.on_request_failed(
+                            self, from_shard, _rid(req)
+                        )
                 continue
-            await target.queue.put(req)
+            # Re-admit is announced *before* the put: the put can yield,
+            # and the target worker may coalesce the request before this
+            # coroutine resumes.
+            if hooks.OBSERVER is not None:
+                hooks.OBSERVER.on_request_admitted(
+                    self, target.shard_id, _rid(req), len(req.kmers)
+                )
+            # Blocking put is the failover contract (see docstring):
+            # accepted work waits for room rather than being re-rejected.
+            await target.queue.put(req)  # lint: disable=SV010 (deliberate blocking put; failover never re-rejects accepted work)
             self.metrics.counter("submitted_total").inc()
 
     # -- observability --------------------------------------------------------

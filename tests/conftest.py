@@ -12,7 +12,11 @@ import os
 import numpy as np
 import pytest
 
-from repro.analysiskit import enable_sanitizer, sanitize_requested
+from repro.analysiskit import (
+    enable_sanitizer,
+    enable_schedule_sanitizer,
+    sanitize_requested,
+)
 from repro.genomics import KmerDatabase, build_dataset
 from repro.sieve import SieveDevice, SubarrayLayout
 
@@ -21,16 +25,21 @@ SMALL_K = 9
 
 @pytest.fixture(scope="session", autouse=True)
 def _protocol_sanitizer():
-    """Run the whole suite with the DRAM protocol sanitizer active.
+    """Run the whole suite with both runtime sanitizers active.
 
     The tier-1 suite is the reference workload, so it executes sanitized
-    by default (equivalent to SIEVE_SANITIZE=1); any protocol or
-    accounting violation in the models fails the offending test with a
-    SanitizerError carrying the command history.  Setting
+    by default (equivalent to SIEVE_SANITIZE=1): the DRAM protocol
+    sanitizer fails any test that violates timing/accounting invariants,
+    and the service ScheduleSanitizer fails any test whose request
+    scheduling drops, duplicates, or re-executes work.  Setting
     SIEVE_SANITIZE=0 explicitly opts out (overhead measurements only).
     """
     env = {"SIEVE_SANITIZE": os.environ.get("SIEVE_SANITIZE", "1")}
-    yield enable_sanitizer() if sanitize_requested(env) else None
+    if not sanitize_requested(env):
+        yield None
+        return
+    enable_schedule_sanitizer()
+    yield enable_sanitizer()
 
 
 @pytest.fixture(scope="session")

@@ -6,6 +6,7 @@ counts, monotone time/energy), MemorySystem classification checks, and
 the install/enable plumbing.
 """
 
+import gc
 import os
 
 import pytest
@@ -184,6 +185,37 @@ class TestMemorySystemChecks:
         first.access(64)
         second.access(64)
         assert sanitizer.violations_raised == 0
+
+    def test_recycled_id_gets_a_fresh_label(self, sanitizer):
+        """A new system at a dead system's address must not inherit state.
+
+        CPython recycles object addresses after collection, so an
+        id-keyed label table can hand a brand-new ``MemorySystem`` a
+        dead one's label — and with it that unit's open-row mirror,
+        raising spurious "claimed hit/miss" violations mid-suite.  The
+        weakref guard in ``_label`` must detect the reuse and assign a
+        fresh label instead.
+        """
+        first = MemorySystem()
+        first.access(0)  # opens a row under the first system's label
+        first_label = sanitizer._label(
+            sanitizer._memsys_ids, first, "memsys"
+        )
+        (dead_ref, _), = sanitizer._memsys_ids.values()
+        del first
+        gc.collect()
+
+        second = MemorySystem()
+        # Plant the collision deterministically: map the new system's id
+        # to the dead entry, exactly what the table holds when the
+        # allocator recycles a collected system's address.
+        sanitizer._memsys_ids[id(second)] = (dead_ref, 0)
+        second.access(0)  # fresh bank must replay as a clean miss
+        assert sanitizer.violations_raised == 0
+        second_label = sanitizer._label(
+            sanitizer._memsys_ids, second, "memsys"
+        )
+        assert second_label != first_label
 
 
 class TestInstallation:

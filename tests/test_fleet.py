@@ -84,7 +84,7 @@ class MutateSharedJob(Job):
         }
 
 
-EXECUTIONS: list = []
+EXECUTIONS: list = []  # lint: disable=SV009 (test probe: observes in-process-vs-forked execution)
 _SHARED_DB = None
 
 

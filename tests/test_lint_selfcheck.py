@@ -1,12 +1,14 @@
 """Self-hosting check: the repo must satisfy its own lint rules.
 
-Running the SV001-SV006 pass over ``src/`` and ``tests/`` inside the
-suite means a change that regresses unit discipline, determinism, or
-dispatch exhaustiveness fails CI even if nobody ran ``python -m
-repro.lint`` by hand.  Also runs ``ruff``/``mypy`` when they are
-installed (CI installs them; local environments may not have them).
+Running the SV001-SV012 pass over ``src/`` and ``tests/`` inside the
+suite means a change that regresses unit discipline, determinism,
+dispatch exhaustiveness, or async/fork safety fails CI even if nobody
+ran ``python -m repro.lint`` by hand.  Also runs ``ruff``/``mypy`` when
+they are installed (CI installs them; local environments may not have
+them).
 """
 
+import re
 import shutil
 import subprocess
 import sys
@@ -15,6 +17,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysiskit import ALL_RULES, lint_paths
+from repro.analysiskit.engine import iter_python_files
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
@@ -30,9 +33,34 @@ def test_repo_satisfies_own_lint_rules():
 def test_rule_catalog_is_stable():
     """The documented rule IDs exist exactly once each."""
     ids = [rule.rule_id for rule in ALL_RULES]
-    assert ids == ["SV001", "SV002", "SV003", "SV004", "SV005", "SV006"]
+    assert ids == [f"SV{n:03d}" for n in range(1, 13)]
     for rule in ALL_RULES:
         assert rule.title and rule.rationale
+
+
+# A concurrency-rule suppression must say *why* the flagged pattern is
+# safe, e.g. "disable=SV010 (idle accept; cancelled on stop)".
+_SUPPRESSION_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9_,\s]+)(.*)$")
+_CONCURRENCY_IDS = {f"SV{n:03d}" for n in range(7, 13)}
+
+
+def test_concurrency_suppressions_are_justified():
+    """Every SV007-SV012 suppression carries a trailing justification."""
+    bare = []
+    for path in iter_python_files([str(SRC), str(TESTS)]):
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            match = _SUPPRESSION_RE.search(line)
+            if not match:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",")}
+            if not (ids & _CONCURRENCY_IDS):
+                continue
+            if not match.group(2).strip():
+                bare.append(f"{path}:{lineno}: {line.strip()}")
+    details = "\n".join(bare)
+    assert not bare, f"unjustified SV007-SV012 suppression(s):\n{details}"
 
 
 @pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")

@@ -267,6 +267,7 @@ class TestConfigAndMetrics:
             {"queue_depth": 0},
             {"default_deadline_s": 0.0},
             {"retry_after_s": 0.0},
+            {"executor_threads": -1},
         ],
     )
     def test_config_validation(self, overrides):
@@ -311,6 +312,37 @@ class TestConfigAndMetrics:
         registry.counter("a")
         with pytest.raises(ValueError):
             registry.histogram("a")
+
+
+class TestExecutorSeam:
+    """``executor_threads > 0`` moves ``query()`` off the event loop.
+
+    Results must stay bit-identical to the inline default — the
+    executor only changes *where* the blocking call runs, never what
+    it computes — and the schedule sanitizer (session fixture) must
+    see a clean exactly-once schedule either way.
+    """
+
+    def test_executor_results_match_inline(self, small_dataset, small_layout):
+        def one_run(threads):
+            service = make_service(
+                small_dataset,
+                small_layout,
+                num_shards=1,
+                executor_threads=threads,
+            )
+            responses = asyncio.run(serve_all(service, small_dataset.reads))
+            return [r.classification for r in responses]
+
+        assert one_run(0) == one_run(1)
+
+    def test_executor_is_shut_down_on_stop(self, small_dataset, small_layout):
+        service = make_service(
+            small_dataset, small_layout, num_shards=1, executor_threads=1
+        )
+        asyncio.run(serve_all(service, small_dataset.reads[:4]))
+        assert service._executor is not None
+        assert service._executor._shutdown
 
 
 def test_service_load_job_counters_are_deterministic():
