@@ -287,14 +287,17 @@ class ScheduleViolation(SanitizerError):
 class _RequestTrack:
     """Per-request lifecycle state inside one scope."""
 
-    __slots__ = ("state", "kmers", "shard", "batch")
+    __slots__ = ("state", "kmers", "shard", "batch", "admit_pos")
 
-    def __init__(self, kmers: int, shard: int) -> None:
+    def __init__(self, kmers: int, shard: int, admit_pos: int = 0) -> None:
         self.state = "admitted"
         self.kmers = kmers
         self.shard = shard
         #: ``(shard_id, batch_index)`` once coalesced.
         self.batch: Optional[Tuple[int, int]] = None
+        #: Per-shard admission sequence number (order the shard's queue
+        #: received this request); execution must respect it.
+        self.admit_pos = admit_pos
 
 
 _TERMINAL_STATES = ("completed", "expired", "failed")
@@ -304,7 +307,8 @@ class _ScopeState:
     """Everything the sanitizer tracks for one service scope."""
 
     __slots__ = ("label", "requests", "coalesced", "executed",
-                 "last_executed", "history")
+                 "last_executed", "admit_counters", "exec_watermarks",
+                 "history")
 
     def __init__(self, label: str, history_limit: int) -> None:
         self.label = label
@@ -313,6 +317,13 @@ class _ScopeState:
         self.coalesced: Dict[Tuple[int, int], List[int]] = {}
         self.executed: set = set()
         self.last_executed: Dict[int, int] = {}
+        #: Per-shard admission sequence counter.
+        self.admit_counters: Dict[int, int] = {}
+        #: Per-shard highest admit position already executed — executed
+        #: requests must always move forward in admission order, even
+        #: when a pipelined worker coalesces batch N+1 while batch N is
+        #: still simulating.
+        self.exec_watermarks: Dict[int, int] = {}
         self.history: Deque[HistoryEvent] = deque(maxlen=history_limit)
 
 
@@ -328,7 +339,10 @@ class ScheduleSanitizer:
     * a request is admitted once (re-admission only after a crash
       orphaned it),
     * every batch executes **at most once**, with strictly monotone
-      batch ids per shard,
+      batch ids per shard, and a shard's executed requests move
+      strictly forward in its admission order — the invariant that
+      keeps pipelined dispatch (host prep of batch N+1 overlapping
+      device simulation of batch N) honest,
     * an executed batch's live slice partitions its k-mers exactly
       (coalescing slices are re-voted before reply, never split),
     * a request resolves exactly once — completion, deadline expiry, or
@@ -406,9 +420,13 @@ class ScheduleSanitizer:
         self._note(
             state, shard_id, "ADMIT", f"req={req_id} kmers={num_kmers}"
         )
+        admit_pos = state.admit_counters.get(shard_id, 0) + 1
+        state.admit_counters[shard_id] = admit_pos
         track = state.requests.get(req_id)
         if track is None:
-            state.requests[req_id] = _RequestTrack(num_kmers, shard_id)
+            state.requests[req_id] = _RequestTrack(
+                num_kmers, shard_id, admit_pos
+            )
             return
         if track.state in _TERMINAL_STATES:
             self._fail(
@@ -434,6 +452,7 @@ class ScheduleSanitizer:
         track.state = "admitted"
         track.shard = shard_id
         track.batch = None
+        track.admit_pos = admit_pos
 
     def on_batch_coalesced(
         self,
@@ -530,6 +549,7 @@ class ScheduleSanitizer:
                 shard_id,
             )
         live_kmers = 0
+        watermark = state.exec_watermarks.get(shard_id, 0)
         members = set(state.coalesced[coords])
         for req_id in req_ids:
             track = state.requests.get(req_id)
@@ -548,6 +568,20 @@ class ScheduleSanitizer:
                     state,
                     shard_id,
                 )
+            # Admit-order execution: pipelined workers may coalesce
+            # batch N+1 while batch N is still simulating, but a
+            # shard's executed requests must still move strictly
+            # forward in the order its queue admitted them.
+            if track.admit_pos <= watermark:
+                self._fail(
+                    f"request {req_id} executed out of admission order "
+                    f"on shard {shard_id} (admit position "
+                    f"{track.admit_pos} at or behind watermark "
+                    f"{watermark})",
+                    state,
+                    shard_id,
+                )
+            watermark = track.admit_pos
             live_kmers += track.kmers
         if live_kmers != total_kmers:
             self._fail(
@@ -567,6 +601,7 @@ class ScheduleSanitizer:
                 )
         state.executed.add(coords)
         state.last_executed[shard_id] = batch_index
+        state.exec_watermarks[shard_id] = watermark
 
     def on_request_completed(
         self, scope: Any, shard_id: int, req_id: int, num_kmers: int

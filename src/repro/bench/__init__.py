@@ -124,7 +124,9 @@ def bench_host_lookup(quick: bool) -> Tuple[float, Dict[str, int]]:
     return wall_s, {"queries": len(queries), "hits": hits}
 
 
-def _device_lookup(quick: bool, batched: bool) -> Tuple[float, Dict[str, int]]:
+def _device_lookup(
+    quick: bool, batched: bool, kernel: str = "packed"
+) -> Tuple[float, Dict[str, int]]:
     from ..sieve import SieveDevice, SubarrayLayout
 
     dataset = _dataset(quick)
@@ -136,7 +138,7 @@ def _device_lookup(quick: bool, batched: bool) -> Tuple[float, Dict[str, int]]:
         {kmer for read in dataset.reads for kmer in read.kmers(dataset.k)}
     )
     start = time.perf_counter()
-    responses = device.query(queries, batched=batched)
+    responses = device.query(queries, batched=batched, kernel=kernel)
     wall_s = time.perf_counter() - start
     return wall_s, {
         "queries": device.stats.queries,
@@ -150,8 +152,24 @@ def _device_lookup(quick: bool, batched: bool) -> Tuple[float, Dict[str, int]]:
 
 
 def bench_device_lookup_batched(quick: bool) -> Tuple[float, Dict[str, int]]:
-    """Bit-accurate device lookups through the vectorized batch engine."""
-    return _device_lookup(quick, batched=True)
+    """Bit-accurate device lookups through the vectorized batch engine.
+
+    Pinned to the PR-2 ``vector`` kernel: this scenario is both the
+    regression guard for that engine and the wall-time denominator the
+    ``kernel_matrix`` speedup in ``docs/PERFORMANCE.md`` is quoted
+    against.  The bit-packed engine gets its own scenarios below.
+    """
+    return _device_lookup(quick, batched=True, kernel="vector")
+
+
+def bench_device_lookup_packed(quick: bool) -> Tuple[float, Dict[str, int]]:
+    """Same lookups through the bit-packed ``packed`` kernel.
+
+    Counters must match ``device_lookup_batched`` exactly (the packed
+    engine is bit-identical); the wall-time gap between the two
+    scenarios is the end-to-end win from ``repro.sieve.kernels``.
+    """
+    return _device_lookup(quick, batched=True, kernel="packed")
 
 
 def bench_device_lookup_scalar(quick: bool) -> Tuple[float, Dict[str, int]]:
@@ -162,6 +180,107 @@ def bench_device_lookup_scalar(quick: bool) -> Tuple[float, Dict[str, int]]:
     the equivalence tests can afford to be.
     """
     return _device_lookup(quick, batched=False)
+
+
+def bench_kernel_matrix(quick: bool) -> Tuple[float, Dict[str, int]]:
+    """Bit-packed first-divergence kernel in isolation.
+
+    Packs the bench dataset's sorted k-mers into the device's MSB-first
+    transposed Region-1 layout, packs the query reads the same way, and
+    times the sweep the packed match engine runs per batch: with a
+    single-word layout (every ``k <= 32`` under pure numpy) that is
+    ``pack_bit_columns`` + one XOR pass + the
+    :func:`repro.sieve.kernels.segment_divergence` min-trick reduction
+    + the hit ``argmin``; otherwise (multi-word rows, or numba forced
+    via ``SIEVE_KERNEL``) the full ``first_divergence`` matrix.  The
+    recorded wall time therefore tracks the kernel actually deployed,
+    and its ratio to ``device_lookup_batched`` is the kernel speedup
+    quoted in ``docs/PERFORMANCE.md``.  Counters are pure functions of
+    the seeded dataset, identical across implementations.
+    """
+    import numpy as np
+
+    from ..sieve import kernels
+
+    dataset = _dataset(quick)
+    rows = 2 * dataset.k
+    segment_size = 64
+    refs = np.fromiter(
+        dataset.database.sorted_kmers(),
+        dtype=np.uint64,
+        count=len(dataset.database),
+    )
+    queries = np.array(
+        sorted(
+            {kmer for read in dataset.reads for kmer in read.kmers(dataset.k)}
+        ),
+        dtype=np.uint64,
+    )
+    shifts = np.arange(rows - 1, -1, -1, dtype=np.uint64)[:, None]
+    one = np.uint64(1)
+    ref_bits = ((refs[None, :] >> shifts) & one).astype(np.uint8)
+    query_bits = ((queries[None, :] >> shifts) & one).astype(np.uint8)
+    seg_starts = np.arange(0, refs.size, segment_size)
+    impl = kernels.default_implementation()
+    single_word = kernels.words_for(rows) == 1 and impl == "numpy"
+    start = time.perf_counter()
+    ref_words = kernels.pack_bit_columns(ref_bits)
+    query_words = kernels.pack_bit_columns(query_bits)
+    if single_word:
+        xor = query_words[0][:, None] ^ ref_words[0][None, :]
+        seg_div = kernels.segment_divergence(xor, rows, seg_starts)
+        first_hit = np.argmin(xor, axis=1)
+    else:
+        div = kernels.first_divergence(ref_words, query_words, rows, impl=impl)
+        seg_div = np.maximum.reduceat(div, seg_starts, axis=1)
+        first_hit = (div == rows).argmax(axis=1)
+    wall_s = time.perf_counter() - start
+    hit_mask = (seg_div == rows).any(axis=1)
+    return wall_s, {
+        "references": int(refs.size),
+        "queries": int(queries.size),
+        "rows": rows,
+        "words": int(ref_words.shape[0]),
+        "segments": int(seg_starts.size),
+        "hits": int(hit_mask.sum()),
+        "first_hit_sum": int(first_hit[hit_mask].sum()),
+        "divergence_sum": int(seg_div.sum()),
+    }
+
+
+def bench_db_mmap_load(quick: bool) -> Tuple[float, Dict[str, int]]:
+    """Zero-copy database open: mmap segments + verify + bulk lookup.
+
+    Saves the bench database as a segment directory (setup, untimed),
+    then times the serving-side path a fleet worker or service shard
+    pays: :meth:`KmerDatabase.open_mmap` with content-hash verification
+    followed by a bulk query of every read k-mer.  Counters pin the
+    manifest shape and lookup results.
+    """
+    import tempfile
+
+    from .. import serialization
+    from ..genomics import KmerDatabase
+
+    dataset = _dataset(quick)
+    queries = sorted(
+        {kmer for read in dataset.reads for kmer in read.kmers(dataset.k)}
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        seg_dir = Path(tmp) / "segments"
+        manifest = serialization.save_segments(dataset.database, seg_dir)
+        start = time.perf_counter()
+        db = KmerDatabase.open_mmap(seg_dir, verify=True)
+        results = db.query(queries)
+        wall_s = time.perf_counter() - start
+        records = len(db)
+    hits = sum(1 for r in results if r.hit)
+    return wall_s, {
+        "records": records,
+        "segments": len(manifest["segments"]),
+        "queries": len(queries),
+        "hits": hits,
+    }
 
 
 def bench_classifier_e2e(quick: bool) -> Tuple[float, Dict[str, int]]:
@@ -314,7 +433,10 @@ BENCHMARKS: Dict[str, BenchFn] = {
     "database_build": bench_database_build,
     "host_lookup": bench_host_lookup,
     "device_lookup_batched": bench_device_lookup_batched,
+    "device_lookup_packed": bench_device_lookup_packed,
     "device_lookup_scalar": bench_device_lookup_scalar,
+    "kernel_matrix": bench_kernel_matrix,
+    "db_mmap_load": bench_db_mmap_load,
     "classifier_e2e": bench_classifier_e2e,
     "figure_regen": bench_figure_regen,
     "service_load": bench_service_load,

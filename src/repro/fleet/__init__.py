@@ -44,6 +44,7 @@ from .jobs import (
     ExperimentJob,
     PerfPointJob,
     SanitizerProbeJob,
+    SegmentLookupJob,
     SteadyStateJob,
     Type1FunctionalJob,
 )
@@ -80,6 +81,7 @@ __all__ = [
     "ExperimentJob",
     "PerfPointJob",
     "SanitizerProbeJob",
+    "SegmentLookupJob",
     "SteadyStateJob",
     "Type1FunctionalJob",
 ]

@@ -89,6 +89,17 @@ class Job:
     def run(self, seed: int) -> Any:
         raise NotImplementedError
 
+    def cache_token(self) -> str:
+        """Extra content folded into the cache digest (default: none).
+
+        Jobs whose inputs live *outside* their dataclass fields — e.g.
+        a database segment directory referenced by path — return a
+        content hash of that input here, so two paths with identical
+        content share cache entries and an edited file under the same
+        path gets a fresh one.
+        """
+        return ""
+
 
 def derive_seed(key: str) -> int:
     """Deterministic 63-bit seed from a job key (stable content hash).
@@ -101,8 +112,16 @@ def derive_seed(key: str) -> int:
 
 
 def job_digest(job: Job, version: str) -> str:
-    """Cache digest: content hash of (job key, repro version, schema)."""
+    """Cache digest: content hash of (job key, repro version, schema).
+
+    A non-empty :meth:`Job.cache_token` (content hash of out-of-band
+    inputs such as database segment directories) is folded in; jobs
+    without one keep their historical digests.
+    """
     text = f"{job.key()}|version={version}|schema={PAYLOAD_SCHEMA}"
+    token = job.cache_token()
+    if token:
+        text += f"|token={token}"
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 

@@ -16,7 +16,12 @@ from .counting import (
     ExactKmerCounter,
     count_reads,
 )
-from .database import KMER_RECORD_BYTES, DatabaseStats, KmerDatabase
+from .database import (
+    KMER_RECORD_BYTES,
+    DatabaseStats,
+    KmerDatabase,
+    MmapKmerDatabase,
+)
 from .encoding import (
     BASES,
     BITS_PER_BASE,
@@ -61,6 +66,7 @@ __all__ = [
     "KMER_RECORD_BYTES",
     "DatabaseStats",
     "KmerDatabase",
+    "MmapKmerDatabase",
     "DnaSequence",
     "ROOT_TAXON",
     "Taxonomy",

@@ -299,3 +299,125 @@ class KmerDatabase:
         for genome, taxon_id in genomes:
             db.add_genome(genome, taxon_id)
         return db
+
+    @staticmethod
+    def open_mmap(
+        path,
+        taxonomy: Optional[Taxonomy] = None,
+        verify: bool = False,
+    ) -> "MmapKmerDatabase":
+        """Open a saved segment directory as a read-only mmap database.
+
+        Zero-copy counterpart of :func:`repro.serialization.save_segments`:
+        the sorted record arrays are memory-mapped, so many processes
+        (fleet workers, service shards) share one page-cached copy of
+        the reference with no per-process build cost.  ``verify=True``
+        re-hashes the segments against the manifest before use.
+        """
+        from .. import serialization
+
+        return serialization.load_segments(
+            path, taxonomy=taxonomy, verify=verify
+        )
+
+
+class MmapKmerDatabase(KmerDatabase):
+    """Read-only :class:`KmerDatabase` view over mmap-loaded segments.
+
+    Backed directly by the sorted key/payload arrays a segment
+    directory maps (:meth:`KmerDatabase.open_mmap`), so construction is
+    O(1): no dict build, no LCA merging, no copy.  Every query path —
+    scalar :meth:`get`, batched :meth:`query`, Sieve device loading via
+    :meth:`sorted_records` — reads the mapped pages in place.  Mutation
+    raises: the segment image is shared between processes.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        keys: np.ndarray,
+        payloads: np.ndarray,
+        canonical: bool = False,
+        taxonomy: Optional[Taxonomy] = None,
+        content_hash: str = "",
+        source: Optional[str] = None,
+    ) -> None:
+        super().__init__(k, canonical=canonical, taxonomy=taxonomy)
+        if keys.ndim != 1 or payloads.shape != keys.shape:
+            raise DatabaseError(
+                f"segment arrays must be aligned 1-D, got shapes "
+                f"{keys.shape} and {payloads.shape}"
+            )
+        if keys.size and bool((keys[1:] <= keys[:-1]).any()):
+            raise DatabaseError(
+                "segment keys must be strictly ascending (sorted, unique)"
+            )
+        if keys.size and int(keys[-1]) >= (1 << (2 * k)):
+            raise DatabaseError(
+                f"segment keys out of range for k={k}"
+            )
+        self._keys = keys
+        self._payloads = payloads
+        # The arrays are already read-only (mmap_mode="r"); install them
+        # as the lookup cache so the batched path never rebuilds.
+        self._lookup_cache = (keys, payloads)
+        self._content_hash = content_hash
+        self._source = source
+
+    @property
+    def content_hash(self) -> str:
+        """Manifest content hash of the mapped segment image."""
+        return self._content_hash
+
+    @property
+    def source(self) -> Optional[str]:
+        """Segment directory this database was opened from."""
+        return self._source
+
+    def _insert(self, key: int, taxon_id: int) -> None:
+        raise DatabaseError(
+            "mmap-opened databases are read-only (the segment image is "
+            "shared between processes); rebuild and re-save instead"
+        )
+
+    def __len__(self) -> int:
+        return int(self._keys.size)
+
+    def __contains__(self, kmer: int) -> bool:
+        return self.get(kmer) is not None
+
+    def get(self, kmer: int) -> Optional[int]:
+        key = self._normalize(kmer)
+        pos = int(np.searchsorted(self._keys, np.uint64(key)))
+        if pos < self._keys.size and int(self._keys[pos]) == key:
+            return int(self._payloads[pos])
+        return None
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self.sorted_records())
+
+    def sorted_kmers(self) -> List[int]:
+        return [int(k) for k in self._keys]
+
+    def sorted_records(self) -> List[Tuple[int, int]]:
+        return [
+            (int(k), int(t)) for k, t in zip(self._keys, self._payloads)
+        ]
+
+    def size_stats(self) -> DatabaseStats:
+        return DatabaseStats(
+            k=self.k,
+            num_kmers=int(self._keys.size),
+            num_taxa=int(np.unique(self._payloads).size),
+            record_bytes=KMER_RECORD_BYTES,
+        )
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="kmer-database",
+            kind="host-sorted-array-mmap",
+            k=self.k,
+            canonical=self.canonical,
+            batched=True,
+            degraded=self._degraded,
+        )

@@ -6,6 +6,11 @@ over time".  This module provides the storage side of that story:
 
 * binary (npz) save/load of a :class:`KmerDatabase` — compact 12-byte
   records, exactly the footprint the paper's size arithmetic assumes;
+* a zero-copy **segment directory** (`.npy` per array + content-hash
+  manifest) that :meth:`KmerDatabase.open_mmap` maps read-only, so
+  fleet/service shard workers share one page-cached copy of the
+  reference instead of rebuilding (or copy-on-write duplicating) it
+  per process;
 * JSON save/load of a :class:`WorkloadStats`, so a trace measured once
   on the functional simulator can drive the analytic model in later
   sessions (the trace-driven methodology, made reproducible).
@@ -13,14 +18,15 @@ over time".  This module provides the storage side of that story:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import Union
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
 from .sieve.perfmodel import EspModel, WorkloadStats
-from .genomics.database import KmerDatabase
+from .genomics.database import KmerDatabase, MmapKmerDatabase
 from .genomics.taxonomy import Taxonomy
 
 PathLike = Union[str, Path]
@@ -28,6 +34,13 @@ PathLike = Union[str, Path]
 #: Format tags guarding against loading the wrong file kind.
 DB_FORMAT = "sieve-repro-kmerdb-v1"
 WORKLOAD_FORMAT = "sieve-repro-workload-v1"
+SEGMENT_FORMAT = "sieve-repro-kmerdb-segments-v1"
+
+#: Manifest file name inside a segment directory.
+MANIFEST_NAME = "manifest.json"
+
+#: The arrays a segment directory carries, in manifest (and hash) order.
+SEGMENT_ARRAYS = ("kmers", "taxa")
 
 
 class SerializationError(ValueError):
@@ -67,6 +80,179 @@ def load_database(path: PathLike, taxonomy: Taxonomy = None) -> KmerDatabase:
         for kmer, taxon in zip(data["kmers"], data["taxa"]):
             db.add(int(kmer), int(taxon))
     return db
+
+
+def _record_arrays(database: KmerDatabase) -> Dict[str, np.ndarray]:
+    """The sorted record image as the segment arrays (kmers, taxa)."""
+    records = database.sorted_records()
+    return {
+        "kmers": np.array([k for k, _ in records], dtype=np.uint64),
+        "taxa": np.array([t for _, t in records], dtype=np.uint32),
+    }
+
+
+def _array_sha256(array: np.ndarray) -> str:
+    """Content hash of an array's raw little-endian bytes."""
+    data = np.ascontiguousarray(array)
+    if data.dtype.byteorder == ">":  # pragma: no cover - BE hosts only
+        data = data.astype(data.dtype.newbyteorder("<"))
+    return hashlib.sha256(data.tobytes()).hexdigest()
+
+
+def _combine_content_hash(
+    k: int, canonical: bool, array_hashes: Dict[str, str]
+) -> str:
+    """Database content hash: schema header + every array hash, in
+    manifest order — identical for an in-memory build and its saved
+    segment image."""
+    parts = [SEGMENT_FORMAT, f"k={k}", f"canonical={bool(canonical)}"]
+    parts.extend(f"{name}={array_hashes[name]}" for name in SEGMENT_ARRAYS)
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
+
+def database_content_hash(database: KmerDatabase) -> str:
+    """Content hash of (k, canonical, sorted records).
+
+    An mmap-opened database answers from its manifest without touching
+    the mapped pages; an in-memory database hashes its record image.
+    Equal hashes mean byte-identical reference content, which is what
+    the fleet result cache keys shared entries on.
+    """
+    stored = getattr(database, "content_hash", None)
+    if stored:
+        return stored
+    arrays = _record_arrays(database)
+    return _combine_content_hash(
+        database.k,
+        database.canonical,
+        {name: _array_sha256(arrays[name]) for name in SEGMENT_ARRAYS},
+    )
+
+
+def save_segments(database: KmerDatabase, path: PathLike) -> Dict[str, Any]:
+    """Write a database as an mmap-able segment directory.
+
+    Layout: one ``.npy`` file per record array (``kmers.npy`` uint64
+    ascending, ``taxa.npy`` uint32 aligned payloads) plus a
+    ``manifest.json`` recording dtype/shape/sha256 per segment and the
+    combined database content hash.  Returns the manifest dict.
+    """
+    if len(database) == 0:
+        raise SerializationError("refusing to save an empty database")
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    arrays = _record_arrays(database)
+    segments: Dict[str, Dict[str, Any]] = {}
+    hashes: Dict[str, str] = {}
+    for name in SEGMENT_ARRAYS:
+        array = arrays[name]
+        np.save(directory / f"{name}.npy", array)
+        hashes[name] = _array_sha256(array)
+        segments[name] = {
+            "file": f"{name}.npy",
+            "dtype": str(array.dtype),
+            "shape": list(array.shape),
+            "sha256": hashes[name],
+        }
+    manifest: Dict[str, Any] = {
+        "format": SEGMENT_FORMAT,
+        "k": database.k,
+        "canonical": bool(database.canonical),
+        "num_records": len(database),
+        "segments": segments,
+        "content_hash": _combine_content_hash(
+            database.k, database.canonical, hashes
+        ),
+    }
+    manifest_path = directory / MANIFEST_NAME
+    tmp_path = directory / (MANIFEST_NAME + ".tmp")
+    tmp_path.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
+    tmp_path.replace(manifest_path)
+    return manifest
+
+
+def read_segment_manifest(path: PathLike) -> Dict[str, Any]:
+    """Parse and validate a segment directory's manifest."""
+    directory = Path(path)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise SerializationError(
+            f"{directory}: no {MANIFEST_NAME} (not a segment directory)"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(
+            f"{manifest_path}: invalid JSON ({exc})"
+        ) from None
+    if manifest.get("format") != SEGMENT_FORMAT:
+        raise SerializationError(
+            f"{directory}: not a {SEGMENT_FORMAT} directory "
+            f"(got {manifest.get('format')!r})"
+        )
+    for name in SEGMENT_ARRAYS:
+        if name not in manifest.get("segments", {}):
+            raise SerializationError(
+                f"{directory}: manifest is missing segment {name!r}"
+            )
+    return manifest
+
+
+def load_segments(
+    path: PathLike,
+    taxonomy: Optional[Taxonomy] = None,
+    verify: bool = False,
+) -> MmapKmerDatabase:
+    """Open a segment directory as a read-only mmap-backed database.
+
+    The arrays are memory-mapped (``np.load(..., mmap_mode="r")``) —
+    nothing is copied, pages fault in on first access and are shared
+    across every process mapping the same directory.  ``verify=True``
+    re-hashes the mapped bytes against the manifest (touches every
+    page; off by default to keep opening zero-copy).
+    """
+    directory = Path(path)
+    manifest = read_segment_manifest(directory)
+    arrays: Dict[str, np.ndarray] = {}
+    for name in SEGMENT_ARRAYS:
+        entry = manifest["segments"][name]
+        file_path = directory / entry["file"]
+        if not file_path.is_file():
+            raise SerializationError(f"{file_path}: missing segment file")
+        array = np.load(file_path, mmap_mode="r", allow_pickle=False)
+        if str(array.dtype) != entry["dtype"] or list(array.shape) != list(
+            entry["shape"]
+        ):
+            raise SerializationError(
+                f"{file_path}: dtype/shape {array.dtype}/{array.shape} does "
+                f"not match manifest {entry['dtype']}/{entry['shape']}"
+            )
+        if verify and _array_sha256(array) != entry["sha256"]:
+            raise SerializationError(
+                f"{file_path}: content hash mismatch (corrupt segment)"
+            )
+        arrays[name] = array
+    kmers = arrays["kmers"]
+    taxa = arrays["taxa"]
+    if kmers.ndim != 1 or taxa.shape != kmers.shape:
+        raise SerializationError(
+            f"{directory}: segment arrays must be aligned 1-D, got "
+            f"{kmers.shape} and {taxa.shape}"
+        )
+    if kmers.size != int(manifest["num_records"]):
+        raise SerializationError(
+            f"{directory}: manifest says {manifest['num_records']} records, "
+            f"segments hold {kmers.size}"
+        )
+    return MmapKmerDatabase(
+        k=int(manifest["k"]),
+        keys=kmers,
+        payloads=taxa,
+        canonical=bool(manifest["canonical"]),
+        taxonomy=taxonomy,
+        content_hash=str(manifest["content_hash"]),
+        source=str(directory),
+    )
 
 
 def _npz_path(path: PathLike) -> Path:

@@ -92,6 +92,26 @@ def build_parser(add_help: bool = True) -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--k", type=int, default=15)
     parser.add_argument(
+        "--executor-threads",
+        type=int,
+        default=0,
+        help="worker threads for blocking backend query() calls "
+        "(0 = inline on the event loop)",
+    )
+    parser.add_argument(
+        "--pipelined",
+        action="store_true",
+        help="overlap host-side prep of batch N+1 with device simulation "
+        "of batch N (implies --executor-threads 1 when unset)",
+    )
+    parser.add_argument(
+        "--mmap-db",
+        metavar="DIR",
+        default=None,
+        help="save the reference as an mmap segment directory and serve "
+        "every shard from it read-only (zero-copy, shared pages)",
+    )
+    parser.add_argument(
         "--metrics-json",
         metavar="PATH",
         default=None,
@@ -166,6 +186,9 @@ def run_demo(args: argparse.Namespace) -> int:
         read_length=60,
         seed=args.seed,
     )
+    executor_threads = args.executor_threads
+    if args.pipelined and executor_threads == 0:
+        executor_threads = 1
     config = ServiceConfig(
         num_shards=args.shards,
         max_batch_kmers=args.max_batch,
@@ -174,6 +197,8 @@ def run_demo(args: argparse.Namespace) -> int:
         default_deadline_s=(
             args.deadline_ms / 1e3 if args.deadline_ms is not None else None
         ),
+        executor_threads=executor_threads,
+        pipelined=args.pipelined,
     )
     from ..faults import (
         ChaosInjector,
@@ -196,6 +221,23 @@ def run_demo(args: argparse.Namespace) -> int:
         injector = FaultInjector(model)
         if args.backend != "sieve":
             database = faulted_database(dataset.database, injector)
+
+    if args.mmap_db:
+        # Zero-copy serving: persist the (possibly record-faulted)
+        # reference once, then hand every replica the same read-only
+        # mmap-backed view — shards share pages instead of copies.
+        from pathlib import Path
+
+        from .. import serialization
+        from ..genomics import KmerDatabase
+
+        seg_dir = Path(args.mmap_db)
+        manifest = serialization.save_segments(database, seg_dir)
+        database = KmerDatabase.open_mmap(seg_dir, verify=True)
+        print(
+            f"mmap segments: {len(database)} records at {seg_dir} "
+            f"(content {manifest['content_hash'][:12]})"
+        )
 
     def build_replica():
         if injector is not None and args.backend == "sieve":

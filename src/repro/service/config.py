@@ -53,6 +53,15 @@ class ServiceConfig:
     #: ``run_in_executor`` (shards still serialize their own batches,
     #: but cross-shard completion order may vary run to run).
     executor_threads: int = 0
+    #: Pipelined dispatch: while batch N simulates on the executor, the
+    #: shard's loop already accepts, coalesces, and host-side prepares
+    #: batch N+1 — the UPMEM-style transfer/compute overlap.  Batches
+    #: still launch strictly one at a time per shard, in admission
+    #: order (:class:`~repro.analysiskit.ScheduleSanitizer`-verified),
+    #: so responses stay bit-identical to the serial schedule.  Requires
+    #: ``executor_threads > 0`` (without the executor seam there is no
+    #: device-side concurrency to overlap with).
+    pipelined: bool = False
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -75,3 +84,8 @@ class ServiceConfig:
             raise ServiceConfigError("retry_jitter must be in [0, 1]")
         if self.executor_threads < 0:
             raise ServiceConfigError("executor_threads must be >= 0")
+        if self.pipelined and self.executor_threads <= 0:
+            raise ServiceConfigError(
+                "pipelined dispatch requires executor_threads > 0 "
+                "(there is no device-side concurrency to overlap with)"
+            )

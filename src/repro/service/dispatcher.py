@@ -188,7 +188,14 @@ class ShardWorker:
         schedules a crash, the loop fails *before* executing the batch
         (requests are never half-answered), hands every orphaned
         request to the failover callback, and exits.
+
+        With ``config.pipelined`` (and the executor seam installed) the
+        loop overlaps host-side accept/coalesce/prepare of batch N+1
+        with device simulation of batch N — see :meth:`_run_pipelined`.
         """
+        if self.config.pipelined and self._executor is not None:
+            await self._run_pipelined()
+            return
         while True:
             # Idle accept: blocks until the next request arrives, by
             # design unbounded (shutdown is via task cancellation).
@@ -303,6 +310,26 @@ class ShardWorker:
         resolution always stay on the event loop.
         """
         loop = asyncio.get_running_loop()
+        live, flat = self._prepare(batch, loop)
+        if not live:
+            return
+        self._mark_executed(live, flat, index)
+        if self._executor is None:
+            results, wall_batch_ms, delta = self._query_blocking(flat)
+        else:
+            results, wall_batch_ms, delta = await loop.run_in_executor(
+                self._executor, self._query_blocking, flat
+            )
+        self._finish(live, flat, results, wall_batch_ms, delta, loop)
+
+    def _prepare(
+        self, batch: List[Request], loop: "asyncio.AbstractEventLoop"
+    ) -> Tuple[List[Request], List[int]]:
+        """Host-side half of a batch: expire deadlines, flatten k-mers.
+
+        This is the work pipelined dispatch overlaps with the previous
+        batch's device simulation; it never touches the backend.
+        """
         now = loop.time()
         live: List[Request] = []
         for req in batch:
@@ -321,11 +348,15 @@ class ShardWorker:
                         )
             else:
                 live.append(req)
-        if not live:
-            return
         flat: List[int] = []
         for req in live:
             flat.extend(req.kmers)
+        return live, flat
+
+    def _mark_executed(
+        self, live: List[Request], flat: List[int], index: int
+    ) -> None:
+        """Trace the execute event at the moment the batch launches."""
         if hooks.OBSERVER is not None:
             hooks.OBSERVER.on_batch_executed(
                 self.scope,
@@ -334,13 +365,118 @@ class ShardWorker:
                 [_rid(req) for req in live],
                 len(flat),
             )
-        if self._executor is None:
-            results, wall_batch_ms, delta = self._query_blocking(flat)
-        else:
-            results, wall_batch_ms, delta = await loop.run_in_executor(
-                self._executor, self._query_blocking, flat
-            )
-        self._finish(live, flat, results, wall_batch_ms, delta, loop)
+
+    async def _run_pipelined(self) -> None:
+        """Overlapped dispatch loop (``config.pipelined``).
+
+        While batch N simulates on the executor thread, this loop is
+        already blocking on the queue, coalescing, and host-side
+        preparing batch N+1.  Exactly one device batch is ever in
+        flight per shard, and it launches only after its predecessor
+        completed — execution stays exactly-once and in admission
+        order (the :class:`~repro.analysiskit.ScheduleSanitizer`
+        invariants), so responses are bit-identical to the serial
+        schedule; only the host/device overlap changes.
+
+        ``task_done`` for a launched batch's requests is deferred to
+        its completion (:meth:`_retire`), so ``drain()``'s
+        ``queue.join()`` keeps waiting for in-flight device work.
+        """
+        loop = asyncio.get_running_loop()
+        pending: Optional[Tuple[Any, List[Request], List[int], List[Request]]]
+        pending = None
+        get_task: Optional["asyncio.Task[Request]"] = None
+        try:
+            while True:
+                if get_task is None:
+                    get_task = asyncio.ensure_future(self.queue.get())  # lint: disable=SV010 (idle accept; cancelled on stop)
+                waits = {get_task}
+                if pending is not None:
+                    waits.add(pending[0])
+                # Wake on whichever lands first: the next request (start
+                # coalescing batch N+1) or the in-flight device batch
+                # (retire batch N).  asyncio.wait never raises.
+                done, _ = await asyncio.wait(waits, return_when=asyncio.FIRST_COMPLETED)  # lint: disable=SV010 (idle accept; cancelled on stop)
+                if pending is not None and pending[0] in done:
+                    pending = self._retire(pending, loop)
+                if get_task not in done:
+                    continue
+                first = get_task.result()
+                get_task = None
+                batch = [first]
+                try:
+                    await self._coalesce(batch)
+                    index = self._batch_index
+                    self._batch_index += 1
+                    if hooks.OBSERVER is not None:
+                        hooks.OBSERVER.on_batch_coalesced(
+                            self.scope,
+                            self.shard_id,
+                            index,
+                            [(_rid(req), len(req.kmers)) for req in batch],
+                        )
+                    action = (
+                        self.chaos.before_batch(self.shard_id, index)
+                        if self.chaos is not None
+                        else None
+                    )
+                    if action is not None and action.stall_s > 0:
+                        self.health.state = "stalled"
+                        self.health.stalls += 1
+                        self.metrics.counter("shard_stalls_total").inc()
+                        await asyncio.sleep(action.stall_s)
+                        self.health.state = "healthy"
+                    if action is not None and action.crash:
+                        raise ShardCrashError(
+                            f"shard {self.shard_id} crashed before batch "
+                            f"{index}"
+                        )
+                    # Host-side prep of this batch overlaps the pending
+                    # device batch; the launch below waits for it.
+                    live, flat = self._prepare(batch, loop)
+                    if pending is not None:
+                        await asyncio.wait({pending[0]})  # lint: disable=SV010 (single in-flight device batch; backend query always returns)
+                        pending = self._retire(pending, loop)
+                    if live:
+                        self._mark_executed(live, flat, index)
+                        future = loop.run_in_executor(
+                            self._executor, self._query_blocking, flat
+                        )
+                        pending = (future, live, flat, batch)
+                    else:
+                        self.health.batches += 1
+                        for _ in batch:
+                            self.queue.task_done()
+                except ShardCrashError:
+                    if pending is not None:
+                        await asyncio.wait({pending[0]})  # lint: disable=SV010 (in-flight batch completes before the crash path orphans the rest)
+                        pending = self._retire(pending, loop)
+                    try:
+                        await self._fail(batch)
+                    finally:
+                        for _ in batch:
+                            self.queue.task_done()
+                    return
+        finally:
+            if get_task is not None:
+                get_task.cancel()
+
+    def _retire(
+        self,
+        pending: Tuple[Any, List[Request], List[int], List[Request]],
+        loop: "asyncio.AbstractEventLoop",
+    ) -> None:
+        """Resolve a completed in-flight batch and release its queue
+        slots; returns None (the new ``pending``)."""
+        future, live, flat, batch = pending
+        try:
+            results, wall_batch_ms, delta = future.result()
+            self._finish(live, flat, results, wall_batch_ms, delta, loop)
+            self.health.batches += 1
+        finally:
+            for _ in batch:
+                self.queue.task_done()
+        return None
 
     def _query_blocking(
         self, flat: List[int]

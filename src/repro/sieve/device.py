@@ -159,7 +159,11 @@ class SieveDevice:
     # -- query paths ----------------------------------------------------------
 
     def query(
-        self, kmers: Sequence[int], *, batched: bool = True
+        self,
+        kmers: Sequence[int],
+        *,
+        batched: bool = True,
+        kernel: str = "packed",
     ) -> List[DeviceResponse]:
         """The unified batch path: group per destination subarray,
         batches of <= 64 (:class:`repro.api.QueryBackend` surface).
@@ -171,9 +175,11 @@ class SieveDevice:
 
         ``batched=True`` (the default) matches each loaded batch through
         the vectorized :meth:`~repro.sieve.functional.SieveSubarraySim.
-        match_all` fast path; ``batched=False`` replays the scalar
-        command-by-command path.  Both produce identical responses and
-        functional counters (the equivalence is test-enforced).
+        match_all` fast path — ``kernel`` selects its engine (the
+        bit-packed uint64 kernel by default, ``"vector"`` for the PR-2
+        per-query path); ``batched=False`` replays the scalar
+        command-by-command path.  All paths produce identical responses
+        and functional counters (the equivalence is test-enforced).
         """
         responses: List[Optional[DeviceResponse]] = [None] * len(kmers)
         per_dest: Dict[Tuple[int, int], List[Tuple[int, int]]] = defaultdict(list)
@@ -198,7 +204,7 @@ class SieveDevice:
                 )
                 self.stats.batches += 1
                 if batched:
-                    outcomes = sim.match_all()
+                    outcomes = sim.match_all(kernel=kernel)
                 else:
                     outcomes = [sim.match_slot(slot) for slot in range(len(batch))]
                 for (pos, _), outcome in zip(batch, outcomes):

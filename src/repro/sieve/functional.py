@@ -30,10 +30,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..dram.subarray import Subarray
+from . import kernels
 from .column_finder import ColumnFinder, ColumnFindResult
 from .etm import EtmPipeline
 from .layout import OFFSET_BITS, PAYLOAD_BITS, LayoutError, SubarrayLayout
 from .matcher import MatcherArray
+
+#: Engines accepted by :meth:`SieveSubarraySim.match_all`: the packed
+#: uint64 kernel (optionally pinned to one implementation) or the PR-2
+#: per-query vectorized path kept as the reference fast path.
+MATCH_KERNELS = ("packed", "packed-numpy", "packed-numba", "vector")
 
 
 class FunctionalError(RuntimeError):
@@ -56,18 +62,38 @@ class MatchOutcome:
 
 
 def _int_to_bits(value: int, width: int) -> np.ndarray:
+    """MSB-first bit vector of ``value`` (vectorized via unpackbits)."""
     if value < 0 or value >= (1 << width):
         raise FunctionalError(f"value {value} does not fit in {width} bits")
-    return np.array(
-        [(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.uint8
-    )
+    num_bytes = -(-width // 8)
+    raw = np.frombuffer(value.to_bytes(num_bytes, "big"), dtype=np.uint8)
+    return np.unpackbits(raw, bitorder="big")[8 * num_bytes - width :]
 
 
 def _bits_to_int(bits: np.ndarray) -> int:
-    value = 0
-    for bit in bits:
-        value = (value << 1) | int(bit)
-    return value
+    """Integer from an MSB-first bit vector (vectorized via packbits)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    pad = (-bits.size) % 8
+    if pad:
+        bits = np.concatenate([np.zeros(pad, dtype=np.uint8), bits])
+    return int.from_bytes(np.packbits(bits, bitorder="big").tobytes(), "big")
+
+
+def _bit_rows_to_ints(bits: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`_bits_to_int` over an ``(N, width)`` bit matrix.
+
+    ``width`` must be a multiple of 8 (Region-2/3 entries are 32 bits).
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.shape[1] % 8:
+        raise FunctionalError(
+            f"row width must be a multiple of 8, got {bits.shape[1]}"
+        )
+    packed = np.packbits(bits, axis=1, bitorder="big").astype(np.int64)
+    values = np.zeros(bits.shape[0], dtype=np.int64)
+    for byte in range(packed.shape[1]):
+        values = (values << 8) | packed[:, byte]
+    return values
 
 
 class SieveSubarraySim:
@@ -105,6 +131,15 @@ class SieveSubarraySim:
         #: Match-Enable masks keyed by (layer, record count); rebuilt when
         #: references are (re)loaded.
         self._enable_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        #: Packed Region-1 reference words per layer (uint64, MSB-first)
+        #: plus group/segment boundary arrays, built lazily from the
+        #: stored cells — so load-time fault corruption is packed in —
+        #: and invalidated with the enable cache when references are
+        #: (re)loaded.  Query columns are re-packed per batch (they
+        #: change on every load).
+        self._ref_words_cache: Dict[
+            int, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
         # Layer occupancy and first-kmer table (subarray controller state).
         per_layer = layout.refs_per_layer
         self._layer_records: List[List[Tuple[int, int]]] = [
@@ -123,6 +158,7 @@ class SieveSubarraySim:
     def _load_references(self) -> None:
         layout = self.layout
         self._enable_cache.clear()
+        self._ref_words_cache.clear()
         for layer, chunk in enumerate(self._layer_records):
             kmers = [k for k, _ in chunk]
             ref_matrix = layout.ref_bit_matrix(kmers)
@@ -157,9 +193,9 @@ class SieveSubarraySim:
         layout = self.layout
         matrix = layout.query_bit_matrix(list(queries))
         base = layout.layer_base_row(layer)
+        col_ranges = [layout.query_columns(g) for g in range(layout.num_groups)]
         for bit in range(layout.kmer_rows):
-            for g in range(layout.num_groups):
-                cols = layout.query_columns(g)
+            for cols in col_ranges:
                 self.array.load_bits(
                     base + bit, cols.start, matrix[bit, cols.start : cols.stop]
                 )
@@ -282,6 +318,10 @@ class SieveSubarraySim:
         bits = self.array.activate(orow)
         offset = _bits_to_int(bits[ocol : ocol + OFFSET_BITS])
         self.array.precharge()
+        return self._fetch_payload(layer, offset)
+
+    def _fetch_payload(self, layer: int, offset: int) -> int:
+        layout = self.layout
         # The payload decoder wraps: with pristine cells the offset is
         # always in range, but a fault-corrupted Region-2 word must still
         # address *some* Region-3 slot rather than fall off the layer.
@@ -307,31 +347,48 @@ class SieveSubarraySim:
         return self.match_all(slots)
 
     def match_all(
-        self, slots: Optional[Sequence[int]] = None
+        self,
+        slots: Optional[Sequence[int]] = None,
+        kernel: str = "packed",
     ) -> List[MatchOutcome]:
-        """Match loaded batch slots in one vectorized pass per query.
+        """Match loaded batch slots in one vectorized pass.
 
         Fast path equivalent to ``[self.match_slot(s) for s in slots]``:
         instead of replaying row activations one Python-level DRAM command
-        at a time, it reads the layer's Region-1 bit matrix once and
-        computes every query's per-column *first-divergence* row with a
-        single vectorized comparison.  Everything observable is
-        synthesized to match the scalar path bit for bit:
+        at a time, it computes every query's per-column *first-divergence*
+        row analytically.  Everything observable is synthesized to match
+        the scalar path bit for bit:
 
         * :class:`MatchOutcome` fields, including ``rows_activated``
           under the ETM's one-row-late interrupt semantics and the SR
           drain (``etm_flush_cycles``) from the closed-form SR recurrence;
-        * :class:`~repro.dram.subarray.SubarrayStats` counters (the
-          matching loop's ACT/PRE pairs are charged analytically; the
-          Region-2/3 fetches still execute through the array);
+        * :class:`~repro.dram.subarray.SubarrayStats` counters (ACT/PRE
+          pairs charged analytically);
         * matcher / ETM pipeline state after the final query.
 
-        The scalar path is retained both as documentation of the
-        command-level protocol and as the reference the equivalence tests
-        check this path against.
+        ``kernel`` selects the engine:
+
+        * ``"packed"`` (default) — the :mod:`repro.sieve.kernels`
+          uint64-word path: Region-1 columns and query replicas are
+          bit-packed and the whole batch's first-divergence matrix falls
+          out of one XOR + leading-bit pass (``"packed-numpy"`` /
+          ``"packed-numba"`` pin the implementation and force the
+          general per-group sweep instead of the single-word
+          ``segment_divergence`` fast path);
+        * ``"vector"`` — the PR-2 per-query uint8 comparison, retained
+          as the reference fast path the bit-identity suites compare
+          the packed kernel (and the scalar path) against.
         """
         if slots is None:
             slots = range(len(self._batch))
+        if kernel != "vector":
+            if kernel not in MATCH_KERNELS:
+                raise FunctionalError(
+                    f"unknown match kernel {kernel!r}; expected one of "
+                    f"{MATCH_KERNELS}"
+                )
+            _, _, impl = kernel.partition("-")
+            return self._match_all_packed(list(slots), impl or None)
         layout = self.layout
         layer = self._batch_layer
         records = self._layer_records[layer]
@@ -376,6 +433,241 @@ class SieveSubarraySim:
                 outcomes.append(
                     self._batch_miss(query, layer, int(first_div.max()), seg_max)
                 )
+        return outcomes
+
+    def _packed_layer(
+        self, layer: int, region1: np.ndarray, enable_cols: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Layer's packed reference words + group/segment boundaries.
+
+        Returns ``(ref_words, group_bounds, seg_ids, seg_starts)``:
+        the occupied Region-1 columns as uint64 words (packed from the
+        stored cells, so load-time fault corruption is included), the
+        per-group slot boundaries, and the reduceat boundaries of the
+        occupied ETM segments.  All pure functions of the loaded
+        references, cached until :meth:`_load_references` invalidates.
+        """
+        cached = self._ref_words_cache.get(layer)
+        if cached is None:
+            words = kernels.pack_bit_columns(region1[:, enable_cols])
+            group_bounds = np.searchsorted(
+                self.layout.column_group_index[: enable_cols.size],
+                np.arange(self.layout.num_groups + 1),
+            )
+            seg_ids, seg_starts = np.unique(
+                enable_cols // self.etm.segment_size, return_index=True
+            )
+            # Frozen on entry: shared by every later match and by forked
+            # fleet workers, so no caller may mutate them in place.
+            for array in (words, group_bounds, seg_ids, seg_starts):
+                array.setflags(write=False)
+            cached = (words, group_bounds, seg_ids, seg_starts)
+            self._ref_words_cache[layer] = cached
+        return cached
+
+    def _match_all_packed(
+        self, slots: List[int], impl: Optional[str]
+    ) -> List[MatchOutcome]:
+        """Packed-word engine behind :meth:`match_all`.
+
+        One :func:`repro.sieve.kernels.first_divergence` call per pattern
+        group yields the whole batch's first-divergence matrix; hits,
+        misses, ETM horizons, SR drains and Region-2/3 fetches are then
+        synthesized batch-wide with the same closed forms the PR-2 path
+        applies per query.  Bit-identity with the scalar and PR-2 paths
+        is property-test enforced (tests/test_kernels_properties.py).
+        """
+        layout = self.layout
+        layer = self._batch_layer
+        for batch_slot in slots:
+            if not 0 <= batch_slot < len(self._batch):
+                raise FunctionalError(
+                    f"batch slot {batch_slot} out of range "
+                    f"[0, {len(self._batch)})"
+                )
+        self.matchers.set_enable(self._layer_enable(layer))
+        if not slots:
+            return []
+        num_refs = len(self._layer_records[layer])
+        total_rows = layout.kmer_rows
+        base = layout.layer_base_row(layer)
+        num_queries = len(slots)
+        region1 = self.array.peek_rows(base, base + total_rows)
+        enable_cols = layout.ref_slot_columns[:num_refs]
+        slot_arr = np.asarray(slots, dtype=np.intp)
+
+        # Pack: reference words once per layer, query replicas per batch
+        # (each group broadcasts its own — possibly fault-corrupted —
+        # replica, so replicas are packed per group, not per query).
+        ref_words, group_bounds, seg_ids, seg_starts = self._packed_layer(
+            layer, region1, enable_cols
+        )
+        qcols = layout.query_column_matrix
+        num_words = kernels.words_for(total_rows)
+        qwords = kernels.pack_bit_columns(region1[:, qcols.ravel()]).reshape(
+            num_words, layout.num_groups, layout.queries_per_group
+        )
+        chosen = impl if impl is not None else kernels.default_implementation()
+        seg_max = np.full(
+            (num_queries, self.etm.num_segments), -1, dtype=np.int64
+        )
+        # Auto mode takes the single-word fast path; a pinned impl
+        # ("packed-numpy"/"packed-numba") runs the general per-group
+        # first_divergence sweep so both engines stay test-reachable.
+        if impl is None and num_words == 1 and chosen == "numpy":
+            # Single-word fast path (every k <= 32 packs into one
+            # uint64 word): kernels.segment_divergence reduces the raw
+            # XOR matrix per segment without materializing the full
+            # per-column divergence matrix; argmin locates the first
+            # all-equal column (XOR == 0) for hit queries.
+            zero = np.uint64(0)
+            group_of_col = layout.column_group_index[:num_refs]
+            # (query, column) orientation keeps the argmin/reduceat
+            # scans contiguous.
+            xor = qwords[0].T[:, group_of_col] ^ ref_words[0][None, :]
+            if not (
+                num_queries == layout.queries_per_group
+                and np.array_equal(slot_arr, np.arange(num_queries))
+            ):
+                xor = xor[slot_arr]
+            first_hit = np.argmin(xor, axis=1)
+            seg_div = kernels.segment_divergence(xor, total_rows, seg_starts)
+            seg_max[:, seg_ids] = seg_div
+            last_div = seg_div.max(axis=1)
+            # Tail bits past total_rows are zero on both sides, so a
+            # nonzero XOR always diverges before total_rows: max
+            # divergence reaches total_rows iff some column matched.
+            any_hit = last_div == total_rows
+            last_hits = xor[num_queries - 1] == zero
+        else:
+            div = np.empty((num_queries, num_refs), dtype=np.int64)
+            for g in range(layout.num_groups):
+                lo, hi = int(group_bounds[g]), int(group_bounds[g + 1])
+                if lo == hi:
+                    continue
+                div[:, lo:hi] = kernels.first_divergence(
+                    ref_words[:, lo:hi],
+                    qwords[:, g, slot_arr],
+                    total_rows,
+                    chosen,
+                )
+            hit_matrix = div == total_rows
+            any_hit = hit_matrix.any(axis=1)
+            first_hit = hit_matrix.argmax(axis=1)
+            last_div = div.max(axis=1)
+            seg_max[:, seg_ids] = np.maximum.reduceat(div, seg_starts, axis=1)
+            last_hits = hit_matrix[num_queries - 1]
+
+        # Batch-wide outcome synthesis (same closed forms as the PR-2
+        # path, applied to all queries at once).
+        if self.etm_enabled:
+            early = ~any_hit & (last_div <= total_rows - 2)
+        else:
+            early = np.zeros(num_queries, dtype=bool)
+        compares = np.where(
+            any_hit | ~early, total_rows, last_div + 1
+        )
+        rows_act = np.where(early, last_div + 2, total_rows)
+        self.array.charge_untimed_accesses(int(rows_act.sum()))
+
+        # SR drain after the final row (hits consult it): SR[i] is live
+        # iff i >= steps or max_{g<=i}(seg_max[g] - g) >= steps - i —
+        # the same recurrence _sr_after unrolls, vectorized over queries.
+        seg_idx = np.arange(self.etm.num_segments, dtype=np.int64)
+        prefix = np.maximum.accumulate(seg_max - seg_idx[None, :], axis=1)
+        live = (prefix >= total_rows - seg_idx[None, :]) | (
+            seg_idx[None, :] >= total_rows
+        )
+        flush_all = np.where(
+            live.any(axis=1),
+            self.etm.num_segments - live.argmax(axis=1),
+            0,
+        )
+
+        # Region-2/3 fetches for every hit, batch-wide: peek the stored
+        # cells (activation copies them to the row buffer unchanged) and
+        # charge the two ACT/PRE pairs analytically.
+        hit_pos = np.flatnonzero(any_hit)
+        payloads = np.zeros(num_queries, dtype=np.int64)
+        columns = np.zeros(num_queries, dtype=np.int64)
+        if hit_pos.size:
+            cols = enable_cols[first_hit[hit_pos]].astype(np.int64)
+            columns[hit_pos] = cols
+            group = cols // layout.group_width
+            local = cols - group * layout.group_width
+            qstart = layout.query_col_offset
+            local = np.where(
+                local > qstart, local - layout.queries_per_group, local
+            )
+            ref_slot = group * layout.refs_per_group + local
+            full = self.array.peek_rows(0, self.array.rows)
+            orow_in, oentry = np.divmod(ref_slot, layout.offsets_per_row)
+            obits = full[
+                (base + total_rows + orow_in)[:, None],
+                (oentry * OFFSET_BITS)[:, None] + np.arange(OFFSET_BITS),
+            ]
+            # The payload decoder wraps (fault-corrupted Region-2 words
+            # must still address some Region-3 slot).
+            offsets = _bit_rows_to_ints(obits) % layout.refs_per_layer
+            prow_in, pentry = np.divmod(offsets, layout.payloads_per_row)
+            pbits = full[
+                (base + total_rows + layout.offset_rows + prow_in)[:, None],
+                (pentry * PAYLOAD_BITS)[:, None] + np.arange(PAYLOAD_BITS),
+            ]
+            payloads[hit_pos] = _bit_rows_to_ints(pbits)
+            self.array.charge_untimed_accesses(2 * hit_pos.size)
+
+        segment_size = self.etm.segment_size
+        outcomes: List[MatchOutcome] = []
+        for j, batch_slot in enumerate(slots):
+            query = self._batch[batch_slot]
+            if any_hit[j]:
+                column = int(columns[j])
+                segment = column // segment_size
+                # Closed-form ColumnFinder run: the shifter stops at the
+                # first live latch (strict=False), which is the lowest
+                # hit column since enable_cols ascend.
+                cf = ColumnFindResult(
+                    column=column,
+                    segment=segment,
+                    bsr_shift_cycles=segment + 1,
+                    copy_cycles=1,
+                    rs_shift_cycles=column - segment * segment_size + 1,
+                )
+                outcomes.append(
+                    MatchOutcome(
+                        query=query,
+                        hit=True,
+                        payload=int(payloads[j]),
+                        column=column,
+                        layer=layer,
+                        rows_activated=total_rows + 2,
+                        etm_flush_cycles=int(flush_all[j]),
+                        cf=cf,
+                        etm_terminated_early=False,
+                    )
+                )
+            else:
+                outcomes.append(
+                    MatchOutcome(
+                        query=query,
+                        hit=False,
+                        payload=None,
+                        column=None,
+                        layer=layer,
+                        rows_activated=int(rows_act[j]),
+                        etm_flush_cycles=0,
+                        cf=None,
+                        etm_terminated_early=bool(early[j]),
+                    )
+                )
+        # Matcher/ETM state after the batch: a per-slot replay's final
+        # load_state wins, so only the last slot's state is installed.
+        last = num_queries - 1
+        latches = np.zeros(layout.row_bits, dtype=np.uint8)
+        if any_hit[last]:
+            latches[enable_cols[last_hits]] = 1
+        self._sync_pipeline_state(seg_max[last], int(compares[last]), latches)
         return outcomes
 
     def _sr_after(self, seg_max: np.ndarray, steps: int) -> np.ndarray:

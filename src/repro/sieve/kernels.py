@@ -1,0 +1,280 @@
+"""Bit-packed first-divergence kernels (word-parallel Region-1 matching).
+
+The PR-2 batched engine compares Region-1 reference columns against a
+query one ``uint8`` *bit* per element.  These kernels pack the same bit
+columns into ``uint64`` words (MSB-first, matching Region-1 row order:
+row ``r`` lands at bit ``63 - r`` of word ``r // 64``) and compute every
+query/column *first-divergence* row with one ``np.bitwise_xor`` pass
+plus a vectorized first-set-bit trick — the word-granularity analogue
+of what the sense-amplifier matchers do bit-serially.
+
+Two interchangeable implementations sit behind
+:func:`first_divergence`:
+
+* ``"numpy"`` — always available.  The leading set bit of each XOR word
+  is located through its big-endian byte view: ``argmax`` finds the
+  first non-zero byte, a 256-entry table supplies the leading-zero
+  count inside it.
+* ``"numba"`` — an ``@njit`` scalar loop over the same packed words,
+  available when the optional ``[compiled]`` extra is installed
+  (``pip install .[compiled]``).  Selected automatically when
+  importable; force either with ``SIEVE_KERNEL=numpy|numba``.
+
+Both return identical ``int64`` matrices — the bit-identity property
+suite (``tests/test_kernels_properties.py``) compares them against each
+other and against the scalar simulator.  Tail bits past ``rows`` in the
+last word are zero on both sides of the XOR by construction
+(:func:`pack_bit_columns` zero-pads), so odd widths can never introduce
+a phantom divergence.
+
+This module is deliberately free of wall-clock reads (SV012) and of
+mutable module state (SV009): fleet workers fork with these tables
+mapped copy-on-write, and benchmarks time the kernels from outside.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+#: Bits per packed word.
+WORD_BITS = 64
+
+#: Environment override for the implementation choice.
+KERNEL_ENV_VAR = "SIEVE_KERNEL"
+
+try:  # pragma: no cover - exercised only with the [compiled] extra
+    from numba import njit as _njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the container default
+    _njit = None
+    HAVE_NUMBA = False
+
+
+class KernelError(ValueError):
+    """Raised on invalid kernel inputs or implementation selection."""
+
+
+def _build_pop8() -> np.ndarray:
+    """Set-bit count of every byte value (numpy<2 popcount fallback)."""
+    table = np.empty(256, dtype=np.uint8)
+    for value in range(256):
+        table[value] = bin(value).count("1")
+    return table
+
+
+_POP8 = _build_pop8()
+_POP8.setflags(write=False)
+
+#: ``np.bitwise_count`` landed in numpy 2.0; older interpreters fall
+#: back to a byte-view table lookup with identical results.
+_HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def bit_length64(words: np.ndarray) -> np.ndarray:
+    """Per-element bit length of a uint64 array (0 for the zero word).
+
+    Classic smear-then-popcount: OR the leading set bit into every
+    lower position, then count the set bits.
+    """
+    smeared = words | (words >> np.uint64(1))
+    smeared |= smeared >> np.uint64(2)
+    smeared |= smeared >> np.uint64(4)
+    smeared |= smeared >> np.uint64(8)
+    smeared |= smeared >> np.uint64(16)
+    smeared |= smeared >> np.uint64(32)
+    if _HAVE_BITWISE_COUNT:
+        return np.bitwise_count(smeared).astype(np.int64)
+    counts = _POP8[smeared.view(np.uint8)]
+    return counts.reshape(*smeared.shape, 8).sum(axis=-1, dtype=np.int64)
+
+
+def words_for(rows: int) -> int:
+    """Packed ``uint64`` words needed to hold ``rows`` bits."""
+    if rows < 0:
+        raise KernelError(f"rows must be >= 0, got {rows}")
+    return -(-rows // WORD_BITS)
+
+
+def pack_bit_columns(bits: np.ndarray) -> np.ndarray:
+    """Pack an ``(R, C)`` 0/1 matrix into ``(ceil(R/64), C)`` uint64 words.
+
+    Column ``c``'s bit ``r`` lands at bit ``63 - (r % 64)`` of word
+    ``r // 64`` (MSB-first, mirroring the Region-1 row order), and tail
+    bits past ``R`` in the last word are zero — the invariant
+    :func:`first_divergence` relies on.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 2:
+        raise KernelError(f"bit matrix must be 2-D, got shape {bits.shape}")
+    rows, cols = bits.shape
+    num_words = words_for(rows)
+    if rows == 0:
+        return np.zeros((0, cols), dtype=np.uint64)
+    as_bytes = np.packbits(bits, axis=0, bitorder="big")
+    padded = np.zeros((num_words * 8, cols), dtype=np.uint64)
+    padded[: as_bytes.shape[0]] = as_bytes
+    shifts = np.arange(7, -1, -1, dtype=np.uint64) * np.uint64(8)
+    return np.bitwise_or.reduce(
+        padded.reshape(num_words, 8, cols) << shifts[None, :, None], axis=1
+    )
+
+
+def available_implementations() -> tuple:
+    """Implementations usable in this interpreter, preferred first."""
+    return ("numba", "numpy") if HAVE_NUMBA else ("numpy",)
+
+
+def default_implementation() -> str:
+    """Active implementation: ``SIEVE_KERNEL`` override, else the best
+    available (numba when the ``[compiled]`` extra is installed)."""
+    forced = os.environ.get(KERNEL_ENV_VAR, "").strip().lower()
+    if forced:
+        if forced not in ("numpy", "numba"):
+            raise KernelError(
+                f"{KERNEL_ENV_VAR}={forced!r} is not one of numpy/numba"
+            )
+        if forced == "numba" and not HAVE_NUMBA:
+            raise KernelError(
+                f"{KERNEL_ENV_VAR}=numba but numba is not installed "
+                "(pip install .[compiled])"
+            )
+        return forced
+    return available_implementations()[0]
+
+
+def segment_divergence(
+    xor: np.ndarray, rows: int, seg_starts: np.ndarray
+) -> np.ndarray:
+    """Max first-divergence per reference segment, single-word fast path.
+
+    For layouts whose ``rows`` fit one packed word (``words_for(rows)
+    == 1`` — every ``k <= 32``), ``bit_length`` is monotone in the XOR
+    word, so the *maximum* first-divergence over a column range equals
+    ``64 - bit_length(min(xor))``: the whole per-segment reduction
+    collapses to one ``np.minimum.reduceat`` over the raw XOR matrix,
+    and the smear/popcount of :func:`bit_length64` only runs on the
+    tiny per-segment result instead of the full divergence matrix.
+
+    ``xor`` is the ``(N, R)`` query-word XOR reference-word matrix and
+    ``seg_starts`` the ascending segment start offsets into the ``R``
+    axis.  Returns ``(N, num_segments)`` int64: entry ``[n, s]`` is the
+    max first-divergence of query ``n`` over segment ``s`` — ``rows``
+    exactly when the segment holds a full match (tail bits past
+    ``rows`` are zero on both sides of the XOR, so a nonzero word
+    always diverges before ``rows``).
+    """
+    xor = np.asarray(xor, dtype=np.uint64)
+    if xor.ndim != 2:
+        raise KernelError(f"xor matrix must be 2-D, got shape {xor.shape}")
+    if not 0 < rows <= WORD_BITS:
+        raise KernelError(
+            f"segment_divergence covers 1..{WORD_BITS} rows, got {rows}"
+        )
+    seg_min = np.minimum.reduceat(xor, seg_starts, axis=1)
+    return np.where(
+        seg_min == np.uint64(0),
+        np.int64(rows),
+        WORD_BITS - bit_length64(seg_min),
+    )
+
+
+def first_divergence(
+    ref_words: np.ndarray,
+    query_words: np.ndarray,
+    rows: int,
+    impl: Optional[str] = None,
+) -> np.ndarray:
+    """First-divergence row of every (query, reference-column) pair.
+
+    ``ref_words`` is ``(W, R)`` and ``query_words`` ``(W, N)``, both
+    packed by :func:`pack_bit_columns` over the same ``rows`` bit rows
+    (``W == words_for(rows)``).  Returns an ``(N, R)`` int64 matrix
+    where entry ``[n, r]`` is the first row at which column ``r``
+    differs from query ``n`` — or ``rows`` when they agree on every row
+    (a match).  ``impl`` forces ``"numpy"``/``"numba"``; the default
+    follows :func:`default_implementation`.
+    """
+    ref_words = np.asarray(ref_words, dtype=np.uint64)
+    query_words = np.asarray(query_words, dtype=np.uint64)
+    if ref_words.ndim != 2 or query_words.ndim != 2:
+        raise KernelError("packed word matrices must be 2-D")
+    num_words = words_for(rows)
+    if ref_words.shape[0] != num_words or query_words.shape[0] != num_words:
+        raise KernelError(
+            f"expected {num_words} words for {rows} rows, got "
+            f"{ref_words.shape[0]} (ref) and {query_words.shape[0]} (query)"
+        )
+    chosen = impl if impl is not None else default_implementation()
+    if chosen == "numba":
+        if not HAVE_NUMBA:
+            raise KernelError(
+                "numba implementation requested but numba is not installed "
+                "(pip install .[compiled])"
+            )
+        out = np.empty(
+            (query_words.shape[1], ref_words.shape[1]), dtype=np.int64
+        )
+        _first_divergence_numba(
+            np.ascontiguousarray(ref_words),
+            np.ascontiguousarray(query_words),
+            rows,
+            out,
+        )
+        return out
+    if chosen != "numpy":
+        raise KernelError(f"unknown kernel implementation {chosen!r}")
+    return _first_divergence_numpy(ref_words, query_words, rows)
+
+
+def _first_divergence_numpy(
+    ref_words: np.ndarray, query_words: np.ndarray, rows: int
+) -> np.ndarray:
+    num_words, num_refs = ref_words.shape
+    num_queries = query_words.shape[1]
+    div = np.full((num_queries, num_refs), rows, dtype=np.int64)
+    # Later words first: where an earlier word also differs, its (lower)
+    # divergence row overwrites on the next iteration.
+    for w in range(num_words - 1, -1, -1):
+        xor = query_words[w][:, None] ^ ref_words[w][None, :]
+        nonzero = xor != 0
+        if not nonzero.any():
+            continue
+        # MSB-first packing: the first divergent row is the leading set
+        # bit, i.e. 64 - bit_length (the zero word is masked out below).
+        bit = WORD_BITS - bit_length64(xor)
+        div = np.where(nonzero, w * WORD_BITS + bit, div)
+    return div
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only with [compiled]
+
+    @_njit(cache=False)
+    def _first_divergence_numba(ref_words, query_words, rows, out):
+        num_words, num_refs = ref_words.shape
+        num_queries = query_words.shape[1]
+        for n in range(num_queries):
+            for r in range(num_refs):
+                d = rows
+                for w in range(num_words):
+                    x = query_words[w, n] ^ ref_words[w, r]
+                    if x != np.uint64(0):
+                        # 64 - bit_length(x) == leading zero count.
+                        c = 64
+                        while x != np.uint64(0):
+                            x = x >> np.uint64(1)
+                            c -= 1
+                        d = w * WORD_BITS + c
+                        break
+                out[n, r] = d
+
+else:
+
+    def _first_divergence_numba(ref_words, query_words, rows, out):
+        raise KernelError(
+            "numba implementation requested but numba is not installed "
+            "(pip install .[compiled])"
+        )

@@ -218,6 +218,79 @@ class TestResultCache:
         assert len(EXECUTIONS) == 2
 
 
+class TestContentKeyedCache:
+    """``Job.cache_token()`` folds external content identity into the
+    cache digest — the mechanism :class:`SegmentLookupJob` uses to key
+    results by segment content hash instead of directory path."""
+
+    def _segments(self, tmp_path, name, bump=0):
+        from repro.genomics import KmerDatabase
+        from repro.serialization import save_segments
+
+        db = KmerDatabase(k=6)
+        for i in range(40):
+            db.add(7 + i * 91, 100 + (i + bump) % 5)
+        save_segments(db, tmp_path / name)
+        return str(tmp_path / name)
+
+    def test_empty_token_leaves_digest_unchanged(self):
+        """Historical digests must not shift: the token is only folded
+        in when non-empty, and the base Job token is empty."""
+        job = EchoJob(tag="stable")
+        assert job.cache_token() == ""
+        assert "token=" not in job.key()
+
+    def test_same_content_different_path_shares_identity(self, tmp_path):
+        from repro.fleet import SegmentLookupJob
+
+        a = SegmentLookupJob(db_segments=self._segments(tmp_path, "a"))
+        b = SegmentLookupJob(db_segments=self._segments(tmp_path, "b"))
+        assert a.key() == b.key()
+        assert job_digest(a, "v") == job_digest(b, "v")
+        assert derive_seed(a.key()) == derive_seed(b.key())
+
+    def test_different_content_changes_identity(self, tmp_path):
+        from repro.fleet import SegmentLookupJob
+
+        a = SegmentLookupJob(db_segments=self._segments(tmp_path, "a"))
+        c = SegmentLookupJob(
+            db_segments=self._segments(tmp_path, "c", bump=1)
+        )
+        assert a.key() != c.key()
+        assert job_digest(a, "v") != job_digest(c, "v")
+
+    def test_cache_hit_across_paths(self, tmp_path):
+        """A result computed for one directory serves a byte-identical
+        copy at another path straight from the cache."""
+        from repro.fleet import SegmentLookupJob
+
+        cache = ResultCache(tmp_path / "cache")
+        job_a = SegmentLookupJob(
+            db_segments=self._segments(tmp_path, "a"), num_queries=20
+        )
+        (first,) = run_jobs([job_a], max_workers=1, cache=cache)
+        job_b = SegmentLookupJob(
+            db_segments=self._segments(tmp_path, "b"), num_queries=20
+        )
+        (second,) = run_jobs([job_b], max_workers=1, cache=cache)
+        assert second == first
+
+    def test_payloads_identical_across_worker_counts(self, tmp_path):
+        from repro.fleet import SegmentLookupJob
+
+        jobs = [
+            SegmentLookupJob(
+                db_segments=self._segments(tmp_path, "a"), num_queries=20
+            ),
+            SegmentLookupJob(
+                db_segments=self._segments(tmp_path, "a"), num_queries=30
+            ),
+        ]
+        inline = run_jobs(jobs, max_workers=1, use_cache=False)
+        pooled = run_jobs(jobs, max_workers=2, use_cache=False)
+        assert inline == pooled
+
+
 class TestSanitizerPropagation:
     def test_probe_sees_sanitizer_in_workers(self):
         results = run_jobs(

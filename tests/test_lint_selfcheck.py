@@ -63,6 +63,33 @@ def test_concurrency_suppressions_are_justified():
     assert not bare, f"unjustified SV007-SV012 suppression(s):\n{details}"
 
 
+def test_kernels_module_stays_clock_and_fork_free():
+    """``repro.sieve.kernels`` is benchmarked from outside and mapped
+    copy-on-write into fleet workers, so it must stay free of
+    wall-clock reads (SV012) and fork-unsafe mutable state (SV009) —
+    and must never buy that cleanliness via a config exemption."""
+    kernels_py = SRC / "repro" / "sieve" / "kernels.py"
+    findings = [
+        f
+        for f in lint_paths([str(kernels_py)], list(ALL_RULES))
+        if f.rule_id in ("SV009", "SV012")
+    ]
+    details = "\n".join(finding.format() for finding in findings)
+    assert not findings, f"kernels module regressed:\n{details}"
+    pyproject = (REPO / "pyproject.toml").read_text(encoding="utf-8")
+    in_table = False
+    for line in pyproject.splitlines():
+        if line.strip().startswith("[tool.sieve-lint"):
+            in_table = True
+        elif line.strip().startswith("["):
+            in_table = False
+        if in_table:
+            assert "kernels" not in line, (
+                f"kernels must not be exempted from sieve-lint: {line}"
+            )
+    assert "lint: disable" not in kernels_py.read_text(encoding="utf-8")
+
+
 @pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
 def test_ruff_clean():
     proc = subprocess.run(

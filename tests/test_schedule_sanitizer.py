@@ -181,6 +181,57 @@ class TestStateMachine:
         assert sanitizer.history_for(scope) == []
 
 
+class TestAdmissionOrder:
+    """The pipelined-dispatch invariant: a shard's executed requests
+    move strictly forward in its admission order."""
+
+    def test_in_order_execution_passes(self, sanitizer):
+        scope = Scope()
+        sanitizer.on_request_admitted(scope, 0, 1, 10)
+        sanitizer.on_request_admitted(scope, 0, 2, 7)
+        sanitizer.on_batch_coalesced(scope, 0, 0, [(1, 10)])
+        sanitizer.on_batch_executed(scope, 0, 0, [1], 10)
+        sanitizer.on_batch_coalesced(scope, 0, 1, [(2, 7)])
+        sanitizer.on_batch_executed(scope, 0, 1, [2], 7)
+        assert sanitizer.violations_raised == 0
+
+    def test_out_of_admission_order_trips(self, sanitizer):
+        scope = Scope()
+        sanitizer.on_request_admitted(scope, 0, 1, 10)
+        sanitizer.on_request_admitted(scope, 0, 2, 7)
+        sanitizer.on_batch_coalesced(scope, 0, 0, [(2, 7)])
+        sanitizer.on_batch_executed(scope, 0, 0, [2], 7)
+        sanitizer.on_batch_coalesced(scope, 0, 1, [(1, 10)])
+        with pytest.raises(ScheduleViolation, match="admission order"):
+            sanitizer.on_batch_executed(scope, 0, 1, [1], 10)
+
+    def test_order_is_per_shard(self, sanitizer):
+        scope = Scope()
+        sanitizer.on_request_admitted(scope, 0, 1, 10)
+        sanitizer.on_request_admitted(scope, 1, 2, 7)
+        sanitizer.on_batch_coalesced(scope, 1, 0, [(2, 7)])
+        sanitizer.on_batch_executed(scope, 1, 0, [2], 7)
+        sanitizer.on_batch_coalesced(scope, 0, 0, [(1, 10)])
+        sanitizer.on_batch_executed(scope, 0, 0, [1], 10)
+        assert sanitizer.violations_raised == 0
+
+    def test_readmission_assigns_fresh_position(self, sanitizer):
+        """Failover redispatch is ordered by *re*-admission: orphaned
+        work re-admitted on a new shard executes after whatever that
+        shard already ran."""
+        scope = Scope()
+        sanitizer.on_request_admitted(scope, 0, 1, 10)
+        sanitizer.on_request_admitted(scope, 1, 2, 7)
+        sanitizer.on_batch_coalesced(scope, 1, 0, [(2, 7)])
+        sanitizer.on_batch_executed(scope, 1, 0, [2], 7)
+        sanitizer.on_batch_coalesced(scope, 0, 0, [(1, 10)])
+        sanitizer.on_requests_orphaned(scope, 0, [1])
+        sanitizer.on_request_admitted(scope, 1, 1, 10)
+        sanitizer.on_batch_coalesced(scope, 1, 1, [(1, 10)])
+        sanitizer.on_batch_executed(scope, 1, 1, [1], 10)
+        assert sanitizer.violations_raised == 0
+
+
 class TestInstallation:
     def test_enable_is_idempotent(self):
         previous = hooks.get_observer()

@@ -6,12 +6,18 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.genomics import KmerDatabase, encode_kmer, transpose_kmers
+from repro.genomics import KmerDatabase, MmapKmerDatabase, encode_kmer, transpose_kmers
 from repro.serialization import (
+    MANIFEST_NAME,
+    SEGMENT_FORMAT,
     SerializationError,
+    database_content_hash,
     load_database,
+    load_segments,
     load_workload,
+    read_segment_manifest,
     save_database,
+    save_segments,
     save_workload,
 )
 from repro.sieve import EspModel, WorkloadStats
@@ -102,6 +108,123 @@ class TestWorkloadRoundtrip:
         a = Type3Model(concurrent_subarrays=8).run(wl)
         b = Type3Model(concurrent_subarrays=8).run(load_workload(path))
         assert a.time_s == pytest.approx(b.time_s)
+
+
+class TestSegmentDirectory:
+    def test_round_trip(self, tmp_path, tiny_database):
+        manifest = save_segments(tiny_database, tmp_path / "seg")
+        assert manifest["format"] == SEGMENT_FORMAT
+        db = load_segments(tmp_path / "seg", verify=True)
+        assert isinstance(db, MmapKmerDatabase)
+        assert db.k == tiny_database.k
+        assert db.canonical == tiny_database.canonical
+        assert db.sorted_records() == tiny_database.sorted_records()
+        assert len(db) == len(tiny_database)
+
+    def test_open_mmap_entrypoint(self, tmp_path, tiny_database):
+        save_segments(tiny_database, tmp_path / "seg")
+        db = KmerDatabase.open_mmap(tmp_path / "seg")
+        present = dict(tiny_database.sorted_records())
+        for kmer, taxon in present.items():
+            assert kmer in db
+            assert db.get(kmer) == taxon
+        absent = next(
+            kmer for kmer in range(4**db.k) if kmer not in present
+        )
+        assert absent not in db
+        assert db.get(absent) is None
+
+    def test_content_hash_matches_in_memory(self, tmp_path, tiny_database):
+        manifest = save_segments(tiny_database, tmp_path / "seg")
+        db = load_segments(tmp_path / "seg")
+        assert db.content_hash == manifest["content_hash"]
+        assert database_content_hash(tiny_database) == db.content_hash
+        assert database_content_hash(db) == db.content_hash
+
+    def test_content_hash_tracks_content(self, tmp_path, tiny_database):
+        first = save_segments(tiny_database, tmp_path / "a")
+        other = KmerDatabase(k=tiny_database.k)
+        for kmer, taxon in tiny_database.sorted_records():
+            other.add(kmer, taxon + 1)
+        second = save_segments(other, tmp_path / "b")
+        assert first["content_hash"] != second["content_hash"]
+        # Same content at a different path hashes identically.
+        third = save_segments(tiny_database, tmp_path / "c")
+        assert third["content_hash"] == first["content_hash"]
+
+    def test_read_only(self, tmp_path, tiny_database):
+        from repro.genomics.database import DatabaseError
+
+        save_segments(tiny_database, tmp_path / "seg")
+        db = load_segments(tmp_path / "seg")
+        with pytest.raises(DatabaseError):
+            db.add(0, 1)
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_segments(KmerDatabase(k=5), tmp_path / "seg")
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(SerializationError):
+            read_segment_manifest(tmp_path)
+
+    def test_wrong_format(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(SerializationError):
+            read_segment_manifest(tmp_path)
+
+    def test_missing_segment_entry(self, tmp_path, tiny_database):
+        save_segments(tiny_database, tmp_path)
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        del manifest["segments"]["taxa"]
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(SerializationError):
+            read_segment_manifest(tmp_path)
+
+    def test_missing_segment_file(self, tmp_path, tiny_database):
+        save_segments(tiny_database, tmp_path)
+        (tmp_path / "taxa.npy").unlink()
+        with pytest.raises(SerializationError):
+            load_segments(tmp_path)
+
+    def test_corrupt_segment_detected_by_verify(self, tmp_path, tiny_database):
+        save_segments(tiny_database, tmp_path)
+        kmers = np.load(tmp_path / "kmers.npy")
+        kmers[0] ^= 1
+        np.save(tmp_path / "kmers.npy", kmers)
+        # Lazy open stays permissive (hash untouched)...
+        load_segments(tmp_path)
+        # ...verify re-hashes the mapped pages and catches the flip.
+        with pytest.raises(SerializationError):
+            load_segments(tmp_path, verify=True)
+
+    def test_shape_mismatch_detected(self, tmp_path, tiny_database):
+        save_segments(tiny_database, tmp_path)
+        np.save(
+            tmp_path / "taxa.npy",
+            np.zeros(len(tiny_database) + 1, dtype=np.uint32),
+        )
+        with pytest.raises(SerializationError):
+            load_segments(tmp_path)
+
+    def test_mmap_device_matches_in_memory(self, tmp_path, small_dataset):
+        """A SieveDevice built from the mmap view answers identically
+        to one built from the in-memory database."""
+        from repro.sieve import SieveDevice
+
+        save_segments(small_dataset.database, tmp_path / "seg")
+        mapped = KmerDatabase.open_mmap(tmp_path / "seg")
+        queries = sorted(
+            {
+                kmer
+                for read in small_dataset.reads
+                for kmer in read.kmers(small_dataset.k)
+            }
+        )
+        a = SieveDevice.from_database(small_dataset.database)
+        b = SieveDevice.from_database(mapped)
+        assert a.query(queries) == b.query(queries)
+        assert a.stats == b.stats
 
 
 class TestVectorizedTranspose:

@@ -345,6 +345,126 @@ class TestExecutorSeam:
         assert service._executor._shutdown
 
 
+class TestPipelinedDispatch:
+    """``pipelined=True`` overlaps host prep of batch N+1 with device
+    simulation of batch N on the executor seam.
+
+    Responses must stay bit-identical to the serial schedule (one
+    in-flight device batch per shard, launched in admission order), and
+    the session schedule sanitizer must see a clean exactly-once,
+    admission-ordered schedule throughout.
+    """
+
+    def test_requires_executor(self):
+        with pytest.raises(ServiceConfigError):
+            ServiceConfig(pipelined=True, executor_threads=0)
+
+    def test_bit_identical_to_serial(self, small_dataset, small_layout):
+        def one_run(**overrides):
+            service = make_service(
+                small_dataset, small_layout, num_shards=1, **overrides
+            )
+            responses = asyncio.run(serve_all(service, small_dataset.reads))
+            return [r.classification for r in responses]
+
+        serial = one_run()
+        pipelined = one_run(executor_threads=1, pipelined=True)
+        assert pipelined == serial
+
+    def test_matches_sequential_scalar(self, small_dataset, small_layout):
+        service = make_service(
+            small_dataset,
+            small_layout,
+            executor_threads=2,
+            pipelined=True,
+        )
+        reads = small_dataset.reads * 2
+        responses = asyncio.run(serve_all(service, reads))
+        reference = SieveDevice.from_database(
+            small_dataset.database, layout=small_layout
+        )
+        for read, response in zip(reads, responses):
+            kmers = list(read.kmers(small_dataset.k))
+            expected = classification_from_results(
+                read.seq_id,
+                reference.query(kmers, batched=False),
+                true_taxon=read.taxon_id,
+            )
+            assert response.classification == expected
+
+    def test_drain_completes_every_request(self, small_dataset, small_layout):
+        service = make_service(
+            small_dataset,
+            small_layout,
+            num_shards=1,
+            executor_threads=1,
+            pipelined=True,
+        )
+        reads = small_dataset.reads * 3
+        responses = asyncio.run(serve_all(service, reads))
+        assert len(responses) == len(reads)
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["completed_total"] == len(reads)
+
+    def test_deterministic_counters_across_runs(
+        self, small_dataset, small_layout
+    ):
+        def one_run():
+            service = make_service(
+                small_dataset,
+                small_layout,
+                num_shards=1,
+                executor_threads=1,
+                pipelined=True,
+            )
+            asyncio.run(serve_all(service, small_dataset.reads))
+            return service.metrics.snapshot()["counters"]
+
+        assert one_run() == one_run()
+
+    def test_chaos_crash_redispatches(self, small_dataset, small_layout):
+        """A shard crash mid-pipeline retires the in-flight batch and
+        fails over the rest; every request still resolves."""
+        from repro.faults import ChaosInjector, ChaosPlan
+
+        config = ServiceConfig(
+            num_shards=2,
+            max_batch_kmers=96,
+            max_linger_s=0.0,
+            queue_depth=256,
+            executor_threads=1,
+            pipelined=True,
+        )
+        backends = [
+            SieveDevice.from_database(
+                small_dataset.database, layout=small_layout
+            )
+            for _ in range(config.num_shards)
+        ]
+        plan = ChaosPlan.seeded(
+            "pipelined-crash", num_shards=config.num_shards, crashes=1
+        )
+        service = ClassificationService(
+            backends, config, chaos=ChaosInjector(plan)
+        )
+        reads = small_dataset.reads * 2
+        responses = asyncio.run(serve_all(service, reads))
+        assert len(responses) == len(reads)
+        assert service.stats()["healthy_shards"] == config.num_shards - 1
+        reference = SieveDevice.from_database(
+            small_dataset.database, layout=small_layout
+        )
+        for read, response in zip(reads, responses):
+            expected = classification_from_results(
+                read.seq_id,
+                reference.query(
+                    list(read.kmers(small_dataset.k)), batched=False
+                ),
+                true_taxon=read.taxon_id,
+            )
+            assert response.classification == expected
+
+
 def test_service_load_job_counters_are_deterministic():
     from repro.fleet.core import run_jobs
     from repro.fleet.jobs import ServiceLoadJob
