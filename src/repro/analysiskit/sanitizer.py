@@ -308,7 +308,7 @@ class _ScopeState:
 
     __slots__ = ("label", "requests", "coalesced", "executed",
                  "last_executed", "admit_counters", "exec_watermarks",
-                 "history")
+                 "exec_totals", "deduped", "history")
 
     def __init__(self, label: str, history_limit: int) -> None:
         self.label = label
@@ -317,6 +317,11 @@ class _ScopeState:
         self.coalesced: Dict[Tuple[int, int], List[int]] = {}
         self.executed: set = set()
         self.last_executed: Dict[int, int] = {}
+        #: ``(shard, index) -> total_kmers`` of every executed batch —
+        #: the admitted-k-mer total a dedup event must account for.
+        self.exec_totals: Dict[Tuple[int, int], int] = {}
+        #: Batches that already reported their dedup/cache split.
+        self.deduped: set = set()
         #: Per-shard admission sequence counter.
         self.admit_counters: Dict[int, int] = {}
         #: Per-shard highest admit position already executed — executed
@@ -345,6 +350,12 @@ class ScheduleSanitizer:
       device simulation of batch N) honest,
     * an executed batch's live slice partitions its k-mers exactly
       (coalescing slices are re-voted before reply, never split),
+    * when the dedup/cache stage is on, each executed batch reports its
+      split exactly once and it conserves the executed total — every
+      admitted k-mer is a duplicate fold, a cache hit, or device work,
+      and the device covers at least every unique miss
+      (``on_batch_deduped``; no request can be dropped or
+      double-answered through the cache),
     * a request resolves exactly once — completion, deadline expiry, or
       failure — and completion carries its admitted k-mer count,
     * at quiesce (drain complete) no admitted request is still pending.
@@ -601,7 +612,82 @@ class ScheduleSanitizer:
                 )
         state.executed.add(coords)
         state.last_executed[shard_id] = batch_index
+        state.exec_totals[coords] = total_kmers
         state.exec_watermarks[shard_id] = watermark
+
+    def on_batch_deduped(
+        self,
+        scope: Any,
+        shard_id: int,
+        batch_index: int,
+        total_kmers: int,
+        unique_kmers: int,
+        cache_hits: int,
+        device_kmers: int,
+    ) -> None:
+        """Dedup/cache accounting for an executed batch.
+
+        The execute event already proved the batch partitions its live
+        requests' k-mers exactly; this event proves the dedup/cache
+        stage conserves them: the split is reported once per batch,
+        against the same total the execute event carried, with
+        ``cache_hits <= unique_kmers <= total_kmers`` and the device
+        receiving at least the unique misses and at most the full
+        batch (the self-check shadow mode re-executes everything).
+        Requests can therefore neither lose nor double-receive k-mers
+        through the cache: every admitted k-mer is accounted for as a
+        duplicate fold, a cache hit, or device work.
+        """
+        state = self._state(scope)
+        coords = (shard_id, batch_index)
+        self._note(
+            state,
+            shard_id,
+            "DEDUP",
+            f"batch={batch_index} total={total_kmers} "
+            f"unique={unique_kmers} hits={cache_hits} "
+            f"device={device_kmers}",
+        )
+        if coords not in state.executed:
+            self._fail(
+                f"batch {batch_index} reported a dedup split on shard "
+                f"{shard_id} without an execute event",
+                state,
+                shard_id,
+            )
+        if coords in state.deduped:
+            self._fail(
+                f"batch {batch_index} reported its dedup split twice on "
+                f"shard {shard_id}",
+                state,
+                shard_id,
+            )
+        executed_total = state.exec_totals.get(coords)
+        if executed_total != total_kmers:
+            self._fail(
+                f"batch {batch_index} dedup total {total_kmers} does not "
+                f"match its executed k-mer total {executed_total} "
+                "(cache dropped or invented k-mers)",
+                state,
+                shard_id,
+            )
+        if not 0 <= cache_hits <= unique_kmers <= total_kmers:
+            self._fail(
+                f"batch {batch_index} dedup split inconsistent: "
+                f"hits={cache_hits} unique={unique_kmers} "
+                f"total={total_kmers}",
+                state,
+                shard_id,
+            )
+        if not unique_kmers - cache_hits <= device_kmers <= total_kmers:
+            self._fail(
+                f"batch {batch_index} device work {device_kmers} outside "
+                f"[{unique_kmers - cache_hits}, {total_kmers}] (must cover "
+                "every unique miss, never exceed the batch)",
+                state,
+                shard_id,
+            )
+        state.deduped.add(coords)
 
     def on_request_completed(
         self, scope: Any, shard_id: int, req_id: int, num_kmers: int

@@ -30,7 +30,7 @@ from __future__ import annotations
 import json
 import subprocess
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -52,14 +52,21 @@ class BenchError(ValueError):
 
 @dataclass(frozen=True)
 class BenchResult:
-    """One benchmark run: measured wall time + functional counters."""
+    """One benchmark run: measured wall time + functional counters.
+
+    ``extras`` carries derived host-timing figures (hit rates, wall
+    deltas) that are reported in ``BENCH_*.json`` but — unlike
+    ``counters`` — never baseline-compared: they inherit machine noise.
+    """
 
     name: str
     wall_s: float
     counters: Dict[str, int]
+    extras: Dict[str, float] = field(default_factory=dict)
 
 
-#: A benchmark callable: ``fn(quick) -> (measured_wall_s, counters)``.
+#: A benchmark callable: ``fn(quick) -> (measured_wall_s, counters)``
+#: or ``fn(quick) -> (measured_wall_s, counters, extras)``.
 #: Setup (dataset/device construction that is not the measured path) is
 #: excluded from the returned wall time by timing inside the callable.
 BenchFn = Callable[[bool], Tuple[float, Dict[str, int]]]
@@ -323,47 +330,79 @@ def bench_figure_regen(quick: bool) -> Tuple[float, Dict[str, int]]:
     return wall_s, {"table_rows": rows}
 
 
-def bench_service_load(quick: bool) -> Tuple[float, Dict[str, int]]:
-    """Async classification service end-to-end (``repro.service``).
+def _serve_trace(trace, database, *, dedup=False, cache_capacity=0):
+    """Replay ``trace`` against a fresh 2-shard Sieve service.
 
-    Runs in the service's deterministic mode — zero linger, every
-    request pre-enqueued before the workers start, single-threaded
-    event loop — so batch composition, and with it every counter, is a
-    pure function of the seeded dataset.  Wall time covers the full
-    serve: dispatch, coalesced device batches, response slicing.
+    Deterministic mode (zero linger, pre-enqueued, single-threaded
+    loop): batch composition — and with it every counter — is a pure
+    function of the trace and the config.  Returns ``(responses,
+    stats, measured_wall_s)``.
     """
-    import asyncio
-
     from ..service import ClassificationService, ServiceConfig
     from ..sieve import SieveDevice, SubarrayLayout
+    from ..workloads import replay_trace
 
-    dataset = _dataset(quick)
     layout = SubarrayLayout(
-        k=dataset.k, row_bits=1152, rows_per_subarray=256, layers=3
+        k=trace.k, row_bits=1152, rows_per_subarray=256, layers=3
     )
     config = ServiceConfig(
         num_shards=2,
         max_batch_kmers=128,
         max_linger_s=0.0,
-        queue_depth=len(dataset.reads),
+        queue_depth=len(trace),
+        dedup=dedup,
+        cache_capacity=cache_capacity,
     )
     backends = [
-        SieveDevice.from_database(dataset.database, layout=layout)
+        SieveDevice.from_database(database, layout=layout)
         for _ in range(config.num_shards)
     ]
     service = ClassificationService(backends, config)
-
-    async def serve():
-        futures = [service.submit(read) for read in dataset.reads]
-        await service.start()
-        responses = await asyncio.gather(*futures)
-        await service.stop(drain=True)
-        return responses
-
     start = time.perf_counter()
-    responses = asyncio.run(serve())
+    responses = replay_trace(service, trace)
     wall_s = time.perf_counter() - start
-    counters = service.metrics.snapshot()["counters"]
+    stats = service.stats()
+    stats["device"] = {
+        "row_activations": sum(
+            w.backend.stats.row_activations for w in service.shards
+        ),
+        "write_commands": sum(
+            w.backend.stats.write_commands for w in service.shards
+        ),
+    }
+    return responses, stats, wall_s
+
+
+def bench_service_load(quick: bool) -> Tuple[float, Dict[str, int]]:
+    """Async classification service end-to-end (``repro.service``).
+
+    The dataset's reads are frozen into a :class:`repro.workloads.Trace`
+    (all arrivals at t=0, matching the original pre-enqueued stream)
+    and replayed through :func:`repro.workloads.replay_trace` in the
+    service's deterministic mode, so batch composition — and with it
+    every counter — is a pure function of the seeded dataset.  Wall
+    time covers the full serve: dispatch, coalesced device batches,
+    response slicing.
+    """
+    from ..workloads import Trace, TraceRequest
+
+    dataset = _dataset(quick)
+    trace = Trace(
+        k=dataset.k,
+        seed=dataset.seed,
+        label="service-load",
+        requests=tuple(
+            TraceRequest(
+                seq_id=read.seq_id,
+                bases=read.bases,
+                taxon_id=read.taxon_id,
+                arrival_s=0.0,
+            )
+            for read in dataset.reads
+        ),
+    )
+    responses, stats, wall_s = _serve_trace(trace, dataset.database)
+    counters = stats["metrics"]["counters"]
     return wall_s, {
         "requests": len(responses),
         "batches": counters["batches_total"],
@@ -373,13 +412,68 @@ def bench_service_load(quick: bool) -> Tuple[float, Dict[str, int]]:
         "classified": sum(
             1 for r in responses if r.classification.taxon is not None
         ),
-        "row_activations": sum(
-            w.backend.stats.row_activations for w in service.shards
-        ),
-        "write_commands": sum(
-            w.backend.stats.write_commands for w in service.shards
-        ),
+        "row_activations": stats["device"]["row_activations"],
+        "write_commands": stats["device"]["write_commands"],
     }
+
+
+def bench_service_cached(quick: bool) -> Tuple[float, Dict[str, int]]:
+    """Hot-k-mer cache + dedup vs the uncached dispatcher.
+
+    Generates a seeded zipfian bursty trace (the skewed traffic the
+    cache exploits; ``repro.workloads``), replays it twice — once
+    uncached, once with dedup + a bounded LFU result cache — and
+    verifies every classification is bit-identical (``mismatches`` is
+    baseline-pinned at 0).  The deterministic counters record the
+    cache's work split and the simulated-device-time saving; host-wall
+    figures (noise-prone) go in ``extras``.
+    """
+    dataset = _dataset(quick)
+    from ..workloads import generate_trace
+
+    trace = generate_trace(
+        dataset,
+        60 if quick else 160,
+        zipf_s=1.4,
+        read_length=70,
+        error_rate=0.005,
+        novel_fraction=0.1,
+        seed=23,
+        label="bench-zipf",
+    )
+    uncached, stats_u, wall_u = _serve_trace(trace, dataset.database)
+    cached, stats_c, wall_c = _serve_trace(
+        trace, dataset.database, dedup=True, cache_capacity=512
+    )
+    mismatches = sum(
+        1
+        for a, b in zip(uncached, cached)
+        if a.classification != b.classification
+    )
+    cache = stats_c["cache"]
+    sim_u = int(stats_u["sim_time_ns"])
+    sim_c = int(stats_c["sim_time_ns"])
+    counters = {
+        "requests": len(cached),
+        "kmers": cache["lookup_kmers"],
+        "cache_hit_kmers": cache["hit_kmers"],
+        "dedup_kmers": cache["dedup_kmers"],
+        "device_kmers": cache["device_kmers"],
+        "insertions": cache["insertions"],
+        "evictions": cache["evictions"],
+        "sim_time_ns_uncached": sim_u,
+        "sim_time_ns_cached": sim_c,
+        "sim_time_ns_saved": sim_u - sim_c,
+        "mismatches": mismatches,
+    }
+    extras = {
+        "hit_rate": cache["hit_rate"],
+        "wall_uncached_s": wall_u,
+        "wall_cached_s": wall_c,
+        "wall_saved_s": wall_u - wall_c,
+        "cache_saved_wall_ms": cache["saved_wall_ms"],
+    }
+    return wall_u + wall_c, counters, extras
 
 
 def bench_fault_injection(quick: bool) -> Tuple[float, Dict[str, int]]:
@@ -440,6 +534,7 @@ BENCHMARKS: Dict[str, BenchFn] = {
     "classifier_e2e": bench_classifier_e2e,
     "figure_regen": bench_figure_regen,
     "service_load": bench_service_load,
+    "service_cached": bench_service_cached,
     "fault_injection": bench_fault_injection,
 }
 
@@ -487,7 +582,10 @@ def run_benchmarks(
     )
     return [
         BenchResult(
-            name=p["name"], wall_s=p["wall_s"], counters=dict(p["counters"])
+            name=p["name"],
+            wall_s=p["wall_s"],
+            counters=dict(p["counters"]),
+            extras=dict(p.get("extras", {})),
         )
         for p in payloads
     ]
@@ -500,7 +598,15 @@ def to_payload(results: Sequence[BenchResult], quick: bool) -> Dict[str, object]
         "rev": git_revision(),
         "quick": quick,
         "benchmarks": {
-            r.name: {"wall_s": r.wall_s, "counters": dict(r.counters)}
+            r.name: (
+                {
+                    "wall_s": r.wall_s,
+                    "counters": dict(r.counters),
+                    "extras": dict(r.extras),
+                }
+                if r.extras
+                else {"wall_s": r.wall_s, "counters": dict(r.counters)}
+            )
             for r in results
         },
     }
@@ -565,4 +671,7 @@ def format_results(results: Sequence[BenchResult]) -> str:
     for r in results:
         counters = ", ".join(f"{k}={v}" for k, v in r.counters.items())
         lines.append(f"{r.name:<24} {r.wall_s:>9.4f}  {counters}")
+        if r.extras:
+            extras = ", ".join(f"{k}={v:.4g}" for k, v in r.extras.items())
+            lines.append(f"{'':<24} {'':>9}  [{extras}]")
     return "\n".join(lines)

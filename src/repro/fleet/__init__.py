@@ -46,6 +46,7 @@ from .jobs import (
     SanitizerProbeJob,
     SegmentLookupJob,
     SteadyStateJob,
+    TraceReplayJob,
     Type1FunctionalJob,
 )
 
@@ -83,5 +84,6 @@ __all__ = [
     "SanitizerProbeJob",
     "SegmentLookupJob",
     "SteadyStateJob",
+    "TraceReplayJob",
     "Type1FunctionalJob",
 ]

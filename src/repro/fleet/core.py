@@ -155,7 +155,15 @@ class ResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"job": job.key(), "version": version, "payload": payload}
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+        # fsync before the rename: os.replace is atomic against *other
+        # processes*, but after a crash the directory entry can point at
+        # a file whose data never reached disk (a truncated entry the
+        # next run would have to discard).  Flush the bytes first so the
+        # rename only ever publishes a complete entry.
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
 
 

@@ -448,8 +448,111 @@ class BenchJob(Job):
             raise BenchError(
                 f"unknown benchmark {self.name!r}; tracked: {list(BENCHMARKS)}"
             ) from None
-        wall_s, counters = fn(self.quick)
-        return {"name": self.name, "wall_s": wall_s, "counters": counters}
+        outcome = fn(self.quick)
+        # Scenarios return (wall_s, counters) or (wall_s, counters,
+        # extras) — extras are reported but never baseline-compared.
+        if len(outcome) == 3:
+            wall_s, counters, extras = outcome
+        else:
+            wall_s, counters = outcome
+            extras = {}
+        payload = {"name": self.name, "wall_s": wall_s, "counters": counters}
+        if extras:
+            payload["extras"] = extras
+        return payload
+
+
+@dataclass(frozen=True)
+class TraceReplayJob(Job):
+    """Deterministic service replay of a saved workload trace.
+
+    The worker loads the :class:`repro.workloads.Trace` artifact,
+    rebuilds the reference dataset from the parameters embedded in the
+    trace, serves the trace in the deterministic pre-enqueue mode
+    (optionally through the hot-k-mer cache), and reports the
+    classification outcome plus the cache's work split.  Like
+    :class:`SegmentLookupJob`, identity is by *content*: the cache
+    digest and key fold in the trace's SHA-256 content hash, so results
+    cache by what the trace contains, not where the file lives — and a
+    regenerated-but-identical trace is a cache hit.  Every payload field
+    is a pure function of the trace and the config (no wall times), so
+    the job is safely cacheable.
+    """
+
+    trace_path: str = ""
+    num_shards: int = 2
+    max_batch_kmers: int = 128
+    dedup: bool = False
+    cache_capacity: int = 0
+    cache_self_check: bool = False
+
+    def key(self) -> str:
+        return (
+            f"{type(self).__name__}("
+            f"trace=<content:{self.cache_token()}>,"
+            f"num_shards={self.num_shards!r},"
+            f"max_batch_kmers={self.max_batch_kmers!r},"
+            f"dedup={self.dedup!r},"
+            f"cache_capacity={self.cache_capacity!r},"
+            f"cache_self_check={self.cache_self_check!r})"
+        )
+
+    def cache_token(self) -> str:
+        from ..workloads import Trace
+
+        return Trace.load(self.trace_path).content_hash()
+
+    def run(self, seed: int) -> Dict[str, Any]:
+        from ..service import ClassificationService, ServiceConfig
+        from ..sieve import SieveDevice
+        from ..workloads import Trace, replay_trace
+
+        trace = Trace.load(self.trace_path)
+        dataset = trace.rebuild_dataset()
+        config = ServiceConfig(
+            num_shards=self.num_shards,
+            max_batch_kmers=self.max_batch_kmers,
+            max_linger_s=0.0,
+            queue_depth=len(trace),
+            dedup=self.dedup,
+            cache_capacity=self.cache_capacity,
+            cache_self_check=self.cache_self_check,
+        )
+        backends = [
+            SieveDevice.from_database(dataset.database)
+            for _ in range(self.num_shards)
+        ]
+        service = ClassificationService(backends, config)
+        responses = replay_trace(service, trace)
+        stats = service.stats()
+        counters = stats["metrics"]["counters"]
+        correct = sum(
+            1
+            for req, resp in zip(trace.requests, responses)
+            if resp.classification.taxon == req.taxon_id
+        )
+        payload = {
+            "trace_hash": trace.content_hash(),
+            "requests": len(responses),
+            "batches": counters["batches_total"],
+            "kmers": counters["kmers_total"],
+            "hits": counters["hits_total"],
+            "classified": sum(
+                1 for r in responses if r.classification.taxon is not None
+            ),
+            "correct": correct,
+            "sim_time_ns": int(stats["sim_time_ns"]),
+        }
+        if "cache" in stats:
+            cache = stats["cache"]
+            payload["cache"] = {
+                "hit_kmers": cache["hit_kmers"],
+                "dedup_kmers": cache["dedup_kmers"],
+                "device_kmers": cache["device_kmers"],
+                "evictions": cache["evictions"],
+                "self_checked_kmers": cache["self_checked_kmers"],
+            }
+        return payload
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,8 @@ from .encoding import (
     BITS_PER_BASE,
     MAX_PACKED_K,
     EncodingError,
+    cache_key_kmer,
+    cache_key_kmers,
     canonical_kmer,
     canonical_kmers,
     decode_kmer,
@@ -73,6 +75,8 @@ __all__ = [
     "TaxonomyError",
     "balanced_taxonomy",
     "MAX_PACKED_K",
+    "cache_key_kmer",
+    "cache_key_kmers",
     "canonical_kmer",
     "canonical_kmers",
     "decode_kmer",

@@ -207,6 +207,29 @@ def canonical_kmers(values: np.ndarray, k: int) -> np.ndarray:
     return np.minimum(values, revcomp_values(values, k))
 
 
+def cache_key_kmer(value: int, k: int, canonical: bool = True) -> int:
+    """Deterministic identity key for caching one k-mer's query answer.
+
+    Two queries may share a cached result exactly when the backend is
+    guaranteed to answer them identically.  Canonical backends
+    (``BackendCapabilities.canonical``) fold a k-mer and its reverse
+    complement onto the same record, so their cache key is the
+    canonical form; non-canonical backends distinguish strands and key
+    on the raw packed value.  This is the one canonicalization seam the
+    service-layer result cache goes through (``repro.service.cache``).
+    """
+    return canonical_kmer(value, k) if canonical else value
+
+
+def cache_key_kmers(
+    values: Sequence[int], k: int, canonical: bool = True
+) -> List[int]:
+    """:func:`cache_key_kmer` over a query batch, in batch order."""
+    if not canonical:
+        return [int(v) for v in values]
+    return [canonical_kmer(int(v), k) for v in values]
+
+
 #: Largest k whose packed representation fits one 64-bit word, the
 #: precondition for the vectorized sliding-window packer.
 MAX_PACKED_K = 64 // BITS_PER_BASE

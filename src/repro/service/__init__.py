@@ -35,6 +35,12 @@ or use :class:`ServiceClient` in-process.  See ``docs/SERVICE.md``.
 """
 
 from . import hooks
+from .cache import (
+    BatchCachePlan,
+    CacheCoherencyError,
+    CacheError,
+    KmerResultCache,
+)
 from .config import ServiceConfig
 from .dispatcher import (
     DeadlineExceededError,
@@ -49,9 +55,13 @@ from .client import ServiceClient
 from .server import ClassificationService
 
 __all__ = [
+    "BatchCachePlan",
+    "CacheCoherencyError",
+    "CacheError",
     "ClassificationService",
     "Counter",
     "DeadlineExceededError",
+    "KmerResultCache",
     "Histogram",
     "MetricsRegistry",
     "RejectedError",

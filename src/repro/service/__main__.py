@@ -117,6 +117,49 @@ def build_parser(add_help: bool = True) -> argparse.ArgumentParser:
         default=None,
         help="dump the stats() payload as JSON ('-' for stdout)",
     )
+    cache = parser.add_argument_group(
+        "dedup / hot-k-mer cache (repro.service.cache; docs/SERVICE.md)"
+    )
+    cache.add_argument(
+        "--dedup",
+        action="store_true",
+        help="answer every unique k-mer at most once per coalesced batch",
+    )
+    cache.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=0,
+        help="hot-k-mer result cache entries (0 disables; implies dedup)",
+    )
+    cache.add_argument(
+        "--cache-self-check",
+        action="store_true",
+        help="shadow mode: device re-answers every batch and each "
+        "cached/deduped answer is verified against it",
+    )
+    workload = parser.add_argument_group(
+        "workload traces (repro.workloads; docs/TESTING.md)"
+    )
+    workload.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="replay a saved trace artifact (rebuilds its reference "
+        "dataset when the trace embeds the parameters)",
+    )
+    workload.add_argument(
+        "--gen-trace",
+        metavar="PATH",
+        default=None,
+        help="generate a zipfian bursty trace over the demo dataset, "
+        "save it to PATH, and serve it",
+    )
+    workload.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.2,
+        help="zipf exponent of the generated trace's taxon abundance",
+    )
     fault = parser.add_argument_group(
         "fault injection (repro.faults; docs/TESTING.md)"
     )
@@ -178,7 +221,7 @@ def run_demo(args: argparse.Namespace) -> int:
     # ScheduleSanitizer verifying exactly-once/coalescing invariants.
     enable_schedule_from_env()
 
-    dataset = build_dataset(
+    dataset_params = dict(
         k=args.k,
         num_species=4,
         genome_length=600,
@@ -186,6 +229,46 @@ def run_demo(args: argparse.Namespace) -> int:
         read_length=60,
         seed=args.seed,
     )
+    trace = None
+    if args.trace and args.gen_trace:
+        print("--trace and --gen-trace are mutually exclusive")
+        return 2
+    if args.trace:
+        from ..workloads import Trace
+
+        trace = Trace.load(args.trace)
+        if trace.dataset_params:
+            # The trace pins its own reference; serve against that so
+            # the replay means the same thing it meant when recorded.
+            dataset = trace.rebuild_dataset()
+        else:
+            dataset = build_dataset(**dataset_params)
+        if trace.k != dataset.k:
+            print(f"trace k={trace.k} != dataset k={dataset.k}")
+            return 2
+        print(
+            f"replaying trace {trace.label!r}: {len(trace)} requests "
+            f"(content {trace.content_hash()[:12]})"
+        )
+    else:
+        dataset = build_dataset(**dataset_params)
+    if args.gen_trace:
+        from ..workloads import generate_trace
+
+        trace = generate_trace(
+            dataset,
+            args.requests,
+            zipf_s=args.zipf_s,
+            seed=args.seed,
+            label="demo-zipf",
+            dataset_params=dataset_params,
+        )
+        path = trace.save(args.gen_trace)
+        print(
+            f"generated trace {trace.label!r}: {len(trace)} requests, "
+            f"zipf_s={args.zipf_s:g} -> {path} "
+            f"(content {trace.content_hash()[:12]})"
+        )
     executor_threads = args.executor_threads
     if args.pipelined and executor_threads == 0:
         executor_threads = 1
@@ -199,6 +282,9 @@ def run_demo(args: argparse.Namespace) -> int:
         ),
         executor_threads=executor_threads,
         pipelined=args.pipelined,
+        dedup=args.dedup,
+        cache_capacity=args.cache_capacity,
+        cache_self_check=args.cache_self_check,
     )
     from ..faults import (
         ChaosInjector,
@@ -261,9 +347,13 @@ def run_demo(args: argparse.Namespace) -> int:
     service = ClassificationService(backends, config, chaos=chaos)
     client = ServiceClient(service)
 
-    reads = [
-        dataset.reads[i % len(dataset.reads)] for i in range(args.requests)
-    ]
+    if trace is not None:
+        reads = trace.reads()
+    else:
+        reads = [
+            dataset.reads[i % len(dataset.reads)]
+            for i in range(args.requests)
+        ]
     responses = asyncio.run(_serve(service, client, reads))
 
     # Sequential scalar reference on a fresh (identically faulted) replica.
@@ -294,6 +384,18 @@ def run_demo(args: argparse.Namespace) -> int:
         f"p99={latency['p99']:.3f}; simulated device time "
         f"{stats['sim_time_ns'] / 1e3:.1f} us"
     )
+    if "cache" in stats:
+        cache_stats = stats["cache"]
+        print(
+            f"cache: hit rate {cache_stats['hit_rate']:.3f} "
+            f"({cache_stats['hit_kmers']} hit / "
+            f"{cache_stats['lookup_kmers']} k-mers, "
+            f"{cache_stats['dedup_kmers']} deduped, "
+            f"{cache_stats['evictions']} evictions); saved "
+            f"{cache_stats['saved_kmers']} device k-mers, "
+            f"{cache_stats['saved_sim_ns'] / 1e3:.1f} us device time, "
+            f"{cache_stats['saved_wall_ms']:.2f} ms host wall"
+        )
     if injector is not None:
         print(
             f"faults: bit_flip_rate={args.bit_flip_rate:g} "

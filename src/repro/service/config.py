@@ -62,6 +62,30 @@ class ServiceConfig:
     #: ``executor_threads > 0`` (without the executor seam there is no
     #: device-side concurrency to overlap with).
     pipelined: bool = False
+    #: Cross-request k-mer dedup inside the coalescing stage: each
+    #: micro-batch sends every unique k-mer (cache key) to the device
+    #: at most once and fans the answer back out to every requesting
+    #: future.  Answers are bit-identical to the undeduped path
+    #: (test- and self-check-enforced); only device work changes.
+    dedup: bool = False
+    #: Hot-k-mer result cache capacity in entries (0 = no cache).  A
+    #: cached k-mer skips the device entirely; keys canonicalize when
+    #: the backends do (``BackendCapabilities.canonical``).  Implies
+    #: dedup — a cache without dedup would re-answer duplicates it
+    #: just looked up.  See :class:`repro.service.cache.KmerResultCache`.
+    cache_capacity: int = 0
+    #: Shadow-mode verification: the device still executes every full
+    #: batch, and every cached/deduped answer is compared against the
+    #: fresh device answer — a divergence raises
+    #: :class:`~repro.service.cache.CacheCoherencyError` instead of
+    #: serving it.  Costs the full uncached device work; for tests,
+    #: demos, and canary deployments.
+    cache_self_check: bool = False
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether the dispatcher runs the dedup/cache planning stage."""
+        return self.dedup or self.cache_capacity > 0
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -88,4 +112,11 @@ class ServiceConfig:
             raise ServiceConfigError(
                 "pipelined dispatch requires executor_threads > 0 "
                 "(there is no device-side concurrency to overlap with)"
+            )
+        if self.cache_capacity < 0:
+            raise ServiceConfigError("cache_capacity must be >= 0")
+        if self.cache_self_check and not self.cache_enabled:
+            raise ServiceConfigError(
+                "cache_self_check requires dedup or a cache_capacity > 0 "
+                "(there is nothing to verify otherwise)"
             )

@@ -25,6 +25,7 @@ from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 
 from ..api import QueryBackend, classification_from_results
 from . import hooks
+from .cache import BatchCachePlan, CacheCoherencyError, KmerResultCache
 from .config import ServiceConfig
 from .metrics import MetricsRegistry
 
@@ -134,6 +135,7 @@ class ShardWorker:
         ] = None,
         scope: Optional[Any] = None,
         executor: Optional[Any] = None,
+        cache: Optional[KmerResultCache] = None,
     ) -> None:
         self.shard_id = shard_id
         self.backend = backend
@@ -152,6 +154,17 @@ class ShardWorker:
         #: runs off the event loop via ``run_in_executor``; when None
         #: (the deterministic default) it runs inline.
         self._executor = executor
+        #: Dedup/cache planner shared service-wide (one cache serves
+        #: every shard; see :mod:`repro.service.cache`).  ``None`` when
+        #: the config disables the stage.  A standalone worker with a
+        #: caching config builds its own from the backend's
+        #: capabilities.
+        if cache is None and config.cache_enabled:
+            caps = backend.capabilities()
+            cache = KmerResultCache(
+                config.cache_capacity, caps.k, caps.canonical
+            )
+        self.cache = cache if config.cache_enabled else None
         self.health = ShardHealth()
         self.queue: "asyncio.Queue[Request]" = asyncio.Queue(
             maxsize=config.queue_depth
@@ -313,14 +326,16 @@ class ShardWorker:
         live, flat = self._prepare(batch, loop)
         if not live:
             return
+        plan, send = self._plan_batch(flat)
         self._mark_executed(live, flat, index)
+        self._mark_deduped(plan, index, len(send))
         if self._executor is None:
-            results, wall_batch_ms, delta = self._query_blocking(flat)
+            results, wall_batch_ms, delta = self._query_blocking(send)
         else:
             results, wall_batch_ms, delta = await loop.run_in_executor(
-                self._executor, self._query_blocking, flat
+                self._executor, self._query_blocking, send
             )
-        self._finish(live, flat, results, wall_batch_ms, delta, loop)
+        self._finish(live, flat, results, wall_batch_ms, delta, loop, plan)
 
     def _prepare(
         self, batch: List[Request], loop: "asyncio.AbstractEventLoop"
@@ -366,6 +381,47 @@ class ShardWorker:
                 len(flat),
             )
 
+    def _plan_batch(
+        self, flat: List[int]
+    ) -> Tuple[Optional[BatchCachePlan], List[int]]:
+        """Dedup/cache planning at batch launch (event-loop thread).
+
+        Returns the plan (``None`` when the stage is disabled) and the
+        k-mer list actually sent to the backend: the unique cache
+        misses under dedup, or the full batch in self-check (shadow)
+        mode where the device re-answers everything for comparison.
+        """
+        if self.cache is None:
+            return None, flat
+        plan = self.cache.plan(flat)
+        if self.config.cache_self_check:
+            return plan, flat
+        return plan, list(plan.device_kmers)
+
+    def _mark_deduped(
+        self, plan: Optional[BatchCachePlan], index: int, device_kmers: int
+    ) -> None:
+        """Trace the dedup/cache split right after the execute event.
+
+        ``on_batch_deduped`` is newer than the rest of the observer
+        interface, so it is looked up defensively — older observers
+        simply never see cache events.
+        """
+        if plan is None or hooks.OBSERVER is None:
+            return
+        emit = getattr(hooks.OBSERVER, "on_batch_deduped", None)
+        if emit is None:
+            return
+        emit(
+            self.scope,
+            self.shard_id,
+            index,
+            plan.total_kmers,
+            plan.unique_kmers,
+            plan.cache_hits,
+            device_kmers,
+        )
+
     async def _run_pipelined(self) -> None:
         """Overlapped dispatch loop (``config.pipelined``).
 
@@ -383,7 +439,15 @@ class ShardWorker:
         ``queue.join()`` keeps waiting for in-flight device work.
         """
         loop = asyncio.get_running_loop()
-        pending: Optional[Tuple[Any, List[Request], List[int], List[Request]]]
+        pending: Optional[
+            Tuple[
+                Any,
+                List[Request],
+                List[int],
+                List[Request],
+                Optional[BatchCachePlan],
+            ]
+        ]
         pending = None
         get_task: Optional["asyncio.Task[Request]"] = None
         try:
@@ -438,11 +502,17 @@ class ShardWorker:
                         await asyncio.wait({pending[0]})  # lint: disable=SV010 (single in-flight device batch; backend query always returns)
                         pending = self._retire(pending, loop)
                     if live:
+                        # Cache planning happens at launch time, after
+                        # the previous batch retired (and populated the
+                        # cache) — the same plan a serial schedule
+                        # would build.
+                        plan, send = self._plan_batch(flat)
                         self._mark_executed(live, flat, index)
+                        self._mark_deduped(plan, index, len(send))
                         future = loop.run_in_executor(
-                            self._executor, self._query_blocking, flat
+                            self._executor, self._query_blocking, send
                         )
-                        pending = (future, live, flat, batch)
+                        pending = (future, live, flat, batch, plan)
                     else:
                         self.health.batches += 1
                         for _ in batch:
@@ -463,15 +533,23 @@ class ShardWorker:
 
     def _retire(
         self,
-        pending: Tuple[Any, List[Request], List[int], List[Request]],
+        pending: Tuple[
+            Any,
+            List[Request],
+            List[int],
+            List[Request],
+            Optional[BatchCachePlan],
+        ],
         loop: "asyncio.AbstractEventLoop",
     ) -> None:
         """Resolve a completed in-flight batch and release its queue
         slots; returns None (the new ``pending``)."""
-        future, live, flat, batch = pending
+        future, live, flat, batch, plan = pending
         try:
             results, wall_batch_ms, delta = future.result()
-            self._finish(live, flat, results, wall_batch_ms, delta, loop)
+            self._finish(
+                live, flat, results, wall_batch_ms, delta, loop, plan
+            )
             self.health.batches += 1
         finally:
             for _ in batch:
@@ -498,12 +576,44 @@ class ShardWorker:
         wall_batch_ms: float,
         delta: Dict[str, int],
         loop: "asyncio.AbstractEventLoop",
+        plan: Optional[BatchCachePlan] = None,
     ) -> None:
         sim_ns, sim_nj = self._batch_cost(delta)
         self.sim_time_ns += sim_ns
         self.sim_energy_nj += sim_nj
 
         m = self.metrics
+        if plan is not None and self.cache is not None:
+            # ``results`` currently answers what was *sent* (the miss
+            # representatives, or the full batch in shadow mode);
+            # reassemble the full per-position list so the request
+            # slicing below is untouched by caching.
+            device_executed = len(results)
+            if self.config.cache_self_check:
+                device_results = [results[p] for p in plan.device_positions]
+                served = self.cache.complete(plan, device_results)
+                try:
+                    self.cache.self_check(plan, served, results)
+                except CacheCoherencyError as exc:
+                    # Fail the batch loudly rather than serving a wrong
+                    # answer — and resolve every waiting future so the
+                    # coherency error surfaces to callers instead of
+                    # hanging them behind a dead worker.
+                    for req in live:
+                        if not req.future.done():
+                            req.future.set_exception(exc)
+                    raise
+                results = served
+            else:
+                results = self.cache.complete(plan, results)
+            self.cache.price_batch(
+                plan, device_executed, sim_ns, wall_batch_ms
+            )
+            m.counter("cache_hit_keys_total").inc(plan.cache_hits)
+            m.counter("cache_miss_keys_total").inc(len(plan.device_keys))
+            m.counter("dedup_kmers_total").inc(plan.dedup_kmers)
+            m.counter("cache_saved_kmers_total").inc(plan.saved_kmers)
+            m.counter("device_kmers_total").inc(device_executed)
         m.counter("batches_total").inc()
         m.counter("kmers_total").inc(len(flat))
         m.counter("hits_total").inc(sum(1 for r in results if r.hit))

@@ -34,6 +34,16 @@ def install(observer: Any) -> None:
     * ``on_batch_executed(scope, shard_id, batch_index, req_ids,
       total_kmers)`` — just before the backend ``query()`` for the
       still-live slice of the batch,
+    * ``on_batch_deduped(scope, shard_id, batch_index, total_kmers,
+      unique_kmers, cache_hits, device_kmers)`` — right after the
+      execute event when the dedup/cache stage is enabled: how the
+      batch's ``total_kmers`` collapse to ``unique_kmers`` cache keys,
+      how many of those were served from the hot-k-mer cache, and how
+      many k-mers were actually sent to the device (``unique_kmers -
+      cache_hits`` normally; the full batch in self-check shadow
+      mode).  This event is newer than the rest of the interface and
+      is emitted via ``getattr`` — observers without the method simply
+      never see it,
     * ``on_request_completed(scope, shard_id, req_id, num_kmers)`` —
       after a request's future resolves with its classification,
     * ``on_request_expired(scope, shard_id, req_id)`` — deadline passed

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..api import QueryBackend
 from . import hooks
+from .cache import KmerResultCache
 from .config import ServiceConfig
 from .dispatcher import Request, ServiceError, ServiceResponse, ShardWorker, _rid
 from .metrics import MetricsRegistry
@@ -67,6 +68,22 @@ class ClassificationService:
                 max_workers=config.executor_threads,
                 thread_name_prefix="sieve-shard",
             )
+        #: One dedup/cache planner shared by every shard: replicas hold
+        #: the same reference, so an answer recorded through one shard
+        #: is valid for all of them.  Only ever touched on the event
+        #: loop thread (see :mod:`repro.service.cache`).
+        self.cache: Optional[KmerResultCache] = None
+        if config.cache_enabled:
+            canonicals = {b.capabilities().canonical for b in backends}
+            if len(canonicals) != 1:
+                raise ServiceError(
+                    "cache/dedup needs all shards to agree on "
+                    "canonicalization; backends report "
+                    f"{sorted(canonicals)}"
+                )
+            self.cache = KmerResultCache(
+                config.cache_capacity, self.k, canonicals.pop()
+            )
         self.shards: List[ShardWorker] = [
             ShardWorker(
                 i,
@@ -77,6 +94,7 @@ class ClassificationService:
                 on_crash=self._redispatch,
                 scope=self,
                 executor=self._executor,
+                cache=self.cache,
             )
             for i, backend in enumerate(backends)
         ]
@@ -282,6 +300,8 @@ class ClassificationService:
             "sim_time_ns": sim_time_ns,
             "sim_energy_nj": sum(w.sim_energy_nj for w in self.shards),
         }
+        if self.cache is not None:
+            out["cache"] = self.cache.counters()
         kmers_served = self.metrics.counter("kmers_total").value
         if sim_time_ns > 0 and kmers_served:
             out["observed"] = self._observed(kmers_served, sim_time_ns)

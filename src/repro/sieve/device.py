@@ -163,7 +163,7 @@ class SieveDevice:
         kmers: Sequence[int],
         *,
         batched: bool = True,
-        kernel: str = "packed",
+        kernel: Optional[str] = None,
     ) -> List[DeviceResponse]:
         """The unified batch path: group per destination subarray,
         batches of <= 64 (:class:`repro.api.QueryBackend` surface).
@@ -180,7 +180,17 @@ class SieveDevice:
         per-query path); ``batched=False`` replays the scalar
         command-by-command path.  All paths produce identical responses
         and functional counters (the equivalence is test-enforced).
+
+        ``kernel=None`` (the default) resolves through
+        :func:`repro.sieve.kernels.default_kernel`, so ``SIEVE_KERNEL``
+        can force an engine (``packed-numpy``, ``vector``, ...) on the
+        auto path; explicit callers stay pinned regardless of the
+        environment.
         """
+        from . import kernels as _kernels
+
+        if kernel is None:
+            kernel = _kernels.default_kernel()
         responses: List[Optional[DeviceResponse]] = [None] * len(kmers)
         per_dest: Dict[Tuple[int, int], List[Tuple[int, int]]] = defaultdict(list)
         kmers = [self._normalize(kmer) for kmer in kmers]

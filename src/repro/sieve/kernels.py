@@ -128,22 +128,54 @@ def available_implementations() -> tuple:
     return ("numba", "numpy") if HAVE_NUMBA else ("numpy",)
 
 
+#: Engine names accepted by ``SIEVE_KERNEL`` (alongside the legacy
+#: implementation spellings ``numpy``/``numba``, which pin the packed
+#: kernel's implementation without forcing an engine).
+KERNEL_NAMES = ("packed", "packed-numpy", "packed-numba", "vector")
+
+
+def _forced() -> str:
+    """Validated ``SIEVE_KERNEL`` value, or ``""`` when unset."""
+    forced = os.environ.get(KERNEL_ENV_VAR, "").strip().lower()
+    if forced and forced not in ("numpy", "numba") + KERNEL_NAMES:
+        raise KernelError(
+            f"{KERNEL_ENV_VAR}={forced!r} is not one of numpy/numba/"
+            + "/".join(KERNEL_NAMES)
+        )
+    if forced in ("numba", "packed-numba") and not HAVE_NUMBA:
+        raise KernelError(
+            f"{KERNEL_ENV_VAR}={forced} but numba is not installed "
+            "(pip install .[compiled])"
+        )
+    return forced
+
+
 def default_implementation() -> str:
     """Active implementation: ``SIEVE_KERNEL`` override, else the best
     available (numba when the ``[compiled]`` extra is installed)."""
-    forced = os.environ.get(KERNEL_ENV_VAR, "").strip().lower()
-    if forced:
-        if forced not in ("numpy", "numba"):
-            raise KernelError(
-                f"{KERNEL_ENV_VAR}={forced!r} is not one of numpy/numba"
-            )
-        if forced == "numba" and not HAVE_NUMBA:
-            raise KernelError(
-                f"{KERNEL_ENV_VAR}=numba but numba is not installed "
-                "(pip install .[compiled])"
-            )
+    forced = _forced()
+    if forced in ("numpy", "numba"):
         return forced
+    if forced.startswith("packed-"):
+        return forced.partition("-")[2]
     return available_implementations()[0]
+
+
+def default_kernel() -> str:
+    """Active *engine* selection for batched device matching.
+
+    ``SIEVE_KERNEL`` may name a full engine (``packed`` /
+    ``packed-numpy`` / ``packed-numba`` / ``vector``), forcing every
+    auto-path :meth:`~repro.sieve.device.SieveDevice.query` call onto
+    it — the CI matrix legs use this so kernel-selection bugs cannot
+    hide behind the default.  The legacy spellings ``numpy``/``numba``
+    pin only the packed implementation and leave the engine at
+    ``packed``; unset means ``packed``.
+    """
+    forced = _forced()
+    if forced in KERNEL_NAMES:
+        return forced
+    return "packed"
 
 
 def segment_divergence(

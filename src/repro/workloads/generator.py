@@ -1,0 +1,139 @@
+"""Seeded skewed-workload generator: zipfian abundance, bursty arrivals.
+
+The Sieve paper's metagenomic traffic is nothing like the uniform
+pre-enqueued streams the early benches drove: real samples are skewed
+(a few taxa dominate the read mix — the zipfian abundance the
+hot-k-mer cache exploits), and requests arrive in bursts (sequencer
+flow cells emit reads in batches).  :func:`generate_trace` produces a
+replayable :class:`~repro.workloads.trace.Trace` with exactly those
+two properties, from nothing but a seed:
+
+* **zipfian taxon abundance** — source genomes are ranked (sorted
+  taxon order) and sampled with weights ``1 / rank**s``; ``zipf_s``
+  steepens the skew (0 = uniform).
+* **bursty arrivals** — burst sizes are geometric with mean
+  ``burst_mean`` and bursts are separated by exponential gaps with
+  mean ``gap_mean_s``; every read of a burst shares one arrival
+  timestamp (what a linger-based coalescer would see together).
+* **configurable read profiles** — read length, substitution error
+  rate, and novel-read fraction mirror
+  :func:`repro.genomics.synthetic.simulate_reads`.
+
+Everything is drawn from one ``np.random.default_rng(seed)``, so the
+trace (including its content hash) is a pure function of the
+arguments.  This module never reads the wall clock — arrival times are
+simulated quantities inside the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..genomics.synthetic import GenerationError, SyntheticDataset, mutate, random_genome
+from .trace import Trace, TraceRequest
+
+
+def zipfian_weights(n: int, s: float) -> np.ndarray:
+    """Normalized zipfian weights over ``n`` abundance ranks.
+
+    Rank ``r`` (0-based) gets weight proportional to ``1/(r+1)**s``;
+    ``s = 0`` degenerates to uniform.
+    """
+    if n <= 0:
+        raise GenerationError(f"need at least one rank, got {n}")
+    if s < 0:
+        raise GenerationError(f"zipf exponent must be >= 0, got {s}")
+    raw = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), s)
+    return raw / raw.sum()
+
+
+def generate_trace(
+    dataset: SyntheticDataset,
+    num_requests: int,
+    *,
+    zipf_s: float = 1.2,
+    read_length: int = 70,
+    error_rate: float = 0.005,
+    novel_fraction: float = 0.0,
+    burst_mean: float = 4.0,
+    gap_mean_s: float = 0.001,
+    seed: int = 7,
+    label: str = "zipf",
+    dataset_params: Optional[Dict[str, Any]] = None,
+) -> Trace:
+    """Generate a skewed, bursty, replayable trace against ``dataset``.
+
+    Reads are windows of the dataset's genomes — chosen zipfian by
+    abundance rank — with i.i.d. substitution errors; a
+    ``novel_fraction`` of requests is uniform-random DNA (absent from
+    the reference).  ``dataset_params`` (the ``build_dataset`` kwargs
+    that produced ``dataset``) are embedded so consumers can rebuild
+    the matching reference from the trace alone.
+    """
+    if num_requests <= 0:
+        raise GenerationError(
+            f"num_requests must be positive, got {num_requests}"
+        )
+    if not 0.0 <= novel_fraction <= 1.0:
+        raise GenerationError(
+            f"novel_fraction must be in [0, 1], got {novel_fraction}"
+        )
+    if burst_mean < 1.0:
+        raise GenerationError(f"burst_mean must be >= 1, got {burst_mean}")
+    if gap_mean_s < 0.0:
+        raise GenerationError(f"gap_mean_s must be >= 0, got {gap_mean_s}")
+    usable = [g for g in dataset.genomes if len(g) >= read_length]
+    if not usable and novel_fraction < 1.0:
+        raise GenerationError(
+            f"no genome is at least read_length={read_length} bases long"
+        )
+    rng = np.random.default_rng(seed)
+    weights = zipfian_weights(len(usable), zipf_s) if usable else None
+
+    # Arrival schedule: geometric burst sizes, exponential inter-burst
+    # gaps, every member of a burst stamped with the burst's start.
+    arrivals: list = []
+    now = 0.0
+    while len(arrivals) < num_requests:
+        burst = int(rng.geometric(1.0 / burst_mean))
+        arrivals.extend([now] * burst)
+        now += float(rng.exponential(gap_mean_s)) if gap_mean_s > 0 else 0.0
+    arrivals = arrivals[:num_requests]
+
+    requests = []
+    for i, arrival_s in enumerate(arrivals):
+        if rng.random() < novel_fraction:
+            read = random_genome(rng, read_length, f"{label}_{i}_novel")
+        else:
+            genome = usable[int(rng.choice(len(usable), p=weights))]
+            start = int(rng.integers(0, len(genome) - read_length + 1))
+            window = genome.bases[start : start + read_length]
+            read = mutate(
+                type(genome)(
+                    seq_id=f"{label}_{i}",
+                    bases=window,
+                    taxon_id=genome.taxon_id,
+                ),
+                error_rate,
+                rng,
+            )
+        requests.append(
+            TraceRequest(
+                seq_id=read.seq_id,
+                bases=read.bases,
+                taxon_id=read.taxon_id,
+                arrival_s=arrival_s,
+            )
+        )
+    return Trace(
+        k=dataset.k,
+        seed=seed,
+        label=label,
+        requests=tuple(requests),
+        dataset_params=dict(dataset_params or {}),
+    )
+
+
+__all__ = ["generate_trace", "zipfian_weights"]

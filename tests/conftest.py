@@ -22,6 +22,26 @@ from repro.sieve import SieveDevice, SubarrayLayout
 
 SMALL_K = 9
 
+try:
+    from hypothesis import HealthCheck, settings
+
+    # CI runs pin hypothesis to a fully deterministic profile: fixed
+    # derivation seed, no example-database replay ordering surprises,
+    # and no deadline (shared CI runners make per-example timing
+    # meaningless — a slow example is a flake, not a failure).  Local
+    # runs keep the default exploratory behavior.
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", deadline=None)
+    settings.load_profile("ci" if os.environ.get("CI") else "dev")
+except ImportError:  # pragma: no cover - hypothesis is an extra
+    pass
+
 
 @pytest.fixture(scope="session", autouse=True)
 def _protocol_sanitizer():

@@ -1,0 +1,119 @@
+"""Regenerate the committed trace-replay golden artifacts.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/data/make_trace_golden.py
+
+Produces two files next to this script, both committed:
+
+* ``zipf_trace.json`` — a seeded zipfian/bursty trace over the tier-1
+  small dataset (the same ``build_dataset`` parameters as the
+  ``small_dataset`` fixture), with those parameters embedded so the
+  reference is rebuildable from the trace alone.
+* ``trace_replay_golden.json`` — the trace's content hash plus the
+  classification digest every replay must reproduce, at every pinned
+  shard count, cached or uncached.
+
+``tests/test_workloads.py`` enforces the goldens; this script is the
+only sanctioned way to refresh them (see docs/TESTING.md — a digest
+change is a behavior change and must be explained in the PR).  The
+script itself verifies the cached/uncached bit-identity invariant at
+every shard count before writing anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.genomics import build_dataset
+from repro.service import ClassificationService, ServiceConfig
+from repro.sieve import SieveDevice
+from repro.workloads import classification_digest, generate_trace, replay_trace
+
+HERE = Path(__file__).resolve().parent
+
+#: ``build_dataset`` kwargs — keep in lockstep with the
+#: ``small_dataset`` fixture in tests/conftest.py.
+DATASET_PARAMS = dict(
+    k=9,
+    num_species=4,
+    genome_length=150,
+    num_reads=30,
+    read_length=50,
+    error_rate=0.02,
+    novel_fraction=0.3,
+    seed=42,
+)
+
+TRACE_SEED = 77
+NUM_REQUESTS = 40
+SHARD_COUNTS = (1, 2, 4)
+
+
+def build_trace():
+    dataset = build_dataset(**DATASET_PARAMS)
+    return dataset, generate_trace(
+        dataset,
+        NUM_REQUESTS,
+        zipf_s=1.3,
+        read_length=50,
+        error_rate=0.01,
+        novel_fraction=0.1,
+        seed=TRACE_SEED,
+        label="golden-zipf",
+        dataset_params=DATASET_PARAMS,
+    )
+
+
+def replay_digest(trace, database, *, num_shards, dedup=False, cache_capacity=0):
+    config = ServiceConfig(
+        num_shards=num_shards,
+        max_batch_kmers=96,
+        max_linger_s=0.0,
+        queue_depth=len(trace),
+        dedup=dedup,
+        cache_capacity=cache_capacity,
+    )
+    service = ClassificationService(
+        [SieveDevice.from_database(database) for _ in range(num_shards)],
+        config,
+    )
+    return classification_digest(replay_trace(service, trace))
+
+
+def main() -> None:
+    dataset, trace = build_trace()
+    digest = replay_digest(trace, dataset.database, num_shards=1)
+    for shards in SHARD_COUNTS:
+        for label, overrides in [
+            ("uncached", {}),
+            ("cached", {"dedup": True, "cache_capacity": 512}),
+        ]:
+            got = replay_digest(
+                trace, dataset.database, num_shards=shards, **overrides
+            )
+            if got != digest:
+                raise SystemExit(
+                    f"{label} replay at {shards} shard(s) diverged: "
+                    f"{got} != {digest}"
+                )
+    trace_path = trace.save(HERE / "zipf_trace.json")
+    golden = {
+        "trace_file": trace_path.name,
+        "content_hash": trace.content_hash(),
+        "shard_counts": list(SHARD_COUNTS),
+        "classification_digest": digest,
+    }
+    golden_path = HERE / "trace_replay_golden.json"
+    golden_path.write_text(
+        json.dumps(golden, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {trace_path}")
+    print(f"wrote {golden_path}")
+    print(f"trace content hash: {golden['content_hash']}")
+    print(f"classification digest: {digest}")
+
+
+if __name__ == "__main__":
+    main()

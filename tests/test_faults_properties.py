@@ -266,6 +266,67 @@ def test_injector_never_leaks():
 
 
 # ---------------------------------------------------------------------------
+# Fault x cache interaction (PR-8)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("bit_flip_rate", [1e-4, 2e-3])
+def test_cached_service_matches_uncached_under_faults(
+    small_dataset, small_layout, bit_flip_rate
+):
+    """The hot-k-mer cache must be an identity layer even on a
+    *corrupted* device: with a nonzero bit-flip rate, a cached service
+    built from identically-faulted replicas (reset_units between
+    builds) classifies bit-identically to the uncached service on the
+    same replicas — the cache memoizes whatever the faulted device
+    answers, it never launders faults in or out."""
+    import asyncio
+
+    from repro.service import ClassificationService, ServiceConfig
+
+    injector = FaultInjector(
+        FaultModel.seeded("cache-fault-prop", bit_flip_rate=bit_flip_rate)
+    )
+
+    def classify(**cache_overrides):
+        config = ServiceConfig(
+            num_shards=2,
+            max_batch_kmers=96,
+            max_linger_s=0.0,
+            queue_depth=256,
+            **cache_overrides,
+        )
+
+        def build_replica():
+            injector.reset_units()
+            with fault_injection(injector):
+                return SieveDevice.from_database(
+                    small_dataset.database, layout=small_layout
+                )
+
+        service = ClassificationService(
+            [build_replica() for _ in range(config.num_shards)], config
+        )
+
+        async def serve():
+            futures = [service.submit(r) for r in small_dataset.reads]
+            await service.start()
+            responses = await asyncio.gather(*futures)
+            await service.stop(drain=True)
+            return responses
+
+        responses = asyncio.run(serve())
+        return [r.classification for r in responses], service
+
+    uncached, _ = classify()
+    cached, service = classify(dedup=True, cache_capacity=512)
+    assert cached == uncached
+    assert service.stats()["cache"]["saved_kmers"] > 0
+    shadow, _ = classify(cache_capacity=512, cache_self_check=True)
+    assert shadow == uncached
+
+
+# ---------------------------------------------------------------------------
 # Record corruption (host databases)
 # ---------------------------------------------------------------------------
 

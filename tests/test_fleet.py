@@ -210,6 +210,32 @@ class TestResultCache:
         path.write_text("{not json")
         assert cache.get(digest) is None
 
+    def test_truncated_entries_are_misses_then_repaired(self, tmp_path):
+        """Crash-truncated entries (the failure mode ``put``'s
+        fsync-before-rename now prevents for new writes) must read as
+        misses, and a subsequent ``put`` must repair the slot."""
+        cache = ResultCache(tmp_path)
+        job = EchoJob(tag="truncated")
+        digest = job_digest(job, "v")
+        cache.put(digest, job, {"ok": 1}, "v")
+        path = cache._path(digest)
+        full = path.read_text(encoding="utf-8")
+        for cut in (0, 1, len(full) // 2, len(full) - 1):
+            path.write_text(full[:cut], encoding="utf-8")
+            assert cache.get(digest) is None, f"cut={cut} must be a miss"
+        cache.put(digest, job, {"ok": 2}, "v")
+        assert cache.get(digest)["payload"] == {"ok": 2}
+
+    def test_put_leaves_no_tmp_litter(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = EchoJob(tag="clean")
+        digest = job_digest(job, "v")
+        cache.put(digest, job, {"ok": 1}, "v")
+        leftovers = [
+            p for p in tmp_path.rglob("*") if p.name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
     def test_cache_env_var(self, tmp_path, monkeypatch):
         monkeypatch.setenv(fleet_core.CACHE_ENV_VAR, str(tmp_path))
         EXECUTIONS.clear()

@@ -181,6 +181,67 @@ class TestStateMachine:
         assert sanitizer.history_for(scope) == []
 
 
+class TestDedupEvents:
+    """``on_batch_deduped`` conservation invariants (PR-8 cache)."""
+
+    def _exec(self, san, scope, *, kmers=10, batch=0, shard=0):
+        admit_and_batch(san, scope, kmers=kmers, batch=batch, shard=shard)
+        san.on_batch_executed(scope, shard, batch, [1], kmers)
+
+    def test_clean_dedup_split_passes(self, sanitizer):
+        scope = Scope()
+        self._exec(sanitizer, scope)
+        # 10 k-mers: 7 unique, 2 cache hits, 5 to the device.
+        sanitizer.on_batch_deduped(scope, 0, 0, 10, 7, 2, 5)
+        sanitizer.on_request_completed(scope, 0, 1, 10)
+        sanitizer.on_service_quiesce(scope)
+        assert sanitizer.violations_raised == 0
+
+    def test_shadow_mode_full_batch_passes(self, sanitizer):
+        scope = Scope()
+        self._exec(sanitizer, scope)
+        # Shadow mode re-answers everything: device == total.
+        sanitizer.on_batch_deduped(scope, 0, 0, 10, 7, 2, 10)
+        assert sanitizer.violations_raised == 0
+
+    def test_dedup_without_execute_trips(self, sanitizer):
+        scope = Scope()
+        admit_and_batch(sanitizer, scope)
+        with pytest.raises(ScheduleViolation, match="execute"):
+            sanitizer.on_batch_deduped(scope, 0, 0, 10, 7, 2, 5)
+
+    def test_dedup_twice_trips(self, sanitizer):
+        scope = Scope()
+        self._exec(sanitizer, scope)
+        sanitizer.on_batch_deduped(scope, 0, 0, 10, 7, 2, 5)
+        with pytest.raises(ScheduleViolation, match="twice"):
+            sanitizer.on_batch_deduped(scope, 0, 0, 10, 7, 2, 5)
+
+    def test_total_mismatch_trips(self, sanitizer):
+        """A cache that drops or invents k-mers relative to the execute
+        event is exactly the bug the event exists to catch."""
+        scope = Scope()
+        self._exec(sanitizer, scope, kmers=10)
+        with pytest.raises(ScheduleViolation, match="dropped or invented"):
+            sanitizer.on_batch_deduped(scope, 0, 0, 9, 7, 2, 5)
+
+    @pytest.mark.parametrize(
+        "unique,hits,device",
+        [
+            (11, 2, 5),  # unique > total
+            (7, 8, 5),  # hits > unique
+            (7, 2, 4),  # device < unique - hits (answers lost)
+            (7, 2, 11),  # device > total
+            (7, -1, 5),  # negative hits
+        ],
+    )
+    def test_inconsistent_splits_trip(self, sanitizer, unique, hits, device):
+        scope = Scope()
+        self._exec(sanitizer, scope, kmers=10)
+        with pytest.raises(ScheduleViolation):
+            sanitizer.on_batch_deduped(scope, 0, 0, 10, unique, hits, device)
+
+
 class TestAdmissionOrder:
     """The pipelined-dispatch invariant: a shard's executed requests
     move strictly forward in its admission order."""

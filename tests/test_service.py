@@ -18,13 +18,16 @@ import pytest
 
 from repro.api import classification_from_results
 from repro.service import (
+    CacheCoherencyError,
     ClassificationService,
     DeadlineExceededError,
+    KmerResultCache,
     RejectedError,
     ServiceClient,
     ServiceConfig,
     ServiceError,
 )
+from repro.service.cache import CacheError
 from repro.service.config import ServiceConfigError
 from repro.service.metrics import Histogram, MetricsRegistry
 from repro.sieve import SieveDevice
@@ -268,6 +271,8 @@ class TestConfigAndMetrics:
             {"default_deadline_s": 0.0},
             {"retry_after_s": 0.0},
             {"executor_threads": -1},
+            {"cache_capacity": -1},
+            {"cache_self_check": True},
         ],
     )
     def test_config_validation(self, overrides):
@@ -454,6 +459,376 @@ class TestPipelinedDispatch:
         reference = SieveDevice.from_database(
             small_dataset.database, layout=small_layout
         )
+        for read, response in zip(reads, responses):
+            expected = classification_from_results(
+                read.seq_id,
+                reference.query(
+                    list(read.kmers(small_dataset.k)), batched=False
+                ),
+                true_taxon=read.taxon_id,
+            )
+            assert response.classification == expected
+
+
+class TestHotKmerCache:
+    """Cross-request dedup + hot-k-mer result cache (PR-8 tentpole).
+
+    The cache must be an *identity* optimization: every configuration
+    below — dedup only, bounded LFU cache, shadow self-check — must
+    classify bit-identically to the sequential scalar path, while the
+    counters prove the device actually skipped work.
+    """
+
+    CACHE_MODES = (
+        pytest.param({"dedup": True}, id="dedup-only"),
+        pytest.param({"cache_capacity": 256}, id="cached"),
+        pytest.param(
+            {"cache_capacity": 256, "cache_self_check": True}, id="shadow"
+        ),
+        pytest.param(
+            {"cache_capacity": 8, "dedup": True}, id="tiny-evicting"
+        ),
+    )
+
+    @pytest.mark.parametrize("overrides", CACHE_MODES)
+    def test_bit_identical_to_sequential_scalar(
+        self, small_dataset, small_layout, overrides
+    ):
+        service = make_service(small_dataset, small_layout, **overrides)
+        reads = small_dataset.reads * 2
+        responses = asyncio.run(serve_all(service, reads))
+        reference = SieveDevice.from_database(
+            small_dataset.database, layout=small_layout
+        )
+        for read, response in zip(reads, responses):
+            kmers = list(read.kmers(small_dataset.k))
+            expected = classification_from_results(
+                read.seq_id,
+                reference.query(kmers, batched=False),
+                true_taxon=read.taxon_id,
+            )
+            assert response.classification == expected
+
+    def test_cache_actually_skips_device_work(
+        self, small_dataset, small_layout
+    ):
+        def device_queries(**overrides):
+            service = make_service(
+                small_dataset, small_layout, num_shards=1, **overrides
+            )
+            asyncio.run(serve_all(service, small_dataset.reads * 3))
+            stats = service.stats()
+            queries = sum(row["queries"] for row in stats["shards"])
+            return queries, stats
+
+        uncached_queries, _ = device_queries()
+        cached_queries, stats = device_queries(cache_capacity=4096)
+        assert cached_queries < uncached_queries
+        cache = stats["cache"]
+        # Repeating the read set makes every k-mer hot: passes 2 and 3
+        # must be pure cache hits.
+        assert cache["hit_kmers"] > 0
+        assert cache["evictions"] == 0
+        assert uncached_queries - cached_queries == cache["saved_kmers"]
+        # The legacy counter contract is untouched: kmers_total still
+        # counts admitted k-mers, not device k-mers.
+        counters = stats["metrics"]["counters"]
+        assert counters["kmers_total"] == cache["lookup_kmers"]
+        assert counters["kmers_total"] == uncached_queries
+
+    def test_savings_clocks_are_reported(self, small_dataset, small_layout):
+        service = make_service(
+            small_dataset, small_layout, num_shards=1, cache_capacity=4096
+        )
+        asyncio.run(serve_all(service, small_dataset.reads * 2))
+        cache = service.stats()["cache"]
+        assert cache["hit_rate"] > 0.0
+        assert cache["saved_sim_ns"] > 0.0
+        assert cache["saved_wall_ms"] >= 0.0
+
+    @pytest.mark.parametrize("overrides", CACHE_MODES)
+    def test_counters_deterministic_across_runs(
+        self, small_dataset, small_layout, overrides
+    ):
+        def one_run():
+            service = make_service(
+                small_dataset, small_layout, num_shards=1, **overrides
+            )
+            asyncio.run(serve_all(service, small_dataset.reads))
+            stats = service.stats()
+            # saved_wall_ms inherits host-clock noise; everything else
+            # must replay exactly.
+            cache = {
+                k: v for k, v in stats["cache"].items() if "wall" not in k
+            }
+            return (
+                stats["metrics"]["counters"],
+                cache,
+                stats["sim_time_ns"],
+            )
+
+        assert one_run() == one_run()
+
+    def test_pipelined_cached_matches_serial_cached(
+        self, small_dataset, small_layout
+    ):
+        def one_run(**overrides):
+            service = make_service(
+                small_dataset,
+                small_layout,
+                num_shards=1,
+                cache_capacity=256,
+                **overrides,
+            )
+            responses = asyncio.run(serve_all(service, small_dataset.reads))
+            return (
+                [r.classification for r in responses],
+                service.stats()["cache"],
+            )
+
+        serial, serial_cache = one_run()
+        pipelined, pipelined_cache = one_run(
+            executor_threads=1, pipelined=True
+        )
+        assert pipelined == serial
+        # Plan-at-launch-after-retire keeps the pipelined cache state
+        # serial-equivalent, so even the hit/miss split matches.
+        assert {
+            k: v for k, v in pipelined_cache.items() if "wall" not in k
+        } == {k: v for k, v in serial_cache.items() if "wall" not in k}
+
+    def test_shadow_mode_raises_on_poisoned_cache(
+        self, small_dataset, small_layout
+    ):
+        from dataclasses import replace
+
+        from repro.genomics import cache_key_kmer
+
+        service = make_service(
+            small_dataset,
+            small_layout,
+            num_shards=1,
+            cache_capacity=4096,
+            cache_self_check=True,
+        )
+        probe = small_dataset.reads[0]
+
+        async def poison_then_serve():
+            first = service.submit(probe)
+            await service.start()
+            await first  # populates the cache with the probe's k-mers
+            key = cache_key_kmer(
+                next(iter(probe.kmers(small_dataset.k))),
+                small_dataset.k,
+                service.cache.canonical,
+            )
+            entry = service.cache._entries[key]
+            # Corrupt one stored payload: the shadow pass re-answers
+            # the batch on the device and must catch the lie instead
+            # of serving it.
+            entry.result = replace(entry.result, hit=True, payload=999_999)
+            retry = service.submit(probe)
+            try:
+                await retry
+            finally:
+                await service.stop(drain=False)
+
+        with pytest.raises(CacheCoherencyError):
+            asyncio.run(poison_then_serve())
+
+    def test_mixed_canonical_backends_rejected(self, small_dataset):
+        class FakeCaps:
+            def __init__(self, canonical):
+                self.canonical = canonical
+                self.k = small_dataset.k
+
+        class FakeBackend:
+            def __init__(self, canonical):
+                self._caps = FakeCaps(canonical)
+
+            def capabilities(self):
+                return self._caps
+
+        with pytest.raises(ServiceError):
+            ClassificationService(
+                [FakeBackend(True), FakeBackend(False)],
+                ServiceConfig(num_shards=2, cache_capacity=16),
+            )
+
+
+class TestKmerResultCacheUnit:
+    """Unit coverage for the LFU mechanics of ``KmerResultCache``."""
+
+    @staticmethod
+    def _result(query, payload=None):
+        from repro.api import BackendResult
+
+        return BackendResult(
+            query=query, hit=payload is not None, payload=payload
+        )
+
+    def _filled(self, capacity=2, k=5, canonical=False):
+        cache = KmerResultCache(capacity, k, canonical)
+        plan = cache.plan([1, 2, 1])
+        assert plan.device_keys == (1, 2)
+        assert plan.dedup_kmers == 1
+        cache.complete(plan, [self._result(1, 10), self._result(2)])
+        return cache
+
+    def test_plan_complete_fans_out_dedup(self):
+        cache = self._filled()
+        full = cache.complete(
+            cache.plan([2, 1, 2]), []
+        )  # both keys now cached: no device work
+        assert [r.query for r in full] == [2, 1, 2]
+        assert [r.payload for r in full] == [None, 10, None]
+        assert cache.hit_keys == 2
+        assert cache.hit_kmers == 3
+
+    def test_lfu_evicts_least_frequent_oldest_first(self):
+        cache = self._filled(capacity=2)
+        # Touch key 1 (freq 2+...), leave key 2 cold, then insert 3:
+        # the cold key 2 must be the eviction victim.
+        cache.complete(cache.plan([1]), [])
+        plan = cache.plan([3])
+        cache.complete(plan, [self._result(3, 30)])
+        assert 2 not in cache._entries
+        assert set(cache._entries) == {1, 3}
+        assert cache.evictions == 1
+
+    def test_eviction_is_deterministic(self):
+        def churn():
+            cache = KmerResultCache(4, 5, False)
+            for batch in ([1, 2, 3, 4], [5, 1, 6], [7, 2, 5], [8, 9]):
+                plan = cache.plan(batch)
+                cache.complete(
+                    plan,
+                    [self._result(k, k * 10) for k in plan.device_kmers],
+                )
+            return sorted(cache._entries), cache.counters()
+
+        assert churn() == churn()
+
+    def test_capacity_zero_dedups_but_stores_nothing(self):
+        cache = KmerResultCache(0, 5, False)
+        plan = cache.plan([4, 4, 5])
+        assert plan.dedup_kmers == 1
+        cache.complete(plan, [self._result(4, 1), self._result(5, 2)])
+        assert len(cache) == 0
+        assert cache.plan([4]).device_keys == (4,)  # still a miss
+
+    def test_canonical_keys_fold_strands(self):
+        from repro.genomics import canonical_kmer
+        from repro.genomics.encoding import revcomp_value
+
+        k = 5
+        fwd = 0b0001101100
+        rev = revcomp_value(fwd, k)
+        assert fwd != rev
+        cache = KmerResultCache(8, k, True)
+        plan = cache.plan([fwd, rev])
+        # Both strands fold to one canonical key: one device k-mer.
+        assert len(plan.device_keys) == 1
+        canon = canonical_kmer(fwd, k)
+        result = self._result(fwd, 42)
+        full = cache.complete(plan, [result])
+        assert [r.query for r in full] == [fwd, rev]
+        assert all(r.payload == 42 for r in full)
+        assert cache.plan([rev]).cache_hits == 1
+        assert canon in cache._entries
+
+    def test_complete_length_mismatch_raises(self):
+        cache = KmerResultCache(4, 5, False)
+        plan = cache.plan([1, 2])
+        with pytest.raises(CacheError):
+            cache.complete(plan, [self._result(1, 1)])
+
+    def test_self_check_flags_divergence(self):
+        cache = KmerResultCache(4, 5, False)
+        plan = cache.plan([1])
+        served = [self._result(1, 10)]
+        assert (
+            cache.self_check(plan, served, [self._result(1, 10)]) is None
+        )
+        with pytest.raises(CacheCoherencyError):
+            cache.self_check(plan, served, [self._result(1, 11)])
+
+
+class TestInteractionMatrix:
+    """Everything at once (ISSUE-8 hardening): pipelined dispatch over
+    an mmap-backed database with a chaos crash, an active fault
+    injector, and the hot-k-mer cache must still classify bit-identically
+    to the sequential scalar path on an identically-faulted replica —
+    with the session ScheduleSanitizer watching the whole run.
+    """
+
+    @pytest.mark.parametrize(
+        "cache_overrides",
+        [
+            pytest.param({}, id="uncached"),
+            pytest.param({"dedup": True}, id="dedup"),
+            pytest.param({"cache_capacity": 128}, id="cached"),
+            pytest.param(
+                {"cache_capacity": 128, "cache_self_check": True},
+                id="shadow",
+            ),
+        ],
+    )
+    def test_all_features_bit_identical_to_scalar(
+        self, small_dataset, small_layout, tmp_path, cache_overrides
+    ):
+        from repro import serialization
+        from repro.faults import (
+            ChaosInjector,
+            ChaosPlan,
+            FaultInjector,
+            FaultModel,
+            fault_injection,
+        )
+        from repro.genomics import KmerDatabase
+
+        seg_dir = tmp_path / "segments"
+        serialization.save_segments(small_dataset.database, seg_dir)
+        database = KmerDatabase.open_mmap(seg_dir, verify=True)
+
+        injector = FaultInjector(
+            FaultModel.seeded("interaction-matrix", bit_flip_rate=2e-5)
+        )
+
+        def build_replica():
+            # reset_units: every replica (and the scalar reference)
+            # corrupts identically, so bit-identity still holds under
+            # injected faults.
+            injector.reset_units()
+            with fault_injection(injector):
+                return SieveDevice.from_database(
+                    database, layout=small_layout
+                )
+
+        config = ServiceConfig(
+            num_shards=2,
+            max_batch_kmers=96,
+            max_linger_s=0.0,
+            queue_depth=512,
+            executor_threads=1,
+            pipelined=True,
+            **cache_overrides,
+        )
+        backends = [build_replica() for _ in range(config.num_shards)]
+        plan = ChaosPlan.seeded(
+            "interaction-matrix-crash",
+            num_shards=config.num_shards,
+            crashes=1,
+        )
+        service = ClassificationService(
+            backends, config, chaos=ChaosInjector(plan)
+        )
+        reads = small_dataset.reads * 2
+        responses = asyncio.run(serve_all(service, reads))
+        assert len(responses) == len(reads)
+        assert service.stats()["healthy_shards"] == config.num_shards - 1
+
+        reference = build_replica()
         for read, response in zip(reads, responses):
             expected = classification_from_results(
                 read.seq_id,
