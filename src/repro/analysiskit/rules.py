@@ -1,4 +1,4 @@
-"""Simulator-specific lint rules (SV001-SV012).
+"""Simulator-specific lint rules (SV001-SV013).
 
 These encode the invariants the trace-driven model's numbers rest on —
 unit-suffix discipline, deterministic randomness, exhaustive command
@@ -6,7 +6,9 @@ dispatch — as machine-checked rules instead of docstring conventions.
 SV007-SV012 extend the catalog to the concurrency layers: event-loop
 blocking, un-awaited coroutines, fork-unsafe shared state, unbounded
 awaits, order-nondeterministic set iteration, and unsanctioned
-wall-clock reads.  See ``docs/CORRECTNESS.md`` for the full catalog
+wall-clock reads.  SV013 guards the versioned service API: the
+deprecated flat ``stats()`` spellings read only through shims, never
+in checked-in code.  See ``docs/CORRECTNESS.md`` for the full catalog
 with rationale and suppression syntax.
 """
 
@@ -1497,6 +1499,81 @@ class WallClockRule(Rule):
                 )
 
 
+# --------------------------------------------------------------------------
+# SV013 — deprecated flat stats keys
+# --------------------------------------------------------------------------
+
+#: Deprecated v1 flat stats key -> the grouped sieve-stats-v2 path.
+#: Mirrors repro.service.stats.DEPRECATED_STATS_KEYS (kept literal here
+#: so the lint pass stays importable without the service package).
+DEPRECATED_STATS_SUBSCRIPTS: Dict[str, str] = {
+    "config": 'stats["service"]["config"]',
+    "k": 'stats["service"]["k"]',
+    "shards": 'stats["health"]["shards"]',
+    "healthy_shards": 'stats["health"]["healthy_shards"]',
+    "degraded": 'stats["health"]["degraded"]',
+    "sim_time_ns": 'stats["clocks"]["sim_time_ns"]',
+    "sim_energy_nj": 'stats["clocks"]["sim_energy_nj"]',
+}
+
+
+def _is_stats_receiver(node: ast.AST) -> bool:
+    """Whether ``node`` plausibly holds a service ``stats()`` payload.
+
+    Matched shapes — a name spelled like a stats payload
+    (``stats``, ``stats_u``, ``shard_stats``) or a direct
+    ``something.stats()[...]`` call — keep the rule away from unrelated
+    dicts that happen to share key spellings.
+    """
+    if isinstance(node, ast.Name):
+        name = node.id
+        return (
+            name == "stats"
+            or name.startswith("stats_")
+            or name.endswith("_stats")
+        )
+    if isinstance(node, ast.Call):
+        func = node.func
+        return isinstance(func, ast.Attribute) and func.attr == "stats"
+    return False
+
+
+class DeprecatedStatsKeyRule(Rule):
+    rule_id = "SV013"
+    title = "deprecated flat stats key"
+    rationale = (
+        "The service stats payload is versioned (sieve-stats-v2, "
+        "repro.service.stats): per-shard health, clocks, cache, and "
+        "cluster facts live under grouped section keys. The old flat "
+        "spellings survive only as DeprecationWarning shims for "
+        "external callers; in-repo readers must use the grouped paths "
+        "so the shims can eventually be dropped."
+    )
+
+    def check(self, source: FileSource) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Subscript):
+                continue
+            if not _is_stats_receiver(node.value):
+                continue
+            # Python 3.9+: Subscript.slice is the index expression.
+            index = node.slice
+            if not (
+                isinstance(index, ast.Constant)
+                and isinstance(index.value, str)
+            ):
+                continue
+            key = index.value
+            replacement = DEPRECATED_STATS_SUBSCRIPTS.get(key)
+            if replacement is not None:
+                yield self.finding(
+                    source,
+                    node,
+                    f"flat stats key `[{key!r}]` is a deprecated "
+                    f"sieve-stats-v1 spelling; read {replacement}",
+                )
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     UnitSuffixRule(),
     FloatEqualityRule(),
@@ -1510,6 +1587,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     UnboundedAwaitRule(),
     SetIterationOrderRule(),
     WallClockRule(),
+    DeprecatedStatsKeyRule(),
 )
 
 

@@ -308,7 +308,8 @@ class _ScopeState:
 
     __slots__ = ("label", "requests", "coalesced", "executed",
                  "last_executed", "admit_counters", "exec_watermarks",
-                 "exec_totals", "deduped", "history")
+                 "exec_totals", "deduped", "history", "workers",
+                 "partition_owner", "fanout", "replies", "merged_qids")
 
     def __init__(self, label: str, history_limit: int) -> None:
         self.label = label
@@ -330,6 +331,19 @@ class _ScopeState:
         #: still simulating.
         self.exec_watermarks: Dict[int, int] = {}
         self.history: Deque[HistoryEvent] = deque(maxlen=history_limit)
+        #: Cluster topology (scope = a ClusterBackend):
+        #: ``worker_id -> {"generation", "state", "partitions"}`` where
+        #: ``state`` walks live -> draining -> exited.
+        self.workers: Dict[int, Dict[str, Any]] = {}
+        #: ``partition -> worker_id`` current ownership; survives a
+        #: worker's exit so a rolling restart can reclaim it.
+        self.partition_owner: Dict[int, int] = {}
+        #: ``qid -> {worker_id: num_kmers}`` outstanding fan-out slices.
+        self.fanout: Dict[int, Dict[int, int]] = {}
+        #: ``qid -> {worker_id: num_kmers}`` received reply slices.
+        self.replies: Dict[int, Dict[int, int]] = {}
+        #: Queries whose slices already merged (double-merge guard).
+        self.merged_qids: set = set()
 
 
 class ScheduleSanitizer:
@@ -358,7 +372,16 @@ class ScheduleSanitizer:
       double-answered through the cache),
     * a request resolves exactly once — completion, deadline expiry, or
       failure — and completion carries its admitted k-mer count,
-    * at quiesce (drain complete) no admitted request is still pending.
+    * at quiesce (drain complete) no admitted request is still pending,
+    * cluster events (scope = a :class:`repro.cluster.ClusterBackend`):
+      worker generations increase across restarts and walk live ->
+      draining -> exited; partition ownership moves only through
+      handoff (to a live worker) or respawn of the same worker id;
+      fan-out targets only live workers; each slice is answered exactly
+      once with the fanned-out k-mer count; a worker never exits with
+      unanswered fan-out; and a merge covers every slice with counts
+      summing to the batch — zero lost or double-answered requests
+      across a rolling restart.
 
     State is keyed per scope (one :class:`ClassificationService` or
     standalone :class:`ShardWorker`) through a ``WeakKeyDictionary``,
@@ -804,6 +827,256 @@ class ScheduleSanitizer:
             del self._scopes[scope]
         except KeyError:
             pass
+
+    # -- cluster events (scope = a repro.cluster.ClusterBackend) -------------
+
+    def on_worker_spawned(
+        self, scope: Any, worker_id: int, generation: int, partitions: Any
+    ) -> None:
+        state = self._state(scope)
+        owned = sorted(partitions)
+        self._note(
+            state,
+            worker_id,
+            "SPAWN",
+            f"worker={worker_id} gen={generation} partitions={owned}",
+        )
+        existing = state.workers.get(worker_id)
+        if existing is not None and existing["state"] != "exited":
+            self._fail(
+                f"worker {worker_id} spawned while generation "
+                f"{existing['generation']} is still "
+                f"{existing['state']!r}",
+                state,
+                worker_id,
+            )
+        if existing is not None and generation <= existing["generation"]:
+            self._fail(
+                f"worker {worker_id} respawned with generation "
+                f"{generation}, not above {existing['generation']} "
+                "(generations must increase across restarts)",
+                state,
+                worker_id,
+            )
+        for partition in owned:
+            owner = state.partition_owner.get(partition)
+            if owner is not None and owner != worker_id:
+                self._fail(
+                    f"worker {worker_id} spawned claiming partition "
+                    f"{partition} owned by worker {owner} (ownership "
+                    "moves only through handoff)",
+                    state,
+                    worker_id,
+                )
+            state.partition_owner[partition] = worker_id
+        state.workers[worker_id] = {
+            "generation": generation,
+            "state": "live",
+            "partitions": set(owned),
+        }
+
+    def on_worker_draining(
+        self, scope: Any, worker_id: int, generation: int
+    ) -> None:
+        state = self._state(scope)
+        self._note(
+            state, worker_id, "DRAIN", f"worker={worker_id} gen={generation}"
+        )
+        worker = state.workers.get(worker_id)
+        if worker is None:
+            self._fail(
+                f"unknown worker {worker_id} draining", state, worker_id
+            )
+            return
+        if worker["generation"] != generation:
+            self._fail(
+                f"worker {worker_id} draining with generation "
+                f"{generation}, live generation is "
+                f"{worker['generation']}",
+                state,
+                worker_id,
+            )
+        if worker["state"] != "live":
+            self._fail(
+                f"worker {worker_id} draining from state "
+                f"{worker['state']!r} (expected 'live')",
+                state,
+                worker_id,
+            )
+        worker["state"] = "draining"
+
+    def on_worker_exited(
+        self, scope: Any, worker_id: int, generation: int
+    ) -> None:
+        state = self._state(scope)
+        self._note(
+            state, worker_id, "EXIT", f"worker={worker_id} gen={generation}"
+        )
+        worker = state.workers.get(worker_id)
+        if worker is None:
+            self._fail(
+                f"unknown worker {worker_id} exited", state, worker_id
+            )
+            return
+        if worker["generation"] != generation:
+            self._fail(
+                f"worker {worker_id} exited with generation {generation}, "
+                f"live generation is {worker['generation']}",
+                state,
+                worker_id,
+            )
+        if worker["state"] == "exited":
+            self._fail(
+                f"worker {worker_id} exited twice", state, worker_id
+            )
+        outstanding = sorted(
+            qid
+            for qid, slices in state.fanout.items()
+            if worker_id in slices
+            and worker_id not in state.replies.get(qid, {})
+        )
+        if outstanding:
+            self._fail(
+                f"worker {worker_id} exited with unanswered fan-out for "
+                f"queries {outstanding} (requests would be lost)",
+                state,
+                worker_id,
+            )
+        worker["state"] = "exited"
+
+    def on_partition_handoff(
+        self, scope: Any, partition: int, from_worker: int, to_worker: int
+    ) -> None:
+        state = self._state(scope)
+        self._note(
+            state,
+            to_worker,
+            "HANDOFF",
+            f"partition={partition} from={from_worker} to={to_worker}",
+        )
+        owner = state.partition_owner.get(partition)
+        if owner != from_worker:
+            self._fail(
+                f"partition {partition} handed off from worker "
+                f"{from_worker} but is owned by "
+                f"{'nobody' if owner is None else f'worker {owner}'}",
+                state,
+                from_worker,
+            )
+        target = state.workers.get(to_worker)
+        if target is None or target["state"] != "live":
+            self._fail(
+                f"partition {partition} handed to worker {to_worker} "
+                f"which is "
+                f"{'unknown' if target is None else target['state']}",
+                state,
+                to_worker,
+            )
+            return
+        state.partition_owner[partition] = to_worker
+        source = state.workers.get(from_worker)
+        if source is not None:
+            source["partitions"].discard(partition)
+        target["partitions"].add(partition)
+
+    def on_cluster_fanout(
+        self, scope: Any, qid: int, worker_id: int, num_kmers: int
+    ) -> None:
+        state = self._state(scope)
+        self._note(
+            state,
+            worker_id,
+            "FANOUT",
+            f"qid={qid} worker={worker_id} kmers={num_kmers}",
+        )
+        worker = state.workers.get(worker_id)
+        if worker is None or worker["state"] != "live":
+            self._fail(
+                f"query {qid} fanned out to worker {worker_id} which is "
+                f"{'unknown' if worker is None else worker['state']}",
+                state,
+                worker_id,
+            )
+            return
+        if qid in state.merged_qids:
+            self._fail(
+                f"query {qid} fanned out after its merge", state, worker_id
+            )
+        slices = state.fanout.setdefault(qid, {})
+        if worker_id in slices:
+            self._fail(
+                f"query {qid} fanned out to worker {worker_id} twice",
+                state,
+                worker_id,
+            )
+        slices[worker_id] = num_kmers
+
+    def on_cluster_reply(
+        self, scope: Any, qid: int, worker_id: int, num_kmers: int
+    ) -> None:
+        state = self._state(scope)
+        self._note(
+            state,
+            worker_id,
+            "REPLY",
+            f"qid={qid} worker={worker_id} kmers={num_kmers}",
+        )
+        slices = state.fanout.get(qid, {})
+        if worker_id not in slices:
+            self._fail(
+                f"worker {worker_id} replied to query {qid} without a "
+                "fan-out slice",
+                state,
+                worker_id,
+            )
+            return
+        replies = state.replies.setdefault(qid, {})
+        if worker_id in replies:
+            self._fail(
+                f"worker {worker_id} replied to query {qid} twice "
+                "(double answer)",
+                state,
+                worker_id,
+            )
+        if num_kmers != slices[worker_id]:
+            self._fail(
+                f"worker {worker_id} replied to query {qid} with "
+                f"{num_kmers} k-mers, fanned out {slices[worker_id]}",
+                state,
+                worker_id,
+            )
+        replies[worker_id] = num_kmers
+
+    def on_cluster_merged(
+        self, scope: Any, qid: int, total_kmers: int
+    ) -> None:
+        state = self._state(scope)
+        self._note(
+            state, -1, "MERGE", f"qid={qid} kmers={total_kmers}"
+        )
+        if qid in state.merged_qids:
+            self._fail(f"query {qid} merged twice", state, -1)
+        slices = state.fanout.get(qid, {})
+        replies = state.replies.get(qid, {})
+        missing = sorted(set(slices) - set(replies))
+        if missing:
+            self._fail(
+                f"query {qid} merged with unanswered fan-out to workers "
+                f"{missing} (answers would be lost)",
+                state,
+                -1,
+            )
+        replied_total = sum(replies.values())
+        if replied_total != total_kmers:
+            self._fail(
+                f"query {qid} merged {total_kmers} k-mers but slices sum "
+                f"to {replied_total} (partition mismatch)",
+                state,
+                -1,
+            )
+        state.merged_qids.add(qid)
+        state.fanout.pop(qid, None)
+        state.replies.pop(qid, None)
 
 
 # --------------------------------------------------------------------------

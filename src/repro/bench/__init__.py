@@ -451,8 +451,8 @@ def bench_service_cached(quick: bool) -> Tuple[float, Dict[str, int]]:
         if a.classification != b.classification
     )
     cache = stats_c["cache"]
-    sim_u = int(stats_u["sim_time_ns"])
-    sim_c = int(stats_c["sim_time_ns"])
+    sim_u = int(stats_u["clocks"]["sim_time_ns"])
+    sim_c = int(stats_c["clocks"]["sim_time_ns"])
     counters = {
         "requests": len(cached),
         "kmers": cache["lookup_kmers"],

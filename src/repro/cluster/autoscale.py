@@ -1,0 +1,140 @@
+"""Replica autoscaling driven by the ``stats()`` bottleneck report.
+
+The service's versioned stats payload (``sieve-stats-v2``) reports
+per-shard queue depths under ``stats["health"]["shards"]`` — the
+backpressure signal.  :class:`ClusterAutoscaler` folds successive
+snapshots into two streak counters and converts them into
+:meth:`ClusterBackend.scale_to` calls:
+
+* **scale-up** after ``sustain_ticks`` consecutive observations at or
+  above ``queue_depth_high`` (sustained backlog, not a burst);
+* **scale-down** after ``idle_ticks`` consecutive observations of
+  fully empty queues;
+* after any action, a short **cooldown** suppresses the next decision
+  so a rebalance can take effect before it is judged.
+
+Everything is deterministic under the seeded policy: the decision is a
+pure function of the observation sequence, and the per-action cooldown
+comes from the repo's content-hash draw (:func:`repro.faults.
+hash_fraction`) — never a global RNG (lint rule SV004) — so a fleet of
+autoscalers with distinct seeds decorrelates while any single run
+replays identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..faults import hash_fraction
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Seeded, deterministic scale-up/scale-down policy."""
+
+    #: Worker-count bounds the autoscaler never crosses.
+    min_workers: int = 1
+    max_workers: int = 4
+    #: Queue depth (max over shards) that counts as backlog.
+    queue_depth_high: int = 8
+    #: Consecutive backlog observations before scaling up.
+    sustain_ticks: int = 2
+    #: Consecutive all-idle observations before scaling down.
+    idle_ticks: int = 3
+    #: Workers added/removed per action.
+    step: int = 1
+    #: Decorrelation seed for the post-action cooldown draw.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_workers <= 0:
+            raise ValueError("min_workers must be positive")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if self.queue_depth_high <= 0:
+            raise ValueError("queue_depth_high must be positive")
+        if self.sustain_ticks <= 0 or self.idle_ticks <= 0:
+            raise ValueError("sustain/idle tick thresholds must be positive")
+        if self.step <= 0:
+            raise ValueError("step must be positive")
+
+
+class ClusterAutoscaler:
+    """Streak-counting autoscaler over a :class:`ClusterBackend`."""
+
+    def __init__(self, cluster: Any, policy: Optional[AutoscalePolicy] = None) -> None:
+        self.cluster = cluster
+        self.policy = policy or AutoscalePolicy()
+        self._high_streak = 0
+        self._idle_streak = 0
+        self._cooldown = 0
+        self._action_index = 0
+        #: Audit log of every decision: (tick, kind, from, to).
+        self.decisions: List[Dict[str, Any]] = []
+        self._tick = 0
+
+    def observe(self, stats: Dict[str, Any]) -> None:
+        """Fold one ``sieve-stats-v2`` snapshot into the streaks."""
+        shards = stats["health"]["shards"]
+        depth = max(
+            (int(row["queue_depth"]) for row in shards), default=0
+        )
+        self._tick += 1
+        if depth >= self.policy.queue_depth_high:
+            self._high_streak += 1
+            self._idle_streak = 0
+        elif depth == 0:
+            self._idle_streak += 1
+            self._high_streak = 0
+        else:
+            self._high_streak = 0
+            self._idle_streak = 0
+
+    def tick(self) -> Optional[int]:
+        """Apply the policy; returns the new worker count on a scale."""
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return None
+        policy = self.policy
+        current = len(self.cluster.live_workers())
+        target: Optional[int] = None
+        kind = ""
+        if (
+            self._high_streak >= policy.sustain_ticks
+            and current < policy.max_workers
+        ):
+            target = min(current + policy.step, policy.max_workers)
+            kind = "scale-up"
+        elif (
+            self._idle_streak >= policy.idle_ticks
+            and current > policy.min_workers
+        ):
+            target = max(current - policy.step, policy.min_workers)
+            kind = "scale-down"
+        if target is None or target == current:
+            return None
+        self.cluster.scale_to(target)
+        self._high_streak = 0
+        self._idle_streak = 0
+        self._action_index += 1
+        # Deterministic 1-2 tick cooldown: content-hash draw, no RNG.
+        draw = hash_fraction(
+            policy.seed, "autoscale-cooldown", self._action_index
+        )
+        self._cooldown = 1 + int(draw * 2)
+        self.decisions.append(
+            {
+                "tick": self._tick,
+                "kind": kind,
+                "from_workers": current,
+                "to_workers": target,
+                "cooldown": self._cooldown,
+            }
+        )
+        return target
+
+    def observe_and_tick(self, stats: Dict[str, Any]) -> Optional[int]:
+        """Convenience: :meth:`observe` then :meth:`tick`."""
+        self.observe(stats)
+        return self.tick()

@@ -1,0 +1,490 @@
+"""The cluster-facing :class:`QueryBackend`: fan-out, merge, operations.
+
+:class:`ClusterBackend` looks like any other backend to the asyncio
+dispatcher — ``query()`` / ``classify()`` / ``capabilities()`` /
+``stats()`` — but behind it sit forked OS worker processes, each
+serving its owned slice of the k-mer space from the shared mmap
+segment image (:mod:`repro.cluster.worker`).  A query batch is
+canonicalized once, partitioned (:func:`partition_ids`), grouped per
+owning worker, fanned out over pipes, and the replies are merged back
+**in request order** — so results (and every classification derived
+through :func:`repro.api.classification_from_results`) are
+bit-identical to the sequential scalar path regardless of topology.
+
+Determinism: workers are always contacted in ascending worker id, one
+pipe per worker is FIFO, and every fan-out waits for its replies
+before ``query()`` returns — there is no cross-batch concurrency to
+order.  (The parallelism this buys is *capacity* — each worker holds
+1/N of the reference — and process isolation for rolling operations;
+latency overlap across batches is the dispatcher's job.)
+
+Operations are synchronous and happen at query boundaries, which is
+what makes exactly-once trivial to audit: :meth:`rolling_restart`
+drains a worker (no new fan-out), exits it, and respawns it on the
+same partitions at generation+1; :meth:`scale_to` recomputes the
+consistent-hash assignment, spawns new workers empty, hands off only
+the partitions that change hands, and retires the rest.  Every step
+emits cluster events through :mod:`repro.service.hooks`, so the
+:class:`~repro.analysiskit.ScheduleSanitizer` verifies no request is
+lost or double-answered across a restart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api import BackendCapabilities, BackendResult, QueryBackendBase
+from ..genomics.encoding import canonical_kmers
+from ..serialization import read_segment_manifest
+from ..service import hooks
+from ..service.config import ClusterConfig
+from .partition import ConsistentHashRing, partition_ids
+from .worker import WorkerSpec, worker_main
+
+
+class ClusterError(RuntimeError):
+    """Raised when a cluster worker fails or misbehaves."""
+
+
+def _slot_name(worker_id: int, slot: int) -> str:
+    """Ring node name of one shard slot of one worker.
+
+    Slots — not workers — are the ring nodes, so the partition->slot
+    map depends only on the total slot count: (workers=4, spw=1) and
+    (workers=2, spw=2) produce different *placements* but identical
+    partition contents, and bit-identity of answers never depends on
+    placement.
+    """
+    return f"w{worker_id}:s{slot}"
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = (
+        "worker_id", "generation", "process", "conn", "partitions",
+        "state", "resident",
+    )
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.generation = 0
+        self.process = None
+        self.conn = None
+        self.partitions: List[int] = []
+        self.state = "exited"
+        self.resident: Dict[str, Any] = {}
+
+    @property
+    def live(self) -> bool:
+        return self.state == "live"
+
+
+class ClusterBackend(QueryBackendBase):
+    """Multi-process, consistent-hash-partitioned query backend."""
+
+    def __init__(
+        self,
+        segment_dir: str,
+        cluster: Optional[ClusterConfig] = None,
+        sanitize: Optional[bool] = None,
+    ) -> None:
+        super().__init__()
+        from ..fleet import fork_context, sanitize_active
+
+        cluster = cluster or ClusterConfig()
+        manifest = read_segment_manifest(segment_dir)
+        self.segment_dir = str(segment_dir)
+        self.config = cluster
+        self.k = int(manifest["k"])
+        self.canonical = bool(manifest["canonical"])
+        self.content_hash = str(manifest["content_hash"])
+        self._degraded = bool(manifest.get("degraded", False))
+        self._ctx = fork_context()
+        self._sanitize = (
+            sanitize if sanitize is not None else sanitize_active()
+        )
+        self._workers: Dict[int, _WorkerHandle] = {}
+        self._partition_worker: Dict[int, int] = {}
+        self._query_index = 0
+        self._restart_count = 0
+        self._handoff_count = 0
+        self._pending_restarts: Dict[int, List[int]] = {}
+        self._closed = False
+        assignment = self._assignment(cluster.workers)
+        for worker_id in range(cluster.workers):
+            self._spawn(worker_id, assignment[worker_id])
+
+    # -- topology -----------------------------------------------------------
+
+    def _assignment(self, num_workers: int) -> Dict[int, List[int]]:
+        """``worker_id -> sorted owned partitions`` for a worker count."""
+        spw = self.config.shards_per_worker
+        nodes = [
+            _slot_name(w, s) for w in range(num_workers) for s in range(spw)
+        ]
+        ring = ConsistentHashRing(
+            nodes, virtual_nodes=self.config.virtual_nodes
+        )
+        by_slot = ring.assignment(self.config.partitions)
+        out: Dict[int, List[int]] = {w: [] for w in range(num_workers)}
+        for w in range(num_workers):
+            for s in range(spw):
+                out[w].extend(by_slot[_slot_name(w, s)])
+            out[w].sort()
+        return out
+
+    def _emit(self, event: str, *args: Any) -> None:
+        observer = hooks.OBSERVER
+        if observer is None:
+            return
+        handler = getattr(observer, event, None)
+        if handler is not None:
+            handler(self, *args)
+
+    def _spawn(self, worker_id: int, partitions: List[int]) -> _WorkerHandle:
+        handle = self._workers.get(worker_id)
+        if handle is None:
+            handle = _WorkerHandle(worker_id)
+            self._workers[worker_id] = handle
+        elif handle.state != "exited":
+            raise ClusterError(
+                f"worker {worker_id} is {handle.state}; cannot respawn"
+            )
+        generation = handle.generation + 1
+        spec = WorkerSpec(
+            worker_id=worker_id,
+            generation=generation,
+            segment_dir=self.segment_dir,
+            partitions=tuple(partitions),
+            num_partitions=self.config.partitions,
+            sanitize=self._sanitize,
+        )
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, spec),
+            daemon=True,
+            name=f"sieve-cluster-w{worker_id}g{generation}",
+        )
+        process.start()
+        child_conn.close()
+        try:
+            ready = parent_conn.recv()
+        except EOFError:
+            raise ClusterError(
+                f"worker {worker_id} died before reporting ready"
+            ) from None
+        if not ready.get("ok"):
+            raise ClusterError(
+                f"worker {worker_id} failed to start: {ready.get('error')}"
+            )
+        handle.generation = generation
+        handle.process = process
+        handle.conn = parent_conn
+        handle.partitions = sorted(partitions)
+        handle.state = "live"
+        handle.resident = ready["resident"]
+        for partition in handle.partitions:
+            self._partition_worker[partition] = worker_id
+        self._emit(
+            "on_worker_spawned",
+            worker_id,
+            generation,
+            list(handle.partitions),
+        )
+        return handle
+
+    def _rpc(self, handle: _WorkerHandle, message: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            handle.conn.send(message)
+            reply = handle.conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise ClusterError(
+                f"worker {handle.worker_id} (gen {handle.generation}) "
+                f"died mid-request: {exc!r}"
+            ) from None
+        if not reply.get("ok"):
+            raise ClusterError(
+                f"worker {handle.worker_id} failed: {reply.get('error')}"
+            )
+        return reply
+
+    def _live_handle(self, worker_id: int) -> _WorkerHandle:
+        handle = self._workers.get(worker_id)
+        if handle is None or not handle.live:
+            state = "unknown" if handle is None else handle.state
+            raise ClusterError(f"worker {worker_id} is {state}")
+        return handle
+
+    def live_workers(self) -> List[int]:
+        """Sorted ids of live worker processes."""
+        return sorted(
+            w for w, handle in self._workers.items() if handle.live
+        )
+
+    # -- QueryBackend surface -----------------------------------------------
+
+    def query(
+        self, kmers: Sequence[int], *, batched: bool = True
+    ) -> List[BackendResult]:
+        """Fan a batch out to owning workers; merge in request order.
+
+        ``batched`` is accepted for protocol uniformity and ignored —
+        the wire protocol is already batch-shaped.
+        """
+        if self._closed:
+            raise ClusterError("cluster is closed")
+        self._query_index += 1
+        self._run_due_restarts()
+        if len(kmers) == 0:
+            return []
+        qid = self._query_index
+        queries = np.asarray(list(kmers), dtype=np.uint64)
+        cache_keys = (
+            canonical_kmers(queries, self.k) if self.canonical else queries
+        )
+        parts = partition_ids(cache_keys, self.config.partitions)
+        groups: Dict[int, Tuple[List[int], List[int]]] = {}
+        for index, partition in enumerate(parts.tolist()):
+            owner = self._partition_worker[partition]
+            indices, sub = groups.setdefault(owner, ([], []))
+            indices.append(index)
+            sub.append(int(queries[index]))
+        results: List[Optional[BackendResult]] = [None] * len(queries)
+        # Ascending worker id for both send and receive: each pipe is
+        # FIFO and the set of owners is a pure function of the batch,
+        # so the schedule — and therefore the merged output — replays
+        # identically run to run.
+        owners = sorted(groups)
+        for worker_id in owners:
+            indices, sub = groups[worker_id]
+            handle = self._live_handle(worker_id)
+            self._emit("on_cluster_fanout", qid, worker_id, len(sub))
+            handle.conn.send({"op": "query", "qid": qid, "kmers": sub})
+        for worker_id in owners:
+            indices, sub = groups[worker_id]
+            handle = self._workers[worker_id]
+            try:
+                reply = handle.conn.recv()
+            except (EOFError, OSError) as exc:
+                raise ClusterError(
+                    f"worker {worker_id} died mid-query: {exc!r}"
+                ) from None
+            if not reply.get("ok"):
+                raise ClusterError(
+                    f"worker {worker_id} failed: {reply.get('error')}"
+                )
+            if reply.get("qid") != qid:
+                raise ClusterError(
+                    f"worker {worker_id} answered query "
+                    f"{reply.get('qid')}, expected {qid}"
+                )
+            triples = reply["results"]
+            if len(triples) != len(indices):
+                raise ClusterError(
+                    f"worker {worker_id} answered {len(triples)} k-mers "
+                    f"for a {len(indices)}-k-mer slice"
+                )
+            self._emit("on_cluster_reply", qid, worker_id, len(triples))
+            for index, (kmer, hit, payload) in zip(indices, triples):
+                results[index] = BackendResult(
+                    query=int(kmer), hit=bool(hit), payload=payload
+                )
+        merged = [r for r in results if r is not None]
+        if len(merged) != len(queries):
+            raise ClusterError(
+                f"merge dropped k-mers: {len(merged)} of {len(queries)}"
+            )
+        self._emit("on_cluster_merged", qid, len(merged))
+        self._backend_stats.record(merged)
+        return merged
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="cluster",
+            kind="multiprocess-consistent-hash",
+            k=self.k,
+            canonical=self.canonical,
+            batched=True,
+            degraded=self._degraded,
+        )
+
+    # -- operations ---------------------------------------------------------
+
+    def rolling_restart(self, worker_id: int) -> None:
+        """Drain one worker, exit it, respawn it on the same partitions.
+
+        Synchronous at a query boundary: no fan-out is in flight, so a
+        restart can neither lose nor double-answer a request — the
+        sanitizer's cluster events verify exactly that.
+        """
+        handle = self._live_handle(worker_id)
+        handle.state = "draining"
+        self._emit("on_worker_draining", worker_id, handle.generation)
+        self._shutdown_process(handle)
+        self._emit("on_worker_exited", worker_id, handle.generation)
+        self._spawn(worker_id, handle.partitions)
+        self._restart_count += 1
+
+    def schedule_restart(self, worker_id: int, at_query: int) -> None:
+        """Arrange a rolling restart just before query ``at_query``
+        (1-based over this backend's lifetime) — the deterministic
+        mid-trace restart the chaos/CI smoke drives."""
+        if at_query <= self._query_index:
+            raise ClusterError(
+                f"query {at_query} already passed "
+                f"(at {self._query_index})"
+            )
+        self._pending_restarts.setdefault(at_query, []).append(worker_id)
+
+    def _run_due_restarts(self) -> None:
+        due = [q for q in self._pending_restarts if q <= self._query_index]
+        for q in sorted(due):
+            for worker_id in self._pending_restarts.pop(q):
+                if self._workers.get(worker_id, None) is not None:
+                    self.rolling_restart(worker_id)
+
+    def scale_to(self, target_workers: int) -> None:
+        """Rebalance to ``target_workers`` live workers.
+
+        New workers spawn *empty*, then only the partitions whose
+        consistent-hash owner changed are handed off (each handoff
+        emits ``on_partition_handoff`` and re-slices both sides via
+        the ``own`` message); workers with no slots left drain and
+        exit.  Partition contents never change, so answers do not.
+        """
+        if target_workers <= 0:
+            raise ClusterError(
+                f"target_workers must be positive, got {target_workers}"
+            )
+        current = self.live_workers()
+        if target_workers == len(current):
+            return
+        assignment = self._assignment(target_workers)
+        # 1. Spawn incoming workers with no partitions; they receive
+        #    theirs through handoffs below (the sanitizer's spawn-claim
+        #    rule: a spawn may only claim unowned partitions).
+        for worker_id in range(target_workers):
+            handle = self._workers.get(worker_id)
+            if handle is None or handle.state == "exited":
+                self._spawn(worker_id, [])
+        # 2. Hand off every partition whose owner changes.
+        new_owner_of: Dict[int, int] = {}
+        for worker_id, owned in assignment.items():
+            for partition in owned:
+                new_owner_of[partition] = worker_id
+        moves: Dict[int, List[int]] = {}
+        for partition in range(self.config.partitions):
+            new_owner = new_owner_of[partition]
+            old_owner = self._partition_worker[partition]
+            if new_owner != old_owner:
+                moves.setdefault(old_owner, []).append(partition)
+                self._emit(
+                    "on_partition_handoff", partition, old_owner, new_owner
+                )
+                self._partition_worker[partition] = new_owner
+        # 3. Push the complete new owned set to every affected worker.
+        touched = set(moves)
+        for worker_id, owned in assignment.items():
+            if self._workers[worker_id].partitions != owned:
+                touched.add(worker_id)
+        for worker_id in sorted(touched):
+            handle = self._workers[worker_id]
+            if not handle.live:
+                continue
+            new_owned = assignment.get(worker_id, [])
+            reply = self._rpc(
+                handle, {"op": "own", "partitions": list(new_owned)}
+            )
+            handle.partitions = list(new_owned)
+            handle.resident = reply["resident"]
+        self._handoff_count += sum(len(v) for v in moves.values())
+        # 4. Retire workers beyond the target count.
+        for worker_id in current:
+            if worker_id >= target_workers:
+                handle = self._workers[worker_id]
+                handle.state = "draining"
+                self._emit(
+                    "on_worker_draining", worker_id, handle.generation
+                )
+                self._shutdown_process(handle)
+                self._emit(
+                    "on_worker_exited", worker_id, handle.generation
+                )
+                handle.partitions = []
+
+    def _shutdown_process(self, handle: _WorkerHandle) -> None:
+        try:
+            handle.conn.send({"op": "exit"})
+            handle.conn.recv()  # the "bye" ack
+        except (EOFError, BrokenPipeError, OSError):
+            pass  # already gone; join below reaps it either way
+        handle.conn.close()
+        handle.process.join(timeout=30)
+        if handle.process.is_alive():  # pragma: no cover - hung worker
+            handle.process.terminate()
+            handle.process.join(timeout=5)
+        handle.state = "exited"
+
+    # -- observability / lifecycle ------------------------------------------
+
+    def cluster_stats(self) -> Dict[str, Any]:
+        """Topology + per-worker residency (the ``stats()["cluster"]``
+        section when this backend serves a :class:`ClassificationService`)."""
+        rows = []
+        for worker_id in sorted(self._workers):
+            handle = self._workers[worker_id]
+            row: Dict[str, Any] = {
+                "worker": worker_id,
+                "generation": handle.generation,
+                "state": handle.state,
+                "partitions": list(handle.partitions),
+                "resident": dict(handle.resident),
+            }
+            if handle.live:
+                reply = self._rpc(handle, {"op": "stats"})
+                handle.resident = reply["resident"]
+                row["resident"] = dict(reply["resident"])
+                row["queries"] = reply["queries"]
+                row["hits"] = reply["hits"]
+                row["pid"] = handle.process.pid
+            rows.append(row)
+        return {
+            "workers": rows,
+            "live_workers": len(self.live_workers()),
+            "shards_per_worker": self.config.shards_per_worker,
+            "partitions": self.config.partitions,
+            "strategy": self.config.strategy,
+            "virtual_nodes": self.config.virtual_nodes,
+            "segment_dir": self.segment_dir,
+            "content_hash": self.content_hash,
+            "restarts": self._restart_count,
+            "handoffs": self._handoff_count,
+        }
+
+    def close(self) -> None:
+        """Exit every live worker; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker_id in self.live_workers():
+            handle = self._workers[worker_id]
+            handle.state = "draining"
+            self._emit("on_worker_draining", worker_id, handle.generation)
+            self._shutdown_process(handle)
+            self._emit("on_worker_exited", worker_id, handle.generation)
+
+    def __enter__(self) -> "ClusterBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass

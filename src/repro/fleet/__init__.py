@@ -19,8 +19,11 @@ from .core import (
     default_cache,
     default_jobs,
     derive_seed,
+    fork_context,
     job_digest,
     run_jobs,
+    sanitize_active,
+    worker_init,
 )
 from .golden import (
     DEFAULT_GOLDEN_DIR,
@@ -39,6 +42,7 @@ from .golden import (
 )
 from .jobs import (
     BenchJob,
+    ClusterReplayJob,
     DeviceSimJob,
     EspAblationJob,
     ExperimentJob,
@@ -61,8 +65,11 @@ __all__ = [
     "default_cache",
     "default_jobs",
     "derive_seed",
+    "fork_context",
     "job_digest",
     "run_jobs",
+    "sanitize_active",
+    "worker_init",
     "DEFAULT_GOLDEN_DIR",
     "GoldenDiff",
     "GoldenError",
@@ -77,6 +84,7 @@ __all__ = [
     "payload_to_figure",
     "update_goldens",
     "BenchJob",
+    "ClusterReplayJob",
     "DeviceSimJob",
     "EspAblationJob",
     "ExperimentJob",

@@ -258,6 +258,31 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
+def fork_context() -> multiprocessing.context.BaseContext:
+    """The fleet's process-spawn context (fork-preferred), public.
+
+    The seam :mod:`repro.cluster` builds its shard-worker processes on:
+    fork keeps worker start cheap and — critically for the cluster —
+    lets a child inherit the parent's module state (test-defined
+    classes resolve, the mmap'd segment pages stay shared
+    copy-on-write).
+    """
+    return _pool_context()
+
+
+def worker_init(sanitize: bool) -> None:
+    """Per-forked-process setup (public counterpart of the pool
+    initializer): mark fleet nesting so a worker never nests another
+    pool, and re-install both runtime sanitizers when the parent ran
+    sanitized."""
+    _worker_init(sanitize)
+
+
+def sanitize_active() -> bool:
+    """Whether forked workers should install the sanitizers (public)."""
+    return _sanitize_active()
+
+
 def run_jobs(
     jobs: Sequence[Job],
     max_workers: Optional[int] = None,

@@ -541,7 +541,7 @@ class TraceReplayJob(Job):
                 1 for r in responses if r.classification.taxon is not None
             ),
             "correct": correct,
-            "sim_time_ns": int(stats["sim_time_ns"]),
+            "sim_time_ns": int(stats["clocks"]["sim_time_ns"]),
         }
         if "cache" in stats:
             cache = stats["cache"]
@@ -553,6 +553,107 @@ class TraceReplayJob(Job):
                 "self_checked_kmers": cache["self_checked_kmers"],
             }
         return payload
+
+
+@dataclass(frozen=True)
+class ClusterReplayJob(Job):
+    """Trace replay through a multi-process consistent-hash cluster.
+
+    Same content-addressed identity as :class:`TraceReplayJob` (the key
+    folds in the trace's SHA-256), but the service fronts a single
+    :class:`repro.cluster.ClusterBackend` instead of in-process shard
+    replicas: the reference is persisted to content-hashed mmap
+    segments in a scratch directory, forked workers each open the
+    mapping and slice out only their owned partitions, and the replay
+    digest must match the sequential path bit-for-bit at any topology.
+    The payload carries the classification digest plus residency facts
+    (no worker holds a full build; owned records sum to the reference)
+    so fleet sweeps over ``workers`` double as partition-coverage
+    checks.
+    """
+
+    trace_path: str = ""
+    workers: int = 2
+    shards_per_worker: int = 1
+    partitions: int = 32
+    max_batch_kmers: int = 128
+
+    def key(self) -> str:
+        return (
+            f"{type(self).__name__}("
+            f"trace=<content:{self.cache_token()}>,"
+            f"workers={self.workers!r},"
+            f"shards_per_worker={self.shards_per_worker!r},"
+            f"partitions={self.partitions!r},"
+            f"max_batch_kmers={self.max_batch_kmers!r})"
+        )
+
+    def cache_token(self) -> str:
+        from ..workloads import Trace
+
+        return Trace.load(self.trace_path).content_hash()
+
+    def run(self, seed: int) -> Dict[str, Any]:
+        import tempfile
+
+        from ..cluster import ClusterBackend
+        from ..serialization import save_segments
+        from ..service import ClassificationService, ClusterConfig, ServiceConfig
+        from ..workloads import Trace, classification_digest, replay_trace
+
+        trace = Trace.load(self.trace_path)
+        dataset = trace.rebuild_dataset()
+        config = ServiceConfig(
+            num_shards=1,
+            max_batch_kmers=self.max_batch_kmers,
+            max_linger_s=0.0,
+            queue_depth=len(trace),
+            cluster=ClusterConfig(
+                workers=self.workers,
+                shards_per_worker=self.shards_per_worker,
+                partitions=self.partitions,
+            ),
+        )
+        with tempfile.TemporaryDirectory(prefix="sieve-cluster-") as segdir:
+            save_segments(dataset.database, segdir)
+            backend = ClusterBackend(segdir, cluster=config.cluster)
+            try:
+                service = ClassificationService([backend], config)
+                responses = replay_trace(service, trace)
+                stats = service.stats()
+                counters = stats["metrics"]["counters"]
+                rows = backend.cluster_stats()
+                residents = [
+                    row["resident"]
+                    for row in rows["workers"]
+                    if row["state"] == "live"
+                ]
+                correct = sum(
+                    1
+                    for req, resp in zip(trace.requests, responses)
+                    if resp.classification.taxon == req.taxon_id
+                )
+                return {
+                    "trace_hash": trace.content_hash(),
+                    "classification_digest": classification_digest(responses),
+                    "requests": len(responses),
+                    "batches": counters["batches_total"],
+                    "kmers": counters["kmers_total"],
+                    "hits": counters["hits_total"],
+                    "correct": correct,
+                    "sim_time_ns": int(stats["clocks"]["sim_time_ns"]),
+                    "live_workers": rows["live_workers"],
+                    "partitions": rows["partitions"],
+                    "full_build": any(r["full_build"] for r in residents),
+                    "owned_records": sum(
+                        r["owned_records"] for r in residents
+                    ),
+                    "total_records": max(
+                        (r["total_records"] for r in residents), default=0
+                    ),
+                }
+            finally:
+                backend.close()
 
 
 @dataclass(frozen=True)

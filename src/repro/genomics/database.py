@@ -341,6 +341,7 @@ class MmapKmerDatabase(KmerDatabase):
         taxonomy: Optional[Taxonomy] = None,
         content_hash: str = "",
         source: Optional[str] = None,
+        degraded: bool = False,
     ) -> None:
         super().__init__(k, canonical=canonical, taxonomy=taxonomy)
         if keys.ndim != 1 or payloads.shape != keys.shape:
@@ -363,6 +364,8 @@ class MmapKmerDatabase(KmerDatabase):
         self._lookup_cache = (keys, payloads)
         self._content_hash = content_hash
         self._source = source
+        if degraded:
+            self.mark_degraded()
 
     @property
     def content_hash(self) -> str:
@@ -373,6 +376,15 @@ class MmapKmerDatabase(KmerDatabase):
     def source(self) -> Optional[str]:
         """Segment directory this database was opened from."""
         return self._source
+
+    def record_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The mapped, sorted ``(keys, payloads)`` arrays, zero-copy.
+
+        Read-only views straight over the segment pages — the seam
+        :mod:`repro.cluster` workers use to slice out their owned
+        partitions without materializing the full record list.
+        """
+        return self._keys, self._payloads
 
     def _insert(self, key: int, taxon_id: int) -> None:
         raise DatabaseError(

@@ -1,7 +1,7 @@
 """``python -m repro.lint src tests`` — the repo's custom lint pass.
 
 Thin entry point; the implementation lives in
-:mod:`repro.analysiskit` (engine, rules SV001-SV012, text/JSON/SARIF
+:mod:`repro.analysiskit` (engine, rules SV001-SV013, text/JSON/SARIF
 reporters, and the ``--baseline`` findings gate).
 """
 

@@ -158,6 +158,12 @@ def save_segments(database: KmerDatabase, path: PathLike) -> Dict[str, Any]:
         "format": SEGMENT_FORMAT,
         "k": database.k,
         "canonical": bool(database.canonical),
+        # Operational provenance, not content: a fault-hardened
+        # (degraded) reference must reopen degraded so conformance
+        # reporting survives the segment round trip, but the content
+        # hash keys on (k, canonical, records) alone so clean and
+        # degraded images of identical records still dedup in caches.
+        "degraded": bool(database.capabilities().degraded),
         "num_records": len(database),
         "segments": segments,
         "content_hash": _combine_content_hash(
@@ -252,6 +258,7 @@ def load_segments(
         taxonomy=taxonomy,
         content_hash=str(manifest["content_hash"]),
         source=str(directory),
+        degraded=bool(manifest.get("degraded", False)),
     )
 
 

@@ -41,7 +41,7 @@ from .cache import (
     CacheError,
     KmerResultCache,
 )
-from .config import ServiceConfig
+from .config import ClusterConfig, ServiceConfig, ServiceConfigError
 from .dispatcher import (
     DeadlineExceededError,
     RejectedError,
@@ -53,23 +53,29 @@ from .dispatcher import (
 from .metrics import Counter, Histogram, MetricsRegistry
 from .client import ServiceClient
 from .server import ClassificationService
+from .stats import DEPRECATED_STATS_KEYS, STATS_SCHEMA, StatsPayload
 
 __all__ = [
     "BatchCachePlan",
     "CacheCoherencyError",
     "CacheError",
     "ClassificationService",
+    "ClusterConfig",
     "Counter",
+    "DEPRECATED_STATS_KEYS",
     "DeadlineExceededError",
     "KmerResultCache",
     "Histogram",
     "MetricsRegistry",
     "RejectedError",
+    "STATS_SCHEMA",
     "ServiceClient",
     "ServiceConfig",
+    "ServiceConfigError",
     "ServiceError",
     "ServiceResponse",
     "ShardCrashError",
     "ShardHealth",
+    "StatsPayload",
     "hooks",
 ]

@@ -10,19 +10,31 @@ non-zero on any mismatch, so CI can run it as a smoke test.
 ``--metrics-json PATH`` dumps the full ``stats()`` payload (counters,
 p50/p95/p99 latency, batch occupancy, deployment projections); ``-``
 writes it to stdout.
+
+Configuration is declarative-first: ``--config service.toml`` loads a
+:meth:`ServiceConfig.from_file` document and every CLI flag *actually
+passed* becomes an override on top of it (flags left at their defaults
+defer to the file).  ``--cluster-workers N`` (or a ``[cluster]`` table
+in the file) switches the demo to the multi-process topology: one
+:class:`repro.cluster.ClusterBackend` fronts ``N`` forked workers that
+each mmap the segment directory and own only their consistent-hash
+share of the k-mer space; ``--cluster-restarts`` drives rolling
+restarts mid-stream and the post-run residency assertion proves no
+worker ever held a full database build.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import dataclasses
 import json
 import sys
-from typing import List
+from typing import List, Optional
 
 from ..api import QueryBackend, classification_from_results
 from .client import ServiceClient
-from .config import ServiceConfig
+from .config import ClusterConfig, ServiceConfig
 from .server import ClassificationService
 
 #: Backends the demo can serve (all speak :class:`repro.api.QueryBackend`).
@@ -65,6 +77,13 @@ def build_parser(add_help: bool = True) -> argparse.ArgumentParser:
         "--demo",
         action="store_true",
         help="run the self-checking concurrent load demo",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PATH",
+        default=None,
+        help="load a ServiceConfig TOML document; CLI flags passed "
+        "explicitly override the file, unset flags defer to it",
     )
     parser.add_argument(
         "--requests", type=int, default=1000, help="concurrent requests"
@@ -160,6 +179,35 @@ def build_parser(add_help: bool = True) -> argparse.ArgumentParser:
         default=1.2,
         help="zipf exponent of the generated trace's taxon abundance",
     )
+    cluster = parser.add_argument_group(
+        "multi-process shard cluster (repro.cluster; docs/SERVICE.md)"
+    )
+    cluster.add_argument(
+        "--cluster-workers",
+        type=int,
+        default=0,
+        help="forked worker processes serving consistent-hash "
+        "partitions of the k-mer space (0 = in-process shards)",
+    )
+    cluster.add_argument(
+        "--cluster-shards-per-worker",
+        type=int,
+        default=1,
+        help="shard slots (hash-ring nodes) per worker process",
+    )
+    cluster.add_argument(
+        "--cluster-partitions",
+        type=int,
+        default=64,
+        help="fixed k-mer partition count (ownership granularity)",
+    )
+    cluster.add_argument(
+        "--cluster-restarts",
+        type=int,
+        default=0,
+        help="rolling worker restarts to schedule mid-stream "
+        "(exercises drain/respawn under the schedule sanitizer)",
+    )
     fault = parser.add_argument_group(
         "fault injection (repro.faults; docs/TESTING.md)"
     )
@@ -193,6 +241,77 @@ def build_parser(add_help: bool = True) -> argparse.ArgumentParser:
         help="duration of each scheduled stall",
     )
     return parser
+
+
+#: CLI flag -> ServiceConfig field, with the unit transform applied on
+#: override (the parser speaks ms, the config speaks seconds).
+_CONFIG_OVERRIDES = (
+    ("shards", "num_shards", lambda v: v),
+    ("max_batch", "max_batch_kmers", lambda v: v),
+    ("linger_ms", "max_linger_s", lambda v: v / 1e3),
+    ("queue_depth", "queue_depth", lambda v: v),
+    (
+        "deadline_ms",
+        "default_deadline_s",
+        lambda v: v / 1e3 if v is not None else None,
+    ),
+    ("executor_threads", "executor_threads", lambda v: v),
+    ("pipelined", "pipelined", lambda v: v),
+    ("dedup", "dedup", lambda v: v),
+    ("cache_capacity", "cache_capacity", lambda v: v),
+    ("cache_self_check", "cache_self_check", lambda v: v),
+)
+
+_CLUSTER_OVERRIDES = (
+    ("cluster_workers", "workers"),
+    ("cluster_shards_per_worker", "shards_per_worker"),
+    ("cluster_partitions", "partitions"),
+)
+
+
+def resolve_config(
+    args: argparse.Namespace,
+    parser: Optional[argparse.ArgumentParser] = None,
+) -> ServiceConfig:
+    """Merge ``--config`` (if any) with explicitly-passed CLI flags.
+
+    A flag overrides the file only when its parsed value differs from
+    the parser default — flags the user never touched defer to the
+    document, so a config file is the single source of truth until a
+    flag contradicts it.  Cluster topology merges the same way: a
+    ``[cluster]`` table enables the multi-process backend, and
+    ``--cluster-workers > 0`` enables (or reshapes) it from the CLI.
+    """
+    parser = parser or build_parser()
+    config = (
+        ServiceConfig.from_file(args.config) if args.config else ServiceConfig()
+    )
+    overrides = {}
+    for dest, field_name, transform in _CONFIG_OVERRIDES:
+        value = getattr(args, dest)
+        if value != parser.get_default(dest):
+            overrides[field_name] = transform(value)
+    cluster = config.cluster
+    cluster_overrides = {}
+    for dest, field_name in _CLUSTER_OVERRIDES:
+        value = getattr(args, dest)
+        if value != parser.get_default(dest):
+            cluster_overrides[field_name] = value
+    if cluster is None and args.cluster_workers > 0:
+        cluster = ClusterConfig(**cluster_overrides)
+    elif cluster is not None and cluster_overrides:
+        cluster = dataclasses.replace(cluster, **cluster_overrides)
+    if cluster is not config.cluster:
+        overrides["cluster"] = cluster
+    pipelined = overrides.get("pipelined", config.pipelined)
+    threads = overrides.get("executor_threads", config.executor_threads)
+    if pipelined and threads == 0:
+        # Pipelining needs at least one executor thread to overlap with
+        # (the config itself rejects the inconsistent pair).
+        overrides["executor_threads"] = 1
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return config
 
 
 async def _serve(
@@ -269,23 +388,12 @@ def run_demo(args: argparse.Namespace) -> int:
             f"zipf_s={args.zipf_s:g} -> {path} "
             f"(content {trace.content_hash()[:12]})"
         )
-    executor_threads = args.executor_threads
-    if args.pipelined and executor_threads == 0:
-        executor_threads = 1
-    config = ServiceConfig(
-        num_shards=args.shards,
-        max_batch_kmers=args.max_batch,
-        max_linger_s=args.linger_ms / 1e3,
-        queue_depth=args.queue_depth,
-        default_deadline_s=(
-            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
-        ),
-        executor_threads=executor_threads,
-        pipelined=args.pipelined,
-        dedup=args.dedup,
-        cache_capacity=args.cache_capacity,
-        cache_self_check=args.cache_self_check,
-    )
+    try:
+        config = resolve_config(args)
+    except Exception as exc:  # noqa: BLE001 - config errors are user errors
+        print(f"config error: {exc}")
+        return 2
+    cluster_cfg = config.cluster
     from ..faults import (
         ChaosInjector,
         ChaosPlan,
@@ -305,9 +413,13 @@ def run_demo(args: argparse.Namespace) -> int:
             args.fault_tag, bit_flip_rate=args.bit_flip_rate
         )
         injector = FaultInjector(model)
-        if args.backend != "sieve":
+        if args.backend != "sieve" or cluster_cfg is not None:
+            # Record-level faulting: the cluster serves persisted
+            # segments, so the corruption must land in the records
+            # themselves (there is no per-worker DRAM build to fault).
             database = faulted_database(dataset.database, injector)
 
+    seg_dir = None
     if args.mmap_db:
         # Zero-copy serving: persist the (possibly record-faulted)
         # reference once, then hand every replica the same read-only
@@ -332,18 +444,50 @@ def run_demo(args: argparse.Namespace) -> int:
                 return make_backend(args.backend, database)
         return make_backend(args.backend, database)
 
+    cluster_backend = None
+    scratch = None
+    if cluster_cfg is not None:
+        import tempfile
+
+        from ..cluster import ClusterBackend
+
+        if seg_dir is None:
+            # No --mmap-db: persist the reference into a scratch segment
+            # directory just for the workers to map.
+            from .. import serialization
+
+            scratch = tempfile.TemporaryDirectory(prefix="sieve-cluster-")
+            seg_dir = scratch.name
+            serialization.save_segments(database, seg_dir)
+        # One service shard fronts the whole cluster: coalescing happens
+        # in the dispatcher, fan-out happens inside the backend.
+        config = dataclasses.replace(config, num_shards=1)
+        cluster_backend = ClusterBackend(seg_dir, cluster=cluster_cfg)
+        for i in range(args.cluster_restarts):
+            cluster_backend.schedule_restart(
+                i % cluster_cfg.workers, at_query=5 * (i + 1)
+            )
+        backends = [cluster_backend]
+        print(
+            f"cluster: {cluster_cfg.workers} worker(s) x "
+            f"{cluster_cfg.shards_per_worker} slot(s) over "
+            f"{cluster_cfg.partitions} {cluster_cfg.strategy} "
+            f"partitions, {args.cluster_restarts} scheduled restart(s)"
+        )
+
     chaos = None
     if args.chaos_crashes or args.chaos_stalls:
         plan = ChaosPlan.seeded(
             args.fault_tag,
-            num_shards=args.shards,
+            num_shards=config.num_shards,
             crashes=args.chaos_crashes,
             stalls=args.chaos_stalls,
             stall_s=args.chaos_stall_ms / 1e3,
         )
         chaos = ChaosInjector(plan)
 
-    backends = [build_replica() for _ in range(args.shards)]
+    if cluster_backend is None:
+        backends = [build_replica() for _ in range(config.num_shards)]
     service = ClassificationService(backends, config, chaos=chaos)
     client = ServiceClient(service)
 
@@ -356,8 +500,10 @@ def run_demo(args: argparse.Namespace) -> int:
         ]
     responses = asyncio.run(_serve(service, client, reads))
 
-    # Sequential scalar reference on a fresh (identically faulted) replica.
-    reference = build_replica()
+    # Sequential scalar reference on a fresh (identically faulted)
+    # replica; the cluster is checked against the very database image
+    # its workers mapped, queried one k-mer at a time.
+    reference = database if cluster_backend is not None else build_replica()
     mismatches = 0
     for read, response in zip(reads, responses):
         kmers = list(read.kmers(dataset.k))
@@ -373,16 +519,17 @@ def run_demo(args: argparse.Namespace) -> int:
     counters = stats["metrics"]["counters"]
     latency = stats["metrics"]["histograms"]["request_latency_ms"]
     occupancy = stats["metrics"]["histograms"]["batch_occupancy"]
+    backend_label = "cluster" if cluster_backend is not None else args.backend
     print(
-        f"served {len(responses)} requests on {args.shards} "
-        f"{args.backend} shard(s): {counters['batches_total']} batches, "
+        f"served {len(responses)} requests on {config.num_shards} "
+        f"{backend_label} shard(s): {counters['batches_total']} batches, "
         f"mean occupancy {occupancy['mean']:.2f} reads/batch, "
         f"{counters.get('rejected_total', 0)} rejections"
     )
     print(
         f"latency ms p50={latency['p50']:.3f} p95={latency['p95']:.3f} "
         f"p99={latency['p99']:.3f}; simulated device time "
-        f"{stats['sim_time_ns'] / 1e3:.1f} us"
+        f"{stats['clocks']['sim_time_ns'] / 1e3:.1f} us"
     )
     if "cache" in stats:
         cache_stats = stats["cache"]
@@ -401,15 +548,52 @@ def run_demo(args: argparse.Namespace) -> int:
             f"faults: bit_flip_rate={args.bit_flip_rate:g} "
             f"({injector.stats.bits_flipped} bits flipped, "
             f"{injector.stats.records_corrupted} records corrupted); "
-            f"degraded={stats['degraded']}"
+            f"degraded={stats['health']['degraded']}"
         )
     if chaos is not None:
         print(
             f"chaos: {chaos.stats.crashes} crash(es), "
             f"{chaos.stats.stalls} stall(s), "
             f"{counters.get('redispatched_total', 0)} redispatched; "
-            f"healthy shards {stats['healthy_shards']}/{args.shards}"
+            f"healthy shards "
+            f"{stats['health']['healthy_shards']}/{config.num_shards}"
         )
+    cluster_fail = False
+    if cluster_backend is not None:
+        topo = cluster_backend.cluster_stats()
+        residents = [
+            row["resident"]
+            for row in topo["workers"]
+            if row["state"] == "live"
+        ]
+        owned = sum(r["owned_records"] for r in residents)
+        print(
+            f"cluster: {topo['live_workers']} live worker(s), "
+            f"{topo['restarts']} restart(s), {topo['handoffs']} "
+            f"handoff(s); resident {owned}/{len(database)} records, "
+            f"max slice {max((r['owned_records'] for r in residents), default=0)}"
+        )
+        # Residency assertion: every worker serves its partition slice
+        # from the shared mmap segments — never a per-process full build.
+        from pathlib import Path
+
+        bad = [
+            r
+            for r in residents
+            if r["full_build"]
+            or r["kind"] != "host-sorted-array-mmap"
+            or Path(str(r["source"])).resolve() != Path(str(seg_dir)).resolve()
+        ]
+        if bad or owned != len(database):
+            print(
+                "FAIL: cluster residency assertion — every worker must "
+                "hold only its mmap-backed partition slice and the "
+                "slices must cover the reference exactly once"
+            )
+            cluster_fail = True
+        cluster_backend.close()
+        if scratch is not None:
+            scratch.cleanup()
     if "deployment" in stats:
         for design, row in stats["deployment"]["projections"].items():
             print(
@@ -429,6 +613,8 @@ def run_demo(args: argparse.Namespace) -> int:
             f"FAIL: {mismatches}/{len(reads)} coalesced classifications "
             "differ from the sequential scalar path"
         )
+        return 1
+    if cluster_fail:
         return 1
     print(
         f"OK: all {len(reads)} coalesced classifications are bit-identical "

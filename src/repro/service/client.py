@@ -6,11 +6,13 @@ backoff that lets thousands of concurrent coroutines share bounded
 shard queues without dropping work.  ``classify_many`` fans a read
 list out concurrently.
 
-The backoff is *jittered capped exponential*, not the server hint
-verbatim: replaying the hint puts every rejected coroutine back on the
-same tick and the whole cohort collides again (a retry storm).  Each
-sleep is ``min(hint * multiplier**(attempt-1), cap)`` scaled by a
-deterministic per-(request, attempt) jitter factor, so concurrent
+The backoff is *jittered capped exponential* with the server's
+``retry_after_s`` hint as the floor of the first retry: replaying the
+hint verbatim puts every rejected coroutine back on the same tick and
+the whole cohort collides again (a retry storm), while undercutting it
+guarantees a second rejection.  Attempt 1 jitters upward from the hint;
+later sleeps are ``min(hint * multiplier**(attempt-1), cap)`` scaled by
+a deterministic per-(request, attempt) jitter factor, so concurrent
 clients decorrelate while any single run replays byte-identically
 (the jitter is a content hash, never a global RNG — lint rule SV004).
 """
@@ -46,18 +48,33 @@ class ServiceClient:
     ) -> float:
         """Sleep before retry ``attempt`` (1-based) of ``request_key``.
 
-        Pure function of (client seed, request key, attempt): capped
-        exponential growth from the server's hint, scaled into
-        ``[1 - jitter, 1]`` by a content-hash draw.
+        Pure function of (client seed, request key, attempt).  The
+        server's ``retry_after_s`` hint is a *floor* for the first
+        retry: the server promised no room before then, so sleeping
+        less just buys a second rejection.  Attempt 1 therefore jitters
+        *upward* from the hint into ``[hint, hint * (1 + jitter)]``
+        (still decorrelating a rejected cohort, never undercutting the
+        hint).  Later attempts grow exponentially from the hint, capped
+        at ``retry_backoff_cap_s``, scaled into ``[1 - jitter, 1]`` —
+        by then the delay has outgrown the hint and downward jitter
+        recovers latency instead of violating the floor.
         """
         if attempt < 1:
             raise ValueError(f"attempt must be >= 1, got {attempt}")
         cfg = self.service.config
+        u = hash_fraction(self.seed, "backoff", request_key, attempt)
+        if attempt == 1:
+            spread = min(
+                hint_s * (1.0 + cfg.retry_jitter * u),
+                cfg.retry_backoff_cap_s,
+            )
+            # The floor wins over the cap: never sleep less than the
+            # server asked, even under a misconfigured tiny cap.
+            return max(spread, hint_s)
         raw = min(
             hint_s * cfg.retry_backoff_multiplier ** (attempt - 1),
             cfg.retry_backoff_cap_s,
         )
-        u = hash_fraction(self.seed, "backoff", request_key, attempt)
         return raw * (1.0 - cfg.retry_jitter * u)
 
     async def classify(

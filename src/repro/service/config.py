@@ -1,13 +1,79 @@
-"""Service tuning knobs, validated once at construction."""
+"""Service tuning knobs, validated once at construction.
+
+Since PR 9 the config is *declarative*: :meth:`ServiceConfig.from_file`
+loads a TOML file (the same schema :meth:`ServiceConfig.to_toml`
+writes), :meth:`ServiceConfig.from_dict` / :meth:`ServiceConfig.to_dict`
+round-trip the payload, and unknown keys fail loudly instead of being
+silently dropped.  Cluster topology (worker processes, shards per
+worker, k-mer partition strategy) lives in the same schema as a nested
+``[cluster]`` table (:class:`ClusterConfig`), so one file describes the
+whole deployment and CLI flags become *overrides* on top of it (see
+``python -m repro.service --config``).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
 
 
 class ServiceConfigError(ValueError):
     """Raised on invalid service configuration."""
+
+
+#: Partition strategies :mod:`repro.cluster` implements.
+PARTITION_STRATEGIES = ("consistent-hash",)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Multi-process shard-cluster topology (:mod:`repro.cluster`).
+
+    ``workers`` forked OS processes each serve ``shards_per_worker``
+    shard slots; the k-mer space is split into ``partitions`` fixed
+    partitions assigned to slots by consistent hashing (so scaling the
+    worker count moves a minimal set of partitions).  ``partitions`` is
+    the handoff granularity — more partitions means smoother rebalance
+    at the cost of a larger ownership table.
+    """
+
+    #: Forked worker processes serving partitioned shards.
+    workers: int = 2
+    #: Shard slots (consistent-hash ring nodes) per worker process.
+    shards_per_worker: int = 1
+    #: Fixed k-mer partition count (ownership / handoff granularity).
+    partitions: int = 64
+    #: Partition strategy; only consistent hashing is implemented.
+    strategy: str = "consistent-hash"
+    #: Virtual nodes per shard slot on the hash ring (spreads load and
+    #: keeps partition movement minimal when slots come and go).
+    virtual_nodes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ServiceConfigError("cluster.workers must be positive")
+        if self.shards_per_worker <= 0:
+            raise ServiceConfigError(
+                "cluster.shards_per_worker must be positive"
+            )
+        if self.partitions < self.workers * self.shards_per_worker:
+            raise ServiceConfigError(
+                f"cluster.partitions={self.partitions} must be >= workers x "
+                f"shards_per_worker = {self.workers * self.shards_per_worker} "
+                "(every shard slot needs at least one partition to own)"
+            )
+        if self.strategy not in PARTITION_STRATEGIES:
+            raise ServiceConfigError(
+                f"cluster.strategy must be one of {PARTITION_STRATEGIES}, "
+                f"got {self.strategy!r}"
+            )
+        if self.virtual_nodes <= 0:
+            raise ServiceConfigError("cluster.virtual_nodes must be positive")
+
+    def slots(self) -> int:
+        """Total shard slots (consistent-hash ring nodes)."""
+        return self.workers * self.shards_per_worker
 
 
 @dataclass(frozen=True)
@@ -42,9 +108,11 @@ class ServiceConfig:
     retry_backoff_multiplier: float = 2.0
     #: Client backoff: hard cap on any single backoff sleep (seconds).
     retry_backoff_cap_s: float = 0.1
-    #: Client backoff: jitter fraction in [0, 1] — each sleep is scaled
-    #: by a deterministic per-(request, attempt) factor drawn from
-    #: ``[1 - jitter, 1]`` so synchronized rejections decorrelate.
+    #: Client backoff: jitter fraction in [0, 1].  The first retry
+    #: spreads *up* from the server's ``retry_after_s`` hint (the hint
+    #: is a floor — see :meth:`ServiceClient.backoff_delay_s`); later
+    #: retries scale down into ``[1 - jitter, 1]`` of the exponential
+    #: delay so synchronized rejections decorrelate.
     retry_jitter: float = 0.5
     #: Executor seam: worker threads for the blocking backend
     #: ``query()``.  0 (the default) runs the query inline on the event
@@ -81,6 +149,9 @@ class ServiceConfig:
     #: serving it.  Costs the full uncached device work; for tests,
     #: demos, and canary deployments.
     cache_self_check: bool = False
+    #: Multi-process shard-cluster topology; ``None`` (the default)
+    #: keeps the single-process asyncio deployment.
+    cluster: Optional[ClusterConfig] = None
 
     @property
     def cache_enabled(self) -> bool:
@@ -120,3 +191,178 @@ class ServiceConfig:
                 "cache_self_check requires dedup or a cache_capacity > 0 "
                 "(there is nothing to verify otherwise)"
             )
+        if self.cluster is not None and not isinstance(
+            self.cluster, ClusterConfig
+        ):
+            raise ServiceConfigError(
+                "cluster must be a ClusterConfig (or None); use "
+                "ServiceConfig.from_dict for plain-dict payloads"
+            )
+
+    # -- declarative round trip ---------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON/TOML-shaped payload; exact inverse of :meth:`from_dict`.
+
+        ``None``-valued optionals are omitted (TOML has no null), and
+        the cluster topology nests under ``"cluster"``.
+        """
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value is None:
+                continue
+            if f.name == "cluster":
+                out["cluster"] = {
+                    cf.name: getattr(value, cf.name)
+                    for cf in fields(ClusterConfig)
+                }
+            else:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServiceConfig":
+        """Build a config from a plain dict, rejecting unknown keys."""
+        if not isinstance(data, dict):
+            raise ServiceConfigError(
+                f"service config payload must be a table/dict, got "
+                f"{type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ServiceConfigError(
+                f"unknown service config key(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        kwargs = dict(data)
+        cluster = kwargs.pop("cluster", None)
+        if cluster is not None and not isinstance(cluster, ClusterConfig):
+            if not isinstance(cluster, dict):
+                raise ServiceConfigError(
+                    "cluster must be a table of topology keys"
+                )
+            cluster_known = {f.name for f in fields(ClusterConfig)}
+            cluster_unknown = sorted(set(cluster) - cluster_known)
+            if cluster_unknown:
+                raise ServiceConfigError(
+                    f"unknown cluster config key(s): "
+                    f"{', '.join(cluster_unknown)} "
+                    f"(known: {', '.join(sorted(cluster_known))})"
+                )
+            cluster = ClusterConfig(**cluster)
+        try:
+            return cls(cluster=cluster, **kwargs)
+        except TypeError as exc:
+            raise ServiceConfigError(f"invalid service config: {exc}") from None
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ServiceConfig":
+        """Load a TOML config file (the :meth:`to_toml` schema)."""
+        p = Path(path)
+        try:
+            text = p.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise ServiceConfigError(f"{p}: no such config file") from None
+        try:
+            import tomllib
+        except ImportError:  # Python < 3.11: stdlib has no TOML reader.
+            data = _parse_simple_toml(text, source=str(p))
+        else:
+            try:
+                data = tomllib.loads(text)
+            except tomllib.TOMLDecodeError as exc:
+                raise ServiceConfigError(
+                    f"{p}: invalid TOML ({exc})"
+                ) from None
+        return cls.from_dict(data)
+
+    def to_toml(self) -> str:
+        """Render this config as TOML (the :meth:`from_file` schema).
+
+        Hand-rolled on purpose: the stdlib ships a TOML reader
+        (``tomllib``) but no writer, and the schema is a flat table
+        plus one optional ``[cluster]`` sub-table.
+        """
+        lines = []
+        payload = self.to_dict()
+        cluster = payload.pop("cluster", None)
+        for key in sorted(payload):
+            lines.append(f"{key} = {_toml_value(payload[key])}")
+        if cluster is not None:
+            lines.append("")
+            lines.append("[cluster]")
+            for key in sorted(cluster):
+                lines.append(f"{key} = {_toml_value(cluster[key])}")
+        return "\n".join(lines) + "\n"
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write :meth:`to_toml` to ``path``; returns the path."""
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(self.to_toml(), encoding="utf-8")
+        return p
+
+
+def _parse_simple_toml(text: str, *, source: str) -> Dict[str, Any]:
+    """Minimal TOML reader for the flat :meth:`ServiceConfig.to_toml`
+    schema (scalar ``key = value`` lines plus ``[table]`` headers), used
+    only on Python < 3.11 where the stdlib ships no ``tomllib``.
+    """
+    root: Dict[str, Any] = {}
+    table = root
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            if not name or "." in name:
+                raise ServiceConfigError(
+                    f"{source}:{lineno}: unsupported table header {line!r}"
+                )
+            table = root.setdefault(name, {})
+            continue
+        if "=" not in line:
+            raise ServiceConfigError(
+                f"{source}:{lineno}: expected 'key = value', got {raw!r}"
+            )
+        key, _, value = line.partition("=")
+        table[key.strip()] = _parse_simple_toml_value(
+            value.strip(), source=source, lineno=lineno
+        )
+    return root
+
+
+def _parse_simple_toml_value(token: str, *, source: str, lineno: int) -> Any:
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        return token[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        raise ServiceConfigError(
+            f"{source}:{lineno}: unsupported TOML value {token!r}"
+        ) from None
+
+
+def _toml_value(value: Any) -> str:
+    """Render one scalar as TOML (bool/int/float/str are the schema)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    raise ServiceConfigError(
+        f"cannot render {type(value).__name__} value {value!r} as TOML"
+    )

@@ -55,8 +55,32 @@ def install(observer: Any) -> None:
     * ``on_service_quiesce(scope)`` — drain completed; every admitted
       request must be terminal.
 
+    The :mod:`repro.cluster` backend emits a second event family with
+    the *cluster backend* as ``scope`` (all via ``getattr``, like
+    ``on_batch_deduped`` — observers without the methods never see
+    them):
+
+    * ``on_worker_spawned(scope, worker_id, generation, partitions)`` —
+      a forked shard-worker process came up owning ``partitions``;
+      ``generation`` increments on every respawn of the same worker id,
+    * ``on_worker_draining(scope, worker_id, generation)`` — a rolling
+      restart stopped routing new fan-out to this worker,
+    * ``on_worker_exited(scope, worker_id, generation)`` — the process
+      exited (drained restarts and scale-downs only; owned partitions
+      must have been handed off or respawned),
+    * ``on_partition_handoff(scope, partition, from_worker, to_worker)``
+      — partition ownership moved (autoscaling rebalance),
+    * ``on_cluster_fanout(scope, qid, worker_id, num_kmers)`` — a
+      micro-batch slice was sent to an owning worker,
+    * ``on_cluster_reply(scope, qid, worker_id, num_kmers)`` — that
+      worker answered the slice (exactly once, same k-mer count),
+    * ``on_cluster_merged(scope, qid, total_kmers)`` — all slices of
+      query ``qid`` merged back into one result list (every fan-out
+      answered; slice counts sum to the batch size).
+
     ``scope`` is the owning :class:`ClassificationService` (or the
-    worker itself for standalone :class:`ShardWorker` use), so one
+    worker itself for standalone :class:`ShardWorker` use; the
+    :class:`~repro.cluster.ClusterBackend` for cluster events), so one
     observer can police many services concurrently.
     """
     global OBSERVER

@@ -22,7 +22,6 @@ the host pipeline model (:func:`repro.pipeline.analyze_observed_pipeline`).
 from __future__ import annotations
 
 import asyncio
-from dataclasses import asdict
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..api import QueryBackend
@@ -31,6 +30,7 @@ from .cache import KmerResultCache
 from .config import ServiceConfig
 from .dispatcher import Request, ServiceError, ServiceResponse, ShardWorker, _rid
 from .metrics import MetricsRegistry
+from .stats import STATS_SCHEMA, StatsPayload
 
 
 class ClassificationService:
@@ -288,18 +288,29 @@ class ClassificationService:
                     merged = DeviceStats()
                 merged.absorb(device_stats)
         sim_time_ns = sum(w.sim_time_ns for w in self.shards)
-        out: Dict[str, Any] = {
-            "config": asdict(self.config),
-            "k": self.k,
-            "shards": shard_rows,
-            "healthy_shards": sum(
-                1 for w in self.shards if w.health.state != "crashed"
-            ),
-            "degraded": degraded,
-            "metrics": self.metrics.snapshot(),
-            "sim_time_ns": sim_time_ns,
-            "sim_energy_nj": sum(w.sim_energy_nj for w in self.shards),
-        }
+        out = StatsPayload(
+            {
+                "schema": STATS_SCHEMA,
+                "service": {
+                    "config": self.config.to_dict(),
+                    "k": self.k,
+                },
+                "health": {
+                    "shards": shard_rows,
+                    "healthy_shards": sum(
+                        1 for w in self.shards if w.health.state != "crashed"
+                    ),
+                    "degraded": degraded,
+                },
+                "clocks": {
+                    "sim_time_ns": sim_time_ns,
+                    "sim_energy_nj": sum(
+                        w.sim_energy_nj for w in self.shards
+                    ),
+                },
+                "metrics": self.metrics.snapshot(),
+            }
+        )
         if self.cache is not None:
             out["cache"] = self.cache.counters()
         kmers_served = self.metrics.counter("kmers_total").value
@@ -309,6 +320,18 @@ class ClassificationService:
             deployment = self._deployment(merged)
             if deployment is not None:
                 out["deployment"] = deployment
+        cluster_rows = []
+        for worker in self.shards:
+            cluster_stats = getattr(worker.backend, "cluster_stats", None)
+            if callable(cluster_stats):
+                cluster_rows.append(cluster_stats())
+        if cluster_rows:
+            # One cluster backend per shard is the supported topology
+            # (num_shards=1 fronting a ClusterBackend); keep the list
+            # shape anyway so mixed deployments stay representable.
+            out["cluster"] = (
+                cluster_rows[0] if len(cluster_rows) == 1 else cluster_rows
+            )
         return out
 
     def _observed(

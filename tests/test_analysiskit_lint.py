@@ -1,4 +1,4 @@
-"""Tests for the simulator-aware lint pass (rules SV001-SV012).
+"""Tests for the simulator-aware lint pass (rules SV001-SV013).
 
 Each rule is exercised three ways: a seeded violation fixture (must be
 detected), the same fixture with a suppression comment (must be clean),
@@ -965,6 +965,56 @@ class TestWallClockRule:
 
 
 # --------------------------------------------------------------------------
+# SV013 — deprecated flat stats keys (sieve-stats-v2 groups them)
+# --------------------------------------------------------------------------
+
+
+class TestDeprecatedStatsKeyRule:
+    def test_flat_key_on_stats_name(self):
+        findings = run_rule("SV013", 'depth = stats["sim_time_ns"]\n')
+        assert len(findings) == 1
+        assert "clocks" in findings[0].message
+
+    def test_flat_key_on_stats_call(self):
+        findings = run_rule(
+            "SV013", 'shards = service.stats()["healthy_shards"]\n'
+        )
+        assert len(findings) == 1
+        assert "health" in findings[0].message
+
+    def test_stats_prefixed_and_suffixed_names(self):
+        assert len(run_rule("SV013", 'x = stats_u["sim_time_ns"]\n')) == 1
+        assert len(run_rule("SV013", 'x = shard_stats["degraded"]\n')) == 1
+
+    def test_grouped_v2_access_is_clean(self):
+        assert run_rule(
+            "SV013", 'depth = stats["clocks"]["sim_time_ns"]\n'
+        ) == []
+        assert run_rule(
+            "SV013", 'rows = stats["health"]["shards"]\n'
+        ) == []
+
+    def test_unrelated_receiver_is_clean(self):
+        # A dict that just happens to have a "degraded" key is not a
+        # stats payload; the rule scopes by receiver name.
+        assert run_rule("SV013", 'flag = report["degraded"]\n') == []
+        assert run_rule("SV013", 'flag = payload["k"]\n') == []
+
+    def test_disable_comment(self):
+        code = 'legacy = stats["sim_time_ns"]  # lint: disable=SV013\n'
+        assert run_rule("SV013", code) == []
+
+    def test_covers_every_deprecated_key(self):
+        from repro.analysiskit.rules import DEPRECATED_STATS_SUBSCRIPTS
+        from repro.service import DEPRECATED_STATS_KEYS
+
+        # The lint table must stay in lockstep with the service shim.
+        assert set(DEPRECATED_STATS_SUBSCRIPTS) == set(DEPRECATED_STATS_KEYS)
+        for key in DEPRECATED_STATS_SUBSCRIPTS:
+            assert len(run_rule("SV013", f'x = stats[{key!r}]\n')) == 1
+
+
+# --------------------------------------------------------------------------
 # Per-rule configuration loading
 # --------------------------------------------------------------------------
 
@@ -1014,7 +1064,7 @@ class TestSarifReporter:
         run = log["runs"][0]
         assert run["tool"]["driver"]["name"] == "sieve-lint"
         rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
-        assert rule_ids == [f"SV{n:03d}" for n in range(1, 13)]
+        assert rule_ids == [f"SV{n:03d}" for n in range(1, 14)]
         result = run["results"][0]
         assert result["ruleId"] == "SV012"
         location = result["locations"][0]["physicalLocation"]

@@ -39,10 +39,11 @@ BACKEND_NAMES = (
     "clark",
     "sortedlist",
     "rowmajor",
+    "cluster",
 )
 
 
-def make_backend(name: str, dataset, layout):
+def make_backend(name: str, dataset, layout, segment_dir=None):
     db = dataset.database
     if name == "sieve":
         return SieveDevice.from_database(db, layout=layout)
@@ -56,12 +57,41 @@ def make_backend(name: str, dataset, layout):
         return SortedListClassifier(db)
     if name == "rowmajor":
         return RowMajorMatcher(db.k, list(db.items()), row_bits=512)
+    if name == "cluster":
+        from repro.cluster import ClusterBackend
+        from repro.service import ClusterConfig
+
+        assert segment_dir is not None
+        return ClusterBackend(
+            segment_dir,
+            cluster=ClusterConfig(workers=2, partitions=16),
+        )
     raise AssertionError(name)
 
 
+def close_backend(backend) -> None:
+    closer = getattr(backend, "close", None)
+    if callable(closer):
+        closer()
+
+
+@pytest.fixture(scope="module")
+def cluster_segments(small_dataset, tmp_path_factory):
+    """Persisted mmap segments the cluster conformance runs map."""
+    from repro.serialization import save_segments
+
+    directory = tmp_path_factory.mktemp("api-cluster-segments")
+    save_segments(small_dataset.database, directory)
+    return str(directory)
+
+
 @pytest.fixture(params=BACKEND_NAMES)
-def backend(request, small_dataset, small_layout):
-    return make_backend(request.param, small_dataset, small_layout)
+def backend(request, small_dataset, small_layout, cluster_segments):
+    built = make_backend(
+        request.param, small_dataset, small_layout, cluster_segments
+    )
+    yield built
+    close_backend(built)
 
 
 @pytest.fixture()
@@ -126,19 +156,22 @@ class TestConformance:
     "name", [n for n in BACKEND_NAMES if n != "rowmajor"]
 )
 def test_classify_matches_shared_vote_path(
-    name, small_dataset, small_layout
+    name, small_dataset, small_layout, cluster_segments
 ):
     """Every engine's ``classify`` equals the classic lookup-fn loop.
 
     (The row-major matcher is excluded: it indexes raw records, not the
     canonicalized view ``db.get`` serves.)
     """
-    backend = make_backend(name, small_dataset, small_layout)
-    db = small_dataset.database
-    for read in small_dataset.reads[:5]:
-        assert backend.classify(read) == classify_read(
-            read, small_dataset.k, db.get
-        )
+    backend = make_backend(name, small_dataset, small_layout, cluster_segments)
+    try:
+        db = small_dataset.database
+        for read in small_dataset.reads[:5]:
+            assert backend.classify(read) == classify_read(
+                read, small_dataset.k, db.get
+            )
+    finally:
+        close_backend(backend)
 
 
 def test_classification_from_results_votes(small_dataset):
@@ -164,12 +197,14 @@ def test_classification_from_results_votes(small_dataset):
 FAULT_RATE = 2e-4
 
 
-def make_faulted_backend(name: str, dataset, layout, injector):
+def make_faulted_backend(name: str, dataset, layout, injector, tmp_dir=None):
     """Build ``name`` with the fault injector active during load.
 
     Device-backed engines corrupt at DRAM-load time (the injector seam
     in :mod:`repro.dram`); host engines are built over a
-    record-corrupted copy of the database.
+    record-corrupted copy of the database.  The cluster persists the
+    corrupted records to segments, so its workers serve the same faulted
+    image and the manifest carries the ``degraded`` provenance flag.
     """
     from repro.faults import fault_injection, faulted_database
 
@@ -185,6 +220,17 @@ def make_faulted_backend(name: str, dataset, layout, injector):
         return ClarkClassifier(db)
     if name == "sortedlist":
         return SortedListClassifier(db)
+    if name == "cluster":
+        from repro.cluster import ClusterBackend
+        from repro.serialization import save_segments
+        from repro.service import ClusterConfig
+
+        assert tmp_dir is not None
+        save_segments(db, tmp_dir)
+        return ClusterBackend(
+            str(tmp_dir),
+            cluster=ClusterConfig(workers=2, partitions=16),
+        )
     raise AssertionError(name)
 
 
@@ -199,15 +245,21 @@ class TestFaultedConformance:
     """
 
     @pytest.fixture(params=BACKEND_NAMES)
-    def faulted_backend(self, request, small_dataset, small_layout):
+    def faulted_backend(self, request, small_dataset, small_layout, tmp_path):
         from repro.faults import FaultInjector, FaultModel
 
         model = FaultModel.seeded(
             f"api-protocol-{request.param}", bit_flip_rate=FAULT_RATE
         )
-        return make_faulted_backend(
-            request.param, small_dataset, small_layout, FaultInjector(model)
+        built = make_faulted_backend(
+            request.param,
+            small_dataset,
+            small_layout,
+            FaultInjector(model),
+            tmp_dir=tmp_path / "segments",
         )
+        yield built
+        close_backend(built)
 
     def test_protocol_shape_under_faults(self, faulted_backend, query_set):
         results = faulted_backend.query(query_set)
@@ -249,11 +301,16 @@ class TestFaultedConformance:
         assert answers() == answers()
 
     def test_clean_backends_not_degraded(
-        self, small_dataset, small_layout
+        self, small_dataset, small_layout, cluster_segments
     ):
         for name in BACKEND_NAMES:
-            backend = make_backend(name, small_dataset, small_layout)
-            assert backend.capabilities().degraded is False, name
+            backend = make_backend(
+                name, small_dataset, small_layout, cluster_segments
+            )
+            try:
+                assert backend.capabilities().degraded is False, name
+            finally:
+                close_backend(backend)
 
 
 # ---------------------------------------------------------------------------

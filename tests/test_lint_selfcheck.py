@@ -1,6 +1,6 @@
 """Self-hosting check: the repo must satisfy its own lint rules.
 
-Running the SV001-SV012 pass over ``src/`` and ``tests/`` inside the
+Running the SV001-SV013 pass over ``src/`` and ``tests/`` inside the
 suite means a change that regresses unit discipline, determinism,
 dispatch exhaustiveness, or async/fork safety fails CI even if nobody
 ran ``python -m repro.lint`` by hand.  Also runs ``ruff``/``mypy`` when
@@ -33,7 +33,7 @@ def test_repo_satisfies_own_lint_rules():
 def test_rule_catalog_is_stable():
     """The documented rule IDs exist exactly once each."""
     ids = [rule.rule_id for rule in ALL_RULES]
-    assert ids == [f"SV{n:03d}" for n in range(1, 13)]
+    assert ids == [f"SV{n:03d}" for n in range(1, 14)]
     for rule in ALL_RULES:
         assert rule.title and rule.rationale
 

@@ -293,6 +293,189 @@ class TestAdmissionOrder:
         assert sanitizer.violations_raised == 0
 
 
+def spawn_pair(san, scope):
+    """Two live workers splitting partitions 0-3."""
+    san.on_worker_spawned(scope, 0, 1, [0, 1])
+    san.on_worker_spawned(scope, 1, 1, [2, 3])
+
+
+class TestClusterEvents:
+    """Cluster lifecycle invariants: spawn/drain/exit, handoff, and
+    exactly-once fan-out/reply/merge per routed query."""
+
+    def test_clean_lifecycle_passes(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        sanitizer.on_cluster_fanout(scope, 1, 0, 6)
+        sanitizer.on_cluster_fanout(scope, 1, 1, 4)
+        sanitizer.on_cluster_reply(scope, 1, 0, 6)
+        sanitizer.on_cluster_reply(scope, 1, 1, 4)
+        sanitizer.on_cluster_merged(scope, 1, 10)
+        sanitizer.on_worker_draining(scope, 0, 1)
+        sanitizer.on_worker_exited(scope, 0, 1)
+        sanitizer.on_worker_spawned(scope, 0, 2, [0, 1])
+        assert sanitizer.violations_raised == 0
+
+    def test_respawn_must_raise_generation(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        sanitizer.on_worker_draining(scope, 0, 1)
+        sanitizer.on_worker_exited(scope, 0, 1)
+        with pytest.raises(ScheduleViolation, match="generations must"):
+            sanitizer.on_worker_spawned(scope, 0, 1, [0, 1])
+
+    def test_spawn_while_live_trips(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        with pytest.raises(ScheduleViolation, match="still 'live'"):
+            sanitizer.on_worker_spawned(scope, 0, 2, [0, 1])
+
+    def test_spawn_claiming_owned_partition_trips(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        with pytest.raises(ScheduleViolation, match="through handoff"):
+            sanitizer.on_worker_spawned(scope, 2, 1, [1])
+
+    def test_handoff_moves_ownership(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        sanitizer.on_partition_handoff(scope, 1, 0, 1)
+        # Worker 1 now legitimately answers partition-1 work; worker 0
+        # respawning with its old claim must trip.
+        sanitizer.on_worker_draining(scope, 0, 1)
+        sanitizer.on_worker_exited(scope, 0, 1)
+        with pytest.raises(ScheduleViolation, match="through handoff"):
+            sanitizer.on_worker_spawned(scope, 0, 2, [0, 1])
+
+    def test_handoff_from_non_owner_trips(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        with pytest.raises(ScheduleViolation, match="owned by"):
+            sanitizer.on_partition_handoff(scope, 2, 0, 1)
+
+    def test_handoff_to_dead_worker_trips(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        sanitizer.on_worker_draining(scope, 1, 1)
+        sanitizer.on_worker_exited(scope, 1, 1)
+        with pytest.raises(ScheduleViolation, match="exited"):
+            sanitizer.on_partition_handoff(scope, 0, 0, 1)
+
+    def test_drain_requires_live_state(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        sanitizer.on_worker_draining(scope, 0, 1)
+        with pytest.raises(ScheduleViolation, match="expected 'live'"):
+            sanitizer.on_worker_draining(scope, 0, 1)
+
+    def test_exit_with_unanswered_fanout_trips(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        sanitizer.on_cluster_fanout(scope, 1, 0, 6)
+        sanitizer.on_worker_draining(scope, 0, 1)
+        with pytest.raises(ScheduleViolation, match="would be lost"):
+            sanitizer.on_worker_exited(scope, 0, 1)
+
+    def test_double_fanout_trips(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        sanitizer.on_cluster_fanout(scope, 1, 0, 6)
+        with pytest.raises(ScheduleViolation, match="twice"):
+            sanitizer.on_cluster_fanout(scope, 1, 0, 6)
+
+    def test_fanout_to_draining_worker_trips(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        sanitizer.on_worker_draining(scope, 0, 1)
+        with pytest.raises(ScheduleViolation, match="draining"):
+            sanitizer.on_cluster_fanout(scope, 1, 0, 6)
+
+    def test_reply_without_fanout_trips(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        with pytest.raises(ScheduleViolation, match="without a"):
+            sanitizer.on_cluster_reply(scope, 1, 0, 6)
+
+    def test_double_reply_trips(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        sanitizer.on_cluster_fanout(scope, 1, 0, 6)
+        sanitizer.on_cluster_reply(scope, 1, 0, 6)
+        with pytest.raises(ScheduleViolation, match="double answer"):
+            sanitizer.on_cluster_reply(scope, 1, 0, 6)
+
+    def test_reply_count_mismatch_trips(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        sanitizer.on_cluster_fanout(scope, 1, 0, 6)
+        with pytest.raises(ScheduleViolation, match="fanned out 6"):
+            sanitizer.on_cluster_reply(scope, 1, 0, 5)
+
+    def test_merge_with_missing_reply_trips(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        sanitizer.on_cluster_fanout(scope, 1, 0, 6)
+        sanitizer.on_cluster_fanout(scope, 1, 1, 4)
+        sanitizer.on_cluster_reply(scope, 1, 0, 6)
+        with pytest.raises(ScheduleViolation, match="unanswered fan-out"):
+            sanitizer.on_cluster_merged(scope, 1, 10)
+
+    def test_merge_total_mismatch_trips(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        sanitizer.on_cluster_fanout(scope, 1, 0, 6)
+        sanitizer.on_cluster_reply(scope, 1, 0, 6)
+        with pytest.raises(ScheduleViolation, match="partition mismatch"):
+            sanitizer.on_cluster_merged(scope, 1, 10)
+
+    def test_merge_twice_trips(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        sanitizer.on_cluster_fanout(scope, 1, 0, 6)
+        sanitizer.on_cluster_reply(scope, 1, 0, 6)
+        sanitizer.on_cluster_merged(scope, 1, 6)
+        with pytest.raises(ScheduleViolation, match="merged twice"):
+            sanitizer.on_cluster_merged(scope, 1, 6)
+
+    def test_fanout_after_merge_trips(self, sanitizer):
+        scope = Scope()
+        spawn_pair(sanitizer, scope)
+        sanitizer.on_cluster_fanout(scope, 1, 0, 6)
+        sanitizer.on_cluster_reply(scope, 1, 0, 6)
+        sanitizer.on_cluster_merged(scope, 1, 6)
+        with pytest.raises(ScheduleViolation, match="after its merge"):
+            sanitizer.on_cluster_fanout(scope, 1, 1, 4)
+
+    def test_live_cluster_backend_is_audited(
+        self, sanitizer, small_dataset, tmp_path
+    ):
+        """End to end: a real two-worker cluster with a mid-stream
+        rolling restart runs clean under the freshly-installed
+        sanitizer, and its events are observed."""
+        from repro.cluster import ClusterBackend
+        from repro.serialization import save_segments
+        from repro.service import ClusterConfig
+
+        segdir = tmp_path / "segments"
+        save_segments(small_dataset.database, segdir)
+        backend = ClusterBackend(
+            str(segdir),
+            cluster=ClusterConfig(workers=2, partitions=16),
+        )
+        try:
+            before = sanitizer.events_observed
+            read = small_dataset.reads[0]
+            kmers = list(read.kmers(small_dataset.k))
+            backend.schedule_restart(0, at_query=2)
+            backend.query(kmers)
+            backend.query(kmers)
+            backend.query(kmers)
+        finally:
+            backend.close()
+        assert sanitizer.events_observed > before
+        assert sanitizer.violations_raised == 0
+
+
 class TestInstallation:
     def test_enable_is_idempotent(self):
         previous = hooks.get_observer()

@@ -141,6 +141,37 @@ class TestSegmentDirectory:
         assert database_content_hash(tiny_database) == db.content_hash
         assert database_content_hash(db) == db.content_hash
 
+    @staticmethod
+    def _degradable_db():
+        # Local (not the session fixture): these tests mark it degraded.
+        db = KmerDatabase(k=5)
+        db.add(encode_kmer("AACTG"), 7)
+        db.add(encode_kmer("GATTA"), 13)
+        return db
+
+    def test_degraded_flag_round_trips(self, tmp_path):
+        """Operational provenance: a faulted reference persists (and
+        reopens) flagged degraded, so cluster workers inherit it."""
+        db = self._degradable_db()
+        db.mark_degraded()
+        manifest = save_segments(db, tmp_path / "seg")
+        assert manifest["degraded"] is True
+        assert load_segments(tmp_path / "seg").capabilities().degraded is True
+
+    def test_clean_database_saves_undegraded(self, tmp_path, tiny_database):
+        manifest = save_segments(tiny_database, tmp_path / "seg")
+        assert manifest["degraded"] is False
+        assert load_segments(tmp_path / "seg").capabilities().degraded is False
+
+    def test_degraded_flag_does_not_change_content_hash(self, tmp_path):
+        """Degradation is provenance, not content: clean and degraded
+        images of identical records still dedup by content hash."""
+        clean = save_segments(self._degradable_db(), tmp_path / "clean")
+        db = self._degradable_db()
+        db.mark_degraded()
+        degraded = save_segments(db, tmp_path / "degraded")
+        assert clean["content_hash"] == degraded["content_hash"]
+
     def test_content_hash_tracks_content(self, tmp_path, tiny_database):
         first = save_segments(tiny_database, tmp_path / "a")
         other = KmerDatabase(k=tiny_database.k)

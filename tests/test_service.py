@@ -107,7 +107,7 @@ class TestCoalescingIdentity:
         responses = asyncio.run(serve_all(service, small_dataset.reads))
         assert all(r.sim_batch_ns > 0 for r in responses)
         stats = service.stats()
-        assert stats["sim_time_ns"] == pytest.approx(
+        assert stats["clocks"]["sim_time_ns"] == pytest.approx(
             sum(w.sim_time_ns for w in service.shards)
         )
         # The simulated clock prices the same events the device counted.
@@ -231,8 +231,9 @@ class TestObservability:
         service = make_service(small_dataset, small_layout)
         asyncio.run(serve_all(service, small_dataset.reads))
         stats = service.stats()
-        assert stats["k"] == small_dataset.k
-        assert len(stats["shards"]) == 2
+        assert stats["schema"] == "sieve-stats-v2"
+        assert stats["service"]["k"] == small_dataset.k
+        assert len(stats["health"]["shards"]) == 2
         for required in ("batches_total", "kmers_total", "hits_total"):
             assert required in stats["metrics"]["counters"]
         latency = stats["metrics"]["histograms"]["request_latency_ms"]
@@ -247,16 +248,49 @@ class TestObservability:
         assert stats["observed"]["pipeline"]["bottleneck"]
         json.dumps(stats)  # the /stats payload must serialize
 
+    def test_deprecated_flat_keys_warn_and_alias(
+        self, small_dataset, small_layout
+    ):
+        """The v1 flat keys stay readable one release, loudly.
+
+        The intentional v1 reads below carry ``lint: disable=SV013`` so
+        the repo's own lint self-check stays clean (SV013 bans
+        deprecated flat stats keys everywhere else).
+        """
+        from repro.service import DEPRECATED_STATS_KEYS
+
+        service = make_service(small_dataset, small_layout)
+        asyncio.run(serve_all(service, small_dataset.reads))
+        stats = service.stats()
+        for old_key, (section, new_key) in DEPRECATED_STATS_KEYS.items():
+            with pytest.warns(DeprecationWarning, match=old_key):
+                legacy = stats[old_key]  # lint: disable=SV013
+            assert legacy == stats[section][new_key]
+
+    def test_json_payload_emits_only_v2_keys(
+        self, small_dataset, small_layout
+    ):
+        from repro.service import DEPRECATED_STATS_KEYS, STATS_SCHEMA
+
+        service = make_service(small_dataset, small_layout)
+        asyncio.run(serve_all(service, small_dataset.reads))
+        payload = json.loads(json.dumps(service.stats()))
+        assert payload["schema"] == STATS_SCHEMA
+        for old_key in DEPRECATED_STATS_KEYS:
+            assert old_key not in payload
+
     def test_shard_stats_merge_matches_totals(
         self, small_dataset, small_layout
     ):
         service = make_service(small_dataset, small_layout)
         asyncio.run(serve_all(service, small_dataset.reads))
         stats = service.stats()
-        total_queries = sum(row["queries"] for row in stats["shards"])
+        total_queries = sum(
+            row["queries"] for row in stats["health"]["shards"]
+        )
         counters = stats["metrics"]["counters"]
         assert total_queries == counters["kmers_total"]
-        total_hits = sum(row["hits"] for row in stats["shards"])
+        total_hits = sum(row["hits"] for row in stats["health"]["shards"])
         assert total_hits == counters["hits_total"]
 
 
@@ -455,7 +489,10 @@ class TestPipelinedDispatch:
         reads = small_dataset.reads * 2
         responses = asyncio.run(serve_all(service, reads))
         assert len(responses) == len(reads)
-        assert service.stats()["healthy_shards"] == config.num_shards - 1
+        assert (
+            service.stats()["health"]["healthy_shards"]
+            == config.num_shards - 1
+        )
         reference = SieveDevice.from_database(
             small_dataset.database, layout=small_layout
         )
@@ -518,7 +555,9 @@ class TestHotKmerCache:
             )
             asyncio.run(serve_all(service, small_dataset.reads * 3))
             stats = service.stats()
-            queries = sum(row["queries"] for row in stats["shards"])
+            queries = sum(
+                row["queries"] for row in stats["health"]["shards"]
+            )
             return queries, stats
 
         uncached_queries, _ = device_queries()
@@ -564,7 +603,7 @@ class TestHotKmerCache:
             return (
                 stats["metrics"]["counters"],
                 cache,
-                stats["sim_time_ns"],
+                stats["clocks"]["sim_time_ns"],
             )
 
         assert one_run() == one_run()
@@ -826,7 +865,10 @@ class TestInteractionMatrix:
         reads = small_dataset.reads * 2
         responses = asyncio.run(serve_all(service, reads))
         assert len(responses) == len(reads)
-        assert service.stats()["healthy_shards"] == config.num_shards - 1
+        assert (
+            service.stats()["health"]["healthy_shards"]
+            == config.num_shards - 1
+        )
 
         reference = build_replica()
         for read, response in zip(reads, responses):

@@ -144,9 +144,9 @@ class TestCrashFailover:
         )
         asyncio.run(serve_all(service, small_dataset.reads))
         stats = service.stats()
-        assert stats["degraded"] is True
-        assert stats["healthy_shards"] == 1
-        by_shard = {row["shard"]: row for row in stats["shards"]}
+        assert stats["health"]["degraded"] is True
+        assert stats["health"]["healthy_shards"] == 1
+        by_shard = {row["shard"]: row for row in stats["health"]["shards"]}
         assert by_shard[0]["health"]["state"] == "crashed"
         assert by_shard[0]["health"]["crashes"] == 1
         assert by_shard[0]["health"]["redispatched"] > 0
@@ -226,8 +226,8 @@ class TestStallsAndSlowness:
         assert counters["shard_stalls_total"] >= 1
         assert counters.get("shard_crashes_total", 0) == 0
         stats = service.stats()
-        assert stats["degraded"] is False
-        assert stats["healthy_shards"] == 2
+        assert stats["health"]["degraded"] is False
+        assert stats["health"]["healthy_shards"] == 2
         assert chaos.stats.stalls >= 1
         assert chaos.stats.slow_batches >= 1
 
@@ -264,7 +264,7 @@ class TestSeededCampaign:
                 true_taxon=read.taxon_id,
             )
             assert response.classification == expected
-        assert service.stats()["degraded"] is True  # crashed shard
+        assert service.stats()["health"]["degraded"] is True  # crashed shard
 
     def test_campaign_replays_identically(self, small_dataset, small_layout):
         def run():
@@ -341,11 +341,29 @@ class TestClientBackoff:
             client.backoff_delay_s("read-1", attempt, hint)
             for attempt in range(1, 8)
         ]
-        for attempt, delay in enumerate(delays, start=1):
+        # Attempt 1 honors the server's hint as a *floor* and jitters
+        # upward; later attempts scale down into the exponential delay.
+        assert hint <= delays[0] <= hint * 1.5
+        for attempt, delay in enumerate(delays[1:], start=2):
             raw = min(hint * 2.0 ** (attempt - 1), 0.02)
             assert raw * 0.5 <= delay <= raw
         # The cap keeps deep retries bounded.
         assert max(delays) <= 0.02
+
+    def test_first_retry_never_undercuts_server_hint(
+        self, small_dataset, small_layout
+    ):
+        """Regression: the jitter used to scale attempt 1 *down*, so
+        clients could retry before the server said capacity would
+        exist — re-rejecting the whole storm."""
+        service, _ = make_chaos_service(small_dataset, small_layout)
+        hint = service.config.retry_after_s
+        for seed in range(4):
+            client = ServiceClient(service, seed=seed)
+            for i in range(32):
+                assert (
+                    client.backoff_delay_s(f"read-{i}", 1, hint) >= hint
+                )
 
     def test_backoff_decorrelates_a_retry_storm(
         self, small_dataset, small_layout

@@ -331,6 +331,86 @@ class TestTraceReplayGolden:
 
 
 # ---------------------------------------------------------------------------
+# Cluster replay goldens: the multi-process topology must reproduce the
+# committed sequential digest at every pinned worker count
+# ---------------------------------------------------------------------------
+
+
+class TestClusterReplayGolden:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return _load_golden()
+
+    @pytest.fixture(scope="class")
+    def trace(self, golden):
+        return Trace.load(DATA_DIR / golden["trace_file"])
+
+    @pytest.fixture(scope="class")
+    def segments(self, trace, tmp_path_factory):
+        from repro.serialization import save_segments
+
+        directory = tmp_path_factory.mktemp("workload-cluster-segments")
+        save_segments(trace.rebuild_dataset().database, directory)
+        return str(directory)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_cluster_digest_matches_sequential_golden(
+        self, golden, trace, segments, workers
+    ):
+        from repro.cluster import ClusterBackend
+        from repro.service import ClusterConfig
+
+        backend = ClusterBackend(
+            segments,
+            cluster=ClusterConfig(workers=workers, partitions=16),
+        )
+        try:
+            config = ServiceConfig(
+                num_shards=1,
+                max_batch_kmers=96,
+                max_linger_s=0.0,
+                queue_depth=len(trace),
+            )
+            service = ClassificationService([backend], config)
+            responses = replay_trace(service, trace)
+            assert len(responses) == len(trace)
+            assert (
+                classification_digest(responses)
+                == golden["classification_digest"]
+            )
+        finally:
+            backend.close()
+
+    def test_restarted_cluster_still_matches_golden(
+        self, golden, trace, segments
+    ):
+        from repro.cluster import ClusterBackend
+        from repro.service import ClusterConfig
+
+        backend = ClusterBackend(
+            segments, cluster=ClusterConfig(workers=2, partitions=16)
+        )
+        try:
+            backend.schedule_restart(0, at_query=3)
+            backend.schedule_restart(1, at_query=9)
+            config = ServiceConfig(
+                num_shards=1,
+                max_batch_kmers=96,
+                max_linger_s=0.0,
+                queue_depth=len(trace),
+            )
+            service = ClassificationService([backend], config)
+            responses = replay_trace(service, trace)
+            assert (
+                classification_digest(responses)
+                == golden["classification_digest"]
+            )
+            assert backend.cluster_stats()["restarts"] == 2
+        finally:
+            backend.close()
+
+
+# ---------------------------------------------------------------------------
 # TraceReplayJob (fleet integration)
 # ---------------------------------------------------------------------------
 
@@ -368,3 +448,37 @@ class TestTraceReplayJob:
         # depend on the cache mode.
         for field in ("hits", "classified", "correct", "kmers"):
             assert first[field] == plain[field]
+
+
+class TestClusterReplayJob:
+    def test_key_is_content_addressed(self, tmp_path):
+        from repro.fleet import ClusterReplayJob
+
+        trace = Trace.load(DATA_DIR / "zipf_trace.json")
+        copy = trace.save(tmp_path / "elsewhere" / "renamed.json")
+        a = ClusterReplayJob(trace_path=str(DATA_DIR / "zipf_trace.json"))
+        b = ClusterReplayJob(trace_path=str(copy))
+        assert a.key() == b.key()
+        assert trace.content_hash() in a.key()
+        assert ClusterReplayJob(
+            trace_path=str(copy), workers=4
+        ).key() != a.key()
+
+    def test_digest_matches_sequential_golden(self):
+        from repro.fleet import ClusterReplayJob
+
+        golden = _load_golden()
+        job = ClusterReplayJob(
+            trace_path=str(DATA_DIR / golden["trace_file"]),
+            workers=2,
+            partitions=16,
+        )
+        payload = job.run(seed=0)
+        assert (
+            payload["classification_digest"]
+            == golden["classification_digest"]
+        )
+        assert payload["trace_hash"] == golden["content_hash"]
+        assert payload["live_workers"] == 2
+        assert payload["full_build"] is False
+        assert payload["owned_records"] == payload["total_records"]
