@@ -522,6 +522,81 @@ def bench_fault_injection(quick: bool) -> Tuple[float, Dict[str, int]]:
     }
 
 
+def _mapping_setup(quick: bool, extension: str):
+    """Shared setup for the read-mapping scenarios (untimed)."""
+    from ..mapping import MappingConfig, ReadMapper, SeedExtender, SeedIndex
+    from ..sieve import SieveDevice, SubarrayLayout
+
+    dataset = _dataset(quick)
+    layout = SubarrayLayout(
+        k=dataset.k, row_bits=1152, rows_per_subarray=256, layers=3
+    )
+    device = SieveDevice.from_database(dataset.database, layout=layout)
+    extender = SeedExtender(
+        SeedIndex.from_genomes(dataset.genomes, dataset.k),
+        dataset.genomes,
+        MappingConfig(band=3, max_edits=3, extension=extension),
+    )
+    return dataset, device, ReadMapper(device, extender)
+
+
+def bench_read_mapping(quick: bool) -> Tuple[float, Dict[str, int]]:
+    """Seed-filter-and-extend read mapping, host-side extension.
+
+    The full pipeline of docs/MAPPING.md over the bench dataset: the
+    Sieve device filters every read k-mer, the host seed index groups
+    survivors into diagonal candidates, and banded semi-global
+    alignment verifies them.  Counters pin the mapped/candidate/DP-cell
+    totals (pure functions of the seeded dataset) plus the analytic
+    host cost — so both the pipeline's answers *and* its cost model
+    are regression-guarded.  Wall time covers the whole mapping pass.
+    """
+    dataset, device, mapper = _mapping_setup(quick, "host")
+    start = time.perf_counter()
+    results = mapper.map_reads(dataset.reads)
+    wall_s = time.perf_counter() - start
+    stats = mapper.extender.stats
+    return wall_s, {
+        "reads": stats.reads,
+        "mapped": stats.mapped,
+        "seed_hits": stats.seed_hits,
+        "candidates": stats.candidates,
+        "dp_cells": stats.dp_cells,
+        "positions_sum": sum(r.position for r in results if r.mapped),
+        "row_activations": device.stats.row_activations,
+        "host_time_ns": int(mapper.extender.cost_model.stats.time_ns),
+    }
+
+
+def bench_read_mapping_insitu(quick: bool) -> Tuple[float, Dict[str, int]]:
+    """Same mapping pass, extension costed through the DRAM ledger.
+
+    Answers must match ``read_mapping`` exactly (the extension variants
+    share one aligner); what changes is the price: candidate windows
+    stream through the open-page :class:`repro.dram.memsys.MemorySystem`
+    and the per-cell cost is in-DRAM op time.  The ledger's
+    access/row-hit counters are deterministic (candidate schedule is a
+    pure function of the dataset), so they are baseline-pinned too.
+    """
+    dataset, device, mapper = _mapping_setup(quick, "insitu")
+    start = time.perf_counter()
+    results = mapper.map_reads(dataset.reads)
+    wall_s = time.perf_counter() - start
+    stats = mapper.extender.stats
+    ledger = mapper.extender.cost_model.memsys.stats
+    return wall_s, {
+        "reads": stats.reads,
+        "mapped": stats.mapped,
+        "seed_hits": stats.seed_hits,
+        "candidates": stats.candidates,
+        "dp_cells": stats.dp_cells,
+        "positions_sum": sum(r.position for r in results if r.mapped),
+        "ledger_accesses": ledger.accesses,
+        "ledger_row_hits": ledger.row_hits,
+        "insitu_time_ns": int(mapper.extender.cost_model.stats.time_ns),
+    }
+
+
 #: Registry of tracked benchmarks, in report order.
 BENCHMARKS: Dict[str, BenchFn] = {
     "database_build": bench_database_build,
@@ -536,6 +611,8 @@ BENCHMARKS: Dict[str, BenchFn] = {
     "service_load": bench_service_load,
     "service_cached": bench_service_cached,
     "fault_injection": bench_fault_injection,
+    "read_mapping": bench_read_mapping,
+    "read_mapping_insitu": bench_read_mapping_insitu,
 }
 
 

@@ -22,6 +22,7 @@ from .accuracy import accuracy_study
 from .claims import claims_ledger
 from .faults import fault_sweep
 from .intro_claims import intro_claims
+from .mapping import mapping_sweep
 from .ablations import (
     ablation_device_sim,
     ablation_esp_model,
@@ -85,6 +86,7 @@ EXPERIMENTS: Dict[str, Callable[[], FigureResult]] = {
     "abl-device": ablation_device_sim,
     "abl-segment": ablation_segment_size,
     "fault_sweep": fault_sweep,
+    "mapping_sweep": mapping_sweep,
 }
 
 

@@ -407,6 +407,139 @@ class FaultSweepJob(Job):
 
 
 @dataclass(frozen=True)
+class MappingSweepJob(Job):
+    """One (seed length x bit-flip rate) point of the mapping sweep.
+
+    Mirrors :class:`FaultSweepJob`'s seeding discipline: the dataset
+    and the planted reads depend only on ``seed_tag`` (every sweep
+    point maps the *same* reads against the same references), and the
+    :class:`repro.faults.FaultModel` seed depends on ``(seed_tag,
+    bit_flip_rate)`` — never on the seed length — so every ``seed_k``
+    at a given rate runs under the identically-seeded fault schedule.
+
+    Reads are planted reference windows with i.i.d. substitution
+    errors, so the true ``(genome, position)`` of every read is known
+    exactly and the payload reports *location* recall, not just a
+    mapped fraction: faults corrupt the Sieve filter (false seed
+    misses/hits), longer seeds tolerate fewer errors per window, and
+    the sweep tabulates both sensitivities at once.
+    """
+
+    seed_k: int = 11
+    bit_flip_rate: float = 0.0
+    num_species: int = 4
+    genome_length: int = 400
+    num_reads: int = 24
+    read_length: int = 60
+    error_rate: float = 0.05
+    band: int = 3
+    seed_tag: str = "mapping-sweep"
+
+    def __post_init__(self) -> None:
+        if self.read_length < self.seed_k:
+            raise FleetError(
+                f"read_length={self.read_length} shorter than "
+                f"seed_k={self.seed_k}"
+            )
+
+    def _dataset(self) -> Any:
+        from ..faults import hash_seed
+        from ..genomics import build_dataset
+
+        # Tag-only seed: every (seed_k, rate) point of one sweep sees
+        # the same reference genomes (k changes the database image the
+        # device loads, not the genomes it is built from).
+        return build_dataset(
+            k=self.seed_k,
+            num_species=self.num_species,
+            genome_length=self.genome_length,
+            num_reads=1,
+            seed=hash_seed(self.seed_tag, "dataset") % 2**31,
+        )
+
+    def _planted_reads(self, genomes: Any) -> Any:
+        import numpy as np
+
+        from ..faults import hash_seed
+        from ..genomics.synthetic import mutate
+
+        rng = np.random.default_rng(
+            hash_seed(self.seed_tag, "reads") % 2**31
+        )
+        planted = []
+        for i in range(self.num_reads):
+            genome_index = int(rng.integers(0, len(genomes)))
+            genome = genomes[genome_index]
+            start = int(
+                rng.integers(0, len(genome.bases) - self.read_length + 1)
+            )
+            window = genome.subsequence(start, start + self.read_length)
+            read = mutate(window, self.error_rate, rng)
+            planted.append((f"mapread_{i}", read, genome_index, start))
+        return planted
+
+    def run(self, seed: int) -> Dict[str, Any]:
+        from dataclasses import replace
+
+        from ..faults import (
+            FaultInjector,
+            FaultModel,
+            fault_injection,
+            hash_seed,
+        )
+        from ..mapping import (
+            MappingConfig,
+            ReadMapper,
+            SeedExtender,
+            SeedIndex,
+        )
+        from ..sieve.device import SieveDevice
+
+        dataset = self._dataset()
+        genomes = dataset.genomes
+        planted = self._planted_reads(genomes)
+        model = FaultModel(
+            bit_flip_rate=self.bit_flip_rate,
+            seed=hash_seed(self.seed_tag, "rate", self.bit_flip_rate),
+        )
+        injector = FaultInjector(model)
+        with fault_injection(injector):
+            device = SieveDevice.from_database(dataset.database)
+        extender = SeedExtender(
+            SeedIndex.from_genomes(genomes, self.seed_k),
+            genomes,
+            MappingConfig(band=self.band, max_edits=self.band),
+        )
+        mapper = ReadMapper(device, extender)
+        mapped = correct_location = edit_total = 0
+        for read_id, read, genome_index, start in planted:
+            result = mapper.map_read(replace(read, seq_id=read_id))
+            if not result.mapped:
+                continue
+            mapped += 1
+            edit_total += result.edit_distance
+            if result.genome_index == genome_index and (
+                result.position == start
+            ):
+                correct_location += 1
+        stats = extender.stats
+        return {
+            "seed_k": self.seed_k,
+            "bit_flip_rate": self.bit_flip_rate,
+            "reads": self.num_reads,
+            "mapped": mapped,
+            "correct_location": correct_location,
+            "recall": correct_location / self.num_reads,
+            "mean_edit_distance": edit_total / mapped if mapped else 0.0,
+            "seed_hits": stats.seed_hits,
+            "candidates": stats.candidates,
+            "dp_cells": stats.dp_cells,
+            "bits_flipped": injector.stats.bits_flipped,
+            "schedule_digest": injector.schedule_digest()[:16],
+        }
+
+
+@dataclass(frozen=True)
 class ExperimentJob(Job):
     """One whole registry experiment, serialized to its golden payload.
 

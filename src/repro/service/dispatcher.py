@@ -93,6 +93,14 @@ class Request:
     #: Service-scoped id for schedule tracing; ``None`` (standalone
     #: worker use) falls back to the object identity.
     req_id: Optional[int] = None
+    #: When set, this is a *mapping* request: after the batch is sliced
+    #: the per-request chunk also runs through this
+    #: :class:`repro.mapping.SeedExtender` (a pure function of the read
+    #: and its filter answers) and the result rides on
+    #: ``ServiceResponse.mapping``.  The k-mer path — coalescing,
+    #: dedup, cache, sanitizer events — is byte-for-byte the
+    #: classification path's.
+    extender: Optional[Any] = None
 
 
 def _rid(request: Request) -> int:
@@ -118,6 +126,9 @@ class ServiceResponse:
     sim_batch_energy_nj: float
     #: Wall-clock latency of this request, enqueue to completion.
     wall_ms: float
+    #: :class:`repro.mapping.MappingResult` for mapping requests;
+    #: ``None`` for plain classification requests.
+    mapping: Any = None
 
 
 class ShardWorker:
@@ -632,6 +643,17 @@ class ShardWorker:
                 chunk,
                 true_taxon=getattr(req.read, "taxon_id", None),
             )
+            mapping = None
+            if req.extender is not None:
+                # Pure function of (read, chunk): identical no matter
+                # which shard, batch, or cache plan served the k-mers.
+                mapping = req.extender.extend(req.read, chunk)
+                m.counter("mapping_requests_total").inc()
+                if mapping.mapped:
+                    m.counter("mapping_mapped_total").inc()
+                m.histogram("mapping_candidates").observe(
+                    mapping.candidates
+                )
             wall_ms = (done_at - req.enqueued_at) * 1e3
             m.histogram("request_latency_ms").observe(wall_ms)
             m.counter("completed_total").inc()
@@ -646,6 +668,7 @@ class ShardWorker:
                         sim_batch_ns=sim_ns,
                         sim_batch_energy_nj=sim_nj,
                         wall_ms=wall_ms,
+                        mapping=mapping,
                     )
                 )
                 if hooks.OBSERVER is not None:

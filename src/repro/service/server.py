@@ -42,6 +42,7 @@ class ClassificationService:
         config: Optional[ServiceConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         chaos: Optional[Any] = None,
+        extender: Optional[Any] = None,
     ) -> None:
         if not backends:
             raise ServiceError("need at least one backend")
@@ -55,6 +56,16 @@ class ClassificationService:
         if len(ks) != 1:
             raise ServiceError(f"shards disagree on k: {sorted(ks)}")
         self.k = ks.pop()
+        #: Optional :class:`repro.mapping.SeedExtender` enabling the
+        #: mapping request type (:meth:`submit_mapping`): the shards
+        #: stay pure seed-location filters, extension runs host-side on
+        #: each request's sliced filter answers.
+        if extender is not None and extender.k != self.k:
+            raise ServiceError(
+                f"mapping extender k={extender.k} does not match "
+                f"service k={self.k}"
+            )
+        self.extender = extender
         self.config = config
         self.metrics = metrics or MetricsRegistry()
         #: Optional :class:`repro.faults.ChaosInjector` shared by every
@@ -172,6 +183,29 @@ class ClassificationService:
         Raises :class:`RejectedError` immediately when the routed
         shard's queue is full (retry via :class:`ServiceClient`).
         """
+        return self._submit(read, deadline_s, None)
+
+    def submit_mapping(
+        self, read, deadline_s: Optional[float] = None
+    ) -> "asyncio.Future[ServiceResponse]":
+        """Enqueue one *mapping* request; resolves with
+        ``ServiceResponse.mapping`` set.
+
+        The k-mer leg is the classification path byte-for-byte — same
+        coalescing, dedup, cache, and sanitizer audit — so mapping
+        answers are bit-identical at any shard/worker topology.
+        Requires the service to have been built with an ``extender``.
+        """
+        if self.extender is None:
+            raise ServiceError(
+                "service has no mapping extender; pass extender= to "
+                "ClassificationService to enable submit_mapping"
+            )
+        return self._submit(read, deadline_s, self.extender)
+
+    def _submit(
+        self, read, deadline_s: Optional[float], extender: Optional[Any]
+    ) -> "asyncio.Future[ServiceResponse]":
         if self._draining:
             raise ServiceError("service is draining; no new requests")
         loop = asyncio.get_running_loop()
@@ -192,6 +226,7 @@ class ClassificationService:
             enqueued_at=now,
             deadline=now + deadline_s if deadline_s is not None else None,
             req_id=self._req_counter,
+            extender=extender,
         )
         shard.try_submit(request)
         return request.future
@@ -201,6 +236,12 @@ class ClassificationService:
     ) -> ServiceResponse:
         """Submit and await one read (no retry on rejection)."""
         return await self.submit(read, deadline_s=deadline_s)
+
+    async def map_read(
+        self, read, deadline_s: Optional[float] = None
+    ) -> ServiceResponse:
+        """Submit and await one mapping request (no retry on rejection)."""
+        return await self.submit_mapping(read, deadline_s=deadline_s)
 
     # -- failover -------------------------------------------------------------
 
@@ -313,6 +354,8 @@ class ClassificationService:
         )
         if self.cache is not None:
             out["cache"] = self.cache.counters()
+        if self.extender is not None:
+            out["mapping"] = self.extender.stats_dict()
         kmers_served = self.metrics.counter("kmers_total").value
         if sim_time_ns > 0 and kmers_served:
             out["observed"] = self._observed(kmers_served, sim_time_ns)

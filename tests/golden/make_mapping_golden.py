@@ -1,0 +1,180 @@
+"""Regenerate the committed read-mapping golden artifacts.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/golden/make_mapping_golden.py
+
+Produces two committed files:
+
+* ``tests/data/mapping_golden.json`` — the per-read mapping result
+  matrix for the tier-1 small dataset (same ``build_dataset``
+  parameters as the ``small_dataset`` fixture) under the default
+  :class:`repro.mapping.MappingConfig`, plus its sha256 digest.
+  Before writing, the script proves the matrix is bit-identical
+  across the whole backend topology: scalar database, Sieve device,
+  2-shard service (plain and dedup+cached), and 1/2/4-worker cluster.
+* ``tests/golden/mapping_sweep.json`` — the ``mapping_sweep`` registry
+  experiment's payload, refreshed through the fleet golden updater
+  (which double-runs the experiment to prove determinism).
+
+``tests/test_mapping_properties.py`` and ``tests/test_golden.py``
+enforce these; this script is the only sanctioned refresh path (see
+docs/TESTING.md section 8 — a digest change is a behavior change and
+must be explained in the PR).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import tempfile
+from pathlib import Path
+
+from repro.cluster import ClusterBackend
+from repro.genomics import build_dataset
+from repro.mapping import MappingConfig, ReadMapper, SeedExtender, SeedIndex
+from repro.serialization import save_segments
+from repro.service import ClassificationService, ServiceConfig
+from repro.service.config import ClusterConfig
+from repro.sieve import SieveDevice
+
+HERE = Path(__file__).resolve().parent
+DATA_DIR = HERE.parent / "data"
+
+#: ``build_dataset`` kwargs — keep in lockstep with the
+#: ``small_dataset`` fixture in tests/conftest.py.
+DATASET_PARAMS = dict(
+    k=9,
+    num_species=4,
+    genome_length=150,
+    num_reads=30,
+    read_length=50,
+    error_rate=0.02,
+    novel_fraction=0.3,
+    seed=42,
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def fresh_extender(dataset) -> SeedExtender:
+    return SeedExtender(
+        SeedIndex.from_genomes(dataset.genomes, dataset.k),
+        dataset.genomes,
+        MappingConfig(),
+    )
+
+
+def mapping_digest(payloads) -> str:
+    canonical = json.dumps(payloads, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def serve_payloads(dataset, backends, config) -> list:
+    service = ClassificationService(
+        backends, config, extender=fresh_extender(dataset)
+    )
+
+    async def drive():
+        await service.start()
+        futures = [service.submit_mapping(read) for read in dataset.reads]
+        responses = await asyncio.gather(*futures)
+        await service.stop(drain=True)
+        return responses
+
+    return [r.mapping.to_payload() for r in asyncio.run(drive())]
+
+
+def main() -> None:
+    dataset = build_dataset(**DATASET_PARAMS)
+    reference = [
+        r.to_payload()
+        for r in ReadMapper(
+            dataset.database, fresh_extender(dataset)
+        ).map_reads(dataset.reads)
+    ]
+
+    device = SieveDevice.from_database(dataset.database)
+    via_device = [
+        r.to_payload()
+        for r in ReadMapper(device, fresh_extender(dataset)).map_reads(
+            dataset.reads
+        )
+    ]
+    if via_device != reference:
+        raise SystemExit("device mapping diverged from the scalar database")
+
+    for label, overrides in [
+        ("plain", {}),
+        ("cached", {"dedup": True, "cache_capacity": 256}),
+    ]:
+        config = ServiceConfig(
+            num_shards=2,
+            max_linger_s=0.0,
+            queue_depth=len(dataset.reads),
+            **overrides,
+        )
+        got = serve_payloads(
+            dataset,
+            [SieveDevice.from_database(dataset.database) for _ in range(2)],
+            config,
+        )
+        if got != reference:
+            raise SystemExit(f"{label} 2-shard service mapping diverged")
+
+    with tempfile.TemporaryDirectory(prefix="sieve-mapgolden-") as scratch:
+        save_segments(dataset.database, scratch)
+        for workers in WORKER_COUNTS:
+            backend = ClusterBackend(scratch, ClusterConfig(workers=workers))
+            try:
+                got = serve_payloads(
+                    dataset,
+                    [backend],
+                    ServiceConfig(
+                        num_shards=1,
+                        max_linger_s=0.0,
+                        queue_depth=len(dataset.reads),
+                    ),
+                )
+            finally:
+                backend.close()
+            if got != reference:
+                raise SystemExit(
+                    f"{workers}-worker cluster mapping diverged"
+                )
+
+    golden = {
+        "dataset_params": DATASET_PARAMS,
+        "mapping_config": {
+            "band": MappingConfig().band,
+            "max_edits": MappingConfig().max_edits,
+            "min_seed_hits": MappingConfig().min_seed_hits,
+            "max_candidates": MappingConfig().max_candidates,
+        },
+        "worker_counts": list(WORKER_COUNTS),
+        "digest": mapping_digest(reference),
+        "results": reference,
+    }
+    golden_path = DATA_DIR / "mapping_golden.json"
+    golden_path.write_text(
+        json.dumps(golden, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {golden_path}")
+    print(f"mapping digest: {golden['digest']}")
+
+    from repro.experiments.registry import run_experiment
+    from repro.fleet.golden import figure_payload, update_goldens
+
+    report = update_goldens(
+        {"mapping_sweep": figure_payload(run_experiment("mapping_sweep"))},
+        HERE,
+        stability_payloads={
+            "mapping_sweep": figure_payload(run_experiment("mapping_sweep"))
+        },
+    )
+    print(f"mapping_sweep golden: {report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

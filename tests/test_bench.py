@@ -110,6 +110,79 @@ class TestRegistry:
             assert name in text
 
 
+class TestExtras:
+    """``BenchResult.extras`` round-trip: reported in the payload,
+    reconstructed on load, and *never* baseline-compared (they carry
+    machine-noise-prone host figures, unlike ``counters``)."""
+
+    def test_payload_includes_extras_only_when_present(self):
+        with_extras = BenchResult(
+            name="service_cached",
+            wall_s=0.5,
+            counters={"requests": 60},
+            extras={"hit_rate": 0.75, "wall_saved_s": 0.01},
+        )
+        payload = baseline_for([with_extras, result("host_lookup")])
+        entry = payload["benchmarks"]["service_cached"]
+        assert entry["extras"] == {"hit_rate": 0.75, "wall_saved_s": 0.01}
+        assert "extras" not in payload["benchmarks"]["host_lookup"]
+
+    def test_extras_drift_never_fails_comparison(self):
+        base = [
+            BenchResult(
+                name="service_cached",
+                wall_s=0.5,
+                counters={"requests": 60},
+                extras={"hit_rate": 0.9},
+            )
+        ]
+        current = [
+            BenchResult(
+                name="service_cached",
+                wall_s=0.5,
+                counters={"requests": 60},
+                extras={"hit_rate": 0.1, "wall_saved_s": -5.0},
+            )
+        ]
+        assert compare_to_baseline(current, baseline_for(base)) == []
+
+    def test_baseline_file_round_trip_preserves_extras(self, tmp_path):
+        results = [
+            BenchResult(
+                name="service_cached",
+                wall_s=0.5,
+                counters={"requests": 60},
+                extras={"hit_rate": 0.75},
+            )
+        ]
+        path = tmp_path / "BENCH_test.json"
+        path.write_text(json.dumps(to_payload(results, quick=True)))
+        baseline = load_baseline(path)
+        entry = baseline["benchmarks"]["service_cached"]
+        assert entry["extras"] == {"hit_rate": 0.75}
+        assert compare_to_baseline(results, baseline) == []
+
+    def test_scenario_extras_survive_the_fleet_path(self):
+        # service_cached is the registry's extras-producing scenario;
+        # run_benchmarks routes it through a BenchJob fleet payload,
+        # which must not drop the third tuple element.
+        (r,) = run_benchmarks(quick=True, only=["service_cached"])
+        assert r.extras
+        assert "hit_rate" in r.extras
+        entry = to_payload([r], quick=True)["benchmarks"]["service_cached"]
+        assert entry["extras"] == r.extras
+
+    def test_committed_baseline_records_extras(self):
+        from pathlib import Path
+
+        baseline = load_baseline(
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "BENCH_baseline.json"
+        )
+        assert "extras" in baseline["benchmarks"]["service_cached"]
+
+
 class TestCli:
     def test_writes_output_and_passes_against_own_baseline(self, tmp_path):
         out = tmp_path / "bench.json"

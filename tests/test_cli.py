@@ -47,7 +47,7 @@ class TestCli:
                 "abl-tech", "abl-type1", "k-sweep", "hit-sweep",
                 "capacity", "accuracy", "abl-device",
                 "abl-segment", "intro", "claims",
-                "fault_sweep"} == set(EXPERIMENTS)
+                "fault_sweep", "mapping_sweep"} == set(EXPERIMENTS)
 
     def test_run_ablation(self, capsys):
         assert main(["run", "abl-power"]) == 0

@@ -1,0 +1,555 @@
+"""Property + golden tests for the read-mapping pipeline.
+
+Three pillars pin :mod:`repro.mapping` (docs/MAPPING.md):
+
+1. **Aligner exactness** — the vectorized DPs (full, banded,
+   semi-global) are hypothesis-checked against brute-force plain-Python
+   references.  The banded variant must *equal* the unbanded distance
+   whenever that distance fits the band, and report ``None`` otherwise
+   — the band is an error budget, never an approximation knob.
+2. **Seed-and-extend completeness** — for a planted read, every
+   reference location a brute-force full scan accepts (Hamming within
+   the edit budget *and* at least one exact surviving seed) must appear
+   in ``MappingResult.locations``.  This is the filter contract: the
+   Sieve backend may only prune locations no seed supports.
+3. **Topology bit-identity** — mapping answers are byte-identical
+   across the whole backend matrix (scalar database, Sieve device,
+   2-shard service plain/dedup+cached, 1/2/4-worker cluster), pinned
+   against the committed ``tests/data/mapping_golden.json`` matrix.
+   Refresh only via ``tests/golden/make_mapping_golden.py``.
+
+Fault interaction mirrors ``test_faults_properties.py``: a zero-rate
+injector must be invisible to mapping, and :class:`MappingSweepJob`
+must replay byte-identically from its seed tag.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterBackend
+from repro.faults import FaultInjector, FaultModel, fault_injection
+from repro.fleet.core import FleetError
+from repro.fleet.jobs import MappingSweepJob
+from repro.genomics import KmerDatabase, build_dataset
+from repro.genomics.sequence import DnaSequence
+from repro.mapping import (
+    AlignmentError,
+    MappingConfig,
+    MappingError,
+    ReadMapper,
+    SeedExtender,
+    SeedIndex,
+    SeedIndexError,
+    banded_edit_distance,
+    edit_distance,
+    semiglobal_distance,
+)
+from repro.serialization import save_segments
+from repro.service import ClassificationService, ServiceConfig, ServiceError
+from repro.service.config import ClusterConfig
+from repro.sieve import SieveDevice
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
+MAPPING_GOLDEN = json.loads(
+    (DATA_DIR / "mapping_golden.json").read_text(encoding="utf-8")
+)
+
+dna = st.text(alphabet="ACGT", max_size=16)
+
+
+# ---------------------------------------------------------------------------
+# Brute-force references (plain Python, obviously-correct)
+# ---------------------------------------------------------------------------
+
+
+def ref_edit_distance(a: str, b: str) -> int:
+    """Textbook Wagner-Fischer, no vectorization, no banding."""
+    m, n = len(a), len(b)
+    prev = list(range(n + 1))
+    for i in range(1, m + 1):
+        cur = [i] + [0] * n
+        for j in range(1, n + 1):
+            cur[j] = min(
+                prev[j] + 1,
+                cur[j - 1] + 1,
+                prev[j - 1] + (a[i - 1] != b[j - 1]),
+            )
+        prev = cur
+    return prev[n]
+
+
+def ref_semiglobal(read: str, window: str) -> int:
+    """Best distance of ``read`` vs any (possibly empty) substring."""
+    best = len(read)
+    for i in range(len(window) + 1):
+        for j in range(i, len(window) + 1):
+            best = min(best, ref_edit_distance(read, window[i:j]))
+    return best
+
+
+def hamming(a: str, b: str) -> int:
+    assert len(a) == len(b)
+    return sum(x != y for x, y in zip(a, b))
+
+
+# ---------------------------------------------------------------------------
+# Aligner exactness
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=dna, b=dna)
+def test_edit_distance_matches_reference(a, b):
+    assert edit_distance(a, b) == ref_edit_distance(a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=dna, b=dna, band=st.integers(0, 6))
+def test_banded_is_exact_within_band_else_none(a, b, band):
+    truth = ref_edit_distance(a, b)
+    banded = banded_edit_distance(a, b, band)
+    if truth <= band:
+        assert banded == truth
+    else:
+        assert banded is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    read=st.text(alphabet="ACGT", min_size=1, max_size=8),
+    window=st.text(alphabet="ACGT", max_size=10),
+)
+def test_semiglobal_matches_brute_force(read, window):
+    outcome = semiglobal_distance(read, window)
+    assert outcome.distance == ref_semiglobal(read, window)
+    if window:
+        assert outcome.cells == len(read) * (len(window) + 1)
+
+
+def test_aligner_edge_cases():
+    assert edit_distance("", "ACG") == 3
+    assert edit_distance("ACG", "") == 3
+    assert banded_edit_distance("", "AC", 1) is None
+    assert banded_edit_distance("", "AC", 2) == 2
+    assert semiglobal_distance("", "ACGT").distance == 0
+    assert semiglobal_distance("ACG", "").distance == 3
+    with pytest.raises(AlignmentError):
+        banded_edit_distance("A", "A", -1)
+
+
+# ---------------------------------------------------------------------------
+# Seed-and-extend completeness
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def planted_case(draw):
+    k = draw(st.integers(3, 5))
+    genome = draw(st.text(alphabet="ACGT", min_size=30, max_size=60))
+    read_len = draw(st.integers(k + 4, 18))
+    start = draw(st.integers(0, len(genome) - read_len))
+    budget = draw(st.integers(0, 2))
+    error_at = draw(
+        st.lists(
+            st.integers(0, read_len - 1), max_size=budget, unique=True
+        )
+    )
+    return k, genome, read_len, start, budget, error_at
+
+
+def _mutate(window: str, error_at) -> str:
+    order = "ACGT"
+    bases = list(window)
+    for pos in error_at:
+        bases[pos] = order[(order.index(bases[pos]) + 1) % 4]
+    return "".join(bases)
+
+
+@settings(max_examples=50, deadline=None)
+@given(case=planted_case())
+def test_extension_finds_every_seeded_location_a_full_scan_finds(case):
+    """Filter contract: when ``band`` covers the edit budget, the
+    pipeline recovers every location that (a) a brute-force Hamming
+    scan accepts within the budget and (b) keeps at least one exact
+    seed — the only locations a membership filter can support."""
+    k, genome, read_len, start, budget, error_at = case
+    read_str = _mutate(genome[start : start + read_len], error_at)
+    genome_seq = DnaSequence("g0", genome, taxon_id=1)
+    config = MappingConfig(
+        band=budget, max_edits=budget, max_candidates=10_000
+    )
+    extender = SeedExtender(
+        SeedIndex.from_genomes([genome_seq], k), [genome_seq], config
+    )
+    backend = KmerDatabase.from_genomes([(genome_seq, 1)], k=k)
+    mapper = ReadMapper(backend, extender)
+    read = DnaSequence("planted", read_str)
+    result = mapper.map_read(read)
+
+    found = {(loc[0], loc[1]) for loc in result.locations}
+    for q in range(len(genome) - read_len + 1):
+        window = genome[q : q + read_len]
+        if hamming(read_str, window) > budget:
+            continue
+        seeded = any(
+            read_str[o : o + k] == genome[q + o : q + o + k]
+            for o in range(read_len - k + 1)
+        )
+        if not seeded:
+            continue
+        assert (0, q) in found, (
+            f"full scan accepts genome position {q} "
+            f"(<= {budget} substitutions, live seed) but the pipeline "
+            f"reported locations {sorted(found)}"
+        )
+        (distance,) = [
+            loc[2] for loc in result.locations if loc[:2] == (0, q)
+        ]
+        assert distance <= hamming(read_str, window)
+
+    # extend() is a pure function of (read, filter answers).
+    again = mapper.map_read(read)
+    assert again.to_payload() == result.to_payload()
+
+
+def test_canonical_backend_is_a_transparent_superset_filter(small_dataset):
+    """A canonical backend hits more k-mers (either strand), but extra
+    hits have no forward occurrence, so the *candidate* set — and every
+    location-level answer — is identical to the forward-strand filter
+    (the strand contract in docs/MAPPING.md)."""
+    pairs = [(g, g.taxon_id) for g in small_dataset.genomes]
+    forward = KmerDatabase.from_genomes(
+        pairs, k=small_dataset.k, taxonomy=small_dataset.taxonomy
+    )
+    canonical = KmerDatabase.from_genomes(
+        pairs,
+        k=small_dataset.k,
+        canonical=True,
+        taxonomy=small_dataset.taxonomy,
+    )
+
+    def located(backend):
+        extender = SeedExtender(
+            SeedIndex.from_genomes(small_dataset.genomes, small_dataset.k),
+            small_dataset.genomes,
+            MappingConfig(),
+        )
+        return [
+            {
+                key: payload[key]
+                for key in (
+                    "read_id",
+                    "mapped",
+                    "genome_index",
+                    "position",
+                    "edit_distance",
+                    "candidates",
+                    "locations",
+                )
+            }
+            for payload in (
+                r.to_payload()
+                for r in ReadMapper(backend, extender).map_reads(
+                    small_dataset.reads
+                )
+            )
+        ]
+
+    assert located(forward) == located(canonical)
+
+
+# ---------------------------------------------------------------------------
+# Topology bit-identity, pinned by the committed golden matrix
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def golden_dataset():
+    return build_dataset(**MAPPING_GOLDEN["dataset_params"])
+
+
+@pytest.fixture(scope="module")
+def golden_segments(golden_dataset, tmp_path_factory):
+    path = tmp_path_factory.mktemp("mapping-segments")
+    save_segments(golden_dataset.database, path)
+    return path
+
+
+def golden_extender(dataset) -> SeedExtender:
+    return SeedExtender(
+        SeedIndex.from_genomes(dataset.genomes, dataset.k),
+        dataset.genomes,
+        MappingConfig(**MAPPING_GOLDEN["mapping_config"]),
+    )
+
+
+def mapping_digest(payloads) -> str:
+    canonical = json.dumps(payloads, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def serve_mapping_payloads(dataset, backends, config):
+    service = ClassificationService(
+        backends, config, extender=golden_extender(dataset)
+    )
+
+    async def drive():
+        await service.start()
+        futures = [service.submit_mapping(read) for read in dataset.reads]
+        responses = await asyncio.gather(*futures)
+        await service.stop(drain=True)
+        return responses
+
+    responses = asyncio.run(drive())
+    return [r.mapping.to_payload() for r in responses], service.stats()
+
+
+def test_golden_matches_small_dataset_fixture(small_dataset):
+    """The golden's embedded dataset parameters must stay in lockstep
+    with the tier-1 ``small_dataset`` fixture (tests/conftest.py)."""
+    params = MAPPING_GOLDEN["dataset_params"]
+    rebuilt = build_dataset(**params)
+    assert rebuilt.k == small_dataset.k
+    assert [g.bases for g in rebuilt.genomes] == [
+        g.bases for g in small_dataset.genomes
+    ]
+    assert [r.bases for r in rebuilt.reads] == [
+        r.bases for r in small_dataset.reads
+    ]
+
+
+def test_scalar_reference_matches_golden(golden_dataset):
+    payloads = [
+        r.to_payload()
+        for r in ReadMapper(
+            golden_dataset.database, golden_extender(golden_dataset)
+        ).map_reads(golden_dataset.reads)
+    ]
+    assert payloads == MAPPING_GOLDEN["results"]
+    assert mapping_digest(payloads) == MAPPING_GOLDEN["digest"]
+
+
+def test_sieve_device_matches_golden(golden_dataset):
+    device = SieveDevice.from_database(golden_dataset.database)
+    payloads = [
+        r.to_payload()
+        for r in ReadMapper(
+            device, golden_extender(golden_dataset)
+        ).map_reads(golden_dataset.reads)
+    ]
+    assert payloads == MAPPING_GOLDEN["results"]
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [{}, {"dedup": True, "cache_capacity": 256}],
+    ids=["plain", "dedup-cached"],
+)
+def test_sharded_service_matches_golden(golden_dataset, overrides):
+    config = ServiceConfig(
+        num_shards=2,
+        max_linger_s=0.0,
+        queue_depth=len(golden_dataset.reads),
+        **overrides,
+    )
+    backends = [
+        SieveDevice.from_database(golden_dataset.database) for _ in range(2)
+    ]
+    payloads, stats = serve_mapping_payloads(
+        golden_dataset, backends, config
+    )
+    assert payloads == MAPPING_GOLDEN["results"]
+    assert stats["mapping"]["reads"] == len(golden_dataset.reads)
+    assert stats["mapping"]["mapped"] == sum(
+        1 for p in payloads if p["mapped"]
+    )
+    assert stats["mapping"]["extension"]["model"] == "host"
+
+
+@pytest.mark.parametrize("workers", MAPPING_GOLDEN["worker_counts"])
+def test_cluster_backend_matches_golden(
+    golden_dataset, golden_segments, workers
+):
+    backend = ClusterBackend(
+        str(golden_segments), ClusterConfig(workers=workers)
+    )
+    try:
+        payloads, _ = serve_mapping_payloads(
+            golden_dataset,
+            [backend],
+            ServiceConfig(
+                num_shards=1,
+                max_linger_s=0.0,
+                queue_depth=len(golden_dataset.reads),
+            ),
+        )
+    finally:
+        backend.close()
+    assert payloads == MAPPING_GOLDEN["results"]
+
+
+# ---------------------------------------------------------------------------
+# Fault interaction
+# ---------------------------------------------------------------------------
+
+
+def test_zero_rate_injection_is_transparent_for_mapping(golden_dataset):
+    """A mounted injector with every rate at zero must not perturb a
+    single mapping answer (mirrors test_faults_properties.py)."""
+    injector = FaultInjector(FaultModel())
+    with fault_injection(injector):
+        device = SieveDevice.from_database(golden_dataset.database)
+        payloads = [
+            r.to_payload()
+            for r in ReadMapper(
+                device, golden_extender(golden_dataset)
+            ).map_reads(golden_dataset.reads)
+        ]
+    assert payloads == MAPPING_GOLDEN["results"]
+    assert injector.stats.bits_flipped == 0
+
+
+def test_mapping_sweep_job_replays_byte_identically():
+    job = MappingSweepJob(
+        seed_k=8,
+        bit_flip_rate=5e-3,
+        num_species=2,
+        genome_length=200,
+        num_reads=6,
+    )
+    first = job.run(0)
+    second = job.run(0)
+    assert first == second
+    assert first["bits_flipped"] > 0
+    assert first["schedule_digest"] == second["schedule_digest"]
+
+
+def test_mapping_sweep_job_zero_rate_flips_nothing():
+    job = MappingSweepJob(
+        seed_k=8,
+        bit_flip_rate=0.0,
+        num_species=2,
+        genome_length=200,
+        num_reads=6,
+    )
+    payload = job.run(0)
+    assert payload["bits_flipped"] == 0
+    assert payload["reads"] == 6
+
+
+def test_mapping_sweep_job_rejects_reads_shorter_than_seed():
+    with pytest.raises(FleetError):
+        MappingSweepJob(seed_k=20, read_length=10)
+
+
+# ---------------------------------------------------------------------------
+# Cost models: answers are model-blind, prices differ
+# ---------------------------------------------------------------------------
+
+
+def test_extension_models_agree_on_answers(golden_dataset):
+    index = SeedIndex.from_genomes(golden_dataset.genomes, golden_dataset.k)
+
+    def run(extension):
+        extender = SeedExtender(
+            index, golden_dataset.genomes, MappingConfig(extension=extension)
+        )
+        payloads = [
+            r.to_payload()
+            for r in ReadMapper(
+                golden_dataset.database, extender
+            ).map_reads(golden_dataset.reads)
+        ]
+        return payloads, extender.stats_dict()
+
+    host_payloads, host_stats = run("host")
+    insitu_payloads, insitu_stats = run("insitu")
+    assert host_payloads == insitu_payloads == MAPPING_GOLDEN["results"]
+    assert host_stats["extension"]["model"] == "host"
+    assert insitu_stats["extension"]["model"] == "insitu"
+    assert host_stats["extension"]["time_ns"] > 0.0
+    assert insitu_stats["extension"]["time_ns"] > 0.0
+    assert insitu_stats["extension"]["ledger_accesses"] > 0
+    # Same work counted, different price model.
+    assert host_stats["dp_cells"] == insitu_stats["dp_cells"]
+    assert (
+        host_stats["extension"]["dp_cells"]
+        == insitu_stats["extension"]["dp_cells"]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"band": -1},
+        {"band": 2, "max_edits": 3},
+        {"max_edits": -1, "band": 0},
+        {"min_seed_hits": 0},
+        {"max_candidates": 0},
+        {"extension": "gpu"},
+    ],
+)
+def test_mapping_config_rejects_invalid(kwargs):
+    with pytest.raises(MappingError):
+        MappingConfig(**kwargs)
+
+
+def test_seed_index_rejects_invalid():
+    with pytest.raises(SeedIndexError):
+        SeedIndex.from_genomes([], 5)
+    with pytest.raises(SeedIndexError):
+        SeedIndex.from_genomes([DnaSequence("g", "ACGTACGT")], 0)
+    with pytest.raises(SeedIndexError):
+        SeedIndex.from_genomes([DnaSequence("g", "ACG")], 5)
+
+
+def test_extender_rejects_mismatched_inputs(small_dataset):
+    index = SeedIndex.from_genomes(
+        small_dataset.genomes[:1], small_dataset.k
+    )
+    with pytest.raises(MappingError):
+        SeedExtender(index, small_dataset.genomes)
+
+    extender = SeedExtender(
+        SeedIndex.from_genomes(small_dataset.genomes, small_dataset.k),
+        small_dataset.genomes,
+    )
+    with pytest.raises(MappingError):
+        extender.extend(small_dataset.reads[0], [])
+
+
+def test_read_mapper_rejects_k_mismatch(small_dataset):
+    wrong_k = SeedExtender(
+        SeedIndex.from_genomes(small_dataset.genomes, small_dataset.k - 2),
+        small_dataset.genomes,
+    )
+    with pytest.raises(MappingError):
+        ReadMapper(small_dataset.database, wrong_k)
+
+
+def test_service_requires_extender_for_mapping(small_dataset):
+    service = ClassificationService([small_dataset.database])
+    with pytest.raises(ServiceError):
+        service.submit_mapping(small_dataset.reads[0])
+
+
+def test_service_rejects_extender_k_mismatch(small_dataset):
+    wrong_k = SeedExtender(
+        SeedIndex.from_genomes(small_dataset.genomes, small_dataset.k - 2),
+        small_dataset.genomes,
+    )
+    with pytest.raises(ServiceError):
+        ClassificationService([small_dataset.database], extender=wrong_k)
